@@ -1,0 +1,68 @@
+//! Dependency-graph operations on experiment-sized stacks: topological
+//! ordering, build-plan layering and rebuild closures. Sized at the H1
+//! stack (100 packages) and a 10× synthetic stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_build::{BuildPlan, DependencyGraph, Package, PackageId, PackageKind};
+use sp_build::incremental::{rebuild_set, ChangeSet};
+use sp_env::Version;
+
+/// A layered synthetic stack: `layers` layers of `width` packages, each
+/// depending on two packages of the previous layer.
+fn synthetic_stack(layers: usize, width: usize) -> DependencyGraph {
+    let mut packages = Vec::new();
+    for layer in 0..layers {
+        for i in 0..width {
+            let mut pkg = Package::new(
+                format!("pkg-{layer}-{i}"),
+                Version::new(1, 0, 0),
+                PackageKind::Library,
+            );
+            if layer > 0 {
+                pkg = pkg
+                    .dep(format!("pkg-{}-{}", layer - 1, i % width))
+                    .dep(format!("pkg-{}-{}", layer - 1, (i + 1) % width));
+            }
+            packages.push(pkg);
+        }
+    }
+    DependencyGraph::from_packages(packages).expect("synthetic stack is a DAG")
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let h1 = sp_experiments::h1_experiment();
+    let big = synthetic_stack(20, 50); // 1000 packages
+
+    let mut group = c.benchmark_group("build_graph");
+    group.bench_function("topo_order/h1-100", |b| {
+        b.iter(|| h1.graph.topo_order().unwrap())
+    });
+    group.bench_function("topo_order/synthetic-1000", |b| {
+        b.iter(|| big.topo_order().unwrap())
+    });
+    group.bench_function("build_plan/h1-100", |b| {
+        b.iter(|| BuildPlan::for_graph(&h1.graph).unwrap())
+    });
+    group.bench_function("build_plan/synthetic-1000", |b| {
+        b.iter(|| BuildPlan::for_graph(&big).unwrap())
+    });
+
+    for (label, graph, seed_pkg) in [
+        ("h1-100", &h1.graph, "h1util"),
+        ("synthetic-1000", &big, "pkg-0-0"),
+    ] {
+        let changes = ChangeSet {
+            changed_packages: vec![PackageId::new(seed_pkg)],
+            ..ChangeSet::none()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("rebuild_closure", label),
+            &changes,
+            |b, changes| b.iter(|| rebuild_set(graph, changes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Failure-classification cost: re-deriving root causes from the
+//! compatibility model over a failed migration run (the §3.1 (iii) analysis
+//! phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_bench::repro_run_config;
+use sp_core::{classify, RegressionReport, SpSystem};
+use sp_env::{catalog, Arch, Version};
+
+fn bench_classify(c: &mut Criterion) {
+    // Set up a failed H1 run on SL6 with an SL5 reference.
+    let mut system = SpSystem::new();
+    let sl5 = system
+        .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+        .unwrap();
+    let sl6 = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_experiments::h1_experiment())
+        .unwrap();
+    let config = repro_run_config(0.05);
+    let reference = system.run_validation("h1", sl5, &config).unwrap();
+    let migrated = system.run_validation("h1", sl6, &config).unwrap();
+    assert!(!migrated.is_successful(), "migration must fail for the bench");
+
+    let experiment = system.experiment("h1").unwrap();
+    let env = system.image(sl6).unwrap().spec.clone();
+
+    let mut group = c.benchmark_group("analysis_phase");
+    group.bench_function("classify_failed_h1_run", |b| {
+        b.iter(|| classify(experiment, &migrated, &env))
+    });
+    group.bench_function("regression_report_h1", |b| {
+        b.iter(|| RegressionReport::between(&reference, &migrated))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Histogram comparison throughput: χ² and KS tests versus histogram size.
+//! These comparisons run once per data-validation test per run, so their
+//! cost bounds the framework's bookkeeping overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_hep::rng::normal;
+use sp_hep::{hist_io, Histogram1D, HistogramSet};
+
+fn filled(name: &str, bins: usize, seed: u64) -> Histogram1D {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hist = Histogram1D::new(name, bins, -10.0, 10.0);
+    for _ in 0..20_000 {
+        hist.fill(normal(&mut rng, 0.0, 3.0));
+    }
+    hist
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hist_compare");
+    for bins in [20usize, 100, 500, 2000] {
+        let a = filled("a", bins, 1);
+        let b = filled("b", bins, 2);
+        group.bench_with_input(BenchmarkId::new("chi2", bins), &bins, |bencher, _| {
+            bencher.iter(|| a.chi2_test(&b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ks", bins), &bins, |bencher, _| {
+            bencher.iter(|| a.ks_test(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let set: HistogramSet = (0..8)
+        .map(|i| filled(&format!("h{i}"), 50, i as u64))
+        .collect();
+    let encoded = hist_io::encode_set(&set);
+    let mut group = c.benchmark_group("hist_io");
+    group.bench_function("encode_8x50", |b| b.iter(|| hist_io::encode_set(&set)));
+    group.bench_function("decode_8x50", |b| {
+        b.iter(|| hist_io::decode_set(&encoded).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare, bench_io);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: how large must a latent platform bug be, and how much chain
+//! statistics must a validation run accumulate, for the histogram χ²
+//! comparison to catch it?
+//!
+//! This maps the design trade-off behind the paper's test pyramid: quick
+//! per-package checks catch exact-number changes for free, but only the
+//! full analysis chains (expensive, sequential) give the statistical power
+//! to catch *subtle* numeric deviations — which is why H1 runs complete
+//! MC→analysis chains in its validation suite rather than unit checks
+//! alone.
+//!
+//! ```text
+//! cargo run --release -p sp-bench --bin ablation-sensitivity
+//! ```
+
+use sp_hep::{run_chain, GeneratorConfig};
+use sp_report::table::{Align, TextTable};
+
+fn main() {
+    let config = GeneratorConfig::hera_nc();
+    let event_counts = [250usize, 500, 1000, 2000, 4000, 8000];
+    let deviations = [0.5f64, 1.0, 2.0, 3.0, 5.0, 8.0];
+    let threshold = 0.01; // the framework's default chi2 gate
+
+    println!(
+        "Ablation: worst-histogram chi2 p-value of (deviated vs nominal) chain\n\
+         runs with identical seeds. Cells below the p < {threshold} gate (=> the\n\
+         framework flags the platform) are marked with '*'.\n"
+    );
+
+    let mut headers: Vec<String> = vec!["events".to_string()];
+    headers.extend(deviations.iter().map(|d| format!("{d}sigma")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut aligns = vec![Align::Right];
+    aligns.extend(std::iter::repeat_n(Align::Right, deviations.len()));
+    let mut table = TextTable::new(&header_refs).align(&aligns);
+
+    for &events in &event_counts {
+        let nominal = run_chain(&config, events, 20131029, 0.0);
+        let mut cells = vec![events.to_string()];
+        for &dev in &deviations {
+            let deviated = run_chain(&config, events, 20131029, dev);
+            let p = nominal
+                .histograms
+                .worst_chi2_p(&deviated.histograms)
+                .unwrap_or(1.0);
+            let mark = if p < threshold { "*" } else { " " };
+            cells.push(format!("{p:9.2e}{mark}"));
+        }
+        table.row_owned(cells);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "Reading: the unit checks catch any deviation instantly (exact numeric\n\
+         comparison), but only manifest deviations; histogram validation needs\n\
+         either magnitude or statistics. The H1 chains run 2200-3000 events,\n\
+         putting the 5-6sigma latent bugs of the HERA stacks deep inside the\n\
+         detected region while staying cheap enough for nightly cron runs."
+    );
+}

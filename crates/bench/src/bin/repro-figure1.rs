@@ -1,0 +1,22 @@
+//! Regenerates **Figure 1** of the paper: the illustration of the
+//! validation system with its three separated inputs (experiment software,
+//! external dependencies, operating system), the common storage and the
+//! client machines — rendered from a *live* `SpSystem` instance rather
+//! than as a static drawing.
+//!
+//! ```text
+//! cargo run -p sp-bench --bin repro-figure1
+//! ```
+
+use sp_bench::desy_deployment;
+use sp_report::figure1_diagram;
+
+fn main() {
+    let system = desy_deployment();
+    println!(
+        "Figure 1. An illustration of the validation system developed at DESY.\n\
+         Note the clear separation of the inputs: experiment specific software,\n\
+         external dependencies and operating system.\n"
+    );
+    println!("{}", figure1_diagram(&system));
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Figure 2** of the paper: the outline of the validation
+//! tests prepared by the H1 experiment — ~100 package compilations whose
+//! binaries are conserved as tar-balls, plus validation tests (parallel
+//! standalone executables and sequential analysis chains) totalling close
+//! to 500.
+//!
+//! ```text
+//! cargo run -p sp-bench --bin repro-figure2
+//! ```
+
+use sp_core::TestCategory;
+use sp_experiments::{common, h1_experiment};
+use sp_report::table::{Align, TextTable};
+
+fn main() {
+    let h1 = h1_experiment();
+    let breakdown = h1.suite.breakdown();
+
+    println!("Figure 2. An outline of the validation tests to be prepared by the H1 experiment.\n");
+    println!(
+        "H1 preservation programme: {} (full level 4)\n",
+        h1.suite.level
+    );
+
+    println!("Part 1 — package compilation (binaries stored as tar-balls):");
+    println!(
+        "    {} individual H1 software packages\n",
+        breakdown.count(TestCategory::Compilation)
+    );
+
+    println!("Part 2 — validation tests on the full spectrum of the H1 software:");
+    let mut table = TextTable::new(&["category", "execution", "tests"]).align(&[
+        Align::Left,
+        Align::Left,
+        Align::Right,
+    ]);
+    for category in TestCategory::all().iter().skip(1) {
+        let count = match category {
+            // Chains expand into their per-stage tests; the final stage of
+            // each chain is the data validation.
+            TestCategory::AnalysisChain => {
+                let chains = breakdown.count(TestCategory::AnalysisChain);
+                chains * 5
+            }
+            TestCategory::DataValidation => breakdown.count(TestCategory::AnalysisChain),
+            other => breakdown.count(*other),
+        };
+        let execution = if category.parallelisable() {
+            "parallel"
+        } else {
+            "sequential (full analysis chains)"
+        };
+        table.row_owned(vec![
+            category.label().to_string(),
+            execution.to_string(),
+            count.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "Analysis chains: MC generation -> simulation -> (multi-level) file \
+         production -> physics analysis -> validation of the results"
+    );
+    for test in h1.suite.tests() {
+        if let sp_core::TestKind::Chain { chain, events, .. } = &test.kind {
+            let stages: Vec<&str> = chain.stages().iter().map(|s| s.name.as_str()).collect();
+            println!(
+                "    {:<24} {:>5} events   [{}]",
+                chain.name,
+                events,
+                stages.join(" -> ")
+            );
+        }
+    }
+
+    let expanded = common::expanded_test_count(&h1.suite);
+    println!(
+        "\nTotal: {} defined tests, {} once chains are expanded into their stages",
+        h1.suite.len(),
+        expanded
+    );
+    println!("Paper: \"expected to comprise of up to 500 tests in total\"");
+}

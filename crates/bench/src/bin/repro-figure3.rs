@@ -1,0 +1,106 @@
+//! Regenerates **Figure 3** of the paper: the summary matrix of the
+//! validation tests carried out by the HERA experiments within the
+//! sp-system — ZEUS (orange, top), H1 (blue, middle) and HERMES (red,
+//! bottom) process groups against the five §3.1 configurations of operating
+//! system, compiler and external dependencies, after the paper's ">300
+//! runs".
+//!
+//! Expected shape (§3.3): the SL5 columns validate cleanly, while the
+//! 64-bit columns surface the latent pointer bugs in the H1 and ZEUS stacks
+//! ("already identified and helped to solve several long-standing bugs");
+//! HERMES stays green throughout.
+//!
+//! ```text
+//! cargo run --release -p sp-bench --bin repro-figure3 [--scale 0.3]
+//! ```
+
+use sp_bench::{desy_deployment, repro_run_config, scale_from_args};
+use sp_core::{Campaign, CampaignConfig};
+use sp_env::{catalog, Arch};
+use sp_report::render_matrix;
+use sp_report::summary::render_stats;
+
+fn main() {
+    let scale = scale_from_args(0.3);
+    let mut system = desy_deployment();
+
+    // The external-dependency axis: one SL5/32bit gcc4.4 image per ROOT
+    // version, plus the SL6-devtoolset ROOT 6 probe.
+    let mut root_axis = Vec::new();
+    for version in catalog::paper_root_versions() {
+        let id = system
+            .register_image(catalog::sl5_gcc44(Arch::I686, version))
+            .expect("coherent image");
+        root_axis.push(id);
+    }
+    root_axis.push(
+        system
+            .register_image(catalog::sl6_devtoolset_root6())
+            .expect("coherent image"),
+    );
+    let system = system;
+
+    // 3 experiments x 5 images x 21 nightly passes = 315 runs (">300").
+    let paper_image_ids: Vec<_> = system
+        .images()
+        .iter()
+        .map(|i| i.id)
+        .filter(|id| !root_axis.contains(id))
+        .collect();
+    let config = CampaignConfig {
+        experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
+        images: paper_image_ids,
+        repetitions: 21,
+        run: repro_run_config(scale),
+        interval_secs: 86_400,
+    };
+    let planned = config.total_runs();
+    eprintln!("running {planned} validation runs (scale {scale}) ...");
+    let started = std::time::Instant::now();
+    let summary = Campaign::new(&system, config)
+        .execute()
+        .expect("campaign over registered experiments");
+    eprintln!("campaign finished in {:.1?}\n", started.elapsed());
+
+    println!(
+        "Figure 3. A summary of the validation tests carried out by the HERA\n\
+         experiments within the sp-system at DESY ({} runs).\n",
+        summary.total_runs()
+    );
+    println!("{}", render_matrix(&system, &summary, &["zeus", "h1", "hermes"]));
+    println!("\nPer-experiment campaign statistics:\n");
+    println!("{}", render_stats(&summary));
+    println!(
+        "Paper claim: \"In total more than 300 runs over sets of pre-defined tests\n\
+         have been performed within the sp-system by the HERA experiments.\"\n\
+         This campaign: {} runs.\n",
+        summary.total_runs()
+    );
+
+    // ---- Figure 3, external-dependency axis -----------------------------
+    let ext_config = CampaignConfig {
+        experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
+        images: root_axis,
+        repetitions: 1,
+        run: repro_run_config(scale),
+        interval_secs: 86_400,
+    };
+    eprintln!("running {} external-dependency runs ...", ext_config.total_runs());
+    let ext_summary = Campaign::new(&system, ext_config)
+        .execute()
+        .expect("external-axis campaign");
+    println!(
+        "Figure 3 (external-dependency axis): the same processes against the\n\
+         installed ROOT series on SL5/32bit gcc4.4, plus the ROOT 6 probe\n\
+         (SL6 + gcc 4.7 devtoolset).\n"
+    );
+    println!(
+        "{}",
+        render_matrix(&system, &ext_summary, &["zeus", "h1", "hermes"])
+    );
+    println!(
+        "Shape check: every ROOT 5.x column validates identically (the\n\
+         experiments code against API level 5); the ROOT 6 column breaks the\n\
+         CINT-era analysis layers of all three experiments."
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 1** of the paper: the DPHEP data-preservation
+//! levels, their models and use cases — straight from the policy model the
+//! framework enforces.
+//!
+//! ```text
+//! cargo run -p sp-bench --bin repro-table1
+//! ```
+
+use sp_core::PreservationLevel;
+use sp_report::TextTable;
+
+fn main() {
+    println!("Table 1. Data preservation levels as defined by the DPHEP Collaboration.\n");
+    let mut table = TextTable::new(&["Level", "Preservation Model", "Use Case"]);
+    for level in PreservationLevel::all() {
+        table.row(&[&level.number().to_string(), level.model(), level.use_case()]);
+    }
+    println!("{}", table.render());
+
+    println!("Framework mapping: validation-test categories required per level\n");
+    let mut mapping = TextTable::new(&["Level", "Area", "Required test categories"]);
+    for level in PreservationLevel::all() {
+        let categories: Vec<&str> = level
+            .required_test_categories()
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        let categories = if categories.is_empty() {
+            "(none — documentation only)".to_string()
+        } else {
+            categories.join(", ")
+        };
+        mapping.row(&[&level.to_string(), level.area(), &categories]);
+    }
+    println!("{}", mapping.render());
+}

@@ -1,0 +1,93 @@
+//! # sp-bench — the benchmark and reproduction harness
+//!
+//! One `repro-*` binary per table/figure of the paper, plus shared set-up
+//! helpers used by both the binaries and the Criterion benches:
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `repro-table1` | Table 1 (DPHEP preservation levels) |
+//! | `repro-figure1` | Figure 1 (system illustration, from a live system) |
+//! | `repro-figure2` | Figure 2 (H1 validation-test outline) |
+//! | `repro-figure3` | Figure 3 (HERA validation summary matrix, >300 runs) |
+//! | `repro-migration` | §3.3 narrative: SL6 migration finds long-standing bugs; SL7/ROOT 6 outlook |
+
+use sp_core::{RunConfig, SpSystem};
+use sp_env::catalog;
+use sp_exec::{ClientKind, CronSchedule};
+
+/// Builds the full DESY deployment: the five §3.1 images, the three HERA
+/// experiments, and a set of clients (one VM per image plus a batch and a
+/// grid node).
+pub fn desy_deployment() -> SpSystem {
+    let mut system = SpSystem::new();
+    for spec in catalog::paper_images() {
+        let label = spec.label();
+        let id = system.register_image(spec).expect("catalog images are coherent");
+        system
+            .register_client(
+                &format!("sp-vm-{}", id),
+                ClientKind::VirtualMachine { image_label: label },
+                CronSchedule::nightly(),
+                true,
+                true,
+            )
+            .expect("VM clients meet the requirements");
+    }
+    system
+        .register_client(
+            "bird-batch-01",
+            ClientKind::BatchNode,
+            CronSchedule::parse("0 4 * * *").expect("static cron"),
+            true,
+            true,
+        )
+        .expect("batch client");
+    system
+        .register_client(
+            "grid-worker-42",
+            ClientKind::GridWorker,
+            CronSchedule::parse("30 */6 * * *").expect("static cron"),
+            true,
+            true,
+        )
+        .expect("grid client");
+
+    for experiment in sp_experiments::hera_experiments() {
+        system
+            .register_experiment(experiment)
+            .expect("experiment definitions are coherent");
+    }
+    system
+}
+
+/// The standard run configuration for reproduction binaries: moderate
+/// workloads, deterministic seed.
+pub fn repro_run_config(scale: f64) -> RunConfig {
+    RunConfig {
+        scale,
+        threads: 4,
+        ..RunConfig::default()
+    }
+}
+
+/// Reads a scale factor from argv (`--scale 0.5`), with a default.
+pub fn scale_from_args(default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--scale")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_matches_paper_inventory() {
+        let system = desy_deployment();
+        assert_eq!(system.images().len(), 5);
+        assert_eq!(system.clients().len(), 7);
+        assert_eq!(system.experiments().count(), 3);
+    }
+}

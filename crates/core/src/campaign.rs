@@ -1,0 +1,315 @@
+//! Multi-run validation campaigns.
+//!
+//! "In total more than 300 runs over sets of pre-defined tests have been
+//! performed within the sp-system by the HERA experiments." (§3.3)
+//!
+//! A [`Campaign`] executes a grid of (experiment × image) validation runs,
+//! repeated over simulated nightly cron firings, and aggregates the cell
+//! statuses that the Figure-3 summary matrix displays.
+
+use std::collections::BTreeMap;
+
+use sp_env::VmImageId;
+
+use crate::run::{RunId, TestStatus, ValidationRun};
+use crate::system::{RunConfig, SpSystem, SystemError};
+
+/// Configuration of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Experiments to run (names must be registered).
+    pub experiments: Vec<String>,
+    /// Images to run on.
+    pub images: Vec<VmImageId>,
+    /// How many times to repeat the grid (nightly firings).
+    pub repetitions: usize,
+    /// Base run configuration (seed, scale, threads).
+    pub run: RunConfig,
+    /// Seconds the clock advances between repetitions (one nightly cron
+    /// interval by default).
+    pub interval_secs: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign over everything registered, once.
+    pub fn single_pass(system: &SpSystem) -> Self {
+        CampaignConfig {
+            experiments: system.experiments().map(|e| e.name.clone()).collect(),
+            images: system.images().iter().map(|i| i.id).collect(),
+            repetitions: 1,
+            run: RunConfig::default(),
+            interval_secs: 86_400,
+        }
+    }
+
+    /// Total number of runs this campaign will perform.
+    pub fn total_runs(&self) -> usize {
+        self.experiments.len() * self.images.len() * self.repetitions
+    }
+}
+
+/// Aggregated status of one (experiment, group, image) matrix cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellStatus {
+    /// All tests of the group passed cleanly.
+    Pass,
+    /// All passed, some with warnings.
+    Warnings,
+    /// At least one test failed.
+    Fail,
+    /// Every test was skipped / nothing ran.
+    NotRun,
+}
+
+impl CellStatus {
+    /// Matrix glyph.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            CellStatus::Pass => "ok",
+            CellStatus::Warnings => "warn",
+            CellStatus::Fail => "FAIL",
+            CellStatus::NotRun => "-",
+        }
+    }
+}
+
+/// Summary record of one executed run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Run id.
+    pub id: RunId,
+    /// Experiment name.
+    pub experiment: String,
+    /// Image label.
+    pub image_label: String,
+    /// Unix timestamp.
+    pub timestamp: u64,
+    /// Test counts: passed.
+    pub passed: usize,
+    /// Test counts: failed.
+    pub failed: usize,
+    /// Test counts: skipped.
+    pub skipped: usize,
+    /// Whether the run validated.
+    pub successful: bool,
+}
+
+/// The aggregated result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// One record per executed run, in execution order.
+    pub runs: Vec<RunRecord>,
+    /// Last-run cell status per (experiment, group, image-label).
+    pub cells: BTreeMap<(String, String, String), CellStatus>,
+    /// Image labels in campaign order (matrix columns).
+    pub image_labels: Vec<String>,
+}
+
+impl CampaignSummary {
+    /// Total runs performed.
+    pub fn total_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Runs that validated successfully.
+    pub fn successful_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.successful).count()
+    }
+
+    /// Cell lookup.
+    pub fn cell(&self, experiment: &str, group: &str, image_label: &str) -> CellStatus {
+        self.cells
+            .get(&(
+                experiment.to_string(),
+                group.to_string(),
+                image_label.to_string(),
+            ))
+            .copied()
+            .unwrap_or(CellStatus::NotRun)
+    }
+
+    /// Distinct (experiment, group) rows in insertion order of experiments.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut rows: Vec<(String, String)> = Vec::new();
+        for (exp, group, _) in self.cells.keys() {
+            let key = (exp.clone(), group.clone());
+            if !rows.contains(&key) {
+                rows.push(key);
+            }
+        }
+        rows
+    }
+}
+
+/// Executes campaigns against a system.
+pub struct Campaign<'a> {
+    system: &'a SpSystem,
+    config: CampaignConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Creates a campaign.
+    pub fn new(system: &'a SpSystem, config: CampaignConfig) -> Self {
+        Campaign { system, config }
+    }
+
+    /// Runs the full grid, aggregating per-cell statuses from the *last*
+    /// run of each (experiment, image) pair.
+    pub fn execute(&self) -> Result<CampaignSummary, SystemError> {
+        let mut runs: Vec<RunRecord> = Vec::new();
+        let mut cells: BTreeMap<(String, String, String), CellStatus> = BTreeMap::new();
+        let mut image_labels: Vec<String> = Vec::new();
+
+        for image_id in &self.config.images {
+            if let Some(image) = self.system.image(*image_id) {
+                image_labels.push(column_label(image));
+            }
+        }
+
+        for repetition in 0..self.config.repetitions {
+            for experiment in &self.config.experiments {
+                for image_id in &self.config.images {
+                    let image_label = self
+                        .system
+                        .image(*image_id)
+                        .map(column_label)
+                        .unwrap_or_default();
+                    let mut run_config = self.config.run.clone();
+                    run_config.description = format!(
+                        "{experiment} @ {image_label} (pass {})",
+                        repetition + 1
+                    );
+                    let run =
+                        self.system
+                            .run_validation(experiment, *image_id, &run_config)?;
+                    runs.push(RunRecord {
+                        id: run.id,
+                        experiment: experiment.clone(),
+                        image_label: image_label.clone(),
+                        timestamp: run.timestamp,
+                        passed: run.passed(),
+                        failed: run.failed(),
+                        skipped: run.skipped(),
+                        successful: run.is_successful(),
+                    });
+                    for (group, status) in aggregate_groups(&run) {
+                        cells.insert((experiment.clone(), group, image_label.clone()), status);
+                    }
+                }
+            }
+            self.system.clock().advance(self.config.interval_secs);
+        }
+
+        Ok(CampaignSummary {
+            runs,
+            cells,
+            image_labels,
+        })
+    }
+}
+
+/// Matrix column label for an image: the configuration label plus the
+/// installed ROOT version (the external-dependency coordinate of Figure 3).
+fn column_label(image: &sp_env::VmImage) -> String {
+    match image.spec.externals.get("root") {
+        Some(root) => format!("{} root{}", image.label(), root.version),
+        None => image.label(),
+    }
+}
+
+/// Aggregates a run's results per process group.
+fn aggregate_groups(run: &ValidationRun) -> BTreeMap<String, CellStatus> {
+    let mut by_group: BTreeMap<String, Vec<&TestStatus>> = BTreeMap::new();
+    for result in &run.results {
+        by_group
+            .entry(result.group.clone())
+            .or_default()
+            .push(&result.status);
+    }
+    by_group
+        .into_iter()
+        .map(|(group, statuses)| {
+            let any_fail = statuses
+                .iter()
+                .any(|s| matches!(s, TestStatus::Failed(_)));
+            let all_skipped = statuses
+                .iter()
+                .all(|s| matches!(s, TestStatus::Skipped(_)));
+            let any_warn = statuses
+                .iter()
+                .any(|s| matches!(s, TestStatus::PassedWithWarnings(_)));
+            let status = if all_skipped {
+                CellStatus::NotRun
+            } else if any_fail {
+                CellStatus::Fail
+            } else if any_warn {
+                CellStatus::Warnings
+            } else {
+                CellStatus::Pass
+            };
+            (group, status)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::TestResult;
+    use crate::test::{FailureKind, TestCategory, TestId};
+    use sp_exec::JobId;
+
+    fn result(group: &str, status: TestStatus) -> TestResult {
+        TestResult {
+            test: TestId::new(format!("{group}/t")),
+            category: TestCategory::Compilation,
+            group: group.into(),
+            job: JobId(1),
+            status,
+            outputs: vec![],
+            compare: None,
+        }
+    }
+
+    #[test]
+    fn group_aggregation_rules() {
+        let run = ValidationRun {
+            id: RunId(1),
+            experiment: "e".into(),
+            image_label: "img".into(),
+            description: String::new(),
+            timestamp: 0,
+            results: vec![
+                result("clean", TestStatus::Passed),
+                result("warny", TestStatus::Passed),
+                result("warny", TestStatus::PassedWithWarnings(2)),
+                result("broken", TestStatus::Passed),
+                result("broken", TestStatus::Failed(FailureKind::CompileError)),
+                result("idle", TestStatus::Skipped("dep".into())),
+            ],
+        };
+        let groups = aggregate_groups(&run);
+        assert_eq!(groups["clean"], CellStatus::Pass);
+        assert_eq!(groups["warny"], CellStatus::Warnings);
+        assert_eq!(groups["broken"], CellStatus::Fail);
+        assert_eq!(groups["idle"], CellStatus::NotRun);
+    }
+
+    #[test]
+    fn glyphs() {
+        assert_eq!(CellStatus::Pass.glyph(), "ok");
+        assert_eq!(CellStatus::Fail.glyph(), "FAIL");
+    }
+
+    #[test]
+    fn config_counts() {
+        let config = CampaignConfig {
+            experiments: vec!["h1".into(), "zeus".into()],
+            images: vec![VmImageId(1), VmImageId(2), VmImageId(3)],
+            repetitions: 5,
+            run: RunConfig::default(),
+            interval_secs: 86_400,
+        };
+        assert_eq!(config.total_runs(), 30);
+    }
+}

@@ -1,0 +1,426 @@
+//! The comparison engine.
+//!
+//! "This allows the validation of all versions against each other and
+//! ensures reproducibility of previous results. … This file may be a simple
+//! yes/no, a text file, a histogram, a root file or even a link to a
+//! further page, depending on the nature of the test." (§3.3)
+//!
+//! [`TestOutput`] models those output flavours; [`Comparator`] decides
+//! whether a new output is compatible with the reference one.
+
+use sp_hep::hist_io;
+use sp_hep::HistogramSet;
+
+/// The output of one validation test, in one of the paper's flavours.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestOutput {
+    /// A simple yes/no.
+    YesNo(bool),
+    /// An exit code.
+    ExitCode(i32),
+    /// A text file (log, cut-flow table).
+    Text(String),
+    /// A vector of named numbers (counters, means).
+    Numbers(Vec<(String, f64)>),
+    /// A set of histograms ("a histogram, a root file").
+    Histograms(HistogramSet),
+}
+
+impl TestOutput {
+    /// Serialises the output for the common storage. Deterministic, so
+    /// identical outputs deduplicate to identical object ids.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            TestOutput::YesNo(b) => {
+                let mut v = vec![b'Y'];
+                v.push(*b as u8);
+                v
+            }
+            TestOutput::ExitCode(c) => {
+                let mut v = vec![b'E'];
+                v.extend_from_slice(&c.to_le_bytes());
+                v
+            }
+            TestOutput::Text(t) => {
+                let mut v = vec![b'T'];
+                v.extend_from_slice(t.as_bytes());
+                v
+            }
+            TestOutput::Numbers(ns) => {
+                let mut v = vec![b'N'];
+                for (name, value) in ns {
+                    v.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                    v.extend_from_slice(name.as_bytes());
+                    v.extend_from_slice(&value.to_le_bytes());
+                }
+                v
+            }
+            TestOutput::Histograms(set) => {
+                let mut v = vec![b'H'];
+                v.extend_from_slice(&hist_io::encode_set(set));
+                v
+            }
+        }
+    }
+
+    /// Deserialises an output written by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(data: &[u8]) -> Option<TestOutput> {
+        let (&tag, rest) = data.split_first()?;
+        match tag {
+            b'Y' => Some(TestOutput::YesNo(*rest.first()? != 0)),
+            b'E' => Some(TestOutput::ExitCode(i32::from_le_bytes(
+                rest.try_into().ok()?,
+            ))),
+            b'T' => Some(TestOutput::Text(String::from_utf8(rest.to_vec()).ok()?)),
+            b'N' => {
+                let mut ns = Vec::new();
+                let mut cur = rest;
+                while !cur.is_empty() {
+                    if cur.len() < 2 {
+                        return None;
+                    }
+                    let len = u16::from_le_bytes([cur[0], cur[1]]) as usize;
+                    cur = &cur[2..];
+                    if cur.len() < len + 8 {
+                        return None;
+                    }
+                    let name = String::from_utf8(cur[..len].to_vec()).ok()?;
+                    let value = f64::from_le_bytes(cur[len..len + 8].try_into().ok()?);
+                    ns.push((name, value));
+                    cur = &cur[len + 8..];
+                }
+                Some(TestOutput::Numbers(ns))
+            }
+            b'H' => hist_io::decode_set(rest).ok().map(TestOutput::Histograms),
+            _ => None,
+        }
+    }
+}
+
+/// How to compare a test output against its reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Comparator {
+    /// Both must be the same yes/no or exit code (bitwise equality of the
+    /// output value).
+    Exact,
+    /// Text comparison ignoring lines containing any of the given markers
+    /// (timestamps, hostnames).
+    TextDiff {
+        /// Substrings marking lines to ignore.
+        ignore_markers: Vec<String>,
+    },
+    /// Named numbers must agree within relative and absolute tolerance.
+    Numeric {
+        /// Relative tolerance.
+        rel_tol: f64,
+        /// Absolute tolerance.
+        abs_tol: f64,
+    },
+    /// Histogram sets must be statistically compatible: worst-histogram χ²
+    /// p-value at least `min_p_value`.
+    HistogramChi2 {
+        /// Minimum acceptable p-value.
+        min_p_value: f64,
+    },
+}
+
+impl Comparator {
+    /// The standard comparator for a given output flavour.
+    pub fn default_for(output: &TestOutput) -> Comparator {
+        match output {
+            TestOutput::YesNo(_) | TestOutput::ExitCode(_) => Comparator::Exact,
+            TestOutput::Text(_) => Comparator::TextDiff {
+                ignore_markers: vec!["timestamp".into(), "host".into(), "date".into()],
+            },
+            TestOutput::Numbers(_) => Comparator::Numeric {
+                rel_tol: 1e-9,
+                abs_tol: 1e-12,
+            },
+            TestOutput::Histograms(_) => Comparator::HistogramChi2 { min_p_value: 0.01 },
+        }
+    }
+
+    /// Compares `new` against `reference`.
+    pub fn compare(&self, new: &TestOutput, reference: &TestOutput) -> CompareOutcome {
+        match (self, new, reference) {
+            (Comparator::Exact, a, b) => {
+                if a == b {
+                    CompareOutcome::Identical
+                } else {
+                    CompareOutcome::Differs {
+                        detail: format!("outputs differ: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+            (Comparator::TextDiff { ignore_markers }, TestOutput::Text(a), TestOutput::Text(b)) => {
+                compare_text(a, b, ignore_markers)
+            }
+            (
+                Comparator::Numeric { rel_tol, abs_tol },
+                TestOutput::Numbers(a),
+                TestOutput::Numbers(b),
+            ) => compare_numbers(a, b, *rel_tol, *abs_tol),
+            (
+                Comparator::HistogramChi2 { min_p_value },
+                TestOutput::Histograms(a),
+                TestOutput::Histograms(b),
+            ) => compare_histograms(a, b, *min_p_value),
+            _ => CompareOutcome::Differs {
+                detail: "output type changed between runs".to_string(),
+            },
+        }
+    }
+}
+
+/// The verdict of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareOutcome {
+    /// Bit-identical.
+    Identical,
+    /// Not identical but within tolerance (p-value or numeric slack).
+    WithinTolerance {
+        /// Quantitative summary (`worst p = 0.43`).
+        detail: String,
+    },
+    /// Incompatible.
+    Differs {
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl CompareOutcome {
+    /// Whether the comparison passed.
+    pub fn passed(&self) -> bool {
+        !matches!(self, CompareOutcome::Differs { .. })
+    }
+}
+
+fn relevant_lines<'a>(text: &'a str, ignore: &[String]) -> Vec<&'a str> {
+    text.lines()
+        .filter(|line| !ignore.iter().any(|m| line.to_lowercase().contains(&m.to_lowercase())))
+        .collect()
+}
+
+fn compare_text(a: &str, b: &str, ignore: &[String]) -> CompareOutcome {
+    if a == b {
+        return CompareOutcome::Identical;
+    }
+    let la = relevant_lines(a, ignore);
+    let lb = relevant_lines(b, ignore);
+    if la == lb {
+        return CompareOutcome::WithinTolerance {
+            detail: "differs only in ignored lines".to_string(),
+        };
+    }
+    // First differing line for the report.
+    let first_diff = la
+        .iter()
+        .zip(lb.iter())
+        .position(|(x, y)| x != y)
+        .map(|i| format!("line {}: '{}' vs '{}'", i + 1, la[i], lb[i]))
+        .unwrap_or_else(|| format!("line counts differ: {} vs {}", la.len(), lb.len()));
+    CompareOutcome::Differs { detail: first_diff }
+}
+
+fn compare_numbers(
+    a: &[(String, f64)],
+    b: &[(String, f64)],
+    rel_tol: f64,
+    abs_tol: f64,
+) -> CompareOutcome {
+    if a.len() != b.len() || a.iter().zip(b).any(|((n1, _), (n2, _))| n1 != n2) {
+        return CompareOutcome::Differs {
+            detail: "the set of reported numbers changed".to_string(),
+        };
+    }
+    let mut identical = true;
+    for ((name, x), (_, y)) in a.iter().zip(b) {
+        if x.to_bits() != y.to_bits() {
+            identical = false;
+        }
+        let diff = (x - y).abs();
+        let scale = x.abs().max(y.abs());
+        if diff > abs_tol && diff > rel_tol * scale {
+            return CompareOutcome::Differs {
+                detail: format!("'{name}': {x} vs {y} (|Δ| = {diff:.3e})"),
+            };
+        }
+    }
+    if identical {
+        CompareOutcome::Identical
+    } else {
+        CompareOutcome::WithinTolerance {
+            detail: "numeric agreement within tolerance".to_string(),
+        }
+    }
+}
+
+fn compare_histograms(a: &HistogramSet, b: &HistogramSet, min_p: f64) -> CompareOutcome {
+    if a == b {
+        return CompareOutcome::Identical;
+    }
+    if a.names() != b.names() {
+        return CompareOutcome::Differs {
+            detail: format!(
+                "histogram sets differ in content: {:?} vs {:?}",
+                a.names(),
+                b.names()
+            ),
+        };
+    }
+    // Report the worst histogram by p-value.
+    let mut worst: Option<(String, f64)> = None;
+    for hist in a.iter() {
+        let reference = b.get(hist.name()).expect("same names");
+        let p = hist
+            .chi2_test(reference)
+            .map(|r| r.p_value)
+            .unwrap_or(0.0);
+        if worst.as_ref().map(|(_, wp)| p < *wp).unwrap_or(true) {
+            worst = Some((hist.name().to_string(), p));
+        }
+    }
+    match worst {
+        Some((name, p)) if p < min_p => CompareOutcome::Differs {
+            detail: format!("histogram '{name}' incompatible: chi2 p = {p:.3e} < {min_p}"),
+        },
+        Some((name, p)) => CompareOutcome::WithinTolerance {
+            detail: format!("worst histogram '{name}': chi2 p = {p:.3}"),
+        },
+        None => CompareOutcome::Identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_hep::Histogram1D;
+
+    #[test]
+    fn output_round_trips() {
+        let mut hist = Histogram1D::new("h", 5, 0.0, 5.0);
+        hist.fill(2.5);
+        let outputs = [
+            TestOutput::YesNo(true),
+            TestOutput::ExitCode(-11),
+            TestOutput::Text("selected 42 events\n".into()),
+            TestOutput::Numbers(vec![("mean_q2".into(), 123.456), ("eff".into(), 0.31)]),
+            TestOutput::Histograms([hist].into_iter().collect()),
+        ];
+        for out in outputs {
+            let bytes = out.to_bytes();
+            assert_eq!(TestOutput::from_bytes(&bytes), Some(out));
+        }
+    }
+
+    #[test]
+    fn exact_comparator() {
+        let c = Comparator::Exact;
+        assert_eq!(
+            c.compare(&TestOutput::YesNo(true), &TestOutput::YesNo(true)),
+            CompareOutcome::Identical
+        );
+        assert!(!c
+            .compare(&TestOutput::ExitCode(0), &TestOutput::ExitCode(1))
+            .passed());
+    }
+
+    #[test]
+    fn text_diff_ignores_markers() {
+        let c = Comparator::TextDiff {
+            ignore_markers: vec!["timestamp".into()],
+        };
+        let a = TestOutput::Text("events: 42\ntimestamp: 100\n".into());
+        let b = TestOutput::Text("events: 42\ntimestamp: 999\n".into());
+        assert!(matches!(
+            c.compare(&a, &b),
+            CompareOutcome::WithinTolerance { .. }
+        ));
+        let c2 = TestOutput::Text("events: 43\ntimestamp: 100\n".into());
+        let outcome = c.compare(&a, &c2);
+        assert!(!outcome.passed());
+        if let CompareOutcome::Differs { detail } = outcome {
+            assert!(detail.contains("42"), "diff should show the line: {detail}");
+        }
+    }
+
+    #[test]
+    fn numeric_tolerances() {
+        let c = Comparator::Numeric {
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+        };
+        let a = TestOutput::Numbers(vec![("x".into(), 1.0)]);
+        let close = TestOutput::Numbers(vec![("x".into(), 1.0 + 1e-9)]);
+        let far = TestOutput::Numbers(vec![("x".into(), 1.001)]);
+        assert_eq!(c.compare(&a, &a), CompareOutcome::Identical);
+        assert!(matches!(
+            c.compare(&a, &close),
+            CompareOutcome::WithinTolerance { .. }
+        ));
+        assert!(!c.compare(&a, &far).passed());
+    }
+
+    #[test]
+    fn numeric_name_changes_are_failures() {
+        let c = Comparator::Numeric {
+            rel_tol: 1e-6,
+            abs_tol: 1e-9,
+        };
+        let a = TestOutput::Numbers(vec![("x".into(), 1.0)]);
+        let renamed = TestOutput::Numbers(vec![("y".into(), 1.0)]);
+        assert!(!c.compare(&a, &renamed).passed());
+    }
+
+    #[test]
+    fn histogram_comparator() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let fill = |name: &str, seed: u64, mean: f64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut h = Histogram1D::new(name, 40, -10.0, 20.0);
+            for _ in 0..4000 {
+                h.fill(sp_hep::rng::normal(&mut rng, mean, 2.0));
+            }
+            h
+        };
+        let c = Comparator::HistogramChi2 { min_p_value: 0.01 };
+        let a = TestOutput::Histograms([fill("q2", 1, 5.0)].into_iter().collect());
+        let same = TestOutput::Histograms([fill("q2", 2, 5.0)].into_iter().collect());
+        let shifted = TestOutput::Histograms([fill("q2", 3, 6.5)].into_iter().collect());
+        assert!(c.compare(&a, &same).passed());
+        assert!(!c.compare(&a, &shifted).passed());
+        assert_eq!(c.compare(&a, &a), CompareOutcome::Identical);
+    }
+
+    #[test]
+    fn type_change_is_failure() {
+        let c = Comparator::Exact;
+        assert!(!c
+            .compare(&TestOutput::YesNo(true), &TestOutput::ExitCode(0))
+            .passed());
+        let c = Comparator::Numeric {
+            rel_tol: 0.1,
+            abs_tol: 0.1,
+        };
+        assert!(!c
+            .compare(
+                &TestOutput::Text("x".into()),
+                &TestOutput::Numbers(vec![])
+            )
+            .passed());
+    }
+
+    #[test]
+    fn default_comparators() {
+        assert_eq!(
+            Comparator::default_for(&TestOutput::YesNo(true)),
+            Comparator::Exact
+        );
+        assert!(matches!(
+            Comparator::default_for(&TestOutput::Histograms(HistogramSet::new())),
+            Comparator::HistogramChi2 { .. }
+        ));
+    }
+}

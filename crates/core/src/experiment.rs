@@ -1,0 +1,108 @@
+//! Experiment definitions.
+//!
+//! An [`ExperimentDef`] bundles what an experiment brings to the sp-system:
+//! its software stack (the dependency graph of packages), its validation
+//! suite, and presentation metadata (the colour of its Figure-3 band). The
+//! concrete HERA experiments — H1, ZEUS, HERMES — are constructed in the
+//! `sp-experiments` crate.
+
+use sp_build::{DependencyGraph, PackageId};
+use sp_env::CodeTrait;
+
+use crate::suite::TestSuite;
+
+/// A complete experiment registration.
+#[derive(Debug, Clone)]
+pub struct ExperimentDef {
+    /// Experiment name (`h1`, `zeus`, `hermes`).
+    pub name: String,
+    /// Display colour of the experiment's band in the summary matrix
+    /// (Figure 3: ZEUS orange, H1 blue, HERMES red).
+    pub color: &'static str,
+    /// The software stack.
+    pub graph: DependencyGraph,
+    /// The validation suite.
+    pub suite: TestSuite,
+    /// Packages the preservation model must keep working (entry points for
+    /// the preparation-phase consolidation).
+    pub entry_points: Vec<PackageId>,
+}
+
+impl ExperimentDef {
+    /// The *effective* runtime traits of a package: its own plus those of
+    /// every transitive dependency. A latent bug in a base library affects
+    /// every executable linking it, which is exactly how the 64-bit
+    /// migration bugs of §3.3 surfaced.
+    pub fn effective_runtime_traits(&self, package: &PackageId) -> Vec<CodeTrait> {
+        let mut traits: Vec<CodeTrait> = Vec::new();
+        if let Some(pkg) = self.graph.get(package) {
+            traits.extend(pkg.traits.iter().cloned());
+        }
+        for dep in self.graph.dependency_closure(std::slice::from_ref(package)) {
+            if let Some(pkg) = self.graph.get(&dep) {
+                traits.extend(pkg.traits.iter().cloned());
+            }
+        }
+        traits
+    }
+
+    /// Number of packages in the stack.
+    pub fn package_count(&self) -> usize {
+        self.graph.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preservation::PreservationLevel;
+    use sp_build::{Package, PackageKind};
+    use sp_env::Version;
+
+    fn experiment() -> ExperimentDef {
+        let graph = DependencyGraph::from_packages([
+            Package::new("base", Version::new(1, 0, 0), PackageKind::Library)
+                .with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 2.0 }),
+            Package::new("rec", Version::new(1, 0, 0), PackageKind::Reconstruction).dep("base"),
+            Package::new("ana", Version::new(1, 0, 0), PackageKind::Analysis)
+                .dep("rec")
+                .with_trait(CodeTrait::ImplicitFunctionDecl),
+            Package::new("standalone", Version::new(1, 0, 0), PackageKind::Tool),
+        ])
+        .unwrap();
+        ExperimentDef {
+            name: "test-exp".into(),
+            color: "blue",
+            graph,
+            suite: TestSuite::new("test-exp", PreservationLevel::FullSoftware),
+            entry_points: vec![PackageId::new("ana")],
+        }
+    }
+
+    #[test]
+    fn runtime_traits_include_dependencies() {
+        let exp = experiment();
+        let traits = exp.effective_runtime_traits(&PackageId::new("ana"));
+        // ana's own ImplicitFunctionDecl plus base's PointerSizeAssumption
+        // (via rec -> base).
+        assert_eq!(traits.len(), 2);
+        assert!(traits
+            .iter()
+            .any(|t| matches!(t, CodeTrait::PointerSizeAssumption { .. })));
+    }
+
+    #[test]
+    fn isolated_package_has_own_traits_only() {
+        let exp = experiment();
+        let traits = exp.effective_runtime_traits(&PackageId::new("standalone"));
+        assert!(traits.is_empty());
+    }
+
+    #[test]
+    fn unknown_package_yields_nothing() {
+        let exp = experiment();
+        assert!(exp
+            .effective_runtime_traits(&PackageId::new("ghost"))
+            .is_empty());
+    }
+}

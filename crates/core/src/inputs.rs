@@ -1,0 +1,118 @@
+//! The three input categories and intervention routing.
+//!
+//! "Three distinct categories are identified as separate inputs to the
+//! validation system, as illustrated in figure 1: the experiment specific
+//! software, any external software dependencies and finally the operating
+//! system, including the compiler." (§3.1)
+//!
+//! "Intervention is then required either by the host of the validation
+//! suite or the experiment themselves, depending on the nature of the
+//! reported problem." (§3.1 iii)
+
+/// One of the three separated inputs of Figure 1.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InputCategory {
+    /// The experiment-specific software (owned by the experiment).
+    ExperimentSoftware,
+    /// An external software dependency (ROOT, CERNLIB, …).
+    ExternalDependency,
+    /// The operating system, including the compiler.
+    OperatingSystem,
+}
+
+impl InputCategory {
+    /// All categories in Figure-1 order.
+    pub fn all() -> [InputCategory; 3] {
+        [
+            InputCategory::ExperimentSoftware,
+            InputCategory::ExternalDependency,
+            InputCategory::OperatingSystem,
+        ]
+    }
+
+    /// Display label used in reports and the Figure-1 diagram.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InputCategory::ExperimentSoftware => "experiment specific software",
+            InputCategory::ExternalDependency => "external software dependencies",
+            InputCategory::OperatingSystem => "operating system (incl. compiler)",
+        }
+    }
+
+    /// Who owns problems in this input: the routing rule of §3.1 (iii).
+    /// Experiment software belongs to the experiment; the OS/compiler layer
+    /// belongs to the host IT department; externals are shared (the host
+    /// installs them, the experiment codes against them).
+    pub fn default_assignee(&self) -> Assignee {
+        match self {
+            InputCategory::ExperimentSoftware => Assignee::Experiment,
+            InputCategory::ExternalDependency => Assignee::Joint,
+            InputCategory::OperatingSystem => Assignee::HostIt,
+        }
+    }
+}
+
+impl std::fmt::Display for InputCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Who must intervene on a reported problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Assignee {
+    /// The host of the validation suite (IT department).
+    HostIt,
+    /// The experiment collaboration.
+    Experiment,
+    /// Both, jointly.
+    Joint,
+}
+
+impl std::fmt::Display for Assignee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Assignee::HostIt => write!(f, "host IT department"),
+            Assignee::Experiment => write!(f, "experiment"),
+            Assignee::Joint => write!(f, "host IT + experiment"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_categories() {
+        assert_eq!(InputCategory::all().len(), 3);
+    }
+
+    #[test]
+    fn routing_rules() {
+        assert_eq!(
+            InputCategory::ExperimentSoftware.default_assignee(),
+            Assignee::Experiment
+        );
+        assert_eq!(
+            InputCategory::OperatingSystem.default_assignee(),
+            Assignee::HostIt
+        );
+        assert_eq!(
+            InputCategory::ExternalDependency.default_assignee(),
+            Assignee::Joint
+        );
+    }
+
+    #[test]
+    fn labels_match_figure1() {
+        assert_eq!(
+            InputCategory::ExperimentSoftware.to_string(),
+            "experiment specific software"
+        );
+        assert_eq!(
+            InputCategory::OperatingSystem.label(),
+            "operating system (incl. compiler)"
+        );
+    }
+}

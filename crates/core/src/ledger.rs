@@ -1,0 +1,287 @@
+//! Run bookkeeping over the common storage.
+//!
+//! The ledger records every validation run, resolves the *reference* run a
+//! new run must be compared against ("any differences compared to the last
+//! successful test are examined", §3.1 iii), and serves the queries the
+//! script-based web pages of §3.3 need ("record and display available
+//! validation runs for a given description").
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use sp_store::ObjectId;
+
+use crate::run::{RunId, ValidationRun};
+
+/// Named output objects of one test (name → content address pairs).
+type TestOutputs = Vec<(String, ObjectId)>;
+
+/// In-memory run ledger with per-test reference-output tracking.
+#[derive(Default)]
+pub struct RunLedger {
+    runs: RwLock<Vec<ValidationRun>>,
+    /// experiment → (test id string → reference outputs) from the last
+    /// successful run of that experiment.
+    references: RwLock<BTreeMap<String, BTreeMap<String, TestOutputs>>>,
+}
+
+impl RunLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RunLedger::default()
+    }
+
+    /// Records a completed run. If the run validated successfully, its
+    /// outputs become the new reference for the experiment.
+    pub fn record(&self, run: ValidationRun) {
+        if run.is_successful() {
+            let mut refs = self.references.write();
+            let entry = refs.entry(run.experiment.clone()).or_default();
+            for result in &run.results {
+                entry.insert(result.test.as_str().to_string(), result.outputs.clone());
+            }
+        }
+        self.runs.write().push(run);
+    }
+
+    /// Reference outputs for one test of an experiment, if any successful
+    /// run has produced them.
+    pub fn reference_outputs(
+        &self,
+        experiment: &str,
+        test_id: &str,
+    ) -> Option<TestOutputs> {
+        self.references
+            .read()
+            .get(experiment)
+            .and_then(|tests| tests.get(test_id))
+            .cloned()
+    }
+
+    /// Whether an experiment has any reference at all (false before its
+    /// first successful run).
+    pub fn has_reference(&self, experiment: &str) -> bool {
+        self.references
+            .read()
+            .get(experiment)
+            .map(|t| !t.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Total number of recorded runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.read().len()
+    }
+
+    /// All runs (cloned) in recording order.
+    pub fn runs(&self) -> Vec<ValidationRun> {
+        self.runs.read().clone()
+    }
+
+    /// Runs whose description contains `needle` (the "available validation
+    /// runs for a given description" query of §3.3).
+    pub fn runs_matching(&self, needle: &str) -> Vec<ValidationRun> {
+        self.runs
+            .read()
+            .iter()
+            .filter(|r| r.description.contains(needle))
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent run of an experiment on a given image label.
+    pub fn latest(&self, experiment: &str, image_label: &str) -> Option<ValidationRun> {
+        self.runs
+            .read()
+            .iter()
+            .rev()
+            .find(|r| r.experiment == experiment && r.image_label == image_label)
+            .cloned()
+    }
+
+    /// The most recent *successful* run of an experiment (any image).
+    pub fn latest_successful(&self, experiment: &str) -> Option<ValidationRun> {
+        self.runs
+            .read()
+            .iter()
+            .rev()
+            .find(|r| r.experiment == experiment && r.is_successful())
+            .cloned()
+    }
+
+    /// Looks up a run by id.
+    pub fn get(&self, id: RunId) -> Option<ValidationRun> {
+        self.runs.read().iter().find(|r| r.id == id).cloned()
+    }
+
+    /// Applies a retention policy (§3.3 keeps everything; a pruning host
+    /// IT department would not): drops expired runs from the ledger and
+    /// removes their now-unreferenced output objects from `storage`.
+    /// Reference outputs and outputs shared with kept runs always survive.
+    pub fn prune(
+        &self,
+        policy: &sp_store::RetentionPolicy,
+        now: u64,
+        storage: &sp_store::ContentStore,
+    ) -> PruneReport {
+        use std::collections::BTreeSet;
+
+        let mut runs = self.runs.write();
+        let references = self.references.read();
+
+        // Reference object ids are sacrosanct.
+        let mut protected: BTreeSet<ObjectId> = BTreeSet::new();
+        for tests in references.values() {
+            for outputs in tests.values() {
+                protected.extend(outputs.iter().map(|(_, oid)| *oid));
+            }
+        }
+
+        // The reference run of an experiment is its most recent successful
+        // run — the one whose outputs were promoted into the reference map.
+        let mut reference_runs: BTreeSet<RunId> = BTreeSet::new();
+        {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            for run in runs.iter().rev() {
+                if run.is_successful() && seen.insert(run.experiment.as_str()) {
+                    reference_runs.insert(run.id);
+                }
+            }
+        }
+
+        let records: Vec<sp_store::retention::RetentionRecord> = runs
+            .iter()
+            .map(|run| sp_store::retention::RetentionRecord {
+                key: run.id.to_string(),
+                timestamp: run.timestamp,
+                successful: run.is_successful(),
+                is_reference: reference_runs.contains(&run.id),
+            })
+            .collect();
+        let (kept_keys, dropped_keys) = policy.apply(&records, now);
+        let kept: BTreeSet<&String> = kept_keys.iter().collect();
+
+        // Objects still needed: everything referenced by a kept run.
+        let mut needed = protected;
+        for run in runs.iter().filter(|r| kept.contains(&r.id.to_string())) {
+            for result in &run.results {
+                needed.extend(result.outputs.iter().map(|(_, oid)| *oid));
+            }
+        }
+
+        let mut objects_removed = 0usize;
+        runs.retain(|run| {
+            if kept.contains(&run.id.to_string()) {
+                return true;
+            }
+            for result in &run.results {
+                for (_, oid) in &result.outputs {
+                    if !needed.contains(oid) && storage.remove(*oid) {
+                        objects_removed += 1;
+                    }
+                }
+            }
+            false
+        });
+
+        PruneReport {
+            kept: kept_keys.len(),
+            dropped: dropped_keys.len(),
+            objects_removed,
+        }
+    }
+}
+
+/// Result of a ledger pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Runs kept.
+    pub kept: usize,
+    /// Runs dropped from the ledger.
+    pub dropped: usize,
+    /// Storage objects removed (not shared with any kept run or reference).
+    pub objects_removed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{TestResult, TestStatus};
+    use crate::test::{FailureKind, TestCategory, TestId};
+    use sp_exec::JobId;
+
+    fn run(id: u64, experiment: &str, image: &str, ok: bool) -> ValidationRun {
+        ValidationRun {
+            id: RunId(id),
+            experiment: experiment.into(),
+            image_label: image.into(),
+            description: format!("{experiment} @ root 5.34"),
+            timestamp: 1_000 + id,
+            results: vec![TestResult {
+                test: TestId::new("t1"),
+                category: TestCategory::Compilation,
+                group: "compilation".into(),
+                job: JobId(id),
+                status: if ok {
+                    TestStatus::Passed
+                } else {
+                    TestStatus::Failed(FailureKind::CompileError)
+                },
+                outputs: vec![(
+                    "log".to_string(),
+                    ObjectId::for_bytes(format!("out-{id}").as_bytes()),
+                )],
+                compare: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn successful_runs_become_reference() {
+        let ledger = RunLedger::new();
+        assert!(!ledger.has_reference("h1"));
+        ledger.record(run(1, "h1", "SL5", true));
+        assert!(ledger.has_reference("h1"));
+        let outputs = ledger.reference_outputs("h1", "t1").unwrap();
+        assert_eq!(outputs[0].1, ObjectId::for_bytes(b"out-1"));
+    }
+
+    #[test]
+    fn failed_runs_do_not_update_reference() {
+        let ledger = RunLedger::new();
+        ledger.record(run(1, "h1", "SL5", true));
+        ledger.record(run(2, "h1", "SL6", false));
+        let outputs = ledger.reference_outputs("h1", "t1").unwrap();
+        assert_eq!(outputs[0].1, ObjectId::for_bytes(b"out-1"), "still run 1");
+    }
+
+    #[test]
+    fn references_are_per_experiment() {
+        let ledger = RunLedger::new();
+        ledger.record(run(1, "h1", "SL5", true));
+        assert!(!ledger.has_reference("zeus"));
+        assert!(ledger.reference_outputs("zeus", "t1").is_none());
+    }
+
+    #[test]
+    fn queries() {
+        let ledger = RunLedger::new();
+        ledger.record(run(1, "h1", "SL5", true));
+        ledger.record(run(2, "h1", "SL6", false));
+        ledger.record(run(3, "zeus", "SL6", true));
+        assert_eq!(ledger.run_count(), 3);
+        assert_eq!(ledger.latest("h1", "SL6").unwrap().id, RunId(2));
+        assert_eq!(ledger.latest_successful("h1").unwrap().id, RunId(1));
+        assert_eq!(ledger.runs_matching("zeus").len(), 1);
+        assert!(ledger.get(RunId(2)).is_some());
+        assert!(ledger.get(RunId(99)).is_none());
+    }
+
+    #[test]
+    fn latest_successful_moves_forward() {
+        let ledger = RunLedger::new();
+        ledger.record(run(1, "h1", "SL5", true));
+        ledger.record(run(2, "h1", "SL5", true));
+        assert_eq!(ledger.latest_successful("h1").unwrap().id, RunId(2));
+    }
+}

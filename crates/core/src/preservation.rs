@@ -1,0 +1,162 @@
+//! The DPHEP data-preservation levels (Table 1 of the paper).
+//!
+//! "The levels are organised in order of increasing benefit, which comes
+//! with increasing complexity and cost. Each level is associated with use
+//! cases, and the preservation model adopted by an experiment should
+//! reflect the level of analysis expected to be available in the future."
+
+/// A DPHEP preservation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PreservationLevel {
+    /// Level 1: provide additional documentation.
+    Documentation,
+    /// Level 2: preserve the data in a simplified format.
+    SimplifiedFormat,
+    /// Level 3: preserve the analysis level software and data format.
+    AnalysisSoftware,
+    /// Level 4: preserve the simulation and reconstruction software as
+    /// well as basic level data.
+    FullSoftware,
+}
+
+impl PreservationLevel {
+    /// All levels in Table-1 order.
+    pub fn all() -> [PreservationLevel; 4] {
+        [
+            PreservationLevel::Documentation,
+            PreservationLevel::SimplifiedFormat,
+            PreservationLevel::AnalysisSoftware,
+            PreservationLevel::FullSoftware,
+        ]
+    }
+
+    /// The numeric level (1–4).
+    pub fn number(self) -> u8 {
+        match self {
+            PreservationLevel::Documentation => 1,
+            PreservationLevel::SimplifiedFormat => 2,
+            PreservationLevel::AnalysisSoftware => 3,
+            PreservationLevel::FullSoftware => 4,
+        }
+    }
+
+    /// The preservation model, verbatim from Table 1.
+    pub fn model(self) -> &'static str {
+        match self {
+            PreservationLevel::Documentation => "Provide additional documentation",
+            PreservationLevel::SimplifiedFormat => "Preserve the data in a simplified format",
+            PreservationLevel::AnalysisSoftware => {
+                "Preserve the analysis level software and data format"
+            }
+            PreservationLevel::FullSoftware => {
+                "Preserve the simulation and reconstruction software as well as basic level data"
+            }
+        }
+    }
+
+    /// The use case, verbatim from Table 1.
+    pub fn use_case(self) -> &'static str {
+        match self {
+            PreservationLevel::Documentation => "Publication related info search",
+            PreservationLevel::SimplifiedFormat => "Outreach, simple training analyses",
+            PreservationLevel::AnalysisSoftware => {
+                "Full scientific analyses based on the existing reconstruction"
+            }
+            PreservationLevel::FullSoftware => {
+                "Retain the full potential of the experimental data"
+            }
+        }
+    }
+
+    /// The complementary initiative area each level belongs to (§2): levels
+    /// 1, 2 and 3–4 "represent three different areas".
+    pub fn area(self) -> &'static str {
+        match self {
+            PreservationLevel::Documentation => "documentation",
+            PreservationLevel::SimplifiedFormat => "outreach and simplified formats",
+            PreservationLevel::AnalysisSoftware | PreservationLevel::FullSoftware => {
+                "technical preservation projects"
+            }
+        }
+    }
+
+    /// Which validation-test categories a preservation programme at this
+    /// level requires the sp-system to run.
+    pub fn required_test_categories(self) -> &'static [crate::test::TestCategory] {
+        use crate::test::TestCategory as C;
+        match self {
+            PreservationLevel::Documentation => &[],
+            PreservationLevel::SimplifiedFormat => &[C::DataValidation],
+            PreservationLevel::AnalysisSoftware => {
+                &[C::Compilation, C::UnitCheck, C::StandaloneExecutable, C::DataValidation]
+            }
+            PreservationLevel::FullSoftware => &[
+                C::Compilation,
+                C::UnitCheck,
+                C::StandaloneExecutable,
+                C::AnalysisChain,
+                C::DataValidation,
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for PreservationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Level {}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_levels_in_order() {
+        let all = PreservationLevel::all();
+        assert_eq!(all.len(), 4);
+        for (i, level) in all.iter().enumerate() {
+            assert_eq!(level.number() as usize, i + 1);
+        }
+        // "organised in order of increasing benefit"
+        assert!(PreservationLevel::Documentation < PreservationLevel::FullSoftware);
+    }
+
+    #[test]
+    fn table1_contents() {
+        assert_eq!(
+            PreservationLevel::Documentation.model(),
+            "Provide additional documentation"
+        );
+        assert_eq!(
+            PreservationLevel::SimplifiedFormat.use_case(),
+            "Outreach, simple training analyses"
+        );
+        assert_eq!(
+            PreservationLevel::FullSoftware.use_case(),
+            "Retain the full potential of the experimental data"
+        );
+    }
+
+    #[test]
+    fn three_areas() {
+        let mut areas: Vec<&str> = PreservationLevel::all().iter().map(|l| l.area()).collect();
+        areas.dedup();
+        assert_eq!(areas.len(), 3, "levels span three complementary areas");
+    }
+
+    #[test]
+    fn level4_requires_the_full_chain() {
+        use crate::test::TestCategory;
+        let cats = PreservationLevel::FullSoftware.required_test_categories();
+        assert!(cats.contains(&TestCategory::AnalysisChain));
+        let l3 = PreservationLevel::AnalysisSoftware.required_test_categories();
+        assert!(!l3.contains(&TestCategory::AnalysisChain));
+        assert!(l3.contains(&TestCategory::Compilation));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PreservationLevel::FullSoftware.to_string(), "Level 4");
+    }
+}

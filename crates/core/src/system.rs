@@ -1,0 +1,1269 @@
+//! The sp-system itself.
+//!
+//! [`SpSystem`] ties the substrates together: virtual-machine images
+//! ([`sp_env`]), the automated build system ([`sp_build`]), job execution
+//! ([`sp_exec`]), the toy physics chain ([`sp_hep`]) and the common storage
+//! ([`sp_store`]). One call to [`SpSystem::run_validation`] performs what
+//! §3.1 (ii) describes: a regular build of the experimental software
+//! according to the current prescription of the working environment,
+//! followed by the validation tests, with every output kept in the common
+//! storage and compared against the last successful run.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sp_build::{BuildEngine, BuildReport, BuildStatus, GraphError, ParallelBuilder};
+use sp_env::{check_runtime, EnvironmentSpec, ImageError, RuntimeOutcome, VmImage, VmImageId};
+use sp_exec::{
+    Client, ClientError, ClientKind, CronSchedule, JobId, JobIdGenerator, JobPool, JobResult,
+    JobSpec, JobStatus, StageStatus, VirtualClock,
+};
+use sp_hep::{
+    hist_io, reconstruct, Analysis, DetectorSim, Event, EventGenerator, GeneratorConfig,
+    MicroEvent, SelectionCuts, SmearingConstants,
+};
+use sp_store::{FrozenVault, ObjectId, SharedStorage, StorageArea};
+
+use crate::compare::{CompareOutcome, Comparator, TestOutput};
+use crate::experiment::ExperimentDef;
+use crate::ledger::RunLedger;
+use crate::run::{RunId, TestResult, TestStatus, ValidationRun};
+use crate::test::{FailureKind, TestCategory, TestKind, ValidationTest};
+
+/// Errors from system-level operations.
+#[derive(Debug)]
+pub enum SystemError {
+    /// No experiment registered under this name.
+    UnknownExperiment(String),
+    /// No image with this id.
+    UnknownImage(VmImageId),
+    /// The image spec failed coherence validation.
+    Image(Vec<ImageError>),
+    /// A client failed the joining requirements.
+    Client(ClientError),
+    /// The experiment's dependency graph is invalid.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::UnknownExperiment(name) => write!(f, "unknown experiment '{name}'"),
+            SystemError::UnknownImage(id) => write!(f, "unknown image {id}"),
+            SystemError::Image(errors) => {
+                write!(f, "invalid image spec: ")?;
+                for e in errors {
+                    write!(f, "{e}; ")?;
+                }
+                Ok(())
+            }
+            SystemError::Client(e) => write!(f, "client rejected: {e}"),
+            SystemError::Graph(e) => write!(f, "invalid package graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// Per-run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Campaign base seed. Test seeds derive from this and the test id, so
+    /// they are stable across runs of the same campaign — which is what
+    /// makes run-to-run output comparison meaningful.
+    pub seed: u64,
+    /// Workload scale factor (1.0 = nominal event counts).
+    pub scale: f64,
+    /// Worker threads for builds and parallel tests.
+    pub threads: usize,
+    /// Run description ("indicating which software versions were used").
+    pub description: String,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 20131029, // the paper's arXiv date
+            scale: 1.0,
+            threads: 4,
+            description: String::new(),
+        }
+    }
+}
+
+/// The sp-system: storage, images, clients, experiments, bookkeeping.
+pub struct SpSystem {
+    storage: SharedStorage,
+    vault: FrozenVault,
+    clock: VirtualClock,
+    job_ids: JobIdGenerator,
+    run_ids: AtomicU64,
+    images: Vec<VmImage>,
+    clients: Vec<Client>,
+    experiments: BTreeMap<String, ExperimentDef>,
+    ledger: RunLedger,
+}
+
+impl Default for SpSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpSystem {
+    /// Creates an empty system with a fresh clock.
+    pub fn new() -> Self {
+        Self::with_clock(VirtualClock::starting_at(sp_exec::clock::ERA_2013))
+    }
+
+    /// Creates a system on an existing (possibly shared) clock.
+    pub fn with_clock(clock: VirtualClock) -> Self {
+        SpSystem {
+            storage: SharedStorage::new(),
+            vault: FrozenVault::new(),
+            clock,
+            job_ids: JobIdGenerator::new(),
+            run_ids: AtomicU64::new(1),
+            images: Vec::new(),
+            clients: Vec::new(),
+            experiments: BTreeMap::new(),
+            ledger: RunLedger::new(),
+        }
+    }
+
+    /// The common storage.
+    pub fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    /// The frozen-image vault.
+    pub fn vault(&self) -> &FrozenVault {
+        &self.vault
+    }
+
+    /// The system clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The run ledger.
+    pub fn ledger(&self) -> &RunLedger {
+        &self.ledger
+    }
+
+    /// Registered images.
+    pub fn images(&self) -> &[VmImage] {
+        &self.images
+    }
+
+    /// Registered clients.
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Registered experiments.
+    pub fn experiments(&self) -> impl Iterator<Item = &ExperimentDef> {
+        self.experiments.values()
+    }
+
+    /// Looks up an experiment by name.
+    pub fn experiment(&self, name: &str) -> Option<&ExperimentDef> {
+        self.experiments.get(name)
+    }
+
+    /// Builds and registers a VM image from a spec, conserving its recipe
+    /// in the common storage. Returns the image id.
+    pub fn register_image(&mut self, spec: EnvironmentSpec) -> Result<VmImageId, SystemError> {
+        let id = VmImageId(self.images.len() as u32 + 1);
+        let image =
+            VmImage::build(id, spec, self.clock.now()).map_err(SystemError::Image)?;
+        self.storage.put_named(
+            StorageArea::Images,
+            &id.to_string(),
+            image.spec.recipe().into_bytes(),
+        );
+        self.images.push(image);
+        Ok(id)
+    }
+
+    /// Looks up an image.
+    pub fn image(&self, id: VmImageId) -> Option<&VmImage> {
+        self.images.iter().find(|i| i.id == id)
+    }
+
+    /// Registers a client machine, enforcing the §3.1 requirements (common
+    /// storage access + cron capability).
+    pub fn register_client(
+        &mut self,
+        name: &str,
+        kind: ClientKind,
+        schedule: CronSchedule,
+        has_storage_access: bool,
+        can_run_cron: bool,
+    ) -> Result<(), SystemError> {
+        let client = Client::register(name, kind, schedule, has_storage_access, can_run_cron)
+            .map_err(SystemError::Client)?;
+        self.clients.push(client);
+        Ok(())
+    }
+
+    /// Registers an experiment: validates its graph and conserves the test
+    /// definitions (thin script layers) in the common storage.
+    pub fn register_experiment(&mut self, def: ExperimentDef) -> Result<(), SystemError> {
+        def.graph.validate().map_err(SystemError::Graph)?;
+        for test in def.suite.tests() {
+            let env = self.storage.shell_env(
+                &format!("{}/input", test.id),
+                &format!("{}/output", test.id),
+                "externals",
+            );
+            let script = format!(
+                "#!/bin/sh\n# sp-system test {} ({})\n{}exec run-test\n",
+                test.id,
+                test.category().label(),
+                env.render()
+            );
+            self.storage.put_named(
+                StorageArea::Tests,
+                test.id.as_str(),
+                script.into_bytes(),
+            );
+        }
+        self.experiments.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Runs the full validation of one experiment on one image: the §3.1
+    /// (ii) regular build plus all validation tests, with bookkeeping.
+    pub fn run_validation(
+        &self,
+        experiment_name: &str,
+        image_id: VmImageId,
+        config: &RunConfig,
+    ) -> Result<ValidationRun, SystemError> {
+        let experiment = self
+            .experiments
+            .get(experiment_name)
+            .ok_or_else(|| SystemError::UnknownExperiment(experiment_name.to_string()))?;
+        let image = self
+            .image(image_id)
+            .ok_or(SystemError::UnknownImage(image_id))?;
+        let env = &image.spec;
+
+        let run_id = RunId(self.run_ids.fetch_add(1, Ordering::SeqCst));
+        let timestamp = self.clock.now();
+
+        // §3.1 (ii): the regular, automated build.
+        let builder = ParallelBuilder::new(
+            BuildEngine::new(self.storage.clone()),
+            config.threads,
+        );
+        let build = builder
+            .build_stack(&experiment.graph, env)
+            .map_err(SystemError::Graph)?;
+
+        // Execute the suite: compile results come from the build report;
+        // unit checks and standalone executables run in parallel through
+        // the job pool; chains run sequentially.
+        let mut results: Vec<TestResult> = Vec::new();
+        let mut parallel_tests: Vec<(JobSpec, &ValidationTest)> = Vec::new();
+
+        for test in experiment.suite.tests() {
+            match &test.kind {
+                TestKind::Compile { package } => {
+                    results.push(self.compile_result(test, package, &build, run_id));
+                }
+                TestKind::UnitCheck { .. } | TestKind::Standalone { .. } => {
+                    let job = JobSpec {
+                        id: self.job_ids.allocate(),
+                        name: test.id.as_str().to_string(),
+                        tag: config.description.clone(),
+                        image_label: env.label(),
+                        submitted_at: timestamp,
+                        inputs: Vec::new(),
+                    };
+                    parallel_tests.push((job, test));
+                }
+                TestKind::Chain { .. } => {
+                    // Chains execute after the parallel batch (sequential
+                    // by §3.2); placeholder handled below.
+                }
+            }
+        }
+
+        // Parallel batch via the job pool.
+        let rich: Mutex<BTreeMap<JobId, TestResult>> = Mutex::new(BTreeMap::new());
+        let by_id: BTreeMap<JobId, &ValidationTest> = parallel_tests
+            .iter()
+            .map(|(job, test)| (job.id, *test))
+            .collect();
+        let pool = JobPool::new(config.threads);
+        let specs: Vec<JobSpec> = parallel_tests.iter().map(|(j, _)| j.clone()).collect();
+        pool.run_batch(specs, |spec| {
+            let test = by_id[&spec.id];
+            let result = self.run_parallel_test(experiment, test, env, &build, spec, config, run_id);
+            let job_status = match &result.status {
+                TestStatus::Passed | TestStatus::PassedWithWarnings(_) => JobStatus::Succeeded,
+                TestStatus::Failed(FailureKind::Crash(m)) => JobStatus::Crashed(m.clone()),
+                TestStatus::Failed(_) => JobStatus::Failed(1),
+                TestStatus::Skipped(_) => JobStatus::Failed(0),
+            };
+            let job_result = JobResult {
+                id: spec.id,
+                status: job_status,
+                log: String::new(),
+                outputs: result.outputs.clone(),
+                started_at: spec.submitted_at,
+                finished_at: spec.submitted_at,
+            };
+            rich.lock().insert(spec.id, result);
+            job_result
+        });
+        results.extend(rich.into_inner().into_values());
+
+        // Sequential chains.
+        for test in experiment.suite.tests() {
+            if let TestKind::Chain {
+                chain,
+                stage_packages,
+                events,
+            } = &test.kind
+            {
+                results.extend(self.run_chain_test(
+                    experiment,
+                    test,
+                    chain,
+                    stage_packages,
+                    *events,
+                    env,
+                    &build,
+                    config,
+                    run_id,
+                ));
+            }
+        }
+
+        results.sort_by(|a, b| a.test.cmp(&b.test));
+        let run = ValidationRun {
+            id: run_id,
+            experiment: experiment_name.to_string(),
+            image_label: env.label(),
+            description: if config.description.is_empty() {
+                format!("{} @ {}", experiment_name, env.full_label())
+            } else {
+                config.description.clone()
+            },
+            timestamp,
+            results,
+        };
+
+        // Bookkeeping: run summary into the common storage, run into the
+        // ledger (which promotes successful runs to reference status).
+        let summary = format!(
+            "run {} experiment {} image {} time {}\npassed {} failed {} skipped {}\ndigest {}\n",
+            run.id,
+            run.experiment,
+            run.image_label,
+            run.timestamp,
+            run.passed(),
+            run.failed(),
+            run.skipped(),
+            run.digest().to_hex(),
+        );
+        self.storage.put_named(
+            StorageArea::Results,
+            &format!("{run_id}/SUMMARY"),
+            summary.into_bytes(),
+        );
+        self.ledger.record(run.clone());
+        Ok(run)
+    }
+
+    /// Builds the result of a compilation test from the build report.
+    fn compile_result(
+        &self,
+        test: &ValidationTest,
+        package: &sp_build::PackageId,
+        build: &BuildReport,
+        run_id: RunId,
+    ) -> TestResult {
+        let record = build.records.get(package);
+        let (status, log) = match record {
+            None => (
+                TestStatus::Failed(FailureKind::CompileError),
+                format!("package '{package}' is not part of the stack\n"),
+            ),
+            Some(r) => {
+                let status = match &r.status {
+                    BuildStatus::Built => TestStatus::Passed,
+                    BuildStatus::BuiltWithWarnings(n) => TestStatus::PassedWithWarnings(*n),
+                    BuildStatus::Failed => TestStatus::Failed(FailureKind::CompileError),
+                    BuildStatus::SkippedDepFailed(dep) => {
+                        TestStatus::Skipped(format!("dependency '{dep}' failed"))
+                    }
+                };
+                (status, r.log.clone())
+            }
+        };
+        let log_id = self.store_output(run_id, test, "build.log", log.into_bytes());
+        let mut outputs = vec![("build.log".to_string(), log_id)];
+        if let Some(artifact) = record.and_then(|r| r.artifact) {
+            outputs.push(("tarball".to_string(), artifact));
+        }
+        TestResult {
+            test: test.id.clone(),
+            category: TestCategory::Compilation,
+            group: test.group.clone(),
+            job: self.job_ids.allocate(),
+            status,
+            outputs,
+            compare: None,
+        }
+    }
+
+    /// Runs one unit-check or standalone test (called from the job pool).
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel_test(
+        &self,
+        experiment: &ExperimentDef,
+        test: &ValidationTest,
+        env: &EnvironmentSpec,
+        build: &BuildReport,
+        spec: &JobSpec,
+        config: &RunConfig,
+        run_id: RunId,
+    ) -> TestResult {
+        let package = match &test.kind {
+            TestKind::UnitCheck { package, .. } | TestKind::Standalone { package, .. } => package,
+            _ => unreachable!("parallel tests are unit checks or standalone"),
+        };
+        let make = |status: TestStatus,
+                        outputs: Vec<(String, ObjectId)>,
+                        compare: Option<CompareOutcome>| TestResult {
+            test: test.id.clone(),
+            category: test.category(),
+            group: test.group.clone(),
+            job: spec.id,
+            status,
+            outputs,
+            compare,
+        };
+
+        // The executable must exist.
+        let built = build
+            .records
+            .get(package)
+            .map(|r| r.status.has_artifact())
+            .unwrap_or(false);
+        if !built {
+            return make(
+                TestStatus::Skipped(format!("artifact for '{package}' missing")),
+                Vec::new(),
+                None,
+            );
+        }
+
+        // Runtime behaviour of the package (with its dependencies).
+        let traits = experiment.effective_runtime_traits(package);
+        let deviation = match check_runtime(&traits, env) {
+            RuntimeOutcome::Crash { message, .. } => {
+                return make(
+                    TestStatus::Failed(FailureKind::Crash(message)),
+                    Vec::new(),
+                    None,
+                );
+            }
+            RuntimeOutcome::Deviating { shift_sigma, .. } => shift_sigma,
+            RuntimeOutcome::Nominal => 0.0,
+        };
+
+        let output = match &test.kind {
+            TestKind::UnitCheck { package, check_index } => {
+                unit_check_output(package, *check_index, deviation)
+            }
+            TestKind::Standalone { events, .. } => {
+                let events = scaled_events(*events, config.scale);
+                let seed = fnv64(test.id.as_str()) ^ config.seed;
+                let analysis =
+                    sp_hep::run_chain(&GeneratorConfig::hera_nc(), events, seed, deviation);
+                TestOutput::Numbers(vec![
+                    ("total".into(), analysis.total as f64),
+                    ("selected".into(), analysis.selected as f64),
+                    (
+                        "mean_log10_q2".into(),
+                        analysis.histograms.get("q2").map(|h| h.mean()).unwrap_or(0.0),
+                    ),
+                    (
+                        "mean_e_prime".into(),
+                        analysis
+                            .histograms
+                            .get("e_prime")
+                            .map(|h| h.mean())
+                            .unwrap_or(0.0),
+                    ),
+                ])
+            }
+            _ => unreachable!(),
+        };
+
+        let oid = self.store_output(run_id, test, "result", output.to_bytes());
+        let outputs = vec![("result".to_string(), oid)];
+        let (status, compare) =
+            self.compare_to_reference(&experiment.name, test.id.as_str(), "result", &output);
+        make(status, outputs, compare)
+    }
+
+    /// Runs a full analysis chain, producing one result per stage.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chain_test(
+        &self,
+        experiment: &ExperimentDef,
+        test: &ValidationTest,
+        chain: &sp_exec::ChainDef,
+        stage_packages: &BTreeMap<String, sp_build::PackageId>,
+        events: usize,
+        env: &EnvironmentSpec,
+        build: &BuildReport,
+        config: &RunConfig,
+        run_id: RunId,
+    ) -> Vec<TestResult> {
+        let events = scaled_events(events, config.scale);
+        let seed = fnv64(test.id.as_str()) ^ config.seed;
+        // All chains run the NC workload regardless of their physics name:
+        // validation power comes from populated control distributions, and
+        // the NC selection keeps every histogram filled. (A CC-configured
+        // generator would leave the NC-oriented selection empty and make
+        // the comparison vacuous.)
+        let generator_config = GeneratorConfig::hera_nc();
+
+        // Total numeric deviation across every stage package: a latent bug
+        // anywhere in the chain shifts the final distributions.
+        let mut total_deviation = 0.0;
+        let mut crash: BTreeMap<&str, String> = BTreeMap::new();
+        for (stage, package) in stage_packages {
+            let traits = experiment.effective_runtime_traits(package);
+            match check_runtime(&traits, env) {
+                RuntimeOutcome::Crash { message, .. } => {
+                    crash.insert(stage.as_str(), message);
+                }
+                RuntimeOutcome::Deviating { shift_sigma, .. } => total_deviation += shift_sigma,
+                RuntimeOutcome::Nominal => {}
+            }
+        }
+
+        /// Data flowing between chain stages.
+        #[derive(Clone)]
+        enum StageData {
+            Events(Vec<Event>),
+            Reco(Vec<sp_hep::RecoEvent>),
+            Done,
+        }
+
+        let mut stage_outputs: BTreeMap<String, Vec<(String, ObjectId)>> = BTreeMap::new();
+        let mut validation_compare: Option<CompareOutcome> = None;
+
+        let report = chain.execute(|stage, inputs| {
+            // Stage prerequisites: the implementing package must be built
+            // and must not crash at run time.
+            if let Some(package) = stage_packages.get(&stage.name) {
+                let built = build
+                    .records
+                    .get(package)
+                    .map(|r| r.status.has_artifact())
+                    .unwrap_or(false);
+                if !built {
+                    return Err(format!("dep:{package}"));
+                }
+            }
+            if let Some(message) = crash.get(stage.name.as_str()) {
+                return Err(format!("crash:{message}"));
+            }
+
+            let mut outputs: Vec<(String, ObjectId)> = Vec::new();
+            let data = match stage.name.as_str() {
+                "mcgen" => {
+                    let generated: Vec<Event> =
+                        EventGenerator::new(generator_config.clone(), seed)
+                            .take(events)
+                            .collect();
+                    let bytes = sp_hep::write_dst(&generated);
+                    outputs.push((
+                        "gen.dst".to_string(),
+                        self.store_stage_output(run_id, test, &stage.name, "gen.dst", bytes.to_vec()),
+                    ));
+                    StageData::Events(generated)
+                }
+                "sim" => {
+                    let StageData::Events(generated) = &inputs["mcgen"] else {
+                        return Err("bad upstream data".to_string());
+                    };
+                    let sim = DetectorSim::new(SmearingConstants::V2_SL5)
+                        .with_deviation(total_deviation);
+                    let simulated: Vec<Event> = generated
+                        .iter()
+                        .map(|ev| sim.simulate(ev, seed ^ ev.id))
+                        .collect();
+                    StageData::Events(simulated)
+                }
+                "dst" => {
+                    let StageData::Events(simulated) = &inputs["sim"] else {
+                        return Err("bad upstream data".to_string());
+                    };
+                    let bytes = sp_hep::write_dst(simulated);
+                    outputs.push((
+                        "events.dst".to_string(),
+                        self.store_stage_output(
+                            run_id,
+                            test,
+                            &stage.name,
+                            "events.dst",
+                            bytes.to_vec(),
+                        ),
+                    ));
+                    StageData::Events(simulated.clone())
+                }
+                "microdst" => {
+                    let StageData::Events(simulated) = &inputs["dst"] else {
+                        return Err("bad upstream data".to_string());
+                    };
+                    let reco: Vec<sp_hep::RecoEvent> = simulated
+                        .iter()
+                        .map(|ev| reconstruct(ev, &generator_config))
+                        .collect();
+                    let micro: Vec<MicroEvent> = reco
+                        .iter()
+                        .filter_map(|r| {
+                            let k = r.kinematics?;
+                            Some(MicroEvent {
+                                id: r.id,
+                                process: r.process,
+                                q2: k.q2,
+                                x: k.x,
+                                y: k.y,
+                                e_prime: r.electron.map(|e| e.e).unwrap_or(0.0),
+                            })
+                        })
+                        .collect();
+                    let bytes = sp_hep::write_micro_dst(&micro);
+                    outputs.push((
+                        "events.microdst".to_string(),
+                        self.store_stage_output(
+                            run_id,
+                            test,
+                            &stage.name,
+                            "events.microdst",
+                            bytes.to_vec(),
+                        ),
+                    ));
+                    StageData::Reco(reco)
+                }
+                "analysis" => {
+                    let StageData::Reco(reco) = &inputs["microdst"] else {
+                        return Err("bad upstream data".to_string());
+                    };
+                    let mut analysis = Analysis::new(SelectionCuts::default());
+                    for event in reco {
+                        analysis.process(event);
+                    }
+                    let result = analysis.finish();
+                    let bytes = hist_io::encode_set(&result.histograms);
+                    let mut payload = vec![b'H'];
+                    payload.extend_from_slice(&bytes);
+                    outputs.push((
+                        "histograms".to_string(),
+                        self.store_stage_output(
+                            run_id,
+                            test,
+                            &stage.name,
+                            "histograms",
+                            payload,
+                        ),
+                    ));
+                    StageData::Done
+                }
+                "validation" => {
+                    // Compare the analysis histograms to the reference.
+                    let analysis_test_id = format!("{}/analysis", test.id);
+                    let stored = stage_outputs
+                        .get("analysis")
+                        .and_then(|outs| outs.iter().find(|(n, _)| n == "histograms"))
+                        .map(|(_, id)| *id);
+                    let Some(hist_id) = stored else {
+                        return Err("dep:analysis-output-missing".to_string());
+                    };
+                    let current = self
+                        .storage
+                        .content()
+                        .get(hist_id)
+                        .ok()
+                        .and_then(|b| TestOutput::from_bytes(&b));
+                    let Some(current) = current else {
+                        return Err("cmp:analysis output unreadable".to_string());
+                    };
+                    match self.load_reference(&experiment.name, &analysis_test_id, "histograms") {
+                        None => {
+                            validation_compare = None; // first run: becomes reference
+                            StageData::Done
+                        }
+                        Some(reference) => {
+                            let comparator = Comparator::default_for(&current);
+                            let outcome = comparator.compare(&current, &reference);
+                            let passed = outcome.passed();
+                            let detail = match &outcome {
+                                CompareOutcome::Differs { detail } => detail.clone(),
+                                _ => String::new(),
+                            };
+                            validation_compare = Some(outcome);
+                            if !passed {
+                                return Err(format!("cmp:{detail}"));
+                            }
+                            StageData::Done
+                        }
+                    }
+                }
+                other => return Err(format!("unknown stage '{other}'")),
+            };
+            stage_outputs.insert(stage.name.clone(), outputs);
+            Ok(data)
+        });
+
+        // Convert per-stage statuses into test results.
+        report
+            .stages
+            .iter()
+            .map(|(stage_name, status)| {
+                let test_id = crate::test::TestId::new(format!("{}/{stage_name}", test.id));
+                let category = if stage_name == "validation" {
+                    TestCategory::DataValidation
+                } else {
+                    TestCategory::AnalysisChain
+                };
+                let status = match status {
+                    StageStatus::Succeeded => TestStatus::Passed,
+                    StageStatus::Failed(message) => {
+                        TestStatus::Failed(parse_stage_error(message, stage_name))
+                    }
+                    StageStatus::Skipped { missing, .. } => {
+                        TestStatus::Skipped(format!("upstream stage '{missing}' unavailable"))
+                    }
+                };
+                let compare = if stage_name == "validation" {
+                    validation_compare.clone()
+                } else {
+                    None
+                };
+                TestResult {
+                    test: test_id,
+                    category,
+                    group: test.group.clone(),
+                    job: self.job_ids.allocate(),
+                    status,
+                    outputs: stage_outputs.get(stage_name).cloned().unwrap_or_default(),
+                    compare,
+                }
+            })
+            .collect()
+    }
+
+    /// Compares a fresh output against the experiment's reference, deciding
+    /// the test status.
+    fn compare_to_reference(
+        &self,
+        experiment: &str,
+        test_id: &str,
+        output_name: &str,
+        output: &TestOutput,
+    ) -> (TestStatus, Option<CompareOutcome>) {
+        match self.load_reference(experiment, test_id, output_name) {
+            None => (TestStatus::Passed, None),
+            Some(reference) => {
+                let comparator = Comparator::default_for(output);
+                let outcome = comparator.compare(output, &reference);
+                let status = if outcome.passed() {
+                    TestStatus::Passed
+                } else {
+                    let detail = match &outcome {
+                        CompareOutcome::Differs { detail } => detail.clone(),
+                        _ => String::new(),
+                    };
+                    TestStatus::Failed(FailureKind::ComparisonFailed(detail))
+                };
+                (status, Some(outcome))
+            }
+        }
+    }
+
+    /// Loads the named reference output of a test, if any.
+    fn load_reference(
+        &self,
+        experiment: &str,
+        test_id: &str,
+        output_name: &str,
+    ) -> Option<TestOutput> {
+        let outputs = self.ledger.reference_outputs(experiment, test_id)?;
+        let (_, oid) = outputs.iter().find(|(n, _)| n == output_name)?;
+        let bytes = self.storage.content().get(*oid).ok()?;
+        TestOutput::from_bytes(&bytes)
+    }
+
+    fn store_output(
+        &self,
+        run_id: RunId,
+        test: &ValidationTest,
+        name: &str,
+        bytes: Vec<u8>,
+    ) -> ObjectId {
+        self.storage.put_named(
+            StorageArea::Results,
+            &format!("{run_id}/{}/{name}", test.id),
+            bytes,
+        )
+    }
+
+    fn store_stage_output(
+        &self,
+        run_id: RunId,
+        test: &ValidationTest,
+        stage: &str,
+        name: &str,
+        bytes: Vec<u8>,
+    ) -> ObjectId {
+        self.storage.put_named(
+            StorageArea::Results,
+            &format!("{run_id}/{}/{stage}/{name}", test.id),
+            bytes,
+        )
+    }
+
+    /// Exports the "successfully validated recipe of the latest
+    /// configuration" (§3.1): the environment recipe of the image the last
+    /// successful run executed on, plus the content addresses of every
+    /// artifact tar-ball it produced. "If a production system is required,
+    /// then this recipe should be deployed on a suitable resource at the
+    /// time: an institute cluster, grid, cloud, sky, quantum computer, and
+    /// so on."
+    pub fn export_production_recipe(
+        &self,
+        experiment_name: &str,
+    ) -> Option<ProductionRecipe> {
+        let run = self.ledger.latest_successful(experiment_name)?;
+        let image = self
+            .images
+            .iter()
+            .find(|i| i.label() == run.image_label)?;
+        let mut artifacts: Vec<(String, ObjectId)> = Vec::new();
+        for result in &run.results {
+            for (name, oid) in &result.outputs {
+                if name == "tarball" {
+                    artifacts.push((result.test.as_str().to_string(), *oid));
+                }
+            }
+        }
+        Some(ProductionRecipe {
+            experiment: experiment_name.to_string(),
+            validated_by: run.id,
+            environment: image.spec.recipe(),
+            artifacts,
+        })
+    }
+}
+
+/// A deployable description of the last validated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductionRecipe {
+    /// Experiment this recipe preserves.
+    pub experiment: String,
+    /// The validation run that certified it.
+    pub validated_by: RunId,
+    /// The environment recipe (OS, arch, compiler, externals).
+    pub environment: String,
+    /// `(compile-test id, tar-ball content address)` for every package.
+    pub artifacts: Vec<(String, ObjectId)>,
+}
+
+impl ProductionRecipe {
+    /// Renders the recipe as the text file a deployment script would
+    /// consume.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# sp-system production recipe for {}\n# certified by validation run {}\n{}",
+            self.experiment, self.validated_by, self.environment
+        );
+        for (test, oid) in &self.artifacts {
+            out.push_str(&format!("artifact = {} {}\n", test, oid.to_hex()));
+        }
+        out
+    }
+}
+
+/// Deterministic unit-check numbers: a pure function of (package, check,
+/// deviation). A deviating platform shifts every reported number by a
+/// relative `1e-3 · σ`, far outside the comparator's `1e-9` tolerance.
+fn unit_check_output(
+    package: &sp_build::PackageId,
+    check_index: u32,
+    deviation: f64,
+) -> TestOutput {
+    let h = fnv64(&format!("{package}/{check_index}"));
+    let base1 = (h % 100_000) as f64 / 100.0;
+    let base2 = ((h >> 20) % 100_000) as f64 / 1000.0;
+    let factor = 1.0 + deviation * 1e-3;
+    TestOutput::Numbers(vec![
+        ("checksum".into(), base1 * factor),
+        ("mean".into(), base2 * factor),
+        ("entries".into(), ((h >> 40) % 10_000) as f64),
+    ])
+}
+
+/// Scales an event count, keeping a sane minimum.
+fn scaled_events(events: usize, scale: f64) -> usize {
+    ((events as f64 * scale).round() as usize).max(10)
+}
+
+/// FNV-1a over a string, for stable per-test seeds.
+fn fnv64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Parses the prefixed stage-error convention into a failure kind.
+fn parse_stage_error(message: &str, stage_name: &str) -> FailureKind {
+    if let Some(pkg) = message.strip_prefix("dep:") {
+        FailureKind::DependencyFailed(pkg.to_string())
+    } else if let Some(msg) = message.strip_prefix("crash:") {
+        FailureKind::Crash(msg.to_string())
+    } else if let Some(detail) = message.strip_prefix("cmp:") {
+        FailureKind::ComparisonFailed(detail.to_string())
+    } else {
+        FailureKind::ChainStageFailed(stage_name.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preservation::PreservationLevel;
+    use crate::suite::TestSuite;
+    use crate::test::ValidationTest;
+    use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
+    use sp_env::{catalog, Arch, CodeTrait, Version};
+    use sp_exec::{ChainDef, CronSchedule};
+
+    /// A small but complete experiment: a clean library, a 64-bit-latent
+    /// buggy library, an analysis linking the buggy library, and a chain.
+    fn tiny_experiment() -> ExperimentDef {
+        let graph = DependencyGraph::from_packages([
+            Package::new("util", Version::new(1, 0, 0), PackageKind::Library),
+            Package::new("legacy", Version::new(1, 0, 0), PackageKind::Library)
+                .with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 6.0 }),
+            Package::new("mcgen-pkg", Version::new(2, 0, 0), PackageKind::Generator).dep("util"),
+            Package::new("sim-pkg", Version::new(2, 0, 0), PackageKind::Simulation).dep("util"),
+            Package::new("reco-pkg", Version::new(2, 0, 0), PackageKind::Reconstruction)
+                .dep("legacy"),
+            Package::new("ana-pkg", Version::new(2, 0, 0), PackageKind::Analysis).dep("util"),
+        ])
+        .unwrap();
+        let mut suite = TestSuite::new("tiny", PreservationLevel::FullSoftware);
+        for pkg in ["util", "legacy", "mcgen-pkg", "sim-pkg", "reco-pkg", "ana-pkg"] {
+            suite
+                .add(ValidationTest::new(
+                    format!("tiny/compile/{pkg}"),
+                    "tiny",
+                    "compilation",
+                    TestKind::Compile {
+                        package: PackageId::new(pkg),
+                    },
+                ))
+                .unwrap();
+        }
+        suite
+            .add(ValidationTest::new(
+                "tiny/unit/util-0",
+                "tiny",
+                "unit checks",
+                TestKind::UnitCheck {
+                    package: PackageId::new("util"),
+                    check_index: 0,
+                },
+            ))
+            .unwrap();
+        suite
+            .add(ValidationTest::new(
+                "tiny/unit/legacy-0",
+                "tiny",
+                "unit checks",
+                TestKind::UnitCheck {
+                    package: PackageId::new("legacy"),
+                    check_index: 0,
+                },
+            ))
+            .unwrap();
+        suite
+            .add(ValidationTest::new(
+                "tiny/standalone/ana",
+                "tiny",
+                "analysis",
+                TestKind::Standalone {
+                    package: PackageId::new("ana-pkg"),
+                    events: 150,
+                },
+            ))
+            .unwrap();
+        let mut stage_packages = BTreeMap::new();
+        for (stage, pkg) in [
+            ("mcgen", "mcgen-pkg"),
+            ("sim", "sim-pkg"),
+            ("dst", "reco-pkg"),
+            ("microdst", "reco-pkg"),
+            ("analysis", "ana-pkg"),
+            ("validation", "ana-pkg"),
+        ] {
+            stage_packages.insert(stage.to_string(), PackageId::new(pkg));
+        }
+        suite
+            .add(ValidationTest::new(
+                "tiny/chain/nc",
+                "tiny",
+                "MC chain",
+                TestKind::Chain {
+                    chain: ChainDef::full_analysis_chain("nc"),
+                    stage_packages,
+                    events: 2500,
+                },
+            ))
+            .unwrap();
+        ExperimentDef {
+            name: "tiny".into(),
+            color: "blue",
+            graph,
+            suite,
+            entry_points: vec![PackageId::new("ana-pkg")],
+        }
+    }
+
+    fn config() -> RunConfig {
+        RunConfig {
+            scale: 1.0,
+            threads: 2,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_run_on_reference_platform_is_green() {
+        let mut system = SpSystem::new();
+        let image = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        let run = system.run_validation("tiny", image, &config()).unwrap();
+        assert!(
+            run.is_successful(),
+            "failures: {:?}",
+            run.failures().collect::<Vec<_>>()
+        );
+        // 6 compiles + 2 unit + 1 standalone + 6 chain stages.
+        assert_eq!(run.results.len(), 15);
+        assert!(system.ledger().has_reference("tiny"));
+    }
+
+    #[test]
+    fn second_identical_run_is_bit_identical() {
+        let mut system = SpSystem::new();
+        let image = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        let first = system.run_validation("tiny", image, &config()).unwrap();
+        let second = system.run_validation("tiny", image, &config()).unwrap();
+        assert!(second.is_successful());
+        assert_eq!(first.digest(), second.digest(), "reproducibility");
+        // The second run compared against the first and found identity.
+        let compared: Vec<_> = second
+            .results
+            .iter()
+            .filter(|r| matches!(r.compare, Some(CompareOutcome::Identical)))
+            .collect();
+        assert!(!compared.is_empty());
+    }
+
+    #[test]
+    fn migration_to_64bit_finds_the_latent_bug() {
+        let mut system = SpSystem::new();
+        let sl5_32 = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        let sl6_64 = system
+            .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+
+        // Establish the 32-bit reference.
+        let reference = system.run_validation("tiny", sl5_32, &config()).unwrap();
+        assert!(reference.is_successful());
+
+        // Migrate: the legacy library's pointer bug must surface.
+        let migrated = system.run_validation("tiny", sl6_64, &config()).unwrap();
+        assert!(!migrated.is_successful());
+        let failed: Vec<String> = migrated
+            .failures()
+            .map(|r| r.test.as_str().to_string())
+            .collect();
+        // The unit check on the buggy library fails...
+        assert!(
+            failed.iter().any(|t| t.contains("legacy")),
+            "legacy unit check should fail: {failed:?}"
+        );
+        // ...and the chain validation stage sees shifted histograms
+        // (reco-pkg links legacy, deviating the whole chain).
+        assert!(
+            failed.iter().any(|t| t.contains("chain/nc")),
+            "chain should fail validation: {failed:?}"
+        );
+        // Compile tests still pass (with warnings) on SL6.
+        let compile_ok = migrated
+            .by_category(TestCategory::Compilation)
+            .all(|r| r.status.is_pass());
+        assert!(compile_ok, "the bug is invisible to compilation");
+    }
+
+    #[test]
+    fn diagnosis_blames_the_experiment_package() {
+        let mut system = SpSystem::new();
+        let sl5_32 = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        let sl6_64 = system
+            .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        system.run_validation("tiny", sl5_32, &config()).unwrap();
+        let migrated = system.run_validation("tiny", sl6_64, &config()).unwrap();
+
+        let experiment = system.experiment("tiny").unwrap();
+        let env = system.image(sl6_64).unwrap().spec.clone();
+        let diagnosis = crate::classify(experiment, &migrated, &env).unwrap();
+        assert_eq!(
+            diagnosis.category,
+            crate::inputs::InputCategory::ExperimentSoftware
+        );
+        assert_eq!(diagnosis.culprit, "legacy");
+    }
+
+    #[test]
+    fn unknown_experiment_and_image_error() {
+        let mut system = SpSystem::new();
+        let image = system
+            .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+            .unwrap();
+        assert!(matches!(
+            system.run_validation("ghost", image, &config()),
+            Err(SystemError::UnknownExperiment(_))
+        ));
+        system.register_experiment(tiny_experiment()).unwrap();
+        assert!(matches!(
+            system.run_validation("tiny", VmImageId(99), &config()),
+            Err(SystemError::UnknownImage(_))
+        ));
+    }
+
+    #[test]
+    fn incoherent_image_rejected() {
+        let mut system = SpSystem::new();
+        let bad = sp_env::EnvironmentSpec::new(
+            sp_env::OsRelease::SL6,
+            Arch::I686,
+            sp_env::Compiler::GCC44,
+        );
+        assert!(matches!(
+            system.register_image(bad),
+            Err(SystemError::Image(_))
+        ));
+    }
+
+    #[test]
+    fn client_requirements_enforced() {
+        let mut system = SpSystem::new();
+        assert!(system
+            .register_client(
+                "vm-sl6",
+                ClientKind::VirtualMachine {
+                    image_label: "SL6/64bit gcc4.4".into()
+                },
+                CronSchedule::nightly(),
+                true,
+                true,
+            )
+            .is_ok());
+        assert!(matches!(
+            system.register_client(
+                "island",
+                ClientKind::BatchNode,
+                CronSchedule::nightly(),
+                false,
+                true,
+            ),
+            Err(SystemError::Client(_))
+        ));
+        assert_eq!(system.clients().len(), 1);
+    }
+
+    #[test]
+    fn production_recipe_export() {
+        let mut system = SpSystem::new();
+        // No experiment, no recipe.
+        assert!(system.export_production_recipe("tiny").is_none());
+
+        let image = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        // No successful run yet, still no recipe.
+        assert!(system.export_production_recipe("tiny").is_none());
+
+        let run = system.run_validation("tiny", image, &config()).unwrap();
+        assert!(run.is_successful());
+        let recipe = system.export_production_recipe("tiny").unwrap();
+        assert_eq!(recipe.validated_by, run.id);
+        assert!(recipe.environment.contains("os = SL5"));
+        assert!(recipe.environment.contains("compiler = gcc4.1"));
+        // One artifact per package in the tiny stack.
+        assert_eq!(recipe.artifacts.len(), 6);
+        // Every artifact resolves in the common storage.
+        for (_, oid) in &recipe.artifacts {
+            assert!(system.storage().content().contains(*oid));
+        }
+        let rendered = recipe.render();
+        assert!(rendered.contains("# sp-system production recipe for tiny"));
+    }
+
+    #[test]
+    fn outputs_are_kept_in_common_storage() {
+        let mut system = SpSystem::new();
+        let image = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        let run = system.run_validation("tiny", image, &config()).unwrap();
+        // Every declared output object exists in storage.
+        for result in &run.results {
+            for (name, oid) in &result.outputs {
+                assert!(
+                    system.storage().content().contains(*oid),
+                    "output {name} of {} missing",
+                    result.test
+                );
+            }
+        }
+        // The run summary is stored too.
+        assert!(system
+            .storage()
+            .lookup(StorageArea::Results, &format!("{}/SUMMARY", run.id))
+            .is_some());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the validation framework's comparison engine
+//! and bookkeeping.
+
+use proptest::prelude::*;
+use sp_core::{CompareOutcome, Comparator, TestOutput};
+
+fn numbers_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
+    prop::collection::vec(("[a-z]{1,8}", -1e6f64..1e6), 0..8)
+}
+
+fn output_strategy() -> impl Strategy<Value = TestOutput> {
+    prop_oneof![
+        any::<bool>().prop_map(TestOutput::YesNo),
+        any::<i32>().prop_map(TestOutput::ExitCode),
+        "[ -~]{0,120}".prop_map(TestOutput::Text),
+        numbers_strategy().prop_map(TestOutput::Numbers),
+    ]
+}
+
+proptest! {
+    /// Every output flavour round-trips through its byte encoding.
+    #[test]
+    fn output_round_trip(output in output_strategy()) {
+        let bytes = output.to_bytes();
+        prop_assert_eq!(TestOutput::from_bytes(&bytes), Some(output));
+    }
+
+    /// Comparing any output against itself passes with every applicable
+    /// comparator (reflexivity).
+    #[test]
+    fn comparison_is_reflexive(output in output_strategy()) {
+        let comparator = Comparator::default_for(&output);
+        let outcome = comparator.compare(&output, &output);
+        prop_assert_eq!(outcome, CompareOutcome::Identical);
+    }
+
+    /// Exact comparison agrees with equality.
+    #[test]
+    fn exact_matches_equality(a in output_strategy(), b in output_strategy()) {
+        let outcome = Comparator::Exact.compare(&a, &b);
+        prop_assert_eq!(outcome.passed(), a == b);
+    }
+
+    /// Numeric tolerance is monotone: if values pass at tolerance t, they
+    /// pass at any larger tolerance.
+    #[test]
+    fn numeric_tolerance_monotone(
+        x in -1e3f64..1e3,
+        delta in 0.0f64..10.0,
+        tol_small in 1e-9f64..1e-3,
+        factor in 1.0f64..1e6,
+    ) {
+        let a = TestOutput::Numbers(vec![("v".into(), x)]);
+        let b = TestOutput::Numbers(vec![("v".into(), x + delta)]);
+        let small = Comparator::Numeric { rel_tol: 0.0, abs_tol: tol_small };
+        let large = Comparator::Numeric { rel_tol: 0.0, abs_tol: tol_small * factor };
+        if small.compare(&a, &b).passed() {
+            prop_assert!(large.compare(&a, &b).passed());
+        }
+    }
+
+    /// Numeric comparison is symmetric in pass/fail.
+    #[test]
+    fn numeric_comparison_symmetric(
+        a in numbers_strategy(),
+        b in numbers_strategy(),
+        tol in 1e-9f64..1.0,
+    ) {
+        let ca = TestOutput::Numbers(a);
+        let cb = TestOutput::Numbers(b);
+        let comparator = Comparator::Numeric { rel_tol: tol, abs_tol: tol };
+        prop_assert_eq!(
+            comparator.compare(&ca, &cb).passed(),
+            comparator.compare(&cb, &ca).passed()
+        );
+    }
+
+    /// Text comparison: appending an ignored line never turns a pass into
+    /// a failure.
+    #[test]
+    fn text_ignored_lines_are_ignored(
+        body in "[a-z\\n]{0,60}",
+        stamp in "[0-9]{1,10}",
+    ) {
+        let comparator = Comparator::TextDiff {
+            ignore_markers: vec!["timestamp".to_string()],
+        };
+        let a = TestOutput::Text(body.clone());
+        // Append the ignored line without introducing a spurious empty line.
+        let separator = if body.is_empty() || body.ends_with('\n') {
+            ""
+        } else {
+            "\n"
+        };
+        let b = TestOutput::Text(format!("{body}{separator}timestamp: {stamp}"));
+        prop_assert!(comparator.compare(&a, &b).passed());
+    }
+
+    /// Cross-flavour comparisons always fail (an output type change is a
+    /// regression by definition).
+    #[test]
+    fn type_changes_fail(flag in any::<bool>(), code in any::<i32>()) {
+        let yes_no = TestOutput::YesNo(flag);
+        let exit = TestOutput::ExitCode(code);
+        for comparator in [
+            Comparator::Exact,
+            Comparator::Numeric { rel_tol: 1.0, abs_tol: 1.0 },
+        ] {
+            prop_assert!(!comparator.compare(&yes_no, &exit).passed());
+        }
+    }
+
+    /// from_bytes never panics on arbitrary input (robust decoder).
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TestOutput::from_bytes(&bytes);
+    }
+}

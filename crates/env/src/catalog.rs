@@ -1,0 +1,173 @@
+//! The concrete configurations of the DESY deployment.
+//!
+//! §3.1: "Within the current sp-system there are virtual machines with five
+//! different configurations: SL5/32bit with gcc4.1 and gcc4.4, SL5/64bit
+//! with gcc4.1 and gcc4.4, SL6/64bit with gcc4.4. In addition, the set of
+//! external software required by the experiments is also installed, for
+//! example the ROOT versions used by the experiments: 5.26, 5.28, 5.30,
+//! 5.32, and 5.34."
+//!
+//! §3.3 names the extension: "The next challenges include the testing of
+//! the SL7 environment and checking the compatibility of the experiments
+//! software with ROOT 6."
+
+use crate::compiler::Compiler;
+use crate::external::ExternalPackage;
+use crate::os::{Arch, OsRelease};
+use crate::spec::EnvironmentSpec;
+use crate::version::Version;
+
+/// The five ROOT versions installed in the sp-system (§3.1).
+pub fn paper_root_versions() -> Vec<Version> {
+    vec![
+        Version::two(5, 26),
+        Version::two(5, 28),
+        Version::two(5, 30),
+        Version::two(5, 32),
+        Version::two(5, 34),
+    ]
+}
+
+/// ROOT 6.02 — the "next challenge" version.
+pub fn root6_version() -> Version {
+    Version::two(6, 2)
+}
+
+/// Baseline externals every HERA image carries: CERNLIB and GSL.
+fn hera_baseline_externals(spec: EnvironmentSpec) -> EnvironmentSpec {
+    spec.with_external(ExternalPackage::cernlib())
+        .with_external(ExternalPackage::gsl(Version::new(1, 15, 0)))
+}
+
+/// SL5 spec with gcc 4.1 on the given architecture and ROOT version.
+pub fn sl5_gcc41(arch: Arch, root: Version) -> EnvironmentSpec {
+    hera_baseline_externals(
+        EnvironmentSpec::new(OsRelease::SL5, arch, Compiler::GCC41)
+            .with_external(ExternalPackage::root(root)),
+    )
+}
+
+/// SL5 spec with gcc 4.4 on the given architecture and ROOT version.
+pub fn sl5_gcc44(arch: Arch, root: Version) -> EnvironmentSpec {
+    hera_baseline_externals(
+        EnvironmentSpec::new(OsRelease::SL5, arch, Compiler::GCC44)
+            .with_external(ExternalPackage::root(root)),
+    )
+}
+
+/// SL6/64bit spec with gcc 4.4 and the given ROOT version.
+pub fn sl6_gcc44(root: Version) -> EnvironmentSpec {
+    hera_baseline_externals(
+        EnvironmentSpec::new(OsRelease::SL6, Arch::X86_64, Compiler::GCC44)
+            .with_external(ExternalPackage::root(root)),
+    )
+}
+
+/// SL7/64bit spec with gcc 4.8 and the given ROOT version (extension).
+///
+/// Note: CERNLIB is *not* distributed for SL7 — part of what makes the SL7
+/// migration a challenge.
+pub fn sl7_gcc48(root: Version) -> EnvironmentSpec {
+    EnvironmentSpec::new(OsRelease::SL7, Arch::X86_64, Compiler::GCC48)
+        .with_external(ExternalPackage::root(root))
+        .with_external(ExternalPackage::gsl(Version::new(1, 16, 0)))
+}
+
+/// The five §3.1 configurations, each with the newest paper ROOT (5.34).
+///
+/// Order matches the paper's enumeration: SL5/32 gcc4.1, SL5/32 gcc4.4,
+/// SL5/64 gcc4.1, SL5/64 gcc4.4, SL6/64 gcc4.4.
+pub fn paper_images() -> Vec<EnvironmentSpec> {
+    let root = Version::two(5, 34);
+    vec![
+        sl5_gcc41(Arch::I686, root),
+        sl5_gcc44(Arch::I686, root),
+        sl5_gcc41(Arch::X86_64, root),
+        sl5_gcc44(Arch::X86_64, root),
+        sl6_gcc44(root),
+    ]
+}
+
+/// SL6/64bit with the gcc 4.7 devtoolset and ROOT 6: the configuration a
+/// site would use to test ROOT 6 while keeping CERNLIB available (no
+/// CERNLIB exists for SL7).
+pub fn sl6_devtoolset_root6() -> EnvironmentSpec {
+    hera_baseline_externals(
+        EnvironmentSpec::new(OsRelease::SL6, Arch::X86_64, Compiler::GCC47)
+            .with_external(ExternalPackage::root(root6_version())),
+    )
+}
+
+/// The §3.3 extension configurations: SL7 with ROOT 5.34 and with ROOT 6.
+pub fn extension_images() -> Vec<EnvironmentSpec> {
+    vec![sl7_gcc48(Version::two(5, 34)), sl7_gcc48(root6_version())]
+}
+
+/// Every configuration: paper plus extension.
+pub fn all_images() -> Vec<EnvironmentSpec> {
+    let mut images = paper_images();
+    images.extend(extension_images());
+    images
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_catalog_specs_are_coherent() {
+        for spec in all_images() {
+            assert!(
+                spec.validate().is_empty(),
+                "incoherent catalog spec {}: {:?}",
+                spec.label(),
+                spec.validate()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_labels() {
+        let labels: Vec<String> = paper_images().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "SL5/32bit gcc4.1",
+                "SL5/32bit gcc4.4",
+                "SL5/64bit gcc4.1",
+                "SL5/64bit gcc4.4",
+                "SL6/64bit gcc4.4",
+            ]
+        );
+    }
+
+    #[test]
+    fn root_versions_are_ascending() {
+        let versions = paper_root_versions();
+        for pair in versions.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn devtoolset_root6_is_coherent_and_keeps_cernlib() {
+        let spec = sl6_devtoolset_root6();
+        assert!(spec.validate().is_empty(), "{:?}", spec.validate());
+        assert!(spec.externals.get("cernlib").is_some());
+        assert_eq!(spec.externals.get("root").unwrap().api_level, 6);
+    }
+
+    #[test]
+    fn sl7_lacks_cernlib() {
+        let spec = sl7_gcc48(Version::two(5, 34));
+        assert!(spec.externals.get("cernlib").is_none());
+        assert!(spec.externals.get("root").is_some());
+    }
+
+    #[test]
+    fn extension_has_root6() {
+        let images = extension_images();
+        assert_eq!(images.len(), 2);
+        assert_eq!(images[1].externals.get("root").unwrap().api_level, 6);
+    }
+}

@@ -1,0 +1,528 @@
+//! The compatibility relation between code and environments.
+//!
+//! The sp-system exists because experiment software that built cleanly for a
+//! decade starts failing when the environment moves underneath it. This
+//! module models the mechanism: a package carries [`CodeTrait`]s — facts
+//! about how its source code is written — and an [`EnvironmentSpec`]
+//! (OS + compiler + externals) decides, deterministically, what each trait
+//! does there:
+//!
+//! * at **compile time** ([`check_compile`]): nothing, a warning, or an
+//!   error (e.g. gcc 4.7 turns implicit declarations into hard errors);
+//! * at **run time** ([`check_runtime`]): nothing, a numeric *deviation*
+//!   (the "long-standing bugs" of §3.3, e.g. a pointer-width assumption that
+//!   silently shifts results on 64-bit), or a crash.
+//!
+//! Deviations carry a magnitude that the toy analysis chain in `sp-hep`
+//! turns into histogram shifts, so that environment problems surface exactly
+//! the way the paper describes: as failed data-validation comparisons.
+
+use crate::spec::EnvironmentSpec;
+use crate::version::VersionReq;
+use crate::Strictness;
+
+/// A fact about how a package's source code is written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodeTrait {
+    /// Stores pointers in 32-bit integers. Warns on 64-bit with a modern
+    /// compiler; at run time on 64-bit it deviates by `shift_sigma`
+    /// standard deviations — the classic latent migration bug.
+    PointerSizeAssumption {
+        /// Magnitude of the induced numeric deviation, in units of the
+        /// statistical uncertainty of a typical validation histogram.
+        shift_sigma: f64,
+    },
+    /// Calls functions without prototypes (pre-C99). Warning on Standard
+    /// compilers, error on Strict ones.
+    ImplicitFunctionDecl,
+    /// Includes pre-standard C++ headers (`iostream.h`). Silent on Lax,
+    /// warning on Standard, error on Strict.
+    PreStandardCxx,
+    /// Relies on g77-era Fortran-77 extensions. Clean where the g77 dialect
+    /// survives, warning under early gfortran (Standard), error under
+    /// Strict compilers.
+    Fortran77Extensions,
+    /// Needs an external package at a version matching `req` (headers and
+    /// libraries must be installed, or compilation fails).
+    RequiresExternal {
+        /// External package name (`root`, `cernlib`, …).
+        name: String,
+        /// Version requirement.
+        req: VersionReq,
+    },
+    /// Codes against a specific API level of an external (ROOT 5 CINT
+    /// macros, say). Compile error if the installed API level differs.
+    UsesExternalApi {
+        /// External package name.
+        name: String,
+        /// Required API level.
+        api_level: u8,
+    },
+    /// Working set exceeds a 32-bit address space for realistic workloads;
+    /// crashes at run time on 32-bit images.
+    LargeMemoryFootprint,
+    /// Reads an uninitialised variable whose stack contents happen to be
+    /// benign on the original platform. Deviates at run time once the stack
+    /// layout changes (strict compilers reorder locals), by `shift_sigma`.
+    UninitializedVariable {
+        /// Magnitude of the induced numeric deviation (σ units).
+        shift_sigma: f64,
+    },
+    /// Uses C++11 constructs; fails to compile without a C++11 compiler.
+    RequiresCxx11,
+    /// Reads a private kernel/glibc interface (old `/proc` format, removed
+    /// syscall). Compiles everywhere; crashes at run time on OS generations
+    /// with ABI level ≥ `breaks_at_abi`.
+    LegacySyscall {
+        /// First OS ABI level on which the interface is gone.
+        breaks_at_abi: u8,
+    },
+}
+
+impl CodeTrait {
+    /// Stable identifier used in diagnostics and reports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CodeTrait::PointerSizeAssumption { .. } => "ptr-size",
+            CodeTrait::ImplicitFunctionDecl => "implicit-decl",
+            CodeTrait::PreStandardCxx => "pre-std-c++",
+            CodeTrait::Fortran77Extensions => "f77-ext",
+            CodeTrait::RequiresExternal { .. } => "ext-missing",
+            CodeTrait::UsesExternalApi { .. } => "ext-api",
+            CodeTrait::LargeMemoryFootprint => "large-mem",
+            CodeTrait::UninitializedVariable { .. } => "uninit-var",
+            CodeTrait::RequiresCxx11 => "needs-c++11",
+            CodeTrait::LegacySyscall { .. } => "legacy-syscall",
+        }
+    }
+}
+
+/// Severity of a compile-time diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note.
+    Note,
+    /// Warning; build succeeds.
+    Warning,
+    /// Hard error; build fails.
+    Error,
+}
+
+/// One compiler/linker diagnostic produced by the simulated build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable code (`ptr-size`, `ext-api`, …) tying it back to a trait.
+    pub code: &'static str,
+    /// Human-readable message in compiler style.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}: [{}] {}", self.code, self.message)
+    }
+}
+
+/// Result of compiling a package in an environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileOutcome {
+    /// Clean build.
+    Success,
+    /// Build succeeded but produced warnings.
+    SuccessWithWarnings(Vec<Diagnostic>),
+    /// Build failed with at least one error (warnings may accompany it).
+    Failure(Vec<Diagnostic>),
+}
+
+impl CompileOutcome {
+    /// Whether an artifact was produced.
+    pub fn succeeded(&self) -> bool {
+        !matches!(self, CompileOutcome::Failure(_))
+    }
+
+    /// All diagnostics, empty for a clean build.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            CompileOutcome::Success => &[],
+            CompileOutcome::SuccessWithWarnings(d) | CompileOutcome::Failure(d) => d,
+        }
+    }
+}
+
+/// Result of running a compiled package in an environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeOutcome {
+    /// Behaves exactly as on the reference platform.
+    Nominal,
+    /// Runs to completion but produces *shifted* numerics — detectable only
+    /// by data validation, not by exit codes. `shift_sigma` aggregates the
+    /// deviation magnitude.
+    Deviating {
+        /// Total deviation magnitude in σ units.
+        shift_sigma: f64,
+        /// Trait codes responsible, for diagnosis.
+        causes: Vec<&'static str>,
+    },
+    /// Crashes (non-zero exit / signal).
+    Crash {
+        /// Trait code responsible.
+        cause: &'static str,
+        /// Synthetic crash description.
+        message: String,
+    },
+}
+
+impl RuntimeOutcome {
+    /// Whether the process exits successfully (possibly with wrong numbers).
+    pub fn exits_cleanly(&self) -> bool {
+        !matches!(self, RuntimeOutcome::Crash { .. })
+    }
+}
+
+/// Decides the compile outcome of a package with `traits` in `env`.
+///
+/// The decision is a pure function — the same (traits, environment) pair
+/// always yields the same outcome, which is what lets the sp-system compare
+/// runs over time.
+pub fn check_compile(traits: &[CodeTrait], env: &EnvironmentSpec) -> CompileOutcome {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let strict = env.compiler.strictness;
+    let word = env.arch.word_bits();
+
+    for t in traits {
+        match t {
+            CodeTrait::PointerSizeAssumption { .. } => {
+                // gcc warns on pointer/integer width mismatches but builds
+                // anyway — which is exactly why these bugs stay latent
+                // until the data validation catches them.
+                if word == 64 {
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        code: t.code(),
+                        message: "cast from pointer to integer of different size".into(),
+                    });
+                }
+            }
+            CodeTrait::ImplicitFunctionDecl => {
+                let severity = match strict {
+                    Strictness::Lax => Severity::Note,
+                    Strictness::Standard => Severity::Warning,
+                    Strictness::Strict => Severity::Error,
+                };
+                if severity > Severity::Note {
+                    diags.push(Diagnostic {
+                        severity,
+                        code: t.code(),
+                        message: "implicit declaration of function".into(),
+                    });
+                }
+            }
+            CodeTrait::PreStandardCxx => match strict {
+                Strictness::Lax => {}
+                Strictness::Standard => diags.push(Diagnostic {
+                    severity: Severity::Warning,
+                    code: t.code(),
+                    message: "#include <iostream.h> is deprecated".into(),
+                }),
+                Strictness::Strict => diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: t.code(),
+                    message: "iostream.h: No such file or directory".into(),
+                }),
+            },
+            CodeTrait::Fortran77Extensions => {
+                if !env.compiler.g77_dialect {
+                    let severity = if strict == Strictness::Strict {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    };
+                    diags.push(Diagnostic {
+                        severity,
+                        code: t.code(),
+                        message: "nonstandard Fortran-77 extension (g77 dialect)".into(),
+                    });
+                }
+            }
+            CodeTrait::RequiresExternal { name, req } => match env.externals.get(name) {
+                None => diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: t.code(),
+                    message: format!("{name}: headers not found (package not installed)"),
+                }),
+                Some(pkg) if !req.matches(pkg.version) => diags.push(Diagnostic {
+                    severity: Severity::Error,
+                    code: t.code(),
+                    message: format!(
+                        "{name} {} does not satisfy requirement {req}",
+                        pkg.version
+                    ),
+                }),
+                Some(_) => {}
+            },
+            CodeTrait::UsesExternalApi { name, api_level } => {
+                if let Some(pkg) = env.externals.get(name) {
+                    if pkg.api_level != *api_level {
+                        diags.push(Diagnostic {
+                            severity: Severity::Error,
+                            code: t.code(),
+                            message: format!(
+                                "{name} API level {} installed, code written against level {api_level}",
+                                pkg.api_level
+                            ),
+                        });
+                    }
+                }
+                // A missing external is reported by RequiresExternal; API
+                // checks only apply to installed packages.
+            }
+            CodeTrait::LargeMemoryFootprint => {
+                // Compiles everywhere; fails at run time on 32-bit.
+            }
+            CodeTrait::UninitializedVariable { .. } => {
+                if strict >= Strictness::Standard {
+                    diags.push(Diagnostic {
+                        severity: Severity::Warning,
+                        code: t.code(),
+                        message: "variable may be used uninitialized".into(),
+                    });
+                }
+            }
+            CodeTrait::RequiresCxx11 => {
+                if !env.compiler.cxx11 {
+                    diags.push(Diagnostic {
+                        severity: Severity::Error,
+                        code: t.code(),
+                        message: "C++11 support required (-std=c++11 unavailable)".into(),
+                    });
+                }
+            }
+            CodeTrait::LegacySyscall { .. } => {
+                // Compiles fine; the interface disappears at run time.
+            }
+        }
+    }
+
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        CompileOutcome::Failure(diags)
+    } else if diags.is_empty() {
+        CompileOutcome::Success
+    } else {
+        CompileOutcome::SuccessWithWarnings(diags)
+    }
+}
+
+/// Decides the runtime behaviour of a (successfully compiled) package with
+/// `traits` in `env`.
+pub fn check_runtime(traits: &[CodeTrait], env: &EnvironmentSpec) -> RuntimeOutcome {
+    let word = env.arch.word_bits();
+    let strict = env.compiler.strictness;
+    let mut shift = 0.0f64;
+    let mut causes: Vec<&'static str> = Vec::new();
+
+    for t in traits {
+        match t {
+            CodeTrait::LegacySyscall { breaks_at_abi } if env.os.abi_level >= *breaks_at_abi => {
+                return RuntimeOutcome::Crash {
+                    cause: t.code(),
+                    message: format!(
+                        "FATAL: /proc interface changed in ABI {} (SIGSEGV)",
+                        env.os.abi_level
+                    ),
+                };
+            }
+            CodeTrait::LargeMemoryFootprint if word == 32 => {
+                return RuntimeOutcome::Crash {
+                    cause: t.code(),
+                    message: "std::bad_alloc: address space exhausted".into(),
+                };
+            }
+            CodeTrait::PointerSizeAssumption { shift_sigma } if word == 64 => {
+                shift += shift_sigma;
+                causes.push(t.code());
+            }
+            CodeTrait::UninitializedVariable { shift_sigma }
+                if strict >= Strictness::Standard =>
+            {
+                // Newer compilers reorder stack slots; the garbage read is
+                // no longer the benign value it was on the SL5 toolchain.
+                shift += shift_sigma;
+                causes.push(t.code());
+            }
+            _ => {}
+        }
+    }
+
+    if shift > 0.0 {
+        RuntimeOutcome::Deviating {
+            shift_sigma: shift,
+            causes,
+        }
+    } else {
+        RuntimeOutcome::Nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::version::Version;
+
+    fn sl5_32_gcc41() -> EnvironmentSpec {
+        catalog::sl5_gcc41(crate::Arch::I686, Version::two(5, 34))
+    }
+
+    fn sl6_64_gcc44() -> EnvironmentSpec {
+        catalog::sl6_gcc44(Version::two(5, 34))
+    }
+
+    fn sl7_64_gcc48() -> EnvironmentSpec {
+        catalog::sl7_gcc48(Version::two(6, 2))
+    }
+
+    #[test]
+    fn clean_package_compiles_everywhere() {
+        for env in [sl5_32_gcc41(), sl6_64_gcc44(), sl7_64_gcc48()] {
+            assert_eq!(check_compile(&[], &env), CompileOutcome::Success);
+            assert_eq!(check_runtime(&[], &env), RuntimeOutcome::Nominal);
+        }
+    }
+
+    #[test]
+    fn pointer_assumption_silent_on_32bit_warns_on_64bit() {
+        let traits = [CodeTrait::PointerSizeAssumption { shift_sigma: 2.0 }];
+        assert_eq!(check_compile(&traits, &sl5_32_gcc41()), CompileOutcome::Success);
+        match check_compile(&traits, &sl6_64_gcc44()) {
+            CompileOutcome::SuccessWithWarnings(d) => assert_eq!(d[0].code, "ptr-size"),
+            other => panic!("expected warning, got {other:?}"),
+        }
+        // Still only a warning under strict compilers: the bug stays latent.
+        assert!(matches!(
+            check_compile(&traits, &sl7_64_gcc48()),
+            CompileOutcome::SuccessWithWarnings(_)
+        ));
+    }
+
+    #[test]
+    fn pointer_assumption_is_the_latent_64bit_bug() {
+        let traits = [CodeTrait::PointerSizeAssumption { shift_sigma: 2.5 }];
+        assert_eq!(check_runtime(&traits, &sl5_32_gcc41()), RuntimeOutcome::Nominal);
+        match check_runtime(&traits, &sl6_64_gcc44()) {
+            RuntimeOutcome::Deviating { shift_sigma, causes } => {
+                assert!((shift_sigma - 2.5).abs() < 1e-12);
+                assert_eq!(causes, vec!["ptr-size"]);
+            }
+            other => panic!("expected deviation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strictness_ladder_for_implicit_decls() {
+        let traits = [CodeTrait::ImplicitFunctionDecl];
+        assert_eq!(check_compile(&traits, &sl5_32_gcc41()), CompileOutcome::Success);
+        assert!(matches!(
+            check_compile(&traits, &sl6_64_gcc44()),
+            CompileOutcome::SuccessWithWarnings(_)
+        ));
+        assert!(!check_compile(&traits, &sl7_64_gcc48()).succeeded());
+    }
+
+    #[test]
+    fn missing_external_fails_to_compile() {
+        let traits = [CodeTrait::RequiresExternal {
+            name: "cernlib".into(),
+            req: VersionReq::Any,
+        }];
+        // The catalog helpers install ROOT but not CERNLIB on SL7.
+        let env = sl7_64_gcc48();
+        assert!(env.externals.get("cernlib").is_none());
+        assert!(!check_compile(&traits, &env).succeeded());
+    }
+
+    #[test]
+    fn root6_api_break() {
+        let traits = [
+            CodeTrait::RequiresExternal {
+                name: "root".into(),
+                req: VersionReq::AtLeast(Version::two(5, 26)),
+            },
+            CodeTrait::UsesExternalApi {
+                name: "root".into(),
+                api_level: 5,
+            },
+        ];
+        assert!(check_compile(&traits, &sl6_64_gcc44()).succeeded());
+        let with_root6 = sl7_64_gcc48();
+        let outcome = check_compile(&traits, &with_root6);
+        assert!(!outcome.succeeded());
+        assert!(outcome.diagnostics().iter().any(|d| d.code == "ext-api"));
+    }
+
+    #[test]
+    fn large_memory_crashes_on_32bit_only() {
+        let traits = [CodeTrait::LargeMemoryFootprint];
+        assert!(matches!(
+            check_runtime(&traits, &sl5_32_gcc41()),
+            RuntimeOutcome::Crash { cause: "large-mem", .. }
+        ));
+        assert_eq!(check_runtime(&traits, &sl6_64_gcc44()), RuntimeOutcome::Nominal);
+    }
+
+    #[test]
+    fn deviations_accumulate() {
+        let traits = [
+            CodeTrait::PointerSizeAssumption { shift_sigma: 1.0 },
+            CodeTrait::UninitializedVariable { shift_sigma: 0.5 },
+        ];
+        match check_runtime(&traits, &sl6_64_gcc44()) {
+            RuntimeOutcome::Deviating { shift_sigma, causes } => {
+                assert!((shift_sigma - 1.5).abs() < 1e-12);
+                assert_eq!(causes.len(), 2);
+            }
+            other => panic!("expected deviation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cxx11_requirement() {
+        let traits = [CodeTrait::RequiresCxx11];
+        assert!(!check_compile(&traits, &sl6_64_gcc44()).succeeded());
+        assert!(check_compile(&traits, &sl7_64_gcc48()).succeeded());
+    }
+
+    #[test]
+    fn legacy_syscall_breaks_on_new_abi_only() {
+        let traits = [CodeTrait::LegacySyscall { breaks_at_abi: 6 }];
+        for env in [sl5_32_gcc41(), sl6_64_gcc44(), sl7_64_gcc48()] {
+            assert!(check_compile(&traits, &env).succeeded());
+        }
+        assert_eq!(check_runtime(&traits, &sl5_32_gcc41()), RuntimeOutcome::Nominal);
+        assert!(matches!(
+            check_runtime(&traits, &sl6_64_gcc44()),
+            RuntimeOutcome::Crash { cause: "legacy-syscall", .. }
+        ));
+        assert!(matches!(
+            check_runtime(&traits, &sl7_64_gcc48()),
+            RuntimeOutcome::Crash { .. }
+        ));
+    }
+
+    #[test]
+    fn determinism() {
+        let traits = [
+            CodeTrait::ImplicitFunctionDecl,
+            CodeTrait::PointerSizeAssumption { shift_sigma: 1.0 },
+        ];
+        let env = sl6_64_gcc44();
+        assert_eq!(check_compile(&traits, &env), check_compile(&traits, &env));
+        assert_eq!(check_runtime(&traits, &env), check_runtime(&traits, &env));
+    }
+}

@@ -1,0 +1,171 @@
+//! Compiler generations.
+//!
+//! The paper's configurations pair each OS with a gcc version (gcc 4.1 and
+//! 4.4 on SL5, gcc 4.4 on SL6). What the validation framework cares about
+//! is how *strict* a compiler generation is: each generation rejects code
+//! that older ones merely warned about, which is exactly the mechanism that
+//! breaks decade-old experiment software during migrations.
+
+use crate::os::OsRelease;
+use crate::version::Version;
+
+/// How aggressively a compiler generation diagnoses legacy constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strictness {
+    /// gcc ≤ 4.1: accepts pre-standard C/C++ and K&R-isms silently.
+    Lax,
+    /// gcc 4.4: warns on implicit declarations, pre-standard headers,
+    /// pointer-size truncation.
+    Standard,
+    /// gcc ≥ 4.7: many former warnings are hard errors; C++11 era.
+    Strict,
+}
+
+/// A compiler installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Compiler {
+    /// Version, e.g. 4.4.7.
+    pub version: Version,
+    /// Diagnostic strictness of this generation.
+    pub strictness: Strictness,
+    /// Whether C++11 is supported (required by ROOT 6).
+    pub cxx11: bool,
+    /// Whether the g77-compatible Fortran-77 dialect is accepted without
+    /// complaint (drops with newer gfortran).
+    pub g77_dialect: bool,
+    /// Minimum OS ABI level this compiler ships on.
+    pub min_abi: u8,
+    /// Highest OS ABI level that still packages this compiler.
+    pub max_abi: u8,
+}
+
+impl Compiler {
+    /// gcc 3.4 — the SL4-era compiler.
+    pub const GCC34: Compiler = Compiler {
+        version: Version::two(3, 4),
+        strictness: Strictness::Lax,
+        cxx11: false,
+        g77_dialect: true,
+        min_abi: 4,
+        max_abi: 5,
+    };
+
+    /// gcc 4.1 — SL5 default.
+    pub const GCC41: Compiler = Compiler {
+        version: Version::two(4, 1),
+        strictness: Strictness::Lax,
+        cxx11: false,
+        g77_dialect: true,
+        min_abi: 5,
+        max_abi: 5,
+    };
+
+    /// gcc 4.4 — SL5 add-on and SL6 default.
+    pub const GCC44: Compiler = Compiler {
+        version: Version::two(4, 4),
+        strictness: Strictness::Standard,
+        cxx11: false,
+        g77_dialect: false,
+        min_abi: 5,
+        max_abi: 6,
+    };
+
+    /// gcc 4.7 — SL6 devtoolset; first C++11-capable generation.
+    pub const GCC47: Compiler = Compiler {
+        version: Version::two(4, 7),
+        strictness: Strictness::Strict,
+        cxx11: true,
+        g77_dialect: false,
+        min_abi: 6,
+        max_abi: 7,
+    };
+
+    /// gcc 4.8 — SL7 default.
+    pub const GCC48: Compiler = Compiler {
+        version: Version::two(4, 8),
+        strictness: Strictness::Strict,
+        cxx11: true,
+        g77_dialect: false,
+        min_abi: 7,
+        max_abi: 7,
+    };
+
+    /// All modelled compiler generations, oldest first.
+    pub fn all() -> [Compiler; 5] {
+        [
+            Self::GCC34,
+            Self::GCC41,
+            Self::GCC44,
+            Self::GCC47,
+            Self::GCC48,
+        ]
+    }
+
+    /// Label used in configuration names (`gcc4.1`).
+    pub fn label(&self) -> String {
+        format!("gcc{}", self.version)
+    }
+
+    /// Whether this compiler can be installed on `os`.
+    ///
+    /// A compiler needs its minimum ABI; conversely very old compilers are
+    /// not packaged for newer generations (no gcc 3.4/4.1 on SL6+, no
+    /// gcc 4.4 on SL7) — which is precisely why freezing on an old compiler
+    /// has a hard expiry date.
+    pub fn available_on(&self, os: &OsRelease) -> bool {
+        (self.min_abi..=self.max_abi).contains(&os.abi_level)
+    }
+}
+
+impl std::fmt::Display for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strictness_is_ordered() {
+        assert!(Strictness::Lax < Strictness::Standard);
+        assert!(Strictness::Standard < Strictness::Strict);
+    }
+
+    #[test]
+    fn availability_matrix_matches_deployment() {
+        // SL5 carries gcc 4.1 and 4.4 (the paper's pairs).
+        assert!(Compiler::GCC41.available_on(&OsRelease::SL5));
+        assert!(Compiler::GCC44.available_on(&OsRelease::SL5));
+        // SL6 carries gcc 4.4 (paper) and 4.7 (devtoolset), but not 4.1.
+        assert!(!Compiler::GCC41.available_on(&OsRelease::SL6));
+        assert!(Compiler::GCC44.available_on(&OsRelease::SL6));
+        assert!(Compiler::GCC47.available_on(&OsRelease::SL6));
+        // SL7 carries gcc 4.7/4.8 but nothing older.
+        assert!(!Compiler::GCC44.available_on(&OsRelease::SL7));
+        assert!(Compiler::GCC48.available_on(&OsRelease::SL7));
+        // gcc 4.8 is not packaged for SL5.
+        assert!(!Compiler::GCC48.available_on(&OsRelease::SL5));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Compiler::GCC41.label(), "gcc4.1");
+        assert_eq!(Compiler::GCC48.to_string(), "gcc4.8");
+    }
+
+    #[test]
+    fn cxx11_arrives_with_gcc47() {
+        assert!(!Compiler::GCC44.cxx11);
+        assert!(Compiler::GCC47.cxx11);
+        assert!(Compiler::GCC48.cxx11);
+    }
+
+    #[test]
+    fn g77_dialect_dies_after_gcc41() {
+        assert!(Compiler::GCC41.g77_dialect);
+        assert!(!Compiler::GCC44.g77_dialect);
+    }
+}

@@ -1,0 +1,228 @@
+//! External software dependencies.
+//!
+//! Figure 1 separates "external dependencies" from both the OS and the
+//! experiment software: libraries like ROOT and CERNLIB that the experiments
+//! need but do not own. Each entry carries an *API level*; packages declare
+//! which API level they code against, and bumping an external across an API
+//! break (ROOT 5 → ROOT 6) is one of the three failure categories the
+//! classification engine must recognise.
+
+use std::collections::BTreeMap;
+
+use crate::version::Version;
+
+/// One installable version of an external software package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalPackage {
+    /// Canonical lowercase name (`root`, `cernlib`, `mysql`, `gsl`).
+    pub name: String,
+    /// Version of this installation.
+    pub version: Version,
+    /// API level; packages compiled against level N fail to compile against
+    /// a different level (e.g. ROOT 5 CINT vs ROOT 6 cling).
+    pub api_level: u8,
+    /// Minimum OS ABI the binary distribution supports.
+    pub min_abi: u8,
+    /// Whether building this version needs a C++11 compiler (ROOT 6).
+    pub needs_cxx11: bool,
+}
+
+impl ExternalPackage {
+    /// A ROOT release. 5.x is API level 5; 6.x is API level 6, needs C++11
+    /// and at least an SL6-era ABI.
+    pub fn root(version: Version) -> Self {
+        let six = version.major >= 6;
+        ExternalPackage {
+            name: "root".to_string(),
+            version,
+            api_level: version.major as u8,
+            min_abi: if six { 6 } else { 4 },
+            needs_cxx11: six,
+        }
+    }
+
+    /// CERNLIB 2006 — the frozen Fortran legacy stack.
+    pub fn cernlib() -> Self {
+        ExternalPackage {
+            name: "cernlib".to_string(),
+            version: Version::new(2006, 0, 0),
+            api_level: 1,
+            min_abi: 4,
+            needs_cxx11: false,
+        }
+    }
+
+    /// A neutral helper library with a stable API (e.g. GSL).
+    pub fn gsl(version: Version) -> Self {
+        ExternalPackage {
+            name: "gsl".to_string(),
+            version,
+            api_level: 1,
+            min_abi: 4,
+            needs_cxx11: false,
+        }
+    }
+
+    /// A database client library whose major versions break API.
+    pub fn mysql(version: Version) -> Self {
+        ExternalPackage {
+            name: "mysql".to_string(),
+            version,
+            api_level: version.major as u8,
+            min_abi: 4,
+            needs_cxx11: false,
+        }
+    }
+
+    /// Display label, e.g. `root 5.34`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.name, self.version)
+    }
+}
+
+/// The set of external packages installed in one environment, keyed by name.
+///
+/// One version per name: an image installs exactly one ROOT, mirroring the
+/// sp-system images which are built per-ROOT-version.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExternalCatalog {
+    packages: BTreeMap<String, ExternalPackage>,
+}
+
+impl ExternalCatalog {
+    /// Creates an empty catalogue.
+    pub fn new() -> Self {
+        ExternalCatalog::default()
+    }
+
+    /// Installs (or replaces) a package, returning the previous version.
+    pub fn install(&mut self, pkg: ExternalPackage) -> Option<ExternalPackage> {
+        self.packages.insert(pkg.name.clone(), pkg)
+    }
+
+    /// Removes a package by name.
+    pub fn remove(&mut self, name: &str) -> Option<ExternalPackage> {
+        self.packages.remove(name)
+    }
+
+    /// Looks up a package by name.
+    pub fn get(&self, name: &str) -> Option<&ExternalPackage> {
+        self.packages.get(name)
+    }
+
+    /// Iterates installed packages in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ExternalPackage> {
+        self.packages.values()
+    }
+
+    /// Number of installed packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// Whether nothing is installed.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Names of packages present in `self` but not `other`, or at a
+    /// different version/API level — the "external dependency delta" used by
+    /// failure classification.
+    pub fn diff(&self, other: &ExternalCatalog) -> Vec<String> {
+        let mut changed: Vec<String> = Vec::new();
+        for (name, pkg) in &self.packages {
+            match other.packages.get(name) {
+                Some(o) if o.version == pkg.version && o.api_level == pkg.api_level => {}
+                _ => changed.push(name.clone()),
+            }
+        }
+        for name in other.packages.keys() {
+            if !self.packages.contains_key(name) {
+                changed.push(name.clone());
+            }
+        }
+        changed.sort();
+        changed.dedup();
+        changed
+    }
+}
+
+impl FromIterator<ExternalPackage> for ExternalCatalog {
+    fn from_iter<T: IntoIterator<Item = ExternalPackage>>(iter: T) -> Self {
+        let mut cat = ExternalCatalog::new();
+        for pkg in iter {
+            cat.install(pkg);
+        }
+        cat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root5_vs_root6_api_break() {
+        let r5 = ExternalPackage::root(Version::two(5, 34));
+        let r6 = ExternalPackage::root(Version::two(6, 2));
+        assert_eq!(r5.api_level, 5);
+        assert_eq!(r6.api_level, 6);
+        assert!(!r5.needs_cxx11);
+        assert!(r6.needs_cxx11);
+        assert!(r6.min_abi > r5.min_abi);
+    }
+
+    #[test]
+    fn catalog_one_version_per_name() {
+        let mut cat = ExternalCatalog::new();
+        cat.install(ExternalPackage::root(Version::two(5, 26)));
+        let prev = cat.install(ExternalPackage::root(Version::two(5, 34)));
+        assert_eq!(prev.unwrap().version, Version::two(5, 26));
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("root").unwrap().version, Version::two(5, 34));
+    }
+
+    #[test]
+    fn diff_detects_version_changes() {
+        let old: ExternalCatalog = [
+            ExternalPackage::root(Version::two(5, 32)),
+            ExternalPackage::cernlib(),
+        ]
+        .into_iter()
+        .collect();
+        let new: ExternalCatalog = [
+            ExternalPackage::root(Version::two(5, 34)),
+            ExternalPackage::cernlib(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(new.diff(&old), vec!["root".to_string()]);
+        assert!(new.diff(&new).is_empty());
+    }
+
+    #[test]
+    fn diff_detects_additions_and_removals() {
+        let base: ExternalCatalog = [ExternalPackage::cernlib()].into_iter().collect();
+        let with_gsl: ExternalCatalog = [
+            ExternalPackage::cernlib(),
+            ExternalPackage::gsl(Version::new(1, 15, 0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(with_gsl.diff(&base), vec!["gsl".to_string()]);
+        assert_eq!(base.diff(&with_gsl), vec!["gsl".to_string()]);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let cat: ExternalCatalog = [
+            ExternalPackage::root(Version::two(5, 34)),
+            ExternalPackage::cernlib(),
+            ExternalPackage::gsl(Version::new(1, 15, 0)),
+        ]
+        .into_iter()
+        .collect();
+        let names: Vec<&str> = cat.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["cernlib", "gsl", "root"]);
+    }
+}

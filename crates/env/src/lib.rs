@@ -1,0 +1,59 @@
+//! # sp-env — simulated computing environments
+//!
+//! The sp-system validates experiment software "against changes and upgrades
+//! to the computing environment". This crate models that environment as the
+//! paper decomposes it in Figure 1 — the *operating system (including the
+//! compiler)* and the *external software dependencies* — plus the virtual
+//! machine images that combine them:
+//!
+//! * [`version`] — semantic versions and version requirements.
+//! * [`os`] — Scientific Linux releases and architectures.
+//! * [`compiler`] — gcc generations with their strictness levels.
+//! * [`external`] — the external software catalogue (ROOT 5.26–6.02,
+//!   CERNLIB, …).
+//! * [`compat`] — the compatibility relation: environment *capabilities*
+//!   versus package *code traits*, deciding compile and runtime outcomes.
+//! * [`spec`] — [`EnvironmentSpec`] and validated [`VmImage`]s.
+//! * [`catalog`] — the five configurations of the paper (§3.1) plus the
+//!   SL7/ROOT 6 "next challenges" extension.
+//! * [`timeline`] — the platform-evolution timeline driving migrations.
+
+pub mod catalog;
+pub mod compat;
+pub mod compiler;
+pub mod external;
+pub mod os;
+pub mod spec;
+pub mod timeline;
+pub mod version;
+
+pub use compat::{
+    check_compile, check_runtime, CodeTrait, CompileOutcome, Diagnostic, RuntimeOutcome, Severity,
+};
+pub use compiler::{Compiler, Strictness};
+pub use external::{ExternalCatalog, ExternalPackage};
+pub use os::{Arch, OsRelease};
+pub use spec::{EnvironmentSpec, ImageError, VmImage, VmImageId};
+pub use version::{Version, VersionReq};
+
+#[cfg(test)]
+mod integration_tests {
+    use crate::catalog;
+
+    /// §3.1: "Within the current sp-system there are virtual machines with
+    /// five different configurations."
+    #[test]
+    fn paper_has_five_configurations() {
+        assert_eq!(catalog::paper_images().len(), 5);
+    }
+
+    /// §3.1: "for example the ROOT versions used by the experiments: 5.26,
+    /// 5.28, 5.30, 5.32, and 5.34."
+    #[test]
+    fn paper_lists_five_root_versions() {
+        let roots = catalog::paper_root_versions();
+        assert_eq!(roots.len(), 5);
+        assert_eq!(roots[0].to_string(), "5.26");
+        assert_eq!(roots[4].to_string(), "5.34");
+    }
+}

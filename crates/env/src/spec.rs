@@ -1,0 +1,300 @@
+//! Environment specifications and virtual-machine images.
+//!
+//! "Technically, this is realised using a framework capable of hosting a
+//! number of virtual machine images, built with different configurations of
+//! operating systems and the relevant software, including any necessary
+//! external dependencies." (§1)
+//!
+//! An [`EnvironmentSpec`] is the *recipe*; a [`VmImage`] is a validated,
+//! buildable instance of that recipe. Validation enforces the coherence
+//! rules a real image build would hit (no gcc 4.1 on SL6, no 32-bit SL6
+//! guests, no ROOT 6 without C++11, …), so incoherent configurations are
+//! rejected at image-build time rather than producing nonsense validation
+//! results later.
+
+use crate::compiler::Compiler;
+use crate::external::{ExternalCatalog, ExternalPackage};
+use crate::os::{Arch, OsRelease};
+
+/// Why an image could not be built from a spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The OS generation does not ship this architecture as a guest.
+    ArchNotSupported {
+        /// OS label.
+        os: String,
+        /// Rejected architecture.
+        arch: Arch,
+    },
+    /// The compiler is not packaged for this OS generation.
+    CompilerNotAvailable {
+        /// OS label.
+        os: String,
+        /// Rejected compiler label.
+        compiler: String,
+    },
+    /// An external package cannot be installed on this OS generation.
+    ExternalNeedsNewerOs {
+        /// External package label.
+        external: String,
+        /// Required minimum ABI level.
+        needs_abi: u8,
+        /// ABI level of the OS.
+        os_abi: u8,
+    },
+    /// An external package needs a C++11 compiler and the image has none.
+    ExternalNeedsCxx11 {
+        /// External package label.
+        external: String,
+    },
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::ArchNotSupported { os, arch } => {
+                write!(f, "{os} has no {arch} guest images")
+            }
+            ImageError::CompilerNotAvailable { os, compiler } => {
+                write!(f, "{compiler} is not packaged for {os}")
+            }
+            ImageError::ExternalNeedsNewerOs {
+                external,
+                needs_abi,
+                os_abi,
+            } => write!(
+                f,
+                "{external} needs ABI level {needs_abi}, OS provides {os_abi}"
+            ),
+            ImageError::ExternalNeedsCxx11 { external } => {
+                write!(f, "{external} requires a C++11 compiler")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A complete description of a computing environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentSpec {
+    /// Operating-system release.
+    pub os: OsRelease,
+    /// CPU architecture.
+    pub arch: Arch,
+    /// Compiler installation.
+    pub compiler: Compiler,
+    /// Installed external software.
+    pub externals: ExternalCatalog,
+}
+
+impl EnvironmentSpec {
+    /// Creates a spec with an empty external catalogue.
+    pub fn new(os: OsRelease, arch: Arch, compiler: Compiler) -> Self {
+        EnvironmentSpec {
+            os,
+            arch,
+            compiler,
+            externals: ExternalCatalog::new(),
+        }
+    }
+
+    /// Adds an external package (builder style).
+    pub fn with_external(mut self, pkg: ExternalPackage) -> Self {
+        self.externals.install(pkg);
+        self
+    }
+
+    /// Configuration label in the paper's style: `SL5/32bit gcc4.1`.
+    pub fn label(&self) -> String {
+        format!("{}/{} {}", self.os.label(), self.arch.label(), self.compiler.label())
+    }
+
+    /// Label including externals: `SL6/64bit gcc4.4 root5.34`.
+    pub fn full_label(&self) -> String {
+        let mut label = self.label();
+        for ext in self.externals.iter() {
+            label.push(' ');
+            label.push_str(&ext.name);
+            label.push_str(&ext.version.to_string());
+        }
+        label
+    }
+
+    /// Checks all coherence rules, returning every violation.
+    pub fn validate(&self) -> Vec<ImageError> {
+        let mut errors = Vec::new();
+        if !self.os.supported_archs().contains(&self.arch) {
+            errors.push(ImageError::ArchNotSupported {
+                os: self.os.label(),
+                arch: self.arch,
+            });
+        }
+        if !self.compiler.available_on(&self.os) {
+            errors.push(ImageError::CompilerNotAvailable {
+                os: self.os.label(),
+                compiler: self.compiler.label(),
+            });
+        }
+        for ext in self.externals.iter() {
+            if ext.min_abi > self.os.abi_level {
+                errors.push(ImageError::ExternalNeedsNewerOs {
+                    external: ext.label(),
+                    needs_abi: ext.min_abi,
+                    os_abi: self.os.abi_level,
+                });
+            }
+            if ext.needs_cxx11 && !self.compiler.cxx11 {
+                errors.push(ImageError::ExternalNeedsCxx11 {
+                    external: ext.label(),
+                });
+            }
+        }
+        errors
+    }
+
+    /// The serialised recipe conserved in the vault at freeze time: a
+    /// deterministic, human-readable description sufficient to rebuild the
+    /// environment on "an institute cluster, grid, cloud, sky, quantum
+    /// computer, and so on" (§3.1).
+    pub fn recipe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("os = {} ({})\n", self.os.label(), self.os.version));
+        out.push_str(&format!("arch = {}\n", self.arch.label()));
+        out.push_str(&format!("compiler = {}\n", self.compiler.label()));
+        for ext in self.externals.iter() {
+            out.push_str(&format!("external = {} {}\n", ext.name, ext.version));
+        }
+        out
+    }
+}
+
+/// Identifier of a built VM image within the sp-system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VmImageId(pub u32);
+
+impl std::fmt::Display for VmImageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "img-{:03}", self.0)
+    }
+}
+
+/// A validated, buildable virtual-machine image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmImage {
+    /// Image identifier, assigned by the sp-system at registration.
+    pub id: VmImageId,
+    /// The validated recipe.
+    pub spec: EnvironmentSpec,
+    /// Unix timestamp the image was built.
+    pub built_at: u64,
+}
+
+impl VmImage {
+    /// Builds an image from a spec, enforcing coherence.
+    pub fn build(id: VmImageId, spec: EnvironmentSpec, built_at: u64) -> Result<Self, Vec<ImageError>> {
+        let errors = spec.validate();
+        if errors.is_empty() {
+            Ok(VmImage { id, spec, built_at })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Configuration label of the underlying spec.
+    pub fn label(&self) -> String {
+        self.spec.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::Version;
+
+    #[test]
+    fn paper_configurations_validate() {
+        // The five §3.1 configurations must all be coherent.
+        for (os, arch, compiler) in [
+            (OsRelease::SL5, Arch::I686, Compiler::GCC41),
+            (OsRelease::SL5, Arch::I686, Compiler::GCC44),
+            (OsRelease::SL5, Arch::X86_64, Compiler::GCC41),
+            (OsRelease::SL5, Arch::X86_64, Compiler::GCC44),
+            (OsRelease::SL6, Arch::X86_64, Compiler::GCC44),
+        ] {
+            let spec = EnvironmentSpec::new(os, arch, compiler)
+                .with_external(ExternalPackage::root(Version::two(5, 34)));
+            assert!(spec.validate().is_empty(), "spec {} invalid", spec.label());
+        }
+    }
+
+    #[test]
+    fn sl6_32bit_rejected() {
+        let spec = EnvironmentSpec::new(OsRelease::SL6, Arch::I686, Compiler::GCC44);
+        let errors = spec.validate();
+        assert!(matches!(errors[0], ImageError::ArchNotSupported { .. }));
+    }
+
+    #[test]
+    fn gcc41_on_sl6_rejected() {
+        let spec = EnvironmentSpec::new(OsRelease::SL6, Arch::X86_64, Compiler::GCC41);
+        assert!(spec
+            .validate()
+            .iter()
+            .any(|e| matches!(e, ImageError::CompilerNotAvailable { .. })));
+    }
+
+    #[test]
+    fn root6_needs_cxx11_and_new_abi() {
+        // ROOT 6 on SL6/gcc4.4: C++11 violation.
+        let spec = EnvironmentSpec::new(OsRelease::SL6, Arch::X86_64, Compiler::GCC44)
+            .with_external(ExternalPackage::root(Version::two(6, 2)));
+        assert!(spec
+            .validate()
+            .iter()
+            .any(|e| matches!(e, ImageError::ExternalNeedsCxx11 { .. })));
+
+        // ROOT 6 on SL5/gcc4.4: both ABI and C++11 violations.
+        let spec = EnvironmentSpec::new(OsRelease::SL5, Arch::X86_64, Compiler::GCC44)
+            .with_external(ExternalPackage::root(Version::two(6, 2)));
+        let errors = spec.validate();
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ImageError::ExternalNeedsNewerOs { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ImageError::ExternalNeedsCxx11 { .. })));
+    }
+
+    #[test]
+    fn build_rejects_incoherent_specs() {
+        let bad = EnvironmentSpec::new(OsRelease::SL6, Arch::I686, Compiler::GCC41);
+        assert!(VmImage::build(VmImageId(1), bad, 0).is_err());
+        let good = EnvironmentSpec::new(OsRelease::SL6, Arch::X86_64, Compiler::GCC44);
+        let image = VmImage::build(VmImageId(1), good, 42).unwrap();
+        assert_eq!(image.built_at, 42);
+        assert_eq!(image.id.to_string(), "img-001");
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        let spec = EnvironmentSpec::new(OsRelease::SL5, Arch::I686, Compiler::GCC41);
+        assert_eq!(spec.label(), "SL5/32bit gcc4.1");
+        let with_root = spec.with_external(ExternalPackage::root(Version::two(5, 26)));
+        assert_eq!(with_root.full_label(), "SL5/32bit gcc4.1 root5.26");
+    }
+
+    #[test]
+    fn recipe_is_complete_and_deterministic() {
+        let spec = EnvironmentSpec::new(OsRelease::SL6, Arch::X86_64, Compiler::GCC44)
+            .with_external(ExternalPackage::root(Version::two(5, 34)))
+            .with_external(ExternalPackage::cernlib());
+        let recipe = spec.recipe();
+        assert!(recipe.contains("os = SL6"));
+        assert!(recipe.contains("arch = 64bit"));
+        assert!(recipe.contains("compiler = gcc4.4"));
+        assert!(recipe.contains("external = cernlib 2006.0.0"));
+        assert!(recipe.contains("external = root 5.34"));
+        assert_eq!(recipe, spec.recipe());
+    }
+}

@@ -1,0 +1,204 @@
+//! The platform-evolution timeline.
+//!
+//! "At regular intervals, new OS and software versions will then be
+//! integrated into the system, under the supervision of experts from the
+//! host IT department and experiment." (§3.1 ii)
+//!
+//! The timeline is the source of those integration events: a deterministic
+//! sequence of environment changes (new OS generation, new compiler, new
+//! external version, end-of-life notices) ordered by date, which the
+//! migration workflow in `sp-core` consumes one by one.
+
+use crate::compiler::Compiler;
+use crate::os::OsRelease;
+use crate::version::Version;
+
+/// One platform-evolution event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformEvent {
+    /// A new OS generation becomes available as guest images.
+    OsAvailable(OsRelease),
+    /// An OS generation reaches end-of-life (security concerns, §2).
+    OsEndOfLife(OsRelease),
+    /// A new compiler generation is packaged.
+    CompilerAvailable(Compiler),
+    /// A new version of an external package is released.
+    ExternalRelease {
+        /// External package name.
+        name: String,
+        /// Newly available version.
+        version: Version,
+    },
+}
+
+impl PlatformEvent {
+    /// Short description for logs and reports.
+    pub fn describe(&self) -> String {
+        match self {
+            PlatformEvent::OsAvailable(os) => format!("{} guest images available", os.label()),
+            PlatformEvent::OsEndOfLife(os) => format!("{} end-of-life", os.label()),
+            PlatformEvent::CompilerAvailable(c) => format!("{} packaged", c.label()),
+            PlatformEvent::ExternalRelease { name, version } => {
+                format!("{name} {version} released")
+            }
+        }
+    }
+}
+
+/// A dated platform event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Year of the event (the paper's granularity).
+    pub year: u16,
+    /// The event.
+    pub event: PlatformEvent,
+}
+
+/// The HERA-era platform timeline, mirroring the real release history that
+/// drove the DESY migrations.
+pub fn hera_timeline() -> Vec<TimelineEntry> {
+    let mut entries = vec![
+        TimelineEntry {
+            year: 2007,
+            event: PlatformEvent::OsAvailable(OsRelease::SL5),
+        },
+        TimelineEntry {
+            year: 2007,
+            event: PlatformEvent::CompilerAvailable(Compiler::GCC41),
+        },
+        TimelineEntry {
+            year: 2009,
+            event: PlatformEvent::CompilerAvailable(Compiler::GCC44),
+        },
+        TimelineEntry {
+            year: 2009,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(5, 26),
+            },
+        },
+        TimelineEntry {
+            year: 2010,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(5, 28),
+            },
+        },
+        TimelineEntry {
+            year: 2011,
+            event: PlatformEvent::OsAvailable(OsRelease::SL6),
+        },
+        TimelineEntry {
+            year: 2011,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(5, 30),
+            },
+        },
+        TimelineEntry {
+            year: 2012,
+            event: PlatformEvent::OsEndOfLife(OsRelease::SL4),
+        },
+        TimelineEntry {
+            year: 2012,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(5, 32),
+            },
+        },
+        TimelineEntry {
+            year: 2012,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(5, 34),
+            },
+        },
+        TimelineEntry {
+            year: 2014,
+            event: PlatformEvent::OsAvailable(OsRelease::SL7),
+        },
+        TimelineEntry {
+            year: 2014,
+            event: PlatformEvent::CompilerAvailable(Compiler::GCC48),
+        },
+        TimelineEntry {
+            year: 2014,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(6, 2),
+            },
+        },
+    ];
+    entries.sort_by_key(|e| e.year);
+    entries
+}
+
+/// Events in `timeline` occurring strictly after `year_from` and up to and
+/// including `year_to`.
+pub fn events_between(
+    timeline: &[TimelineEntry],
+    year_from: u16,
+    year_to: u16,
+) -> Vec<&TimelineEntry> {
+    timeline
+        .iter()
+        .filter(|e| e.year > year_from && e.year <= year_to)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_sorted() {
+        let tl = hera_timeline();
+        for pair in tl.windows(2) {
+            assert!(pair[0].year <= pair[1].year);
+        }
+    }
+
+    #[test]
+    fn root_releases_appear_in_order() {
+        let tl = hera_timeline();
+        let roots: Vec<Version> = tl
+            .iter()
+            .filter_map(|e| match &e.event {
+                PlatformEvent::ExternalRelease { name, version } if name == "root" => {
+                    Some(*version)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(roots.len(), 6); // 5.26..5.34 plus 6.02
+        for pair in roots.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn events_between_is_half_open() {
+        let tl = hera_timeline();
+        let slice = events_between(&tl, 2010, 2012);
+        assert!(slice.iter().all(|e| e.year > 2010 && e.year <= 2012));
+        assert!(slice
+            .iter()
+            .any(|e| matches!(e.event, PlatformEvent::OsAvailable(os) if os.generation == 6)));
+    }
+
+    #[test]
+    fn describe_is_humane() {
+        assert_eq!(
+            PlatformEvent::OsEndOfLife(OsRelease::SL4).describe(),
+            "SL4 end-of-life"
+        );
+        assert_eq!(
+            PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(6, 2),
+            }
+            .describe(),
+            "root 6.2 released"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Semantic versions and requirements.
+//!
+//! Versions identify operating-system releases (`SL 6.4`), compilers
+//! (`gcc 4.4.7`), external software (`ROOT 5.34`) and experiment packages
+//! (`h1rec 10.3.1`). Display omits trailing zero components that were never
+//! supplied, so `ROOT 5.34` round-trips as `5.34`, not `5.34.0`.
+
+/// A dotted version number with up to three numeric components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Version {
+    /// Major component.
+    pub major: u16,
+    /// Minor component.
+    pub minor: u16,
+    /// Patch component.
+    pub patch: u16,
+    /// How many components were explicitly given (1–3); affects rendering
+    /// only, never ordering.
+    precision: u8,
+}
+
+impl Version {
+    /// Builds a three-component version.
+    pub const fn new(major: u16, minor: u16, patch: u16) -> Self {
+        Version {
+            major,
+            minor,
+            patch,
+            precision: 3,
+        }
+    }
+
+    /// Builds a two-component version (renders as `major.minor`).
+    pub const fn two(major: u16, minor: u16) -> Self {
+        Version {
+            major,
+            minor,
+            patch: 0,
+            precision: 2,
+        }
+    }
+
+    /// Parses `"5"`, `"5.34"` or `"4.4.7"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('.');
+        let major = parts.next()?.parse().ok()?;
+        let mut precision = 1u8;
+        let minor = match parts.next() {
+            Some(m) => {
+                precision = 2;
+                m.parse().ok()?
+            }
+            None => 0,
+        };
+        let patch = match parts.next() {
+            Some(p) => {
+                precision = 3;
+                p.parse().ok()?
+            }
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(Version {
+            major,
+            minor,
+            patch,
+            precision,
+        })
+    }
+
+    /// `(major, minor, patch)` tuple used for ordering and hashing parity.
+    pub fn triple(&self) -> (u16, u16, u16) {
+        (self.major, self.minor, self.patch)
+    }
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.precision {
+            1 => write!(f, "{}", self.major),
+            2 => write!(f, "{}.{}", self.major, self.minor),
+            _ => write!(f, "{}.{}.{}", self.major, self.minor, self.patch),
+        }
+    }
+}
+
+/// A requirement that an installed version must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VersionReq {
+    /// Any version will do.
+    Any,
+    /// Exactly this version.
+    Exact(Version),
+    /// At least this version (inclusive).
+    AtLeast(Version),
+    /// Strictly below this version (exclusive upper bound).
+    Below(Version),
+    /// Inclusive lower bound and exclusive upper bound.
+    Range(Version, Version),
+    /// Same major component ("compatible within a generation").
+    SameMajor(u16),
+}
+
+impl VersionReq {
+    /// Whether `v` satisfies the requirement.
+    pub fn matches(&self, v: Version) -> bool {
+        match *self {
+            VersionReq::Any => true,
+            VersionReq::Exact(e) => e.triple() == v.triple(),
+            VersionReq::AtLeast(lo) => v.triple() >= lo.triple(),
+            VersionReq::Below(hi) => v.triple() < hi.triple(),
+            VersionReq::Range(lo, hi) => v.triple() >= lo.triple() && v.triple() < hi.triple(),
+            VersionReq::SameMajor(major) => v.major == major,
+        }
+    }
+}
+
+impl std::fmt::Display for VersionReq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VersionReq::Any => write!(f, "*"),
+            VersionReq::Exact(v) => write!(f, "={v}"),
+            VersionReq::AtLeast(v) => write!(f, ">={v}"),
+            VersionReq::Below(v) => write!(f, "<{v}"),
+            VersionReq::Range(lo, hi) => write!(f, ">={lo},<{hi}"),
+            VersionReq::SameMajor(m) => write!(f, "{m}.*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["5", "5.34", "4.4.7", "6.2", "0.0.1"] {
+            let v = Version::parse(s).unwrap();
+            assert_eq!(v.to_string(), s, "round-trip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "a", "1.b", "1.2.3.4", "1..2", ".", "-1"] {
+            assert!(Version::parse(s).is_none(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_ignores_precision() {
+        assert_eq!(Version::two(5, 34).triple(), Version::new(5, 34, 0).triple());
+        assert!(Version::two(5, 26) < Version::two(5, 34));
+        assert!(Version::two(5, 34) < Version::two(6, 2));
+        assert!(Version::new(4, 4, 7) > Version::new(4, 4, 0));
+    }
+
+    #[test]
+    fn requirements_match() {
+        let v534 = Version::two(5, 34);
+        let v602 = Version::two(6, 2);
+        assert!(VersionReq::Any.matches(v534));
+        assert!(VersionReq::Exact(Version::new(5, 34, 0)).matches(v534));
+        assert!(VersionReq::AtLeast(Version::two(5, 26)).matches(v534));
+        assert!(!VersionReq::AtLeast(Version::two(6, 0)).matches(v534));
+        assert!(VersionReq::Below(Version::two(6, 0)).matches(v534));
+        assert!(!VersionReq::Below(Version::two(6, 0)).matches(v602));
+        assert!(VersionReq::Range(Version::two(5, 26), Version::two(6, 0)).matches(v534));
+        assert!(!VersionReq::Range(Version::two(5, 26), Version::two(5, 34)).matches(v534));
+        assert!(VersionReq::SameMajor(5).matches(v534));
+        assert!(!VersionReq::SameMajor(5).matches(v602));
+    }
+
+    #[test]
+    fn requirement_display() {
+        assert_eq!(VersionReq::Any.to_string(), "*");
+        assert_eq!(
+            VersionReq::Range(Version::two(5, 26), Version::two(6, 0)).to_string(),
+            ">=5.26,<6.0"
+        );
+        assert_eq!(VersionReq::SameMajor(5).to_string(), "5.*");
+    }
+}

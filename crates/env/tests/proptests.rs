@@ -1,0 +1,127 @@
+//! Property-based tests for the environment model.
+
+use proptest::prelude::*;
+use sp_env::{catalog, check_compile, check_runtime, Arch, CodeTrait, Version, VersionReq};
+
+fn version_strategy() -> impl Strategy<Value = Version> {
+    (0u16..100, 0u16..100, 0u16..100).prop_map(|(a, b, c)| Version::new(a, b, c))
+}
+
+fn trait_strategy() -> impl Strategy<Value = CodeTrait> {
+    prop_oneof![
+        (0.1f64..10.0).prop_map(|s| CodeTrait::PointerSizeAssumption { shift_sigma: s }),
+        Just(CodeTrait::ImplicitFunctionDecl),
+        Just(CodeTrait::PreStandardCxx),
+        Just(CodeTrait::Fortran77Extensions),
+        Just(CodeTrait::LargeMemoryFootprint),
+        (0.1f64..10.0).prop_map(|s| CodeTrait::UninitializedVariable { shift_sigma: s }),
+        Just(CodeTrait::RequiresCxx11),
+        (4u8..9).prop_map(|abi| CodeTrait::LegacySyscall { breaks_at_abi: abi }),
+        Just(CodeTrait::RequiresExternal {
+            name: "root".to_string(),
+            req: VersionReq::Any,
+        }),
+        (4u8..7).prop_map(|api| CodeTrait::UsesExternalApi {
+            name: "root".to_string(),
+            api_level: api,
+        }),
+    ]
+}
+
+proptest! {
+    /// Display → parse is the identity for three-component versions.
+    #[test]
+    fn version_display_parse_round_trip(v in version_strategy()) {
+        let parsed = Version::parse(&v.to_string()).expect("display is parseable");
+        prop_assert_eq!(parsed.triple(), v.triple());
+    }
+
+    /// Version ordering is a total order consistent with the triple.
+    #[test]
+    fn version_order_matches_triples(a in version_strategy(), b in version_strategy()) {
+        prop_assert_eq!(a.cmp(&b), a.triple().cmp(&b.triple()));
+    }
+
+    /// Range(lo, hi) ≡ AtLeast(lo) ∧ Below(hi).
+    #[test]
+    fn range_is_conjunction(
+        v in version_strategy(),
+        lo in version_strategy(),
+        hi in version_strategy(),
+    ) {
+        let range = VersionReq::Range(lo, hi).matches(v);
+        let conj = VersionReq::AtLeast(lo).matches(v) && VersionReq::Below(hi).matches(v);
+        prop_assert_eq!(range, conj);
+    }
+
+    /// Compile and runtime checks are pure functions of (traits, env).
+    #[test]
+    fn compatibility_is_deterministic(traits in prop::collection::vec(trait_strategy(), 0..6)) {
+        for env in catalog::all_images() {
+            prop_assert_eq!(
+                check_compile(&traits, &env),
+                check_compile(&traits, &env)
+            );
+            prop_assert_eq!(
+                check_runtime(&traits, &env),
+                check_runtime(&traits, &env)
+            );
+        }
+    }
+
+    /// A package with no traits succeeds everywhere, at compile and run
+    /// time — environments cannot invent failures.
+    #[test]
+    fn traitless_code_never_fails(_ in Just(())) {
+        for env in catalog::all_images() {
+            prop_assert!(check_compile(&[], &env).succeeded());
+            prop_assert!(check_runtime(&[], &env).exits_cleanly());
+        }
+    }
+
+    /// Adding traits never turns a compile failure into a success
+    /// (diagnostics are monotone under trait union).
+    #[test]
+    fn traits_are_monotone(
+        base in prop::collection::vec(trait_strategy(), 0..4),
+        extra in trait_strategy(),
+    ) {
+        for env in catalog::all_images() {
+            let before = check_compile(&base, &env);
+            let mut extended = base.clone();
+            extended.push(extra.clone());
+            let after = check_compile(&extended, &env);
+            if !before.succeeded() {
+                prop_assert!(!after.succeeded(), "failure cannot be cured by more traits");
+            }
+            prop_assert!(
+                after.diagnostics().len() >= before.diagnostics().len(),
+                "diagnostics only grow"
+            );
+        }
+    }
+
+    /// Deviation magnitudes accumulate additively on 64-bit platforms.
+    #[test]
+    fn deviations_add(s1 in 0.1f64..5.0, s2 in 0.1f64..5.0) {
+        let env = catalog::sl6_gcc44(Version::two(5, 34));
+        let traits = [
+            CodeTrait::PointerSizeAssumption { shift_sigma: s1 },
+            CodeTrait::UninitializedVariable { shift_sigma: s2 },
+        ];
+        match check_runtime(&traits, &env) {
+            sp_env::RuntimeOutcome::Deviating { shift_sigma, .. } => {
+                prop_assert!((shift_sigma - (s1 + s2)).abs() < 1e-12);
+            }
+            other => prop_assert!(false, "expected deviation, got {other:?}"),
+        }
+    }
+
+    /// 32-bit environments never exhibit the 64-bit pointer deviation.
+    #[test]
+    fn pointer_bug_is_64bit_only(s in 0.1f64..10.0) {
+        let env = catalog::sl5_gcc41(Arch::I686, Version::two(5, 34));
+        let traits = [CodeTrait::PointerSizeAssumption { shift_sigma: s }];
+        prop_assert_eq!(check_runtime(&traits, &env), sp_env::RuntimeOutcome::Nominal);
+    }
+}

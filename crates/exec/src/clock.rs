@@ -1,0 +1,101 @@
+//! The virtual clock.
+//!
+//! Validation jobs are tagged with "the Unix time stamp of the execution to
+//! aid the bookkeeping" (§3.3). A real deployment reads the system clock;
+//! the simulation uses a shared monotonic virtual clock so that campaigns
+//! are reproducible and timestamps in reports are stable across reruns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable, monotonically advancing Unix-time source.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    seconds: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock starting at the Unix epoch.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Creates a clock starting at `epoch_seconds`.
+    pub fn starting_at(epoch_seconds: u64) -> Self {
+        let clock = VirtualClock::new();
+        clock.seconds.store(epoch_seconds, Ordering::SeqCst);
+        clock
+    }
+
+    /// Current time (seconds since the Unix epoch).
+    pub fn now(&self) -> u64 {
+        self.seconds.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `secs`, returning the new time.
+    pub fn advance(&self, secs: u64) -> u64 {
+        self.seconds.fetch_add(secs, Ordering::SeqCst) + secs
+    }
+
+    /// Moves the clock forward to `target` (no-op if already past it —
+    /// the clock never goes backwards).
+    pub fn advance_to(&self, target: u64) -> u64 {
+        self.seconds.fetch_max(target, Ordering::SeqCst).max(target)
+    }
+}
+
+/// The start of the paper's deployment era: 2013-01-01T00:00:00Z.
+pub const ERA_2013: u64 = 1_356_998_400;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_where_told() {
+        assert_eq!(VirtualClock::new().now(), 0);
+        assert_eq!(VirtualClock::starting_at(ERA_2013).now(), ERA_2013);
+    }
+
+    #[test]
+    fn advances() {
+        let clock = VirtualClock::starting_at(100);
+        assert_eq!(clock.advance(50), 150);
+        assert_eq!(clock.now(), 150);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = VirtualClock::starting_at(1000);
+        assert_eq!(clock.advance_to(500), 1000);
+        assert_eq!(clock.now(), 1000);
+        assert_eq!(clock.advance_to(2000), 2000);
+        assert_eq!(clock.now(), 2000);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now(), 42);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let clock = VirtualClock::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = clock.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now(), 8000);
+    }
+}

@@ -1,0 +1,357 @@
+//! Cron expressions.
+//!
+//! Each sp-system client runs its work from a cron job (§3.1). The parser
+//! supports the classic five-field syntax with `*`, lists, ranges and
+//! steps; [`CronSchedule::next_after`] computes the next firing time from a
+//! Unix timestamp using proper civil-calendar arithmetic.
+
+use std::collections::BTreeSet;
+
+/// Errors parsing a cron expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CronError {
+    /// Wrong number of fields (expected 5).
+    FieldCount(usize),
+    /// A field failed to parse.
+    BadField {
+        /// Field name (`minute`, `hour`, …).
+        field: &'static str,
+        /// Offending text.
+        text: String,
+    },
+    /// A value is outside the field's legal range.
+    OutOfRange {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: u32,
+    },
+}
+
+impl std::fmt::Display for CronError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CronError::FieldCount(n) => write!(f, "expected 5 cron fields, got {n}"),
+            CronError::BadField { field, text } => {
+                write!(f, "bad {field} field: '{text}'")
+            }
+            CronError::OutOfRange { field, value } => {
+                write!(f, "{field} value {value} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CronError {}
+
+/// A parsed five-field cron schedule (minute, hour, day-of-month, month,
+/// day-of-week; 0 = Sunday).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CronSchedule {
+    minutes: BTreeSet<u32>,
+    hours: BTreeSet<u32>,
+    days_of_month: BTreeSet<u32>,
+    months: BTreeSet<u32>,
+    days_of_week: BTreeSet<u32>,
+    /// Whether the day-of-month field was `*` (affects the dom/dow OR rule).
+    dom_is_wildcard: bool,
+    /// Whether the day-of-week field was `*`.
+    dow_is_wildcard: bool,
+}
+
+impl CronSchedule {
+    /// Parses `"m h dom mon dow"`.
+    pub fn parse(expr: &str) -> Result<Self, CronError> {
+        let fields: Vec<&str> = expr.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(CronError::FieldCount(fields.len()));
+        }
+        Ok(CronSchedule {
+            minutes: parse_field(fields[0], "minute", 0, 59)?,
+            hours: parse_field(fields[1], "hour", 0, 23)?,
+            days_of_month: parse_field(fields[2], "day-of-month", 1, 31)?,
+            months: parse_field(fields[3], "month", 1, 12)?,
+            days_of_week: parse_field(fields[4], "day-of-week", 0, 6)?,
+            dom_is_wildcard: fields[2] == "*",
+            dow_is_wildcard: fields[4] == "*",
+        })
+    }
+
+    /// The nightly schedule the DESY deployment used for regular builds.
+    pub fn nightly() -> Self {
+        CronSchedule::parse("0 3 * * *").expect("static expression")
+    }
+
+    /// Whether the schedule matches the civil time components.
+    fn matches(&self, minute: u32, hour: u32, dom: u32, month: u32, dow: u32) -> bool {
+        if !self.minutes.contains(&minute)
+            || !self.hours.contains(&hour)
+            || !self.months.contains(&month)
+        {
+            return false;
+        }
+        // Vixie-cron rule: if both dom and dow are restricted, either may
+        // match; if only one is restricted, it must match.
+        let dom_ok = self.days_of_month.contains(&dom);
+        let dow_ok = self.days_of_week.contains(&dow);
+        match (self.dom_is_wildcard, self.dow_is_wildcard) {
+            (true, true) => true,
+            (false, true) => dom_ok,
+            (true, false) => dow_ok,
+            (false, false) => dom_ok || dow_ok,
+        }
+    }
+
+    /// The next firing time strictly after `after` (Unix seconds), or
+    /// `None` if none found within ~5 years (pathological schedules like
+    /// Feb 30).
+    pub fn next_after(&self, after: u64) -> Option<u64> {
+        // Round up to the next whole minute.
+        let mut t = (after / 60 + 1) * 60;
+        let limit = after + 5 * 366 * 86_400;
+        while t <= limit {
+            let civil = CivilTime::from_unix(t);
+            if self
+                .matches(civil.minute, civil.hour, civil.day, civil.month, civil.weekday)
+            {
+                return Some(t);
+            }
+            t += 60;
+        }
+        None
+    }
+
+    /// All firing times in the half-open interval `(from, to]`.
+    pub fn fires_between(&self, from: u64, to: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut t = from;
+        while let Some(next) = self.next_after(t) {
+            if next > to {
+                break;
+            }
+            out.push(next);
+            t = next;
+        }
+        out
+    }
+}
+
+fn parse_field(
+    text: &str,
+    field: &'static str,
+    lo: u32,
+    hi: u32,
+) -> Result<BTreeSet<u32>, CronError> {
+    let mut out = BTreeSet::new();
+    for part in text.split(',') {
+        let (range_part, step) = match part.split_once('/') {
+            Some((r, s)) => {
+                let step: u32 = s.parse().map_err(|_| CronError::BadField {
+                    field,
+                    text: part.to_string(),
+                })?;
+                if step == 0 {
+                    return Err(CronError::BadField {
+                        field,
+                        text: part.to_string(),
+                    });
+                }
+                (r, step)
+            }
+            None => (part, 1),
+        };
+        let (start, end) = if range_part == "*" {
+            (lo, hi)
+        } else if let Some((a, b)) = range_part.split_once('-') {
+            let a: u32 = a.parse().map_err(|_| CronError::BadField {
+                field,
+                text: part.to_string(),
+            })?;
+            let b: u32 = b.parse().map_err(|_| CronError::BadField {
+                field,
+                text: part.to_string(),
+            })?;
+            (a, b)
+        } else {
+            let v: u32 = range_part.parse().map_err(|_| CronError::BadField {
+                field,
+                text: part.to_string(),
+            })?;
+            (v, v)
+        };
+        if start < lo || end > hi || start > end {
+            return Err(CronError::OutOfRange {
+                field,
+                value: if end > hi { end } else { start },
+            });
+        }
+        let mut v = start;
+        while v <= end {
+            out.insert(v);
+            v += step;
+        }
+    }
+    Ok(out)
+}
+
+/// Civil (proleptic Gregorian, UTC) time components of a Unix timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CivilTime {
+    /// Year.
+    pub year: i64,
+    /// Month 1–12.
+    pub month: u32,
+    /// Day of month 1–31.
+    pub day: u32,
+    /// Hour 0–23.
+    pub hour: u32,
+    /// Minute 0–59.
+    pub minute: u32,
+    /// Second 0–59.
+    pub second: u32,
+    /// Day of week, 0 = Sunday.
+    pub weekday: u32,
+}
+
+impl CivilTime {
+    /// Decomposes a Unix timestamp (Howard Hinnant's `civil_from_days`).
+    pub fn from_unix(ts: u64) -> CivilTime {
+        let days = (ts / 86_400) as i64;
+        let secs = ts % 86_400;
+        // 1970-01-01 was a Thursday (weekday 4).
+        let weekday = ((days + 4) % 7) as u32;
+
+        let z = days + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z.rem_euclid(146_097);
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+        let year = if m <= 2 { y + 1 } else { y };
+
+        CivilTime {
+            year,
+            month: m,
+            day: d,
+            hour: (secs / 3600) as u32,
+            minute: ((secs % 3600) / 60) as u32,
+            second: (secs % 60) as u32,
+            weekday,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_time_reference_dates() {
+        // 1970-01-01 00:00 Thursday.
+        let t = CivilTime::from_unix(0);
+        assert_eq!((t.year, t.month, t.day, t.weekday), (1970, 1, 1, 4));
+        // 2013-10-29 (the paper's arXiv date) was a Tuesday.
+        // 1383004800 = 2013-10-29T00:00:00Z.
+        let t = CivilTime::from_unix(1_383_004_800);
+        assert_eq!((t.year, t.month, t.day, t.weekday), (2013, 10, 29, 2));
+        // Leap day 2012-02-29.
+        let t = CivilTime::from_unix(1_330_473_600);
+        assert_eq!((t.year, t.month, t.day), (2012, 2, 29));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            CronSchedule::parse("* * * *"),
+            Err(CronError::FieldCount(4))
+        ));
+        assert!(CronSchedule::parse("x * * * *").is_err());
+        assert!(CronSchedule::parse("61 * * * *").is_err());
+        assert!(CronSchedule::parse("*/0 * * * *").is_err());
+        assert!(CronSchedule::parse("5-2 * * * *").is_err());
+        assert!(CronSchedule::parse("* * * 13 *").is_err());
+    }
+
+    #[test]
+    fn every_minute_fires_next_minute() {
+        let cron = CronSchedule::parse("* * * * *").unwrap();
+        assert_eq!(cron.next_after(0), Some(60));
+        assert_eq!(cron.next_after(59), Some(60));
+        assert_eq!(cron.next_after(60), Some(120));
+    }
+
+    #[test]
+    fn nightly_build_at_three() {
+        let cron = CronSchedule::nightly();
+        // From midnight 2013-10-29, next fire is 03:00 the same day.
+        let midnight = 1_383_004_800;
+        let fire = cron.next_after(midnight).unwrap();
+        let civil = CivilTime::from_unix(fire);
+        assert_eq!((civil.hour, civil.minute), (3, 0));
+        assert_eq!(civil.day, 29);
+        // From 04:00, next fire is 03:00 the following day.
+        let fire = cron.next_after(midnight + 4 * 3600).unwrap();
+        let civil = CivilTime::from_unix(fire);
+        assert_eq!((civil.day, civil.hour), (30, 3));
+    }
+
+    #[test]
+    fn steps_and_lists() {
+        let cron = CronSchedule::parse("*/15 8,20 * * *").unwrap();
+        let fires = cron.fires_between(1_383_004_800, 1_383_004_800 + 86_400);
+        // 4 quarter-hours x 2 hours = 8 fires per day.
+        assert_eq!(fires.len(), 8);
+        for f in &fires {
+            let c = CivilTime::from_unix(*f);
+            assert!(c.hour == 8 || c.hour == 20);
+            assert_eq!(c.minute % 15, 0);
+        }
+    }
+
+    #[test]
+    fn weekday_restriction() {
+        // Mondays at noon.
+        let cron = CronSchedule::parse("0 12 * * 1").unwrap();
+        let fire = cron.next_after(1_383_004_800).unwrap(); // Tue 29 Oct 2013
+        let civil = CivilTime::from_unix(fire);
+        assert_eq!(civil.weekday, 1);
+        assert_eq!((civil.month, civil.day), (11, 4)); // next Monday
+    }
+
+    #[test]
+    fn dom_dow_or_rule() {
+        // "0 0 13 * 5" fires on the 13th OR on Fridays (vixie rule).
+        let cron = CronSchedule::parse("0 0 13 * 5").unwrap();
+        let from = 1_383_004_800; // Tue 29 Oct 2013
+        let first = cron.next_after(from).unwrap();
+        let civil = CivilTime::from_unix(first);
+        // Next Friday is 1 Nov 2013, before the next 13th.
+        assert_eq!((civil.month, civil.day, civil.weekday), (11, 1, 5));
+    }
+
+    #[test]
+    fn impossible_date_returns_none() {
+        // 30 February never exists.
+        let cron = CronSchedule::parse("0 0 30 2 *").unwrap();
+        assert_eq!(cron.next_after(0), None);
+    }
+
+    #[test]
+    fn month_boundaries() {
+        let cron = CronSchedule::parse("0 0 1 * *").unwrap();
+        // From 2013-10-29, next month start is Nov 1.
+        let fire = cron.next_after(1_383_004_800).unwrap();
+        let civil = CivilTime::from_unix(fire);
+        assert_eq!((civil.year, civil.month, civil.day), (2013, 11, 1));
+    }
+
+    #[test]
+    fn fires_between_is_exclusive_inclusive() {
+        let cron = CronSchedule::parse("* * * * *").unwrap();
+        let fires = cron.fires_between(60, 180);
+        assert_eq!(fires, vec![120, 180]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sp-exec — the job execution substrate
+//!
+//! The sp-system runs its regular builds and validation tests as jobs on
+//! client machines: "new client machines (as a virtual machine or a normal
+//! physical machine like a batch or grid worker node) can easily be added.
+//! The only requirement of a new machine is to have access to the common
+//! sp-system storage … as well as the ability to run a cron-job on the
+//! client." (§3.1)
+//!
+//! * [`clock`] — the virtual clock providing the Unix timestamps of §3.3.
+//! * [`cron`] — cron expressions and next-fire computation.
+//! * [`job`] — job specifications, unique job ids, job results.
+//! * [`client`] — client machines and the two joining requirements.
+//! * [`queue`] — a crossbeam-based work queue with deterministic result
+//!   collection.
+//! * [`chain`] — DAG-structured analysis chains: "some of these tests …
+//!   are run in parallel, many are run sequentially and form discrete parts
+//!   in one of several full analysis chains" (§3.2).
+
+pub mod chain;
+pub mod client;
+pub mod clock;
+pub mod cron;
+pub mod job;
+pub mod queue;
+
+pub use chain::{ChainDef, ChainError, ChainReport, StageDef, StageStatus};
+pub use client::{Client, ClientError, ClientKind};
+pub use clock::VirtualClock;
+pub use cron::{CronError, CronSchedule};
+pub use job::{JobId, JobIdGenerator, JobResult, JobSpec, JobStatus};
+pub use queue::JobPool;

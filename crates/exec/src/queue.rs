@@ -1,0 +1,149 @@
+//! The parallel job pool.
+//!
+//! Standalone validation tests "are run in parallel" (§3.2). The pool takes
+//! a batch of job specifications and a pure job function, executes them on
+//! `threads` workers via a crossbeam channel, and returns results sorted by
+//! job id so downstream bookkeeping is deterministic regardless of
+//! scheduling order.
+
+use crossbeam::channel;
+
+use crate::job::{JobResult, JobSpec};
+
+/// A fixed-width worker pool for running job batches.
+pub struct JobPool {
+    threads: usize,
+}
+
+impl JobPool {
+    /// Creates a pool with `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        JobPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runs every job in `specs` through `run`, in parallel, returning the
+    /// results sorted by job id.
+    ///
+    /// `run` must be pure per job spec (it may read shared state); results
+    /// are then independent of scheduling order.
+    pub fn run_batch<F>(&self, specs: Vec<JobSpec>, run: F) -> Vec<JobResult>
+    where
+        F: Fn(&JobSpec) -> JobResult + Sync,
+    {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let (spec_tx, spec_rx) = channel::unbounded::<JobSpec>();
+        let (result_tx, result_rx) = channel::unbounded::<JobResult>();
+        let n = specs.len();
+        for spec in specs {
+            spec_tx.send(spec).expect("open channel");
+        }
+        drop(spec_tx);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let spec_rx = spec_rx.clone();
+                let result_tx = result_tx.clone();
+                let run = &run;
+                scope.spawn(move |_| {
+                    while let Ok(spec) = spec_rx.recv() {
+                        let result = run(&spec);
+                        result_tx.send(result).expect("open channel");
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        drop(result_tx);
+
+        let mut results: Vec<JobResult> = result_rx.iter().collect();
+        assert_eq!(results.len(), n, "every job must produce a result");
+        results.sort_by_key(|r| r.id);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobStatus};
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            name: format!("job-{id}"),
+            tag: "test".into(),
+            image_label: "SL6/64bit gcc4.4".into(),
+            submitted_at: 0,
+            inputs: vec![],
+        }
+    }
+
+    fn echo_result(s: &JobSpec) -> JobResult {
+        JobResult {
+            id: s.id,
+            status: if s.id.0.is_multiple_of(7) {
+                JobStatus::Failed(1)
+            } else {
+                JobStatus::Succeeded
+            },
+            log: format!("ran {}", s.name),
+            outputs: vec![],
+            started_at: 0,
+            finished_at: 1,
+        }
+    }
+
+    #[test]
+    fn batch_runs_every_job_exactly_once() {
+        let pool = JobPool::new(4);
+        let specs: Vec<JobSpec> = (1..=50).map(spec).collect();
+        let results = pool.run_batch(specs, echo_result);
+        assert_eq!(results.len(), 50);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.id, JobId(i as u64 + 1), "sorted by id");
+        }
+    }
+
+    #[test]
+    fn results_deterministic_across_thread_counts() {
+        let specs: Vec<JobSpec> = (1..=30).map(spec).collect();
+        let one = JobPool::new(1).run_batch(specs.clone(), echo_result);
+        let eight = JobPool::new(8).run_batch(specs, echo_result);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let results = JobPool::new(4).run_batch(vec![], echo_result);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let results = JobPool::new(0).run_batch(vec![spec(1)], echo_result);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn pool_actually_parallelises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let specs: Vec<JobSpec> = (1..=16).map(spec).collect();
+        JobPool::new(8).run_batch(specs, |s| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+            echo_result(s)
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "at least two jobs must overlap"
+        );
+    }
+}

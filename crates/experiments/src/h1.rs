@@ -1,0 +1,325 @@
+//! The H1 experiment: a full Level-4 preservation programme.
+//!
+//! Figure 2 of the paper outlines the H1 validation tests: the compilation
+//! of ~100 individual software packages (binaries conserved as tar-balls)
+//! plus validation tests — quick checks, standalone executables run in
+//! parallel, and several full analysis chains — adding up to "up to 500
+//! tests in total".
+
+use sp_build::{DependencyGraph, Language, Package, PackageKind};
+use sp_core::{ExperimentDef, PreservationLevel};
+use sp_env::{CodeTrait, Version, VersionReq};
+
+use crate::common::{build_suite, pkg, ChainSpec};
+
+/// Builds the H1 experiment definition (~100 packages, Level 4).
+pub fn h1_experiment() -> ExperimentDef {
+    let graph = DependencyGraph::from_packages(h1_packages()).expect("H1 stack is coherent");
+    let standalone: &[(&str, usize)] = &[
+        ("h1disp", 150),
+        ("h1mon", 150),
+        ("h1valid", 300),
+        ("h1check", 200),
+        ("h1dqm", 250),
+        ("h1calib", 200),
+        ("h1elan", 400),
+        ("h1phys", 400),
+        ("h1skim", 300),
+        ("h1prod", 350),
+        ("h1stat", 150),
+        ("h1dump", 100),
+    ];
+    let chains = [
+        ChainSpec::standard("nc-dis", 3000, "django", "h1sim", "h1dst", "h1micro", "h1ncana"),
+        ChainSpec::standard("cc-dis", 2200, "lepto", "h1sim", "h1dst", "h1micro", "h1ccana"),
+        ChainSpec::standard("php", 2400, "pythia6", "h1sim", "h1dst", "h1micro", "h1phpana"),
+        ChainSpec::standard(
+            "heavy-flavour",
+            2200,
+            "rapgap",
+            "h1sim",
+            "h1dst",
+            "h1micro",
+            "h1charm",
+        ),
+        ChainSpec::standard(
+            "high-q2",
+            2600,
+            "django",
+            "h1fast",
+            "h1dst",
+            "h1micro",
+            "h1highq2",
+        ),
+    ];
+    let suite = build_suite(
+        "h1",
+        PreservationLevel::FullSoftware,
+        &graph,
+        3,
+        standalone,
+        &chains,
+    );
+    ExperimentDef {
+        name: "h1".into(),
+        color: "blue",
+        graph,
+        suite,
+        entry_points: vec![],
+    }
+}
+
+/// CERNLIB requirement shared by the Fortran legacy packages.
+fn needs_cernlib() -> CodeTrait {
+    CodeTrait::RequiresExternal {
+        name: "cernlib".into(),
+        req: VersionReq::Any,
+    }
+}
+
+/// ROOT 5 usage: presence requirement plus the CINT-era API level.
+fn uses_root5() -> [CodeTrait; 2] {
+    [
+        CodeTrait::RequiresExternal {
+            name: "root".into(),
+            req: VersionReq::AtLeast(Version::two(5, 26)),
+        },
+        CodeTrait::UsesExternalApi {
+            name: "root".into(),
+            api_level: 5,
+        },
+    ]
+}
+
+/// The ~100 H1 packages with their dependency structure and code traits.
+fn h1_packages() -> Vec<Package> {
+    use PackageKind::*;
+    let mut packages = vec![
+        // ---- core libraries --------------------------------------------
+        pkg("h1util", (4, 2, 0), Library, 45, &[]).lang(Language::Fortran),
+        pkg("h1io", (3, 1, 0), Library, 30, &["h1util"]).lang(Language::Fortran),
+        pkg("h1bos", (2, 8, 0), Library, 60, &["h1util"]).lang(Language::Fortran),
+        // The long-standing 64-bit bug of §3.3: pointers stored in INTEGER*4.
+        pkg("h1bank", (5, 0, 1), Library, 80, &["h1bos"])
+            .lang(Language::Fortran)
+            .with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 5.0 }),
+        pkg("h1fpack", (1, 9, 0), Library, 25, &["h1io"])
+            .lang(Language::Fortran)
+            .with_trait(CodeTrait::Fortran77Extensions),
+        pkg("h1geom", (6, 3, 0), Library, 55, &["h1util", "h1db"]).lang(Language::Fortran),
+        pkg("h1db", (4, 0, 0), Library, 40, &["h1util"]).lang(Language::C),
+        pkg("h1cal", (7, 1, 0), Library, 70, &["h1geom", "h1db"]).lang(Language::Fortran),
+        pkg("h1track", (5, 5, 0), Library, 90, &["h1geom", "h1mag"]).lang(Language::Fortran),
+        pkg("h1mag", (2, 2, 0), Library, 20, &["h1util"]).lang(Language::Fortran),
+        pkg("h1trig", (3, 3, 0), Library, 35, &["h1util", "h1db"]).lang(Language::Fortran),
+        pkg("h1lumi", (2, 0, 0), Library, 15, &["h1util"]).lang(Language::Fortran),
+        pkg("h1vertex", (3, 0, 0), Library, 30, &["h1track"]).lang(Language::Fortran),
+        pkg("h1cern", (2006, 0, 0), Library, 10, &["h1util"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("h1steer", (1, 4, 0), Library, 12, &["h1util"]).lang(Language::C),
+        pkg("h1hist", (2, 1, 0), Library, 22, &["h1util"]).lang(Language::Fortran),
+        pkg("h1graph", (1, 8, 0), Library, 28, &["h1util"]).lang(Language::C),
+        pkg("h1unpack", (3, 6, 0), Library, 33, &["h1io", "h1bank"]).lang(Language::Fortran),
+        // ---- Monte Carlo generators ------------------------------------
+        pkg("django", (1, 4, 24), Generator, 50, &["h1util", "h1steer", "h1cern"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("rapgap", (3, 1, 0), Generator, 55, &["h1util", "h1steer", "h1cern"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("pythia6", (6, 4, 24), Generator, 75, &["h1steer"]).lang(Language::Fortran),
+        pkg("lepto", (6, 5, 1), Generator, 35, &["h1steer"]).lang(Language::Fortran),
+        pkg("ariadne", (4, 12, 0), Generator, 30, &["h1steer"]).lang(Language::Fortran),
+        pkg("herwig", (6, 5, 0), Generator, 70, &["h1steer"]).lang(Language::Fortran),
+        pkg("grape", (1, 1, 0), Generator, 25, &["h1steer"]).lang(Language::Fortran),
+        pkg("epcompt", (1, 0, 0), Generator, 15, &["h1steer"]).lang(Language::Fortran),
+        pkg("phojet", (1, 12, 0), Generator, 40, &["h1steer"]).lang(Language::Fortran),
+        pkg("dvcsgen", (1, 0, 0), Generator, 12, &["h1steer"]).lang(Language::Fortran),
+        // ---- detector simulation ----------------------------------------
+        pkg("h1gean", (3, 21, 0), Simulation, 95, &["h1geom", "h1cern"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("h1sim", (8, 0, 0), Simulation, 120, &["h1gean", "h1cal", "h1track"])
+            .lang(Language::Fortran),
+        pkg("h1digi", (4, 2, 0), Simulation, 45, &["h1sim"]).lang(Language::Fortran),
+        pkg("h1noise", (2, 0, 0), Simulation, 18, &["h1cal"]).lang(Language::Fortran),
+        pkg("h1fast", (2, 5, 0), Simulation, 40, &["h1geom", "h1cal", "h1track"])
+            .lang(Language::Fortran),
+        pkg("h1simdb", (1, 3, 0), Simulation, 15, &["h1db"]).lang(Language::C),
+        pkg("h1align", (2, 1, 0), Simulation, 25, &["h1track", "h1db"]).lang(Language::Fortran),
+        pkg("h1deadmat", (1, 1, 0), Simulation, 10, &["h1geom"]).lang(Language::Fortran),
+        // ---- reconstruction ---------------------------------------------
+        pkg("h1rec", (10, 3, 0), Reconstruction, 150, &["h1cal", "h1track", "h1trig"])
+            .lang(Language::Fortran),
+        pkg("h1calrec", (6, 0, 0), Reconstruction, 65, &["h1cal", "h1rec"])
+            .lang(Language::Fortran),
+        pkg("h1trackrec", (7, 2, 0), Reconstruction, 85, &["h1track", "h1rec"])
+            .lang(Language::Fortran),
+        pkg("h1vertexrec", (3, 1, 0), Reconstruction, 35, &["h1vertex", "h1rec"])
+            .lang(Language::Fortran),
+        pkg("h1muonrec", (4, 0, 0), Reconstruction, 45, &["h1rec"]).lang(Language::Fortran),
+        pkg("h1jetrec", (3, 4, 0), Reconstruction, 40, &["h1calrec"]).lang(Language::Fortran),
+        pkg("h1elecrec", (4, 2, 0), Reconstruction, 38, &["h1calrec"]).lang(Language::Fortran),
+        pkg("h1hfsrec", (2, 2, 0), Reconstruction, 30, &["h1calrec", "h1trackrec"])
+            .lang(Language::Fortran),
+        pkg("h1kine", (3, 0, 0), Reconstruction, 25, &["h1rec"]).lang(Language::Fortran),
+        pkg("h1pid", (2, 6, 0), Reconstruction, 35, &["h1trackrec"]).lang(Language::Fortran),
+        pkg("h1qual", (2, 0, 0), Reconstruction, 20, &["h1rec"]).lang(Language::Fortran),
+        pkg("h1dst", (5, 1, 0), Reconstruction, 60, &["h1rec", "h1bank", "h1unpack"])
+            .lang(Language::Fortran),
+        pkg("h1pot", (2, 3, 0), Reconstruction, 22, &["h1dst"]).lang(Language::Fortran),
+        pkg("h1dmis", (1, 2, 0), Reconstruction, 14, &["h1rec"]).lang(Language::Fortran),
+        // Level-4/5 trigger reconstruction; pre-C99 code.
+        pkg("h1l45", (3, 0, 0), Reconstruction, 55, &["h1trig", "h1rec"])
+            .lang(Language::C)
+            .with_trait(CodeTrait::ImplicitFunctionDecl),
+        pkg("h1clas", (2, 1, 0), Reconstruction, 26, &["h1rec"]).lang(Language::Fortran),
+        // ---- analysis / OO layer ----------------------------------------
+        {
+            let mut p = pkg("h1oo", (4, 0, 4), Analysis, 200, &["h1dst"]).lang(Language::Cxx);
+            for t in uses_root5() {
+                p = p.with_trait(t);
+            }
+            p
+        },
+        {
+            let mut p =
+                pkg("h1micro", (3, 2, 0), Analysis, 70, &["h1oo"]).lang(Language::Cxx);
+            for t in uses_root5() {
+                p = p.with_trait(t);
+            }
+            p
+        },
+        pkg("h1skim", (2, 0, 0), Analysis, 30, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1phys", (3, 1, 0), Analysis, 55, &["h1micro"]).lang(Language::Cxx),
+        // Legacy analysis framework with pre-standard C++ headers.
+        pkg("h1elan", (8, 2, 0), Analysis, 90, &["h1dst", "h1hist"])
+            .lang(Language::Cxx)
+            .with_trait(CodeTrait::PreStandardCxx),
+        pkg("h1hqsel", (1, 5, 0), Analysis, 25, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1jetsel", (1, 3, 0), Analysis, 22, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1diffsel", (1, 2, 0), Analysis, 20, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1lowq2", (2, 0, 0), Analysis, 28, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1highq2", (2, 1, 0), Analysis, 30, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1ccana", (1, 8, 0), Analysis, 32, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1ncana", (1, 9, 0), Analysis, 34, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1phpana", (1, 4, 0), Analysis, 26, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1fldet", (1, 0, 0), Analysis, 15, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1alphas", (1, 1, 0), Analysis, 18, &["h1jetsel"]).lang(Language::Cxx),
+        pkg("h1pdf", (1, 2, 0), Analysis, 24, &["h1ncana"]).lang(Language::Cxx),
+        pkg("h1charm", (1, 6, 0), Analysis, 28, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1beauty", (1, 3, 0), Analysis, 26, &["h1charm"]).lang(Language::Cxx),
+        pkg("h1tau", (1, 0, 0), Analysis, 16, &["h1micro"]).lang(Language::Cxx),
+        pkg("h1spec", (1, 1, 0), Analysis, 14, &["h1micro"]).lang(Language::Cxx),
+        // Fitting package; the only GSL user in the stack.
+        pkg("h1fit", (2, 2, 0), Analysis, 35, &["h1hist"])
+            .lang(Language::Cxx)
+            .with_trait(CodeTrait::RequiresExternal {
+                name: "gsl".into(),
+                req: VersionReq::AtLeast(Version::new(1, 10, 0)),
+            }),
+        pkg("h1unfold", (1, 4, 0), Analysis, 20, &["h1fit"]).lang(Language::Cxx),
+        pkg("h1syst", (1, 2, 0), Analysis, 18, &["h1fit"]).lang(Language::Cxx),
+        pkg("h1plot", (2, 0, 0), Analysis, 22, &["h1hist", "h1graph"]).lang(Language::Cxx),
+        // ---- tools --------------------------------------------------------
+        // Event display reading a private /proc interface; dies on SL7.
+        pkg("h1disp", (5, 2, 0), Tool, 65, &["h1graph", "h1dst"])
+            .lang(Language::Cxx)
+            .with_trait(CodeTrait::LegacySyscall { breaks_at_abi: 7 }),
+        pkg("h1mon", (3, 0, 0), Tool, 25, &["h1util", "h1hist"]).lang(Language::C),
+        pkg("h1prod", (4, 1, 0), Tool, 40, &["h1dst", "h1steer"]).lang(Language::Fortran),
+        pkg("h1batch", (2, 2, 0), Tool, 18, &["h1steer"]).lang(Language::C),
+        pkg("h1copy", (1, 5, 0), Tool, 10, &["h1io"]).lang(Language::C),
+        pkg("h1check", (2, 0, 0), Tool, 15, &["h1dst"]).lang(Language::Fortran),
+        pkg("h1valid", (3, 3, 0), Tool, 30, &["h1dst", "h1hist"]).lang(Language::Fortran),
+        pkg("h1dqm", (2, 4, 0), Tool, 28, &["h1hist", "h1db"]).lang(Language::Cxx),
+        pkg("h1calib", (3, 1, 0), Tool, 35, &["h1cal", "h1db"]).lang(Language::Fortran),
+        pkg("h1webmon", (1, 2, 0), Tool, 12, &["h1mon"]).lang(Language::C),
+        pkg("h1log", (1, 0, 0), Tool, 8, &["h1util"]).lang(Language::C),
+        pkg("h1stat", (1, 4, 0), Tool, 14, &["h1hist"]).lang(Language::Fortran),
+        pkg("h1trans", (1, 1, 0), Tool, 12, &["h1io"]).lang(Language::Fortran),
+        pkg("h1merge", (1, 3, 0), Tool, 10, &["h1io"]).lang(Language::Fortran),
+        pkg("h1split", (1, 1, 0), Tool, 9, &["h1io"]).lang(Language::Fortran),
+        pkg("h1index", (1, 0, 0), Tool, 11, &["h1io", "h1db"]).lang(Language::C),
+        pkg("h1cat", (1, 0, 0), Tool, 6, &["h1io"]).lang(Language::C),
+        pkg("h1dump", (1, 2, 0), Tool, 8, &["h1bank"]).lang(Language::Fortran),
+        pkg("h1diff", (1, 1, 0), Tool, 9, &["h1io"]).lang(Language::C),
+        pkg("h1conv", (1, 0, 0), Tool, 10, &["h1io"]).lang(Language::Fortran),
+        pkg("h1arch", (1, 1, 0), Tool, 12, &["h1io"]).lang(Language::C),
+        pkg("h1tape", (2, 0, 0), Tool, 14, &["h1io"]).lang(Language::Fortran),
+        pkg("h1grid", (1, 2, 0), Tool, 16, &["h1batch"]).lang(Language::C),
+        pkg("h1doc", (1, 0, 0), Tool, 5, &["h1util"]).lang(Language::C),
+    ];
+    debug_assert_eq!(packages.len(), 100, "H1 ships ~100 packages");
+    packages.sort_by(|a, b| a.id.cmp(&b.id));
+    packages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_build::PackageId;
+    use sp_core::TestCategory;
+
+    #[test]
+    fn h1_has_100_packages() {
+        assert_eq!(h1_packages().len(), 100);
+    }
+
+    #[test]
+    fn graph_is_coherent() {
+        let exp = h1_experiment();
+        assert!(exp.graph.validate().is_ok());
+    }
+
+    #[test]
+    fn figure2_structure() {
+        let exp = h1_experiment();
+        let breakdown = exp.suite.breakdown();
+        assert_eq!(breakdown.count(TestCategory::Compilation), 100);
+        assert_eq!(breakdown.count(TestCategory::UnitCheck), 300);
+        assert_eq!(breakdown.count(TestCategory::StandaloneExecutable), 12);
+        assert_eq!(breakdown.count(TestCategory::AnalysisChain), 5);
+    }
+
+    #[test]
+    fn latent_bug_reaches_the_dst_chain() {
+        let exp = h1_experiment();
+        // h1dst links h1bank; the 64-bit bug must flow into chain stages.
+        let traits = exp.effective_runtime_traits(&PackageId::new("h1dst"));
+        assert!(traits
+            .iter()
+            .any(|t| matches!(t, CodeTrait::PointerSizeAssumption { .. })));
+        // And further up into the analysis layer.
+        let traits = exp.effective_runtime_traits(&PackageId::new("h1ncana"));
+        assert!(traits
+            .iter()
+            .any(|t| matches!(t, CodeTrait::PointerSizeAssumption { .. })));
+    }
+
+    #[test]
+    fn cernlib_users_exist() {
+        let exp = h1_experiment();
+        let users: Vec<&str> = exp
+            .graph
+            .packages()
+            .filter(|p| p.uses_external("cernlib"))
+            .map(|p| p.id.as_str())
+            .collect();
+        assert!(users.contains(&"django"));
+        assert!(users.contains(&"h1gean"));
+    }
+
+    #[test]
+    fn root_users_are_the_oo_layer() {
+        let exp = h1_experiment();
+        let users: Vec<&str> = exp
+            .graph
+            .packages()
+            .filter(|p| p.uses_external("root"))
+            .map(|p| p.id.as_str())
+            .collect();
+        assert_eq!(users, vec!["h1micro", "h1oo"]);
+    }
+}

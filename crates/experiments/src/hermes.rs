@@ -1,0 +1,150 @@
+//! The HERMES experiment: the red band of Figure 3.
+//!
+//! The smallest of the three stacks, and deliberately the cleanest: HERMES
+//! has no latent 64-bit bugs, so its bands stay green through the SL6
+//! migration and only break where every experiment breaks (CERNLIB-less
+//! SL7, ROOT 6).
+
+use sp_build::{DependencyGraph, Language, Package, PackageKind};
+use sp_core::{ExperimentDef, PreservationLevel};
+use sp_env::{CodeTrait, Version, VersionReq};
+
+use crate::common::{build_suite, pkg, ChainSpec};
+
+/// Builds the HERMES experiment definition (~28 packages, Level 4).
+pub fn hermes_experiment() -> ExperimentDef {
+    let graph =
+        DependencyGraph::from_packages(hermes_packages()).expect("HERMES stack is coherent");
+    let standalone: &[(&str, usize)] = &[
+        ("hmon", 150),
+        ("hvalid", 200),
+        ("hana", 300),
+        ("hdisana", 250),
+        ("hfit", 100),
+    ];
+    let chains = [ChainSpec::standard(
+        "dis", 2000, "hmc", "hsim", "hdst", "hmicro", "hana",
+    )];
+    let suite = build_suite(
+        "hermes",
+        PreservationLevel::FullSoftware,
+        &graph,
+        2,
+        standalone,
+        &chains,
+    );
+    ExperimentDef {
+        name: "hermes".into(),
+        color: "red",
+        graph,
+        suite,
+        entry_points: vec![],
+    }
+}
+
+/// The HERMES packages.
+fn hermes_packages() -> Vec<Package> {
+    use PackageKind::*;
+    let needs_cernlib = || CodeTrait::RequiresExternal {
+        name: "cernlib".into(),
+        req: VersionReq::Any,
+    };
+    let mut packages = vec![
+        // ---- core libraries --------------------------------------------
+        pkg("hutil", (2, 4, 0), Library, 25, &[]).lang(Language::Fortran),
+        pkg("hbos", (1, 9, 0), Library, 35, &["hutil"]).lang(Language::Fortran),
+        pkg("hgeom", (3, 0, 0), Library, 30, &["hutil"]).lang(Language::Fortran),
+        pkg("hdb", (2, 1, 0), Library, 22, &["hutil"]).lang(Language::C),
+        pkg("hcal", (3, 2, 0), Library, 40, &["hgeom", "hdb"]).lang(Language::Fortran),
+        pkg("htrack", (3, 5, 0), Library, 45, &["hgeom", "hmag"]).lang(Language::Fortran),
+        pkg("hmag", (1, 2, 0), Library, 12, &["hutil"]).lang(Language::Fortran),
+        pkg("hsteer", (1, 1, 0), Library, 8, &["hutil"]).lang(Language::C),
+        // ---- generators ---------------------------------------------------
+        pkg("hmc", (2, 3, 0), Generator, 35, &["hsteer"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("hpythia", (6, 2, 0), Generator, 50, &["hsteer"]).lang(Language::Fortran),
+        pkg("disng", (1, 4, 0), Generator, 20, &["hsteer"]).lang(Language::Fortran),
+        pkg("hradgen", (1, 0, 0), Generator, 15, &["hsteer"]).lang(Language::Fortran),
+        // ---- simulation -----------------------------------------------------
+        pkg("hsim", (4, 1, 0), Simulation, 70, &["hgeom", "hcal", "htrack"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("hdigi", (2, 0, 0), Simulation, 25, &["hsim"]).lang(Language::Fortran),
+        pkg("hsmear", (1, 3, 0), Simulation, 15, &["hcal"]).lang(Language::Fortran),
+        // ---- reconstruction --------------------------------------------------
+        pkg("hrc", (5, 2, 0), Reconstruction, 85, &["hcal", "htrack"]).lang(Language::Fortran),
+        pkg("hcalrec", (3, 0, 0), Reconstruction, 35, &["hrc"]).lang(Language::Fortran),
+        pkg("htrackrec", (3, 4, 0), Reconstruction, 40, &["hrc"]).lang(Language::Fortran),
+        pkg("hpid", (2, 2, 0), Reconstruction, 30, &["hrc"]).lang(Language::Fortran),
+        pkg("hdst", (2, 5, 0), Reconstruction, 35, &["hrc", "hbos"]).lang(Language::Fortran),
+        pkg("hqual", (1, 2, 0), Reconstruction, 14, &["hrc"]).lang(Language::Fortran),
+        // ---- analysis ---------------------------------------------------------
+        {
+            let mut p = pkg("hana", (3, 1, 0), Analysis, 55, &["hdst"]).lang(Language::Cxx);
+            p = p.with_trait(CodeTrait::RequiresExternal {
+                name: "root".into(),
+                req: VersionReq::AtLeast(Version::two(5, 26)),
+            });
+            p.with_trait(CodeTrait::UsesExternalApi {
+                name: "root".into(),
+                api_level: 5,
+            })
+        },
+        pkg("hmicro", (1, 8, 0), Analysis, 25, &["hana"]).lang(Language::Cxx),
+        pkg("hdisana", (1, 4, 0), Analysis, 22, &["hmicro"]).lang(Language::Cxx),
+        pkg("hsemi", (1, 2, 0), Analysis, 20, &["hmicro"]).lang(Language::Cxx),
+        pkg("hfit", (1, 1, 0), Analysis, 15, &["hmicro"])
+            .lang(Language::Cxx)
+            .with_trait(CodeTrait::RequiresExternal {
+                name: "gsl".into(),
+                req: VersionReq::AtLeast(Version::new(1, 10, 0)),
+            }),
+        // ---- tools -------------------------------------------------------------
+        pkg("hmon", (1, 5, 0), Tool, 15, &["hutil"]).lang(Language::C),
+        pkg("hvalid", (1, 3, 0), Tool, 18, &["hdst"]).lang(Language::Fortran),
+    ];
+    debug_assert_eq!(packages.len(), 28, "HERMES ships ~28 packages");
+    packages.sort_by(|a, b| a.id.cmp(&b.id));
+    packages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_build::PackageId;
+
+    #[test]
+    fn hermes_scale() {
+        assert_eq!(hermes_packages().len(), 28);
+        let exp = hermes_experiment();
+        assert!(exp.graph.validate().is_ok());
+        assert_eq!(exp.color, "red");
+    }
+
+    #[test]
+    fn hermes_has_no_latent_64bit_bugs() {
+        let exp = hermes_experiment();
+        for package in exp.graph.packages() {
+            assert!(
+                !package
+                    .traits
+                    .iter()
+                    .any(|t| matches!(t, CodeTrait::PointerSizeAssumption { .. })),
+                "{} carries a pointer bug",
+                package.id
+            );
+        }
+    }
+
+    #[test]
+    fn chain_is_fully_wired() {
+        let exp = hermes_experiment();
+        for pkg_name in ["hmc", "hsim", "hdst", "hmicro", "hana"] {
+            assert!(
+                exp.graph.get(&PackageId::new(pkg_name)).is_some(),
+                "{pkg_name} missing"
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The ZEUS experiment: the orange band of Figure 3.
+
+use sp_build::{DependencyGraph, Language, Package, PackageKind};
+use sp_core::{ExperimentDef, PreservationLevel};
+use sp_env::{CodeTrait, Version, VersionReq};
+
+use crate::common::{build_suite, pkg, ChainSpec};
+
+/// Builds the ZEUS experiment definition (~45 packages, Level 4).
+pub fn zeus_experiment() -> ExperimentDef {
+    let graph = DependencyGraph::from_packages(zeus_packages()).expect("ZEUS stack is coherent");
+    let standalone: &[(&str, usize)] = &[
+        ("zevis", 120),
+        ("zmon", 150),
+        ("zvalid", 250),
+        ("zcheck", 150),
+        ("orange", 400),
+        ("zhq", 300),
+        ("zstat", 120),
+        ("zprod", 300),
+    ];
+    let chains = [
+        ChainSpec::standard("nc-dis", 2600, "amadeus", "mozart", "zdstw", "zmicro", "zncana"),
+        ChainSpec::standard("cc-dis", 2000, "zlepto", "mozart", "zdstw", "zmicro", "zccana"),
+    ];
+    let suite = build_suite(
+        "zeus",
+        PreservationLevel::FullSoftware,
+        &graph,
+        2,
+        standalone,
+        &chains,
+    );
+    ExperimentDef {
+        name: "zeus".into(),
+        color: "orange",
+        graph,
+        suite,
+        entry_points: vec![],
+    }
+}
+
+fn needs_cernlib() -> CodeTrait {
+    CodeTrait::RequiresExternal {
+        name: "cernlib".into(),
+        req: VersionReq::Any,
+    }
+}
+
+/// The ZEUS packages.
+fn zeus_packages() -> Vec<Package> {
+    use PackageKind::*;
+    let mut packages = vec![
+        // ---- core libraries --------------------------------------------
+        pkg("zlib0", (3, 0, 0), Library, 35, &[]).lang(Language::Fortran),
+        pkg("zutil", (2, 5, 0), Library, 28, &["zlib0"]).lang(Language::Fortran),
+        pkg("zbos", (2, 2, 0), Library, 50, &["zlib0"]).lang(Language::Fortran),
+        pkg("zgeom", (4, 1, 0), Library, 45, &["zutil"]).lang(Language::Fortran),
+        pkg("zdb", (3, 0, 0), Library, 30, &["zutil"]).lang(Language::C),
+        // The ZEUS counterpart of the 64-bit pointer bug.
+        pkg("zcal", (5, 2, 0), Library, 65, &["zgeom", "zdb"])
+            .lang(Language::Fortran)
+            .with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 6.0 }),
+        pkg("ztrack", (4, 4, 0), Library, 70, &["zgeom", "zmag"]).lang(Language::Fortran),
+        pkg("zmag", (1, 8, 0), Library, 15, &["zutil"]).lang(Language::Fortran),
+        pkg("zgana", (2, 1, 0), Library, 20, &["zutil"])
+            .lang(Language::Fortran)
+            .with_trait(CodeTrait::Fortran77Extensions)
+            .with_trait(needs_cernlib()),
+        pkg("zsteer", (1, 3, 0), Library, 10, &["zutil"]).lang(Language::C),
+        // ---- generators --------------------------------------------------
+        pkg("amadeus", (2, 0, 0), Generator, 40, &["zsteer"]).lang(Language::Fortran),
+        pkg("herades", (1, 2, 0), Generator, 25, &["zsteer"]).lang(Language::Fortran),
+        pkg("zpythia", (6, 2, 0), Generator, 60, &["zsteer"]).lang(Language::Fortran),
+        pkg("zlepto", (6, 5, 0), Generator, 30, &["zsteer"]).lang(Language::Fortran),
+        pkg("zdjangoh", (1, 6, 0), Generator, 35, &["zsteer", "zgana"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("zgrape", (1, 1, 0), Generator, 20, &["zsteer"]).lang(Language::Fortran),
+        // ---- simulation ---------------------------------------------------
+        pkg("mozart", (5, 3, 0), Simulation, 110, &["zgeom", "zcal", "ztrack"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("zgeant", (3, 21, 0), Simulation, 80, &["zgeom"])
+            .lang(Language::Fortran)
+            .with_trait(needs_cernlib()),
+        pkg("zdigi", (3, 0, 0), Simulation, 35, &["mozart"]).lang(Language::Fortran),
+        pkg("ztrig", (2, 4, 0), Simulation, 30, &["zdb"]).lang(Language::Fortran),
+        pkg("zsmear", (1, 7, 0), Simulation, 20, &["zcal"]).lang(Language::Fortran),
+        // ---- reconstruction ------------------------------------------------
+        pkg("zephyr", (7, 0, 0), Reconstruction, 130, &["zcal", "ztrack", "ztrig"])
+            .lang(Language::Fortran),
+        pkg("zcalrec", (4, 2, 0), Reconstruction, 50, &["zephyr"]).lang(Language::Fortran),
+        pkg("ztrackrec", (5, 0, 0), Reconstruction, 60, &["zephyr"]).lang(Language::Fortran),
+        pkg("zvertex", (2, 3, 0), Reconstruction, 25, &["ztrackrec"]).lang(Language::Fortran),
+        pkg("zke", (2, 0, 0), Reconstruction, 22, &["zephyr"]).lang(Language::Fortran),
+        pkg("zeflow", (1, 9, 0), Reconstruction, 28, &["zcalrec", "ztrackrec"])
+            .lang(Language::Fortran),
+        pkg("zdstw", (3, 1, 0), Reconstruction, 40, &["zephyr", "zbos"]).lang(Language::Fortran),
+        pkg("zqual", (1, 5, 0), Reconstruction, 18, &["zephyr"]).lang(Language::Fortran),
+        // ---- analysis -------------------------------------------------------
+        {
+            // The Orange ntuple framework (ROOT 5 / CINT era).
+            let mut p = pkg("orange", (4, 5, 0), Analysis, 90, &["zdstw"]).lang(Language::Cxx);
+            p = p.with_trait(CodeTrait::RequiresExternal {
+                name: "root".into(),
+                req: VersionReq::AtLeast(Version::two(5, 26)),
+            });
+            p.with_trait(CodeTrait::UsesExternalApi {
+                name: "root".into(),
+                api_level: 5,
+            })
+        },
+        {
+            let mut p = pkg("zdis", (2, 2, 0), Analysis, 40, &["orange"]).lang(Language::Cxx);
+            p = p.with_trait(CodeTrait::RequiresExternal {
+                name: "root".into(),
+                req: VersionReq::AtLeast(Version::two(5, 26)),
+            });
+            p.with_trait(CodeTrait::UsesExternalApi {
+                name: "root".into(),
+                api_level: 5,
+            })
+        },
+        pkg("zmicro", (2, 0, 0), Analysis, 35, &["orange"]).lang(Language::Cxx),
+        pkg("zhq", (1, 4, 0), Analysis, 25, &["zmicro"]).lang(Language::Cxx),
+        pkg("zncana", (1, 6, 0), Analysis, 28, &["zmicro"]).lang(Language::Cxx),
+        pkg("zccana", (1, 5, 0), Analysis, 26, &["zmicro"]).lang(Language::Cxx),
+        pkg("zjets", (1, 2, 0), Analysis, 24, &["zmicro"]).lang(Language::Cxx),
+        pkg("zheavy", (1, 1, 0), Analysis, 22, &["zmicro"]).lang(Language::Cxx),
+        pkg("zfit", (1, 3, 0), Analysis, 20, &["zmicro"])
+            .lang(Language::Cxx)
+            .with_trait(CodeTrait::RequiresExternal {
+                name: "gsl".into(),
+                req: VersionReq::AtLeast(Version::new(1, 10, 0)),
+            }),
+        // ---- tools -----------------------------------------------------------
+        pkg("zevis", (3, 2, 0), Tool, 55, &["zdstw"])
+            .lang(Language::Cxx)
+            .with_trait(CodeTrait::LegacySyscall { breaks_at_abi: 7 }),
+        pkg("zmon", (2, 1, 0), Tool, 20, &["zutil"]).lang(Language::C),
+        pkg("zprod", (3, 0, 0), Tool, 30, &["zdstw", "zsteer"]).lang(Language::Fortran),
+        pkg("zcheck", (1, 4, 0), Tool, 12, &["zdstw"]).lang(Language::Fortran),
+        pkg("zvalid", (2, 2, 0), Tool, 25, &["zdstw"]).lang(Language::Fortran),
+        pkg("zstat", (1, 1, 0), Tool, 10, &["zutil"]).lang(Language::Fortran),
+        pkg("zarch", (1, 0, 0), Tool, 8, &["zbos"]).lang(Language::C),
+    ];
+    debug_assert_eq!(packages.len(), 45, "ZEUS ships ~45 packages");
+    packages.sort_by(|a, b| a.id.cmp(&b.id));
+    packages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_build::PackageId;
+
+    #[test]
+    fn zeus_scale() {
+        assert_eq!(zeus_packages().len(), 45);
+        let exp = zeus_experiment();
+        assert!(exp.graph.validate().is_ok());
+        assert_eq!(exp.color, "orange");
+    }
+
+    #[test]
+    fn zcal_bug_reaches_chains() {
+        let exp = zeus_experiment();
+        let traits = exp.effective_runtime_traits(&PackageId::new("zdstw"));
+        assert!(traits
+            .iter()
+            .any(|t| matches!(t, CodeTrait::PointerSizeAssumption { .. })));
+    }
+
+    #[test]
+    fn orange_is_a_root5_framework() {
+        let exp = zeus_experiment();
+        let orange = exp.graph.get(&PackageId::new("orange")).unwrap();
+        assert!(orange.uses_external("root"));
+    }
+}

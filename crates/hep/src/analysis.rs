@@ -1,0 +1,233 @@
+//! The physics analysis: event selection and histogram production.
+//!
+//! The last stage of the validation chain: applies DIS selection cuts and
+//! fills the control distributions whose run-to-run comparison is the
+//! "subsequent validation of the results" (§3.2).
+
+use crate::hist::{Histogram1D, HistogramSet};
+use crate::reco::RecoEvent;
+
+/// Neutral-current DIS selection cuts (HERA-typical values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionCuts {
+    /// Minimum reconstructed Q² (GeV²).
+    pub q2_min: f64,
+    /// Inelasticity window (min, max).
+    pub y_range: (f64, f64),
+    /// Minimum scattered-electron energy (GeV).
+    pub e_prime_min: f64,
+    /// `E − p_z` containment window (GeV).
+    pub empz_range: (f64, f64),
+}
+
+impl Default for SelectionCuts {
+    fn default() -> Self {
+        SelectionCuts {
+            q2_min: 4.0,
+            y_range: (0.05, 0.70),
+            e_prime_min: 11.0,
+            empz_range: (35.0, 75.0),
+        }
+    }
+}
+
+impl SelectionCuts {
+    /// Whether a reconstructed event passes the selection.
+    pub fn passes(&self, event: &RecoEvent) -> bool {
+        let Some(electron) = event.electron else {
+            return false;
+        };
+        let Some(k) = event.kinematics else {
+            return false;
+        };
+        k.q2 >= self.q2_min
+            && k.y >= self.y_range.0
+            && k.y <= self.y_range.1
+            && electron.e >= self.e_prime_min
+            && event.e_minus_pz >= self.empz_range.0
+            && event.e_minus_pz <= self.empz_range.1
+    }
+}
+
+/// Cut-flow counters: how many events survive each stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CutFlow {
+    /// Events processed.
+    pub total: u64,
+    /// Events with a reconstructed electron.
+    pub with_electron: u64,
+    /// Events passing the kinematic cuts too.
+    pub selected: u64,
+}
+
+/// The streaming analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    cuts: SelectionCuts,
+    cut_flow: CutFlow,
+    histograms: HistogramSet,
+}
+
+impl Analysis {
+    /// Creates an analysis with the standard control distributions booked.
+    pub fn new(cuts: SelectionCuts) -> Self {
+        let mut histograms = HistogramSet::new();
+        // log10(Q²) from 0.6 (Q²=4) to 4.0 (Q²=10⁴).
+        histograms.insert(Histogram1D::new("q2", 34, 0.6, 4.0));
+        // log10(x) from -5 to 0.
+        histograms.insert(Histogram1D::new("x", 40, -5.0, 0.0));
+        histograms.insert(Histogram1D::new("y", 26, 0.0, 0.78));
+        histograms.insert(Histogram1D::new("e_prime", 44, 0.0, 55.0));
+        histograms.insert(Histogram1D::new("theta_e", 32, 0.0, 3.2));
+        histograms.insert(Histogram1D::new("empz", 40, 35.0, 75.0));
+        histograms.insert(Histogram1D::new("n_charged", 40, 0.0, 40.0));
+        histograms.insert(Histogram1D::new("pt_had", 40, 0.0, 60.0));
+        Analysis {
+            cuts,
+            cut_flow: CutFlow::default(),
+            histograms,
+        }
+    }
+
+    /// Processes one reconstructed event.
+    pub fn process(&mut self, event: &RecoEvent) {
+        self.cut_flow.total += 1;
+        if event.electron.is_some() {
+            self.cut_flow.with_electron += 1;
+        }
+        if !self.cuts.passes(event) {
+            return;
+        }
+        self.cut_flow.selected += 1;
+
+        let electron = event.electron.expect("selection requires electron");
+        let k = event.kinematics.expect("selection requires kinematics");
+        let fill = |set: &mut HistogramSet, name: &str, value: f64| {
+            set.get_mut(name)
+                .expect("histogram booked in constructor")
+                .fill(value);
+        };
+        fill(&mut self.histograms, "q2", k.q2.max(1e-12).log10());
+        fill(&mut self.histograms, "x", k.x.max(1e-12).log10());
+        fill(&mut self.histograms, "y", k.y);
+        fill(&mut self.histograms, "e_prime", electron.e);
+        fill(&mut self.histograms, "theta_e", electron.theta());
+        fill(&mut self.histograms, "empz", event.e_minus_pz);
+        fill(&mut self.histograms, "n_charged", event.n_charged as f64);
+        fill(&mut self.histograms, "pt_had", event.hadronic.pt());
+    }
+
+    /// Finishes the analysis, consuming it.
+    pub fn finish(self) -> AnalysisResult {
+        AnalysisResult {
+            total: self.cut_flow.total,
+            with_electron: self.cut_flow.with_electron,
+            selected: self.cut_flow.selected,
+            histograms: self.histograms,
+        }
+    }
+}
+
+/// The analysis output: cut flow plus control distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisResult {
+    /// Events processed.
+    pub total: u64,
+    /// Events with a reconstructed electron.
+    pub with_electron: u64,
+    /// Events passing the full selection.
+    pub selected: u64,
+    /// The control distributions.
+    pub histograms: HistogramSet,
+}
+
+impl AnalysisResult {
+    /// Selection efficiency (selected / total).
+    pub fn efficiency(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.selected as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detsim::{DetectorSim, SmearingConstants};
+    use crate::mcgen::{EventGenerator, GeneratorConfig};
+    use crate::reco::reconstruct;
+
+    fn run(config: GeneratorConfig, n: usize, seed: u64) -> AnalysisResult {
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5);
+        let mut analysis = Analysis::new(SelectionCuts::default());
+        for ev in EventGenerator::new(config.clone(), seed).take(n) {
+            let reco = reconstruct(&sim.simulate(&ev, seed ^ ev.id), &config);
+            analysis.process(&reco);
+        }
+        analysis.finish()
+    }
+
+    #[test]
+    fn nc_selection_selects_a_reasonable_fraction() {
+        let result = run(GeneratorConfig::hera_nc(), 1000, 1);
+        assert_eq!(result.total, 1000);
+        assert!(
+            result.selected > 100,
+            "too few selected: {}",
+            result.selected
+        );
+        assert!(
+            result.selected < 990,
+            "cuts not cutting: {}",
+            result.selected
+        );
+        assert!(result.with_electron >= result.selected);
+    }
+
+    #[test]
+    fn cc_events_fail_nc_selection() {
+        let result = run(GeneratorConfig::hera_cc(), 500, 2);
+        assert_eq!(result.selected, 0, "no scattered electron, no selection");
+    }
+
+    #[test]
+    fn photoproduction_suppressed() {
+        let result = run(GeneratorConfig::hera_php(), 500, 3);
+        assert_eq!(result.selected, 0);
+    }
+
+    #[test]
+    fn histograms_filled_consistently() {
+        let result = run(GeneratorConfig::hera_nc(), 1000, 4);
+        let q2 = result.histograms.get("q2").unwrap();
+        // Every selected event fills q2 exactly once (entries include
+        // under/overflow fills).
+        assert_eq!(q2.entries(), result.selected);
+        // e_prime above the 11 GeV cut.
+        let e_prime = result.histograms.get("e_prime").unwrap();
+        assert!(e_prime.mean() >= 11.0);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        let result = run(GeneratorConfig::hera_nc(), 500, 5);
+        assert!(result.efficiency() > 0.0 && result.efficiency() < 1.0);
+        let empty = Analysis::new(SelectionCuts::default()).finish();
+        assert_eq!(empty.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn q2_spectrum_is_falling() {
+        let result = run(GeneratorConfig::hera_nc(), 3000, 6);
+        let q2 = result.histograms.get("q2").unwrap();
+        let counts = q2.counts();
+        let first_half: f64 = counts[..counts.len() / 2].iter().sum();
+        let second_half: f64 = counts[counts.len() / 2..].iter().sum();
+        assert!(
+            first_half > 3.0 * second_half,
+            "Q² spectrum must fall: low={first_half}, high={second_half}"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Detector simulation: acceptance and calorimeter smearing.
+//!
+//! The constants are *versioned* like real calibration sets: migrating the
+//! environment must not change them (that would be a preservation failure),
+//! so the validation framework compares distributions produced with the same
+//! constants across environments.
+//!
+//! The `deviation` hook is how the platform-compatibility layer couples in:
+//! a latent code bug that manifests on a new platform (uninitialised
+//! variable, pointer-width assumption) is modelled as a small energy-scale
+//! bias proportional to the deviation magnitude. Real HERA validation caught
+//! exactly this class of bug as shifted validation histograms (§3.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mcgen::{Event, Particle};
+use crate::rng::normal;
+
+/// Calorimeter resolution and scale constants.
+///
+/// Resolution model: σ(E)/E = a/√E ⊕ b (stochastic ⊕ constant term).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmearingConstants {
+    /// Version tag of the calibration set.
+    pub version: &'static str,
+    /// Electromagnetic stochastic term (GeV^½).
+    pub em_stochastic: f64,
+    /// Electromagnetic constant term.
+    pub em_constant: f64,
+    /// Hadronic stochastic term (GeV^½).
+    pub had_stochastic: f64,
+    /// Hadronic constant term.
+    pub had_constant: f64,
+    /// Fractional energy-scale uncertainty, the unit in which environment
+    /// deviations are expressed.
+    pub scale_uncertainty: f64,
+    /// Polar-angle acceptance (min, max) in radians.
+    pub acceptance: (f64, f64),
+    /// Single-particle detection efficiency.
+    pub efficiency: f64,
+}
+
+impl SmearingConstants {
+    /// The original HERA-era calibration (SL4 validation reference).
+    pub const V1_SL4: SmearingConstants = SmearingConstants {
+        version: "v1-sl4",
+        em_stochastic: 0.12,
+        em_constant: 0.011,
+        had_stochastic: 0.52,
+        had_constant: 0.022,
+        scale_uncertainty: 0.02,
+        acceptance: (0.07, 3.05),
+        efficiency: 0.975,
+    };
+
+    /// The refined calibration used during the SL5 era — the reference set
+    /// for all sp-system comparisons.
+    pub const V2_SL5: SmearingConstants = SmearingConstants {
+        version: "v2-sl5",
+        em_stochastic: 0.11,
+        em_constant: 0.010,
+        had_stochastic: 0.50,
+        had_constant: 0.020,
+        scale_uncertainty: 0.02,
+        acceptance: (0.07, 3.05),
+        efficiency: 0.98,
+    };
+}
+
+/// The detector simulation stage.
+#[derive(Debug, Clone)]
+pub struct DetectorSim {
+    constants: SmearingConstants,
+    /// Environment-induced energy-scale deviation in units of
+    /// `scale_uncertainty` (0 = healthy platform).
+    deviation_sigma: f64,
+}
+
+impl DetectorSim {
+    /// Creates a simulation with the given calibration constants.
+    pub fn new(constants: SmearingConstants) -> Self {
+        DetectorSim {
+            constants,
+            deviation_sigma: 0.0,
+        }
+    }
+
+    /// Injects an environment-induced deviation (σ units of the energy
+    /// scale uncertainty). Zero leaves the simulation nominal.
+    pub fn with_deviation(mut self, deviation_sigma: f64) -> Self {
+        self.deviation_sigma = deviation_sigma;
+        self
+    }
+
+    /// The active calibration constants.
+    pub fn constants(&self) -> &SmearingConstants {
+        &self.constants
+    }
+
+    /// Simulates one event: acceptance, efficiency and energy smearing.
+    /// `seed` should be unique per event (e.g. run seed ⊕ event id) for
+    /// reproducibility.
+    pub fn simulate(&self, event: &Event, seed: u64) -> Event {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let scale = 1.0 + self.deviation_sigma * self.constants.scale_uncertainty;
+        // A deviating platform also loses a little efficiency (wrong branch
+        // taken on garbage reads drops particles).
+        let efficiency =
+            (self.constants.efficiency * (1.0 - 0.01 * self.deviation_sigma)).clamp(0.0, 1.0);
+        let (theta_min, theta_max) = self.constants.acceptance;
+
+        let mut out = event.clone();
+        out.particles = event
+            .particles
+            .iter()
+            .filter_map(|p| {
+                // Neutrinos pass through unmeasured.
+                if p.pdg_id == 12 {
+                    return Some(p.clone());
+                }
+                let theta = p.p4.theta();
+                if theta < theta_min || theta > theta_max {
+                    return None; // outside acceptance (beam pipe)
+                }
+                if rng.gen::<f64>() > efficiency {
+                    return None; // detection inefficiency
+                }
+                Some(self.smear(p, scale, &mut rng))
+            })
+            .collect();
+        out
+    }
+
+    /// Smears one particle's energy with the appropriate resolution and
+    /// applies the (possibly deviated) energy scale.
+    fn smear(&self, p: &Particle, scale: f64, rng: &mut StdRng) -> Particle {
+        let electromagnetic = p.pdg_id.abs() == 11 || p.pdg_id == 22 || p.pdg_id == 111;
+        let (a, b) = if electromagnetic {
+            (self.constants.em_stochastic, self.constants.em_constant)
+        } else {
+            (self.constants.had_stochastic, self.constants.had_constant)
+        };
+        let e = p.p4.e.max(1e-3);
+        let rel_sigma = ((a * a / e) + b * b).sqrt();
+        let factor = (normal(rng, 1.0, rel_sigma) * scale).max(0.01);
+        let mut out = p.clone();
+        out.p4 = p.p4.scale(factor);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcgen::{EventGenerator, GeneratorConfig};
+
+    fn sample_event(seed: u64) -> Event {
+        EventGenerator::new(GeneratorConfig::hera_nc(), seed)
+            .next()
+            .expect("generator is infinite")
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let event = sample_event(1);
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5);
+        let a = sim.simulate(&event, 99);
+        let b = sim.simulate(&event, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_event_seeds_differ() {
+        let event = sample_event(1);
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5);
+        let a = sim.simulate(&event, 99);
+        let b = sim.simulate(&event, 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn acceptance_removes_beampipe_particles() {
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5);
+        let mut event = sample_event(2);
+        // Inject a particle straight down the beam pipe.
+        event.particles.push(Particle::final_state(
+            211,
+            crate::kinematics::FourVector::from_polar(50.0, 0.001, 0.0),
+            1,
+        ));
+        let simulated = sim.simulate(&event, 7);
+        assert!(simulated
+            .particles
+            .iter()
+            .all(|p| p.pdg_id == 12 || p.p4.theta() >= 0.07));
+    }
+
+    #[test]
+    fn neutrinos_are_not_measured_but_kept() {
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5);
+        let event = EventGenerator::new(GeneratorConfig::hera_cc(), 3)
+            .next()
+            .unwrap();
+        let nu_energy = event
+            .particles
+            .iter()
+            .find(|p| p.pdg_id == 12)
+            .map(|p| p.p4.e)
+            .expect("CC event has a neutrino");
+        let simulated = sim.simulate(&event, 11);
+        let nu_after = simulated
+            .particles
+            .iter()
+            .find(|p| p.pdg_id == 12)
+            .map(|p| p.p4.e)
+            .expect("neutrino survives");
+        assert_eq!(nu_energy, nu_after);
+    }
+
+    #[test]
+    fn smearing_changes_energies_but_not_wildly() {
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5);
+        let event = sample_event(4);
+        let simulated = sim.simulate(&event, 13);
+        for p in &simulated.particles {
+            assert!(p.p4.e > 0.0);
+            assert!(p.p4.e < 2000.0);
+        }
+    }
+
+    #[test]
+    fn deviation_biases_mean_energy() {
+        // Average over many events: the deviated sim must be systematically
+        // higher in total visible energy.
+        let sim_nom = DetectorSim::new(SmearingConstants::V2_SL5);
+        let sim_dev = DetectorSim::new(SmearingConstants::V2_SL5).with_deviation(5.0);
+        let mut sum_nom = 0.0;
+        let mut sum_dev = 0.0;
+        for (i, event) in EventGenerator::new(GeneratorConfig::hera_nc(), 6)
+            .take(300)
+            .enumerate()
+        {
+            sum_nom += sim_nom.simulate(&event, i as u64).visible_sum().e;
+            sum_dev += sim_dev.simulate(&event, i as u64).visible_sum().e;
+        }
+        assert!(
+            sum_dev > sum_nom * 1.005,
+            "5σ scale deviation must be visible: {sum_dev} vs {sum_nom}"
+        );
+    }
+
+    #[test]
+    fn calibration_versions_differ() {
+        assert_ne!(SmearingConstants::V1_SL4, SmearingConstants::V2_SL5);
+        assert_eq!(SmearingConstants::V2_SL5.version, "v2-sl5");
+    }
+}

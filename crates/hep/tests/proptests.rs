@@ -1,0 +1,214 @@
+//! Property-based tests for the HEP substrate.
+
+use proptest::prelude::*;
+use sp_hep::{
+    hist_io, read_dst, read_micro_dst, write_dst, write_micro_dst, DisKinematics, Event,
+    FourVector, Histogram1D, MicroEvent, Particle, Process,
+};
+
+fn particle_strategy() -> impl Strategy<Value = Particle> {
+    (
+        prop_oneof![Just(11i32), Just(-11), Just(211), Just(-211), Just(111), Just(22), Just(12)],
+        0.01f64..500.0,
+        0.0f64..std::f64::consts::PI,
+        0.0f64..std::f64::consts::TAU,
+        0u8..3,
+    )
+        .prop_map(|(pdg, e, theta, phi, status)| Particle {
+            pdg_id: pdg,
+            p4: FourVector::from_polar(e, theta, phi),
+            charge: match pdg {
+                11 | -211 => -1,
+                -11 | 211 => 1,
+                _ => 0,
+            },
+            status,
+        })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just(Process::NeutralCurrent),
+            Just(Process::ChargedCurrent),
+            Just(Process::Photoproduction)
+        ],
+        1.0f64..10_000.0,
+        1e-5f64..1.0,
+        0.01f64..0.95,
+        prop::collection::vec(particle_strategy(), 0..20),
+        0.1f64..10.0,
+    )
+        .prop_map(|(id, process, q2, x, y, particles, weight)| Event {
+            id,
+            process,
+            truth: DisKinematics {
+                q2,
+                x,
+                y,
+                w2: (q2 * (1.0 - x) / x).max(0.0),
+            },
+            particles,
+            weight,
+        })
+}
+
+proptest! {
+    /// DST round-trips arbitrary events bit-exactly.
+    #[test]
+    fn dst_round_trip(events in prop::collection::vec(event_strategy(), 0..12)) {
+        let bytes = write_dst(&events);
+        let restored = read_dst(&bytes).expect("own output is readable");
+        prop_assert_eq!(events, restored);
+    }
+
+    /// µDST round-trips arbitrary records bit-exactly.
+    #[test]
+    fn micro_dst_round_trip(
+        records in prop::collection::vec(
+            (any::<u64>(), 0.0f64..1e4, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..60.0)
+                .prop_map(|(id, q2, x, y, e)| MicroEvent {
+                    id,
+                    process: Process::NeutralCurrent,
+                    q2,
+                    x,
+                    y,
+                    e_prime: e,
+                }),
+            0..32,
+        )
+    ) {
+        let bytes = write_micro_dst(&records);
+        prop_assert_eq!(read_micro_dst(&bytes).unwrap(), records);
+    }
+
+    /// Any single-byte corruption of a DST stream is rejected.
+    #[test]
+    fn dst_bit_flip_rejected(
+        events in prop::collection::vec(event_strategy(), 1..5),
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let bytes = write_dst(&events).to_vec();
+        let idx = ((frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let mut corrupted = bytes.clone();
+        corrupted[idx] ^= 1 << bit;
+        prop_assert!(read_dst(&corrupted).is_err());
+    }
+
+    /// Histogram bookkeeping: integral + under/overflow equals the total
+    /// filled weight, and entries counts fill calls.
+    #[test]
+    fn histogram_weight_conservation(
+        values in prop::collection::vec((-20.0f64..30.0, 0.1f64..5.0), 0..200)
+    ) {
+        let mut hist = Histogram1D::new("h", 25, 0.0, 10.0);
+        let mut total_weight = 0.0;
+        for (x, w) in &values {
+            hist.fill_weighted(*x, *w);
+            total_weight += w;
+        }
+        let accounted = hist.integral() + hist.underflow() + hist.overflow();
+        prop_assert!((accounted - total_weight).abs() < 1e-9);
+        prop_assert_eq!(hist.entries(), values.len() as u64);
+    }
+
+    /// The histogram mean lies within the filled range of in-range values.
+    #[test]
+    fn histogram_mean_in_range(values in prop::collection::vec(0.5f64..9.5, 1..100)) {
+        let mut hist = Histogram1D::new("h", 20, 0.0, 10.0);
+        let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+        for &x in &values {
+            hist.fill(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        prop_assert!(hist.mean() >= lo - 1e-9 && hist.mean() <= hi + 1e-9);
+        prop_assert!(hist.std_dev() >= 0.0);
+    }
+
+    /// χ² self-comparison is exactly zero; comparison is symmetric.
+    #[test]
+    fn chi2_self_zero_and_symmetric(
+        a_values in prop::collection::vec(0.0f64..10.0, 1..150),
+        b_values in prop::collection::vec(0.0f64..10.0, 1..150),
+    ) {
+        let mut a = Histogram1D::new("a", 20, 0.0, 10.0);
+        for &x in &a_values {
+            a.fill(x);
+        }
+        let mut b = Histogram1D::new("b", 20, 0.0, 10.0);
+        for &x in &b_values {
+            b.fill(x);
+        }
+        let self_test = a.chi2_test(&a).unwrap();
+        prop_assert_eq!(self_test.chi2, 0.0);
+        prop_assert_eq!(self_test.p_value, 1.0);
+
+        let ab = a.chi2_test(&b).unwrap();
+        let ba = b.chi2_test(&a).unwrap();
+        prop_assert!((ab.chi2 - ba.chi2).abs() < 1e-9);
+        prop_assert_eq!(ab.ndf, ba.ndf);
+    }
+
+    /// KS statistic is a distance: zero iff shapes match, bounded by 1.
+    #[test]
+    fn ks_statistic_bounded(
+        values in prop::collection::vec(0.0f64..10.0, 1..150),
+        scale in 1.0f64..5.0,
+    ) {
+        let mut a = Histogram1D::new("a", 20, 0.0, 10.0);
+        for &x in &values {
+            a.fill(x);
+        }
+        // A scaled copy has the identical shape: D = 0.
+        let mut b = a.clone();
+        b.scale(scale);
+        let ks = a.ks_test(&b).unwrap();
+        prop_assert!(ks.statistic.abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ks.p_value));
+    }
+
+    /// Histogram sets survive serialisation with statistics intact.
+    #[test]
+    fn hist_io_round_trip(values in prop::collection::vec(-5.0f64..15.0, 0..300)) {
+        let mut hist = Histogram1D::new("q2", 30, 0.0, 10.0);
+        for &x in &values {
+            hist.fill(x);
+        }
+        let set: sp_hep::HistogramSet = [hist].into_iter().collect();
+        let decoded = hist_io::decode_set(&hist_io::encode_set(&set)).unwrap();
+        prop_assert_eq!(set, decoded);
+    }
+
+    /// Four-vector algebra: mass is invariant under azimuthal rotation and
+    /// additivity of E and pz holds.
+    #[test]
+    fn four_vector_algebra(
+        e in 0.1f64..100.0,
+        theta in 0.0f64..std::f64::consts::PI,
+        phi1 in 0.0f64..std::f64::consts::TAU,
+        phi2 in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let a = FourVector::from_polar(e, theta, phi1);
+        let b = FourVector::from_polar(e, theta, phi2);
+        prop_assert!((a.m2() - b.m2()).abs() < 1e-6, "mass invariant under rotation");
+        let sum = a + b;
+        prop_assert!((sum.e - 2.0 * e).abs() < 1e-9);
+        prop_assert!((sum.pz - (a.pz + b.pz)).abs() < 1e-9);
+    }
+
+    /// Electron-method kinematics stay in the physical region for any
+    /// scattered-electron measurement.
+    #[test]
+    fn electron_method_physical(
+        e_prime in 0.5f64..60.0,
+        theta in 0.01f64..3.13,
+    ) {
+        let k = DisKinematics::electron_method(27.6, 920.0, e_prime, theta);
+        prop_assert!(k.q2 >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&k.x));
+        prop_assert!(k.w2 >= 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! A minimal JSON writer.
+//!
+//! Machine-readable exports (campaign summaries, run records) use this tiny
+//! value model instead of pulling a serialisation framework into the
+//! dependency set: the sp-system writes JSON but never needs to parse it.
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Number (rendered with full f64 precision).
+    Number(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object with deterministic (sorted) key order.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Convenience string constructor.
+    pub fn string(s: impl Into<String>) -> Self {
+        JsonValue::String(s.into())
+    }
+
+    /// Convenience object constructor from pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> Self {
+        JsonValue::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialises to compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            JsonValue::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::String(key.clone()).write(out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> Self {
+        JsonValue::Number(n)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::string(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::Number(42.0).render(), "42");
+        assert_eq!(JsonValue::Number(0.5).render(), "0.5");
+        assert_eq!(JsonValue::Number(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::string("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(
+            JsonValue::string("a\"b\\c\nd\te\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structure() {
+        let value = JsonValue::object([
+            ("runs", JsonValue::Array(vec![1.0.into(), 2.0.into()])),
+            ("ok", true.into()),
+            ("name", "h1".into()),
+        ]);
+        // BTreeMap sorts keys.
+        assert_eq!(value.render(), r#"{"name":"h1","ok":true,"runs":[1,2]}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]");
+        assert_eq!(JsonValue::Object(BTreeMap::new()).render(), "{}");
+    }
+}

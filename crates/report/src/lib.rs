@@ -1,0 +1,30 @@
+//! # sp-report — status pages and summary matrices
+//!
+//! "Script-based web pages are used to record and display available
+//! validation runs for a given description and indicate the status of the
+//! compilation for the individual packages or tests within table cells,
+//! which are linked to a corresponding output file." (§3.3)
+//!
+//! * [`table`] — plain-text tables with alignment (the console versions of
+//!   the paper's status pages).
+//! * [`matrix`] — the Figure-3 summary matrix: experiment process groups ×
+//!   configurations.
+//! * [`html`] — static HTML run pages with cells linked to output objects.
+//! * [`json`] — a minimal JSON writer for machine-readable exports.
+//! * [`diagram`] — the Figure-1 system illustration, generated from a live
+//!   [`SpSystem`](sp_core::SpSystem).
+//! * [`summary`] — campaign statistics.
+
+pub mod diagram;
+pub mod html;
+pub mod json;
+pub mod matrix;
+pub mod summary;
+pub mod table;
+
+pub use diagram::figure1_diagram;
+pub use html::{matrix_page, run_index_page, run_page};
+pub use json::JsonValue;
+pub use matrix::render_matrix;
+pub use summary::campaign_stats;
+pub use table::TextTable;

@@ -1,0 +1,103 @@
+//! The Figure-3 summary matrix.
+//!
+//! "A summary of the current status of the validation tests is displayed in
+//! figure 3, showing a coarse breakdown for ZEUS (orange), H1 (blue) and
+//! HERMES (red) tests and the different dependencies. The different tests
+//! (processes) from the … experiments are run under different
+//! configurations of operating system and external dependencies." (§3.3)
+
+use sp_core::{CampaignSummary, SpSystem};
+
+use crate::table::{Align, TextTable};
+
+/// Renders the experiment-band summary matrix from a campaign: rows are
+/// (experiment, process group), columns the image configurations, cells the
+/// aggregated last-run status.
+///
+/// `band_order` fixes the vertical order of the experiment bands (the paper
+/// shows ZEUS on top, H1 in the middle, HERMES at the bottom).
+pub fn render_matrix(
+    system: &SpSystem,
+    summary: &CampaignSummary,
+    band_order: &[&str],
+) -> String {
+    let mut out = String::new();
+    out.push_str("Summary of validation tests (configurations across, processes down)\n\n");
+
+    let mut headers: Vec<&str> = vec!["experiment", "process"];
+    headers.extend(summary.image_labels.iter().map(String::as_str));
+    let mut aligns = vec![Align::Left, Align::Left];
+    aligns.extend(std::iter::repeat_n(Align::Right, summary.image_labels.len()));
+    let mut table = TextTable::new(&headers).align(&aligns);
+
+    let rows = summary.rows();
+    for experiment in band_order {
+        let color = system
+            .experiment(experiment)
+            .map(|e| e.color)
+            .unwrap_or("?");
+        let mut first_row_of_band = true;
+        for (exp, group) in rows.iter().filter(|(e, _)| e == experiment) {
+            let label = if first_row_of_band {
+                format!("{exp} ({color})")
+            } else {
+                String::new()
+            };
+            first_row_of_band = false;
+            let mut cells: Vec<String> = vec![label, group.clone()];
+            for image in &summary.image_labels {
+                cells.push(summary.cell(exp, group, image).glyph().to_string());
+            }
+            table.row_owned(cells);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\n{} runs performed in total, {} fully successful\n",
+        summary.total_runs(),
+        summary.successful_runs()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::{Campaign, CampaignConfig, RunConfig};
+    use sp_env::{catalog, Arch, Version};
+
+    /// End-to-end: a reduced two-experiment campaign renders a coherent
+    /// matrix.
+    #[test]
+    fn matrix_renders_from_real_campaign() {
+        let mut system = SpSystem::new();
+        let sl5 = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        let sl6 = system
+            .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+            .unwrap();
+        system
+            .register_experiment(sp_experiments::hermes_experiment())
+            .unwrap();
+
+        let config = CampaignConfig {
+            experiments: vec!["hermes".into()],
+            images: vec![sl5, sl6],
+            repetitions: 1,
+            run: RunConfig {
+                scale: 0.1,
+                threads: 2,
+                ..RunConfig::default()
+            },
+            interval_secs: 86_400,
+        };
+        let summary = Campaign::new(&system, config).execute().unwrap();
+        let rendered = render_matrix(&system, &summary, &["hermes"]);
+        assert!(rendered.contains("hermes (red)"));
+        assert!(rendered.contains("SL5/32bit gcc4.1"));
+        assert!(rendered.contains("SL6/64bit gcc4.4"));
+        assert!(rendered.contains("compilation"));
+        assert!(rendered.contains("2 runs performed in total"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Campaign statistics.
+
+use std::collections::BTreeMap;
+
+use sp_core::CampaignSummary;
+
+use crate::json::JsonValue;
+use crate::table::{Align, TextTable};
+
+/// Per-experiment campaign statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentStats {
+    /// Number of runs.
+    pub runs: usize,
+    /// Runs that validated successfully.
+    pub successful: usize,
+    /// Total tests passed across runs.
+    pub tests_passed: usize,
+    /// Total tests failed across runs.
+    pub tests_failed: usize,
+}
+
+/// Computes per-experiment statistics from a campaign summary.
+pub fn campaign_stats(summary: &CampaignSummary) -> BTreeMap<String, ExperimentStats> {
+    let mut stats: BTreeMap<String, ExperimentStats> = BTreeMap::new();
+    for run in &summary.runs {
+        let entry = stats.entry(run.experiment.clone()).or_insert(ExperimentStats {
+            runs: 0,
+            successful: 0,
+            tests_passed: 0,
+            tests_failed: 0,
+        });
+        entry.runs += 1;
+        entry.successful += run.successful as usize;
+        entry.tests_passed += run.passed;
+        entry.tests_failed += run.failed;
+    }
+    stats
+}
+
+/// Renders campaign statistics as a text table.
+pub fn render_stats(summary: &CampaignSummary) -> String {
+    let stats = campaign_stats(summary);
+    let mut table = TextTable::new(&["experiment", "runs", "successful", "passed", "failed"])
+        .align(&[
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+    for (experiment, s) in &stats {
+        table.row_owned(vec![
+            experiment.clone(),
+            s.runs.to_string(),
+            s.successful.to_string(),
+            s.tests_passed.to_string(),
+            s.tests_failed.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Exports a campaign summary as JSON.
+pub fn campaign_json(summary: &CampaignSummary) -> JsonValue {
+    let runs: Vec<JsonValue> = summary
+        .runs
+        .iter()
+        .map(|r| {
+            JsonValue::object([
+                ("id", JsonValue::string(r.id.to_string())),
+                ("experiment", JsonValue::string(&*r.experiment)),
+                ("image", JsonValue::string(&*r.image_label)),
+                ("timestamp", (r.timestamp as f64).into()),
+                ("passed", r.passed.into()),
+                ("failed", r.failed.into()),
+                ("skipped", r.skipped.into()),
+                ("successful", r.successful.into()),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("total_runs", summary.total_runs().into()),
+        ("successful_runs", summary.successful_runs().into()),
+        ("runs", JsonValue::Array(runs)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_core::campaign::RunRecord;
+    use sp_core::RunId;
+
+    fn summary() -> CampaignSummary {
+        CampaignSummary {
+            runs: vec![
+                RunRecord {
+                    id: RunId(1),
+                    experiment: "h1".into(),
+                    image_label: "SL5".into(),
+                    timestamp: 100,
+                    passed: 440,
+                    failed: 0,
+                    skipped: 2,
+                    successful: false,
+                },
+                RunRecord {
+                    id: RunId(2),
+                    experiment: "h1".into(),
+                    image_label: "SL6".into(),
+                    timestamp: 200,
+                    passed: 430,
+                    failed: 12,
+                    skipped: 0,
+                    successful: false,
+                },
+                RunRecord {
+                    id: RunId(3),
+                    experiment: "zeus".into(),
+                    image_label: "SL5".into(),
+                    timestamp: 100,
+                    passed: 150,
+                    failed: 0,
+                    skipped: 0,
+                    successful: true,
+                },
+            ],
+            cells: Default::default(),
+            image_labels: vec!["SL5".into(), "SL6".into()],
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_per_experiment() {
+        let stats = campaign_stats(&summary());
+        assert_eq!(stats["h1"].runs, 2);
+        assert_eq!(stats["h1"].tests_failed, 12);
+        assert_eq!(stats["zeus"].successful, 1);
+    }
+
+    #[test]
+    fn table_renders() {
+        let rendered = render_stats(&summary());
+        assert!(rendered.contains("h1"));
+        assert!(rendered.contains("zeus"));
+        assert!(rendered.contains("12"));
+    }
+
+    #[test]
+    fn json_export() {
+        let json = campaign_json(&summary()).render();
+        assert!(json.contains("\"total_runs\":3"));
+        assert!(json.contains("\"successful_runs\":1"));
+        assert!(json.contains("spr-000002"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text tables.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (text).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text-table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with left-aligned headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            aligns: vec![Align::Left; headers.len()],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets per-column alignment (builder style).
+    pub fn align(mut self, aligns: &[Align]) -> Self {
+        assert_eq!(aligns.len(), self.headers.len(), "one alignment per column");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        if i + 1 < cells.len() {
+                            line.push_str(&" ".repeat(pad));
+                        }
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.headers, &widths, &self.aligns));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths, &self.aligns));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut table = TextTable::new(&["test", "status"]).align(&[Align::Left, Align::Right]);
+        table.row(&["h1/compile/h1rec", "ok"]);
+        table.row(&["h1/chain/nc-dis", "FAIL"]);
+        let rendered = table.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("test"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].ends_with("ok"));
+        assert!(lines[3].ends_with("FAIL"));
+    }
+
+    #[test]
+    fn ragged_rows_are_normalised() {
+        let mut table = TextTable::new(&["a", "b", "c"]);
+        table.row(&["1"]);
+        table.row(&["1", "2", "3", "4"]);
+        let rendered = table.render();
+        assert_eq!(rendered.lines().count(), 4);
+        assert!(!rendered.contains('4'), "extra cell dropped");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let table = TextTable::new(&["only"]);
+        assert!(table.is_empty());
+        assert_eq!(table.render().lines().count(), 2);
+    }
+}

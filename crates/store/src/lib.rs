@@ -1,0 +1,88 @@
+//! # sp-store — the common storage of the sp-system
+//!
+//! The validation framework described by Ozerov & South (arXiv:1310.7814)
+//! relies on a *common storage* shared by every client machine: the only
+//! requirement for a new client (virtual machine, batch or grid worker node)
+//! is "to have access to the common sp-system storage where the tests from
+//! the experiments as well as the test results are stored".
+//!
+//! This crate provides that substrate:
+//!
+//! * [`sha256`] — a self-contained SHA-256 implementation used for content
+//!   addressing (kept in-crate to avoid a cryptography dependency; verified
+//!   against the NIST test vectors).
+//! * [`object`] — [`ObjectId`] content addresses.
+//! * [`content`] — [`ContentStore`], an integrity-checked object store.
+//! * [`archive`] — the `SPAR` archive format standing in for the tar-balls
+//!   in which compiled package binaries are conserved.
+//! * [`meta`] — namespaced key/value bookkeeping metadata.
+//! * [`shared`] — [`SharedStorage`], the façade every sp-system client
+//!   mounts, with the areas the paper describes (artifacts, tests, results,
+//!   images) and the "few shell variables" interface ([`shared::ShellEnv`]).
+//! * [`vault`] — write-once conservation of the *last working image*
+//!   (workflow phase iv).
+//! * [`retention`] — retention policies over stored runs.
+
+pub mod archive;
+pub mod content;
+pub mod meta;
+pub mod object;
+pub mod retention;
+pub mod sha256;
+pub mod shared;
+pub mod vault;
+
+pub use archive::{Archive, ArchiveEntry};
+pub use content::ContentStore;
+pub use meta::MetaStore;
+pub use object::ObjectId;
+pub use retention::RetentionPolicy;
+pub use shared::{ExportSummary, SharedStorage, StorageArea};
+pub use vault::{FrozenImage, FrozenVault};
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The requested object does not exist in the store.
+    NotFound(ObjectId),
+    /// Stored bytes no longer hash to their object id.
+    Corrupt {
+        /// Id under which the object was stored.
+        expected: ObjectId,
+        /// Hash of the bytes actually found.
+        actual: ObjectId,
+    },
+    /// An archive could not be decoded.
+    BadArchive(String),
+    /// A frozen image with this label already exists (the vault is
+    /// write-once: conserving a "last working image" must never clobber a
+    /// previous conservation).
+    AlreadyFrozen(String),
+    /// No frozen image with this label exists.
+    NotFrozen(String),
+    /// An archive entry path was rejected (empty, absolute or containing
+    /// `..` components).
+    BadPath(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(id) => write!(f, "object {id} not found"),
+            StoreError::Corrupt { expected, actual } => {
+                write!(f, "object {expected} is corrupt (hashes to {actual})")
+            }
+            StoreError::BadArchive(msg) => write!(f, "bad archive: {msg}"),
+            StoreError::AlreadyFrozen(label) => {
+                write!(f, "image '{label}' is already conserved in the vault")
+            }
+            StoreError::NotFrozen(label) => write!(f, "no frozen image '{label}'"),
+            StoreError::BadPath(p) => write!(f, "illegal archive path '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,92 @@
+//! Content addresses for stored objects.
+
+use crate::sha256;
+
+/// A content address: the SHA-256 digest of an object's bytes.
+///
+/// Everything the sp-system keeps — compiled package tar-balls, test
+/// scripts, input files, run outputs, frozen image recipes — is identified
+/// by an `ObjectId`, which makes the bookkeeping requirement of the paper
+/// ("ensures reproducibility of previous results") checkable: two runs are
+/// byte-identical iff their output ids are equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub [u8; 32]);
+
+impl ObjectId {
+    /// Hashes `data` into its content address.
+    pub fn for_bytes(data: &[u8]) -> Self {
+        ObjectId(sha256::digest(data))
+    }
+
+    /// Full 64-character hex rendering.
+    pub fn to_hex(&self) -> String {
+        sha256::to_hex(&self.0)
+    }
+
+    /// Abbreviated rendering used in logs and report cells.
+    pub fn short(&self) -> String {
+        self.to_hex()[..12].to_string()
+    }
+
+    /// Parses a 64-character hex string.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 64 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(ObjectId(out))
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+impl std::fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObjectId({})", self.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let id = ObjectId::for_bytes(b"h1rec-2013-binaries.tar");
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(ObjectId::from_hex(&hex), Some(id));
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert_eq!(ObjectId::from_hex(""), None);
+        assert_eq!(ObjectId::from_hex("zz"), None);
+        let id = ObjectId::for_bytes(b"x");
+        let mut hex = id.to_hex();
+        hex.pop();
+        hex.push('g');
+        assert_eq!(ObjectId::from_hex(&hex), None);
+    }
+
+    #[test]
+    fn distinct_content_distinct_id() {
+        assert_ne!(ObjectId::for_bytes(b"a"), ObjectId::for_bytes(b"b"));
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let id = ObjectId::for_bytes(b"prefix");
+        assert!(id.to_hex().starts_with(&id.short()));
+        assert_eq!(id.short().len(), 12);
+    }
+}

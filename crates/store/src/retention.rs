@@ -1,0 +1,162 @@
+//! Retention policies over stored validation runs.
+//!
+//! The paper keeps *everything* ("all scripts and input files used in the
+//! test as well as all output files are kept"), which is the default policy
+//! here. Real deployments eventually prune: the policy type captures the
+//! rules a host IT department would apply while still guaranteeing that the
+//! reference runs needed for regression comparison survive.
+
+/// A record the retention policy can reason about, decoupled from the
+/// concrete run type in `sp-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetentionRecord {
+    /// Stable identifier (run id).
+    pub key: String,
+    /// Unix timestamp of the run.
+    pub timestamp: u64,
+    /// Whether the run validated successfully.
+    pub successful: bool,
+    /// Whether the run is referenced as a comparison baseline.
+    pub is_reference: bool,
+}
+
+/// What to keep when pruning run history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Always keep the most recent `keep_last` runs regardless of status.
+    pub keep_last: usize,
+    /// Always keep the most recent `keep_successful` *successful* runs.
+    pub keep_successful: usize,
+    /// Drop failed runs older than this many seconds (None = keep forever).
+    pub failed_max_age: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// The paper's policy: keep everything, forever.
+    pub fn keep_everything() -> Self {
+        RetentionPolicy {
+            keep_last: usize::MAX,
+            keep_successful: usize::MAX,
+            failed_max_age: None,
+        }
+    }
+
+    /// A pragmatic pruning policy.
+    pub fn pruning(keep_last: usize, keep_successful: usize, failed_max_age: u64) -> Self {
+        RetentionPolicy {
+            keep_last,
+            keep_successful,
+            failed_max_age: Some(failed_max_age),
+        }
+    }
+
+    /// Partitions `records` into (kept, dropped) under this policy at time
+    /// `now`. Reference runs are always kept. Records need not be sorted.
+    pub fn apply(&self, records: &[RetentionRecord], now: u64) -> (Vec<String>, Vec<String>) {
+        let mut ordered: Vec<&RetentionRecord> = records.iter().collect();
+        // Newest first; key is the tiebreaker for determinism.
+        ordered.sort_by(|a, b| b.timestamp.cmp(&a.timestamp).then(a.key.cmp(&b.key)));
+
+        let mut kept = Vec::new();
+        let mut dropped = Vec::new();
+        let mut successful_seen = 0usize;
+
+        for (rank, rec) in ordered.iter().enumerate() {
+            let mut keep = rec.is_reference || rank < self.keep_last;
+            if rec.successful {
+                if successful_seen < self.keep_successful {
+                    keep = true;
+                }
+                successful_seen += 1;
+            } else if let Some(max_age) = self.failed_max_age {
+                let age = now.saturating_sub(rec.timestamp);
+                if age <= max_age && rank < self.keep_last {
+                    keep = true;
+                }
+                if age > max_age && !rec.is_reference {
+                    keep = false;
+                }
+            }
+            if keep {
+                kept.push(rec.key.clone());
+            } else {
+                dropped.push(rec.key.clone());
+            }
+        }
+        (kept, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: &str, ts: u64, ok: bool, reference: bool) -> RetentionRecord {
+        RetentionRecord {
+            key: key.to_string(),
+            timestamp: ts,
+            successful: ok,
+            is_reference: reference,
+        }
+    }
+
+    #[test]
+    fn keep_everything_keeps_everything() {
+        let policy = RetentionPolicy::keep_everything();
+        let records = vec![
+            rec("a", 100, true, false),
+            rec("b", 200, false, false),
+            rec("c", 300, true, true),
+        ];
+        let (kept, dropped) = policy.apply(&records, 1_000);
+        assert_eq!(kept.len(), 3);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn references_always_survive() {
+        let policy = RetentionPolicy::pruning(1, 1, 10);
+        let records = vec![
+            rec("old-ref", 100, true, true),
+            rec("newer", 900, true, false),
+            rec("newest", 950, true, false),
+        ];
+        let (kept, _) = policy.apply(&records, 1_000);
+        assert!(kept.contains(&"old-ref".to_string()));
+    }
+
+    #[test]
+    fn old_failures_age_out() {
+        let policy = RetentionPolicy::pruning(2, 2, 50);
+        let records = vec![
+            rec("ancient-fail", 100, false, false),
+            rec("ok-1", 900, true, false),
+            rec("ok-2", 950, true, false),
+        ];
+        let (kept, dropped) = policy.apply(&records, 1_000);
+        assert_eq!(dropped, vec!["ancient-fail".to_string()]);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn keep_successful_reaches_past_failures() {
+        let policy = RetentionPolicy::pruning(1, 2, u64::MAX);
+        let records = vec![
+            rec("ok-old", 100, true, false),
+            rec("fail-mid", 500, false, false),
+            rec("ok-new", 900, true, false),
+        ];
+        let (kept, _) = policy.apply(&records, 1_000);
+        assert!(kept.contains(&"ok-old".to_string()));
+        assert!(kept.contains(&"ok-new".to_string()));
+    }
+
+    #[test]
+    fn deterministic_on_timestamp_ties() {
+        let policy = RetentionPolicy::pruning(1, 0, 0);
+        let records = vec![rec("b", 100, false, false), rec("a", 100, false, false)];
+        let (kept, dropped) = policy.apply(&records, 100);
+        assert_eq!(kept, vec!["a".to_string()]);
+        assert_eq!(dropped, vec!["b".to_string()]);
+    }
+}

@@ -1,0 +1,311 @@
+//! The shared-storage façade mounted by every sp-system client.
+//!
+//! Figure 1 of the paper shows the sp-system storage sitting between the
+//! three inputs (experiment software, external dependencies, OS) and the
+//! client machines. §3.1 adds the joining rule: *"The only requirement of a
+//! new machine is to have access to the common sp-system storage … as well
+//! as the ability to run a cron-job on the client."* §4 describes the
+//! interface: *"the common storage allows communication between the
+//! sp-system and the experiment tests using only a few shell variables.
+//! These variables describe for example the location of the input file of
+//! the tests, the test outputs and the external software on the client."*
+//!
+//! [`SharedStorage`] models exactly that: immutable objects in a
+//! [`ContentStore`], bookkeeping in a [`MetaStore`], logical [`StorageArea`]s
+//! instead of directory paths, and [`ShellEnv`] as the thin-variable
+//! interface handed to each test job.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::{Archive, ContentStore, MetaStore, ObjectId, Result};
+
+/// Logical areas of the common storage, mirroring the directory layout of
+/// the DESY deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StorageArea {
+    /// Compiled package binaries ("tar-balls").
+    Artifacts,
+    /// Test definitions and scripts supplied by the experiments.
+    Tests,
+    /// Outputs of validation jobs (one sub-tree per run/job).
+    Results,
+    /// Conserved virtual-machine image recipes.
+    Images,
+}
+
+impl StorageArea {
+    /// Namespace string used in the metadata store.
+    pub fn namespace(self) -> &'static str {
+        match self {
+            StorageArea::Artifacts => "artifacts",
+            StorageArea::Tests => "tests",
+            StorageArea::Results => "results",
+            StorageArea::Images => "images",
+        }
+    }
+
+    /// All areas, in rendering order.
+    pub fn all() -> [StorageArea; 4] {
+        [
+            StorageArea::Artifacts,
+            StorageArea::Tests,
+            StorageArea::Results,
+            StorageArea::Images,
+        ]
+    }
+}
+
+impl std::fmt::Display for StorageArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.namespace())
+    }
+}
+
+/// The common storage: one shared instance per sp-system deployment.
+#[derive(Clone, Default)]
+pub struct SharedStorage {
+    content: Arc<ContentStore>,
+    meta: Arc<MetaStore>,
+}
+
+impl SharedStorage {
+    /// Creates an empty shared storage.
+    pub fn new() -> Self {
+        SharedStorage {
+            content: Arc::new(ContentStore::new()),
+            meta: Arc::new(MetaStore::new()),
+        }
+    }
+
+    /// Direct access to the underlying content store.
+    pub fn content(&self) -> &ContentStore {
+        &self.content
+    }
+
+    /// Direct access to the underlying metadata store.
+    pub fn meta(&self) -> &MetaStore {
+        &self.meta
+    }
+
+    /// Stores raw bytes under `area/key` and returns the content address.
+    pub fn put_named(&self, area: StorageArea, key: &str, data: impl Into<Bytes>) -> ObjectId {
+        let id = self.content.put(data);
+        self.meta.set(area.namespace(), key, id.to_hex());
+        id
+    }
+
+    /// Stores an archive (tar-ball) under `area/key`.
+    pub fn put_archive(&self, area: StorageArea, key: &str, archive: &Archive) -> ObjectId {
+        self.put_named(area, key, archive.pack())
+    }
+
+    /// Resolves `area/key` to its content address, if registered.
+    pub fn lookup(&self, area: StorageArea, key: &str) -> Option<ObjectId> {
+        self.meta
+            .get(area.namespace(), key)
+            .and_then(|hex| ObjectId::from_hex(&hex))
+    }
+
+    /// Fetches the bytes registered under `area/key`.
+    pub fn get_named(&self, area: StorageArea, key: &str) -> Option<Result<Bytes>> {
+        self.lookup(area, key).map(|id| self.content.get(id))
+    }
+
+    /// Fetches and unpacks the archive registered under `area/key`.
+    pub fn get_archive(&self, area: StorageArea, key: &str) -> Option<Result<Archive>> {
+        self.get_named(area, key)
+            .map(|bytes| bytes.and_then(|b| Archive::unpack(&b)))
+    }
+
+    /// Lists `(key, object-id)` pairs under `area` with the given prefix.
+    pub fn list(&self, area: StorageArea, prefix: &str) -> Vec<(String, ObjectId)> {
+        self.meta
+            .list_prefixed(area.namespace(), prefix)
+            .into_iter()
+            .filter_map(|(k, hex)| ObjectId::from_hex(&hex).map(|id| (k, id)))
+            .collect()
+    }
+
+    /// Materialises every registered object onto the filesystem:
+    /// `<dir>/objects/<hex>` for the raw objects plus one `<area>.index`
+    /// listing per storage area. This is how a conserved sp-system site
+    /// (HTML pages + outputs) becomes browsable outside the process.
+    pub fn export_to_dir(&self, dir: &std::path::Path) -> std::io::Result<ExportSummary> {
+        let objects_dir = dir.join("objects");
+        std::fs::create_dir_all(&objects_dir)?;
+        let mut objects_written = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for area in StorageArea::all() {
+            let mut index = String::new();
+            for (key, oid) in self.list(area, "") {
+                index.push_str(&format!("{key} {}\n", oid.to_hex()));
+                if seen.insert(oid) {
+                    let bytes = self
+                        .content
+                        .get(oid)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                    std::fs::write(objects_dir.join(oid.to_hex()), &bytes)?;
+                    objects_written += 1;
+                }
+            }
+            std::fs::write(dir.join(format!("{}.index", area.namespace())), index)?;
+        }
+        Ok(ExportSummary {
+            objects_written,
+            areas_indexed: StorageArea::all().len(),
+        })
+    }
+
+    /// Builds the "few shell variables" environment for a test job.
+    ///
+    /// `input_key`/`output_key` are `Results`-area keys; `software_root`
+    /// names the artifact prefix for the external software installed on the
+    /// client.
+    pub fn shell_env(&self, input_key: &str, output_key: &str, software_root: &str) -> ShellEnv {
+        ShellEnv {
+            sp_input: format!("$SP_STORE/results/{input_key}"),
+            sp_output: format!("$SP_STORE/results/{output_key}"),
+            sp_software: format!("$SP_STORE/artifacts/{software_root}"),
+        }
+    }
+}
+
+/// Result of a filesystem export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportSummary {
+    /// Distinct objects written to `objects/`.
+    pub objects_written: usize,
+    /// Area index files written.
+    pub areas_indexed: usize,
+}
+
+/// The thin shell-variable interface between the sp-system and a user test.
+///
+/// "Using thin layers of scripts, a separation of the user part from the
+/// details of the sp-system is possible, allowing already existing user
+/// tests to be integrated into the sp-system or tests developed within the
+/// sp-system to be ported to other test platforms." (§4)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShellEnv {
+    /// `$SP_INPUT` — location of the test's input file(s).
+    pub sp_input: String,
+    /// `$SP_OUTPUT` — where the test must deposit its outputs.
+    pub sp_output: String,
+    /// `$SP_SOFTWARE` — root of the external software installation.
+    pub sp_software: String,
+}
+
+impl ShellEnv {
+    /// Renders the environment as `KEY=value` lines, the form a thin script
+    /// layer would source.
+    pub fn render(&self) -> String {
+        format!(
+            "SP_INPUT={}\nSP_OUTPUT={}\nSP_SOFTWARE={}\n",
+            self.sp_input, self.sp_output, self.sp_software
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchiveEntry;
+
+    #[test]
+    fn named_put_lookup_get() {
+        let storage = SharedStorage::new();
+        let id = storage.put_named(StorageArea::Tests, "h1/compile/h1rec.sh", &b"#!/bin/sh"[..]);
+        assert_eq!(storage.lookup(StorageArea::Tests, "h1/compile/h1rec.sh"), Some(id));
+        let bytes = storage
+            .get_named(StorageArea::Tests, "h1/compile/h1rec.sh")
+            .unwrap()
+            .unwrap();
+        assert_eq!(bytes.as_ref(), b"#!/bin/sh");
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let storage = SharedStorage::new();
+        assert!(storage.lookup(StorageArea::Results, "nope").is_none());
+        assert!(storage.get_named(StorageArea::Results, "nope").is_none());
+    }
+
+    #[test]
+    fn archives_round_trip_through_storage() {
+        let storage = SharedStorage::new();
+        let mut tarball = Archive::new();
+        tarball
+            .add(ArchiveEntry::executable("bin/zevis", &b"ELF"[..]))
+            .unwrap();
+        storage.put_archive(StorageArea::Artifacts, "zeus/zevis/5.4", &tarball);
+        let restored = storage
+            .get_archive(StorageArea::Artifacts, "zeus/zevis/5.4")
+            .unwrap()
+            .unwrap();
+        assert_eq!(restored, tarball);
+    }
+
+    #[test]
+    fn areas_are_isolated() {
+        let storage = SharedStorage::new();
+        storage.put_named(StorageArea::Tests, "key", &b"test"[..]);
+        storage.put_named(StorageArea::Results, "key", &b"result"[..]);
+        let t = storage.get_named(StorageArea::Tests, "key").unwrap().unwrap();
+        let r = storage
+            .get_named(StorageArea::Results, "key")
+            .unwrap()
+            .unwrap();
+        assert_ne!(t, r);
+    }
+
+    #[test]
+    fn listing_respects_prefix() {
+        let storage = SharedStorage::new();
+        storage.put_named(StorageArea::Results, "sp-1/a", &b"1"[..]);
+        storage.put_named(StorageArea::Results, "sp-1/b", &b"2"[..]);
+        storage.put_named(StorageArea::Results, "sp-2/a", &b"3"[..]);
+        assert_eq!(storage.list(StorageArea::Results, "sp-1/").len(), 2);
+        assert_eq!(storage.list(StorageArea::Results, "").len(), 3);
+    }
+
+    #[test]
+    fn shell_env_contains_three_variables() {
+        let storage = SharedStorage::new();
+        let env = storage.shell_env("sp-7/in.dat", "sp-7/out", "root/5.34");
+        let rendered = env.render();
+        assert!(rendered.contains("SP_INPUT=$SP_STORE/results/sp-7/in.dat"));
+        assert!(rendered.contains("SP_OUTPUT=$SP_STORE/results/sp-7/out"));
+        assert!(rendered.contains("SP_SOFTWARE=$SP_STORE/artifacts/root/5.34"));
+        assert_eq!(rendered.lines().count(), 3, "a *few* shell variables");
+    }
+
+    #[test]
+    fn export_writes_objects_and_indexes() {
+        let storage = SharedStorage::new();
+        storage.put_named(StorageArea::Results, "run/a", &b"alpha"[..]);
+        storage.put_named(StorageArea::Results, "run/b", &b"beta"[..]);
+        // Same content twice: deduplicated on disk too.
+        storage.put_named(StorageArea::Tests, "t", &b"alpha"[..]);
+
+        let dir = std::env::temp_dir().join(format!("sp-export-{}", std::process::id()));
+        let summary = storage.export_to_dir(&dir).unwrap();
+        assert_eq!(summary.objects_written, 2, "deduplicated objects");
+        assert_eq!(summary.areas_indexed, 4);
+        let index = std::fs::read_to_string(dir.join("results.index")).unwrap();
+        assert!(index.contains("run/a"));
+        let oid = storage.lookup(StorageArea::Results, "run/a").unwrap();
+        let on_disk = std::fs::read(dir.join("objects").join(oid.to_hex())).unwrap();
+        assert_eq!(on_disk, b"alpha");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedStorage::new();
+        let b = a.clone();
+        a.put_named(StorageArea::Tests, "shared", &b"x"[..]);
+        assert!(b.lookup(StorageArea::Tests, "shared").is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! Conservation of the last working image (workflow phase iv).
+//!
+//! "The final phase occurs either when no person-power is available … or the
+//! current system is deemed satisfactory for the long-term need or stable
+//! enough. At this point the last working virtual image is conserved and
+//! constitutes the last version of the experimental software and
+//! environment." (§3.1)
+//!
+//! The vault is deliberately **write-once per label**: conserving a new
+//! image under an existing label is an error, because the conserved image is
+//! the preservation deliverable — it must never be silently replaced.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::{ObjectId, Result, StoreError};
+
+/// A conserved image: the recipe plus the artifact set it was built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenImage {
+    /// Unique label, e.g. `h1-sl6-64-gcc44-final`.
+    pub label: String,
+    /// Content address of the serialized environment recipe.
+    pub recipe: ObjectId,
+    /// Content addresses of every artifact tar-ball baked into the image.
+    pub artifacts: Vec<ObjectId>,
+    /// Unix timestamp of conservation.
+    pub frozen_at: u64,
+    /// Free-text description ("last validated configuration before H1
+    /// person-power ended").
+    pub description: String,
+}
+
+/// Write-once store of conserved images.
+#[derive(Default)]
+pub struct FrozenVault {
+    images: RwLock<BTreeMap<String, FrozenImage>>,
+}
+
+impl FrozenVault {
+    /// Creates an empty vault.
+    pub fn new() -> Self {
+        FrozenVault::default()
+    }
+
+    /// Conserves an image. Fails if `label` is already taken.
+    pub fn freeze(&self, image: FrozenImage) -> Result<()> {
+        let mut images = self.images.write();
+        if images.contains_key(&image.label) {
+            return Err(StoreError::AlreadyFrozen(image.label));
+        }
+        images.insert(image.label.clone(), image);
+        Ok(())
+    }
+
+    /// Retrieves a conserved image by label.
+    pub fn get(&self, label: &str) -> Result<FrozenImage> {
+        self.images
+            .read()
+            .get(label)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFrozen(label.to_string()))
+    }
+
+    /// All conserved images, in label order.
+    pub fn list(&self) -> Vec<FrozenImage> {
+        self.images.read().values().cloned().collect()
+    }
+
+    /// Number of conserved images.
+    pub fn len(&self) -> usize {
+        self.images.read().len()
+    }
+
+    /// Whether nothing has been conserved yet.
+    pub fn is_empty(&self) -> bool {
+        self.images.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(label: &str) -> FrozenImage {
+        FrozenImage {
+            label: label.to_string(),
+            recipe: ObjectId::for_bytes(label.as_bytes()),
+            artifacts: vec![ObjectId::for_bytes(b"artifact")],
+            frozen_at: 1_380_000_000,
+            description: "final validated configuration".to_string(),
+        }
+    }
+
+    #[test]
+    fn freeze_then_get() {
+        let vault = FrozenVault::new();
+        vault.freeze(image("h1-final")).unwrap();
+        let restored = vault.get("h1-final").unwrap();
+        assert_eq!(restored.description, "final validated configuration");
+        assert_eq!(vault.len(), 1);
+    }
+
+    #[test]
+    fn freeze_is_write_once() {
+        let vault = FrozenVault::new();
+        vault.freeze(image("h1-final")).unwrap();
+        let err = vault.freeze(image("h1-final")).unwrap_err();
+        assert_eq!(err, StoreError::AlreadyFrozen("h1-final".to_string()));
+        assert_eq!(vault.len(), 1);
+    }
+
+    #[test]
+    fn get_missing_label_errors() {
+        let vault = FrozenVault::new();
+        assert_eq!(
+            vault.get("zeus-final").unwrap_err(),
+            StoreError::NotFrozen("zeus-final".to_string())
+        );
+    }
+
+    #[test]
+    fn list_is_label_ordered() {
+        let vault = FrozenVault::new();
+        vault.freeze(image("zeus-final")).unwrap();
+        vault.freeze(image("h1-final")).unwrap();
+        vault.freeze(image("hermes-final")).unwrap();
+        let labels: Vec<String> = vault.list().into_iter().map(|f| f.label).collect();
+        assert_eq!(labels, vec!["h1-final", "hermes-final", "zeus-final"]);
+    }
+}

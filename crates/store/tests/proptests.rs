@@ -1,0 +1,130 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use sp_store::{sha256, Archive, ArchiveEntry, ContentStore, ObjectId};
+
+/// Strategy for legal archive paths: 1-3 components of [a-z0-9_]{1,8}.
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z0-9_]{1,8}", 1..=3).prop_map(|parts| parts.join("/"))
+}
+
+fn entry_strategy() -> impl Strategy<Value = ArchiveEntry> {
+    (
+        path_strategy(),
+        prop::collection::vec(any::<u8>(), 0..256),
+        prop::bool::ANY,
+    )
+        .prop_map(|(path, data, exec)| {
+            if exec {
+                ArchiveEntry::executable(path, data)
+            } else {
+                ArchiveEntry::file(path, data)
+            }
+        })
+}
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any split points.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        split_fracs in prop::collection::vec(0.0f64..1.0, 0..4),
+    ) {
+        let mut splits: Vec<usize> = split_fracs
+            .iter()
+            .map(|f| (f * data.len() as f64) as usize)
+            .collect();
+        splits.sort_unstable();
+        splits.dedup();
+
+        let mut hasher = sha256::Sha256::new();
+        let mut prev = 0usize;
+        for &s in &splits {
+            hasher.update(&data[prev..s]);
+            prev = s;
+        }
+        hasher.update(&data[prev..]);
+        prop_assert_eq!(hasher.finalize(), sha256::digest(&data));
+    }
+
+    /// Content addresses are stable and injective in practice.
+    #[test]
+    fn object_id_round_trips_hex(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let id = ObjectId::for_bytes(&data);
+        prop_assert_eq!(ObjectId::from_hex(&id.to_hex()), Some(id));
+    }
+
+    /// put/get round-trips arbitrary payloads bit-for-bit.
+    #[test]
+    fn store_round_trip(data in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let store = ContentStore::new();
+        let id = store.put(data.clone());
+        let fetched = store.get(id).unwrap();
+        prop_assert_eq!(fetched.as_ref(), &data[..]);
+    }
+
+    /// Archives survive pack/unpack with entries preserved (modulo the
+    /// deterministic path ordering applied at pack time).
+    #[test]
+    fn archive_round_trip(entries in prop::collection::vec(entry_strategy(), 0..12)) {
+        // Deduplicate paths: duplicate paths are legal but make entry lookup
+        // ambiguous for the comparison below.
+        let mut seen = std::collections::HashSet::new();
+        let mut archive = Archive::new();
+        let mut expected = Vec::new();
+        for e in entries {
+            if seen.insert(e.path.clone()) {
+                archive.add(e.clone()).unwrap();
+                expected.push(e);
+            }
+        }
+        let unpacked = Archive::unpack(&archive.pack()).unwrap();
+        prop_assert_eq!(unpacked.len(), expected.len());
+        for e in &expected {
+            let got = unpacked.entry(&e.path).expect("entry preserved");
+            prop_assert_eq!(&got.data, &e.data);
+            prop_assert_eq!(got.mode, e.mode);
+        }
+    }
+
+    /// Packing is a pure function of contents, not insertion order.
+    #[test]
+    fn archive_pack_order_independent(entries in prop::collection::vec(entry_strategy(), 0..8)) {
+        let mut seen = std::collections::HashSet::new();
+        let mut unique = Vec::new();
+        for e in entries {
+            if seen.insert(e.path.clone()) {
+                unique.push(e);
+            }
+        }
+        let mut forward = Archive::new();
+        for e in &unique {
+            forward.add(e.clone()).unwrap();
+        }
+        let mut reversed = Archive::new();
+        for e in unique.iter().rev() {
+            reversed.add(e.clone()).unwrap();
+        }
+        prop_assert_eq!(forward.pack(), reversed.pack());
+    }
+
+    /// Any single-bit corruption of a packed archive is detected.
+    #[test]
+    fn archive_bit_flip_detected(
+        entries in prop::collection::vec(entry_strategy(), 1..6),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let mut archive = Archive::new();
+        let mut seen = std::collections::HashSet::new();
+        for e in entries {
+            if seen.insert(e.path.clone()) {
+                archive.add(e).unwrap();
+            }
+        }
+        let packed = archive.pack().to_vec();
+        let idx = ((flip_frac * packed.len() as f64) as usize).min(packed.len() - 1);
+        let mut corrupted = packed.clone();
+        corrupted[idx] ^= 0x40;
+        prop_assert!(Archive::unpack(&corrupted).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! The full H1 Level-4 preservation programme, end to end: the four phases
+//! of §3.1 driven through the [`MigrationManager`].
+//!
+//! 1. **Preparation** — consolidate the stack against the SL5 image.
+//! 2. **Operation** — regular validated runs on SL5/32bit.
+//! 3. **Migration & analysis** — integrate SL6/64bit, watch the latent
+//!    pointer bug surface, read the automatic diagnosis, apply the fix.
+//! 4. **Freeze** — conserve the last working image in the vault.
+//!
+//! ```text
+//! cargo run --release --example h1_migration
+//! ```
+
+use sp_system::build::prune::consolidate;
+use sp_system::core::{classify, MigrationManager, RegressionReport, RunConfig, SpSystem};
+use sp_system::env::{catalog, Arch, CodeTrait, Version};
+
+fn main() {
+    let mut system = SpSystem::new();
+    let sl5 = system
+        .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+        .expect("coherent image");
+    let sl6 = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .expect("coherent image");
+    system
+        .register_experiment(sp_system::experiments::h1_experiment())
+        .expect("coherent experiment");
+    let config = RunConfig {
+        scale: 0.4,
+        ..RunConfig::default()
+    };
+
+    // ---- phase (i): preparation -----------------------------------------
+    let now = system.clock().now();
+    let mut manager = MigrationManager::new("h1", now);
+    let h1 = system.experiment("h1").expect("registered");
+    let sl5_env = system.image(sl5).expect("registered").spec.clone();
+    let report = consolidate(&h1.graph, &sl5_env, &h1.entry_points);
+    println!("phase i (preparation): consolidation on {}", sl5_env.label());
+    println!("    unnecessary externals: {:?}", report.unnecessary_externals);
+    println!("    missing externals:     {:?}", report.missing_externals);
+    println!("    unreachable packages:  {:?}", report.unreachable_packages);
+    assert!(report.is_clean(), "H1 stack is consolidated for SL5");
+    manager
+        .complete_preparation(vec![], system.clock().now())
+        .expect("clean consolidation");
+    println!("    -> entering operation\n");
+
+    // ---- phase (ii): regular operation on SL5 ---------------------------
+    for pass in 1..=3 {
+        system.clock().advance(86_400);
+        let run = system
+            .run_validation("h1", sl5, &config)
+            .expect("regular run");
+        manager
+            .on_run(&sl5_env, &run, None, system.clock().now())
+            .expect("operation accepts runs");
+        println!(
+            "phase ii (operation): nightly run {} pass {pass}: {} passed / {} failed",
+            run.id,
+            run.passed(),
+            run.failed()
+        );
+    }
+
+    // ---- integrate the new environment ----------------------------------
+    println!("\nintegrating new OS version: SL6/64bit gcc4.4");
+    system.clock().advance(86_400);
+    let sl6_env = system.image(sl6).expect("registered").spec.clone();
+    let migrated = system
+        .run_validation("h1", sl6, &config)
+        .expect("migration run");
+    let baseline = system
+        .ledger()
+        .latest_successful("h1")
+        .expect("SL5 reference exists");
+    let regression = RegressionReport::between(&baseline, &migrated);
+    println!("    {}", regression.summary());
+
+    // ---- phase (iii): analysis -------------------------------------------
+    let diagnosis = classify(h1, &migrated, &sl6_env);
+    manager
+        .on_run(&sl6_env, &migrated, diagnosis.clone(), system.clock().now())
+        .expect("failure enters analysis");
+    let diagnosis = diagnosis.expect("failed run yields a diagnosis");
+    println!("\nphase iii (analysis): {}", diagnosis.headline());
+    for line in diagnosis.evidence.iter().take(4) {
+        println!("    evidence: {line}");
+    }
+
+    // ---- intervention: the experiment fixes the pointer bug --------------
+    println!("\nintervention: h1bank INTEGER*4 pointer fields widened to INTEGER*8");
+    let mut fixed = sp_system::experiments::h1_experiment();
+    let mut graph = sp_system::build::DependencyGraph::new();
+    for mut package in fixed.graph.packages().cloned() {
+        if package.id.as_str() == "h1bank" {
+            package
+                .traits
+                .retain(|t| !matches!(t, CodeTrait::PointerSizeAssumption { .. }));
+            package.version = Version::new(5, 0, 2); // the bug-fix release
+        }
+        graph.add(package).expect("copying a valid graph");
+    }
+    fixed.graph = graph;
+    system.register_experiment(fixed).expect("fixed stack registers");
+
+    system.clock().advance(86_400);
+    let revalidated = system
+        .run_validation("h1", sl6, &config)
+        .expect("revalidation run");
+    println!(
+        "revalidation on SL6: {} passed / {} failed",
+        revalidated.passed(),
+        revalidated.failed()
+    );
+    manager
+        .on_run(&sl6_env, &revalidated, None, system.clock().now())
+        .expect("recovery returns to operation");
+    assert!(revalidated.is_successful(), "the fix closes the migration");
+    println!(
+        "    -> back in operation; {} intervention(s) resolved\n",
+        manager.interventions().len()
+    );
+
+    // ---- phase (iv): freeze ------------------------------------------------
+    let artifacts: Vec<_> = system
+        .storage()
+        .list(sp_system::store::StorageArea::Artifacts, "")
+        .into_iter()
+        .map(|(_, oid)| oid)
+        .collect();
+    let label = manager
+        .freeze(
+            system.vault(),
+            "H1 person-power ends; conserving the validated SL6 configuration",
+            artifacts,
+            system.clock().now(),
+        )
+        .expect("freeze succeeds after a good run");
+    let frozen = system.vault().get(&label).expect("conserved image");
+    println!("phase iv (freeze): conserved '{label}'");
+    println!("    {}", frozen.description);
+    println!("    {} artifact tar-balls baked in", frozen.artifacts.len());
+    println!("\nworkflow history:");
+    for (ts, phase) in manager.history() {
+        println!("    t={ts}  {phase}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: one experiment, one image, one validation run.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sp_system::core::{RunConfig, SpSystem};
+use sp_system::env::{catalog, Version};
+use sp_system::report::TextTable;
+
+fn main() {
+    // The sp-system hosts virtual machine images built from recipes; this
+    // one is the paper's SL6/64bit gcc4.4 configuration with ROOT 5.34.
+    let mut system = SpSystem::new();
+    let image = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .expect("catalog images are coherent");
+
+    // Experiments register their software stack and validation suite.
+    let hermes = sp_system::experiments::hermes_experiment();
+    println!(
+        "registering HERMES: {} packages, {} tests\n",
+        hermes.package_count(),
+        hermes.suite.len()
+    );
+    system.register_experiment(hermes).expect("coherent stack");
+
+    // One regular validation run: build the stack, run every test, keep
+    // all outputs in the common storage.
+    let config = RunConfig {
+        scale: 0.25,
+        ..RunConfig::default()
+    };
+    let run = system
+        .run_validation("hermes", image, &config)
+        .expect("run executes");
+
+    println!(
+        "run {} on {}: {} passed, {} failed, {} skipped\n",
+        run.id,
+        run.image_label,
+        run.passed(),
+        run.failed(),
+        run.skipped()
+    );
+
+    // Per-category summary (the Figure-2 view of this run).
+    let mut table = TextTable::new(&["category", "passed", "total"]);
+    for category in sp_system::core::TestCategory::all() {
+        let total = run.by_category(category).count();
+        let passed = run
+            .by_category(category)
+            .filter(|r| r.status.is_pass())
+            .count();
+        table.row_owned(vec![
+            category.label().to_string(),
+            passed.to_string(),
+            total.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "common storage now holds {} objects ({} bytes)",
+        system.storage().content().len(),
+        system.storage().content().stats().bytes
+    );
+    assert!(run.is_successful());
+    println!("\nvalidation successful — this run is now the HERMES reference");
+}

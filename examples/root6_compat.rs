@@ -1,0 +1,108 @@
+//! The §3.3/§4 outlook experiment: "The next challenges include the testing
+//! of the SL7 environment and checking the compatibility of the experiments
+//! software with ROOT 6."
+//!
+//! Establishes an SL6 reference for each HERA experiment and then probes the
+//! two extension configurations, printing per-category damage reports and
+//! the framework's diagnoses.
+//!
+//! ```text
+//! cargo run --release --example root6_compat
+//! ```
+
+use sp_system::core::{classify, RunConfig, SpSystem, TestCategory};
+use sp_system::env::{catalog, Version};
+use sp_system::report::table::{Align, TextTable};
+
+fn main() {
+    let mut system = SpSystem::new();
+    let sl6 = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .expect("coherent image");
+    let sl7_root5 = system
+        .register_image(catalog::sl7_gcc48(Version::two(5, 34)))
+        .expect("coherent image");
+    let sl7_root6 = system
+        .register_image(catalog::sl7_gcc48(catalog::root6_version()))
+        .expect("coherent image");
+    // ROOT 6 on SL6/gcc4.4 is *not even installable* (no C++11): the image
+    // build itself must fail, which is its own §4 lesson.
+    let impossible = catalog::sl6_gcc44(catalog::root6_version());
+    assert!(
+        system.register_image(impossible).is_err(),
+        "ROOT 6 requires a C++11 toolchain"
+    );
+    println!("note: ROOT 6 on SL6/gcc4.4 rejected at image build (needs C++11)\n");
+
+    for experiment in sp_system::experiments::hera_experiments() {
+        system.register_experiment(experiment).expect("coherent experiment");
+    }
+    let config = RunConfig {
+        scale: 0.25,
+        ..RunConfig::default()
+    };
+
+    // SL6 references.
+    for experiment in ["zeus", "h1", "hermes"] {
+        system
+            .run_validation(experiment, sl6, &config)
+            .expect("reference run");
+    }
+
+    for (label, image) in [("SL7 + ROOT 5.34", sl7_root5), ("SL7 + ROOT 6", sl7_root6)] {
+        println!("=== {label} ===\n");
+        let mut table = TextTable::new(&[
+            "experiment",
+            "category",
+            "passed",
+            "failed",
+            "skipped",
+        ])
+        .align(&[
+            Align::Left,
+            Align::Left,
+            Align::Right,
+            Align::Right,
+            Align::Right,
+        ]);
+        for experiment in ["zeus", "h1", "hermes"] {
+            let run = system
+                .run_validation(experiment, image, &config)
+                .expect("probe run");
+            for category in TestCategory::all() {
+                let results: Vec<_> = run.by_category(category).collect();
+                if results.is_empty() {
+                    continue;
+                }
+                let passed = results.iter().filter(|r| r.status.is_pass()).count();
+                let failed = results
+                    .iter()
+                    .filter(|r| matches!(r.status, sp_system::core::TestStatus::Failed(_)))
+                    .count();
+                let skipped = results.len() - passed - failed;
+                table.row_owned(vec![
+                    experiment.to_string(),
+                    category.label().to_string(),
+                    passed.to_string(),
+                    failed.to_string(),
+                    skipped.to_string(),
+                ]);
+            }
+            if !run.is_successful() {
+                let def = system.experiment(experiment).expect("registered");
+                let env = system.image(image).expect("registered").spec.clone();
+                if let Some(diagnosis) = classify(def, &run, &env) {
+                    println!("{experiment}: {}", diagnosis.headline());
+                }
+            }
+        }
+        println!("\n{}", table.render());
+    }
+
+    println!(
+        "conclusion: ROOT 6 removes the CINT-era API the HERA analysis layers\n\
+         were written against; the sp-system pinpoints the affected packages\n\
+         (h1oo/h1micro, orange/zdis, hana) so the experiments know exactly\n\
+         where migration effort is needed."
+    );
+}

@@ -1,0 +1,120 @@
+//! Failure injection across the substrates: storage corruption, vault
+//! misuse, incoherent configurations.
+
+use sp_system::core::{RunConfig, SpSystem};
+use sp_system::env::{catalog, Version};
+use sp_system::store::{FrozenImage, ObjectId, StoreError};
+
+/// Corrupting a stored artifact is detected at read time — the integrity
+/// guarantee the preservation programme rests on.
+#[test]
+fn storage_corruption_is_detected() {
+    let mut system = SpSystem::new();
+    let image = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+    let run = system
+        .run_validation(
+            "hermes",
+            image,
+            &RunConfig {
+                scale: 0.1,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Corrupt the first output object of the run.
+    let (_, victim) = run.results[0].outputs[0].clone();
+    assert!(system.storage().content().corrupt_for_test(victim));
+    match system.storage().content().get(victim) {
+        Err(StoreError::Corrupt { expected, .. }) => assert_eq!(expected, victim),
+        other => panic!("corruption must be detected, got {other:?}"),
+    }
+    // The fsck sweep finds exactly the corrupted object.
+    assert_eq!(system.storage().content().verify_all(), vec![victim]);
+}
+
+/// The vault refuses to overwrite a conserved image.
+#[test]
+fn vault_is_write_once() {
+    let system = SpSystem::new();
+    let image = FrozenImage {
+        label: "h1-final".into(),
+        recipe: ObjectId::for_bytes(b"recipe"),
+        artifacts: vec![],
+        frozen_at: 0,
+        description: "first conservation".into(),
+    };
+    system.vault().freeze(image.clone()).unwrap();
+    let err = system.vault().freeze(image).unwrap_err();
+    assert!(matches!(err, StoreError::AlreadyFrozen(_)));
+}
+
+/// Runs against unknown experiments or images fail cleanly, without
+/// touching the ledger.
+#[test]
+fn unknown_targets_leave_no_trace() {
+    let mut system = SpSystem::new();
+    let image = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    let config = RunConfig::default();
+    assert!(system.run_validation("ghost", image, &config).is_err());
+    assert!(system
+        .run_validation("ghost", sp_system::env::VmImageId(42), &config)
+        .is_err());
+    assert_eq!(system.ledger().run_count(), 0);
+}
+
+/// A cyclic experiment stack is rejected at registration.
+#[test]
+fn cyclic_stack_rejected_at_registration() {
+    use sp_system::build::{DependencyGraph, Package, PackageKind};
+    let mut graph = DependencyGraph::new();
+    graph
+        .add(Package::new("a", Version::new(1, 0, 0), PackageKind::Library).dep("b"))
+        .unwrap();
+    graph
+        .add(Package::new("b", Version::new(1, 0, 0), PackageKind::Library).dep("a"))
+        .unwrap();
+    let broken = sp_system::core::ExperimentDef {
+        name: "broken".into(),
+        color: "grey",
+        graph,
+        suite: sp_system::core::TestSuite::new(
+            "broken",
+            sp_system::core::PreservationLevel::FullSoftware,
+        ),
+        entry_points: vec![],
+    };
+    let mut system = SpSystem::new();
+    assert!(system.register_experiment(broken).is_err());
+}
+
+/// DST files survive storage round-trips but reject tampering.
+#[test]
+fn dst_files_reject_tampering() {
+    use sp_system::hep::{read_dst, write_dst, EventGenerator, GeneratorConfig};
+    let events: Vec<_> = EventGenerator::new(GeneratorConfig::hera_nc(), 5)
+        .take(20)
+        .collect();
+    let bytes = write_dst(&events);
+
+    let system = SpSystem::new();
+    let oid = system.storage().put_named(
+        sp_system::store::StorageArea::Results,
+        "test/dst",
+        bytes.to_vec(),
+    );
+    let restored = system.storage().content().get(oid).unwrap();
+    assert_eq!(read_dst(&restored).unwrap(), events);
+
+    let mut tampered = restored.to_vec();
+    let mid = tampered.len() / 2;
+    tampered[mid] ^= 0x01;
+    assert!(read_dst(&tampered).is_err());
+}

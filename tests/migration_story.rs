@@ -1,0 +1,176 @@
+//! Cross-crate integration: the §3.3 migration narrative on the real HERA
+//! stacks — reference on SL5/32, migration to 64-bit surfaces the latent
+//! bugs, classification routes the intervention, the fix closes the loop.
+
+use sp_system::core::{classify, InputCategory, RegressionReport, RunConfig, SpSystem};
+use sp_system::env::{catalog, Arch, Version};
+
+fn config() -> RunConfig {
+    RunConfig {
+        scale: 0.35,
+        threads: 4,
+        ..RunConfig::default()
+    }
+}
+
+/// H1 on SL6/64: the h1bank pointer bug must surface as data-validation
+/// failures (not compile failures), be classified as experiment software,
+/// and name the right package.
+#[test]
+fn h1_sl6_migration_finds_h1bank() {
+    let mut system = SpSystem::new();
+    let sl5 = system
+        .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+        .unwrap();
+    let sl6 = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::h1_experiment())
+        .unwrap();
+
+    let reference = system.run_validation("h1", sl5, &config()).unwrap();
+    assert!(
+        reference.is_successful(),
+        "SL5/32bit is the clean reference platform: {:?}",
+        reference.failures().take(3).collect::<Vec<_>>()
+    );
+
+    let migrated = system.run_validation("h1", sl6, &config()).unwrap();
+    assert!(!migrated.is_successful(), "the latent bug must surface");
+
+    // Compilation still succeeds (the bug is a warning at most).
+    assert!(migrated
+        .by_category(sp_system::core::TestCategory::Compilation)
+        .all(|r| r.status.is_pass()));
+
+    // The regression report sees only new failures, nothing fixed.
+    let regression = RegressionReport::between(&reference, &migrated);
+    assert!(!regression.is_clean());
+    assert!(regression.fixed().is_empty());
+
+    // Classification: experiment software, culprit h1bank, experiment owns
+    // the intervention.
+    let h1 = system.experiment("h1").unwrap();
+    let env = system.image(sl6).unwrap().spec.clone();
+    let diagnosis = classify(h1, &migrated, &env).unwrap();
+    assert_eq!(diagnosis.category, InputCategory::ExperimentSoftware);
+    assert_eq!(diagnosis.culprit, "h1bank");
+    assert_eq!(
+        diagnosis.assignee,
+        sp_system::core::Assignee::Experiment
+    );
+}
+
+/// HERMES has no latent 64-bit bugs: its SL6 migration is clean.
+#[test]
+fn hermes_sl6_migration_is_clean() {
+    let mut system = SpSystem::new();
+    let sl5 = system
+        .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+        .unwrap();
+    let sl6 = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+
+    let reference = system.run_validation("hermes", sl5, &config()).unwrap();
+    assert!(reference.is_successful());
+    let migrated = system.run_validation("hermes", sl6, &config()).unwrap();
+    assert!(
+        migrated.is_successful(),
+        "HERMES failures: {:?}",
+        migrated
+            .failures()
+            .map(|r| (&r.test, &r.status))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// ROOT version bumps within the 5.x series are harmless — the experiments'
+/// API level is unchanged, so outputs stay bit-identical.
+#[test]
+fn root5_version_bumps_are_green() {
+    let mut system = SpSystem::new();
+    let root_532 = system
+        .register_image(catalog::sl5_gcc44(Arch::X86_64, Version::two(5, 32)))
+        .unwrap();
+    let root_534 = system
+        .register_image(catalog::sl5_gcc44(Arch::X86_64, Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+
+    let first = system.run_validation("hermes", root_532, &config()).unwrap();
+    assert!(first.is_successful());
+    let bumped = system.run_validation("hermes", root_534, &config()).unwrap();
+    assert!(bumped.is_successful(), "ROOT 5.32 -> 5.34 must be benign");
+    assert_eq!(
+        first.passed(),
+        bumped.passed(),
+        "identical suite outcome across ROOT 5.x"
+    );
+}
+
+/// ROOT 6 breaks the CINT-era analysis layer: compile failures in the
+/// ROOT-API packages, classified as an external-dependency problem.
+#[test]
+fn root6_breaks_the_analysis_layer() {
+    let mut system = SpSystem::new();
+    // SL6 + devtoolset keeps CERNLIB available, isolating the ROOT 6 break.
+    let sl7_root6 = system
+        .register_image(catalog::sl6_devtoolset_root6())
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+
+    let run = system.run_validation("hermes", sl7_root6, &config()).unwrap();
+    assert!(!run.is_successful());
+    // hana fails to compile; everything depending on it skips.
+    let hana_compile = run
+        .results
+        .iter()
+        .find(|r| r.test.as_str() == "hermes/compile/hana")
+        .unwrap();
+    assert!(
+        matches!(hana_compile.status, sp_system::core::TestStatus::Failed(_)),
+        "hana must fail on ROOT 6: {:?}",
+        hana_compile.status
+    );
+
+    let hermes = system.experiment("hermes").unwrap();
+    let env = system.image(sl7_root6).unwrap().spec.clone();
+    let diagnosis = classify(hermes, &run, &env).unwrap();
+    assert_eq!(diagnosis.category, InputCategory::ExternalDependency);
+    assert_eq!(diagnosis.culprit, "root");
+}
+
+/// SL7 without CERNLIB: the Fortran legacy generators/simulation fail to
+/// compile, and the event displays crash on the changed kernel interface.
+#[test]
+fn sl7_breaks_cernlib_users_and_legacy_tools() {
+    let mut system = SpSystem::new();
+    let sl7 = system
+        .register_image(catalog::sl7_gcc48(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::zeus_experiment())
+        .unwrap();
+
+    let run = system.run_validation("zeus", sl7, &config()).unwrap();
+    assert!(!run.is_successful());
+
+    let failed: Vec<&str> = run.failures().map(|r| r.test.as_str()).collect();
+    assert!(
+        failed.contains(&"zeus/compile/mozart"),
+        "CERNLIB user fails to compile: {failed:?}"
+    );
+    assert!(
+        failed.contains(&"zeus/standalone/zevis"),
+        "event display crashes on SL7: {failed:?}"
+    );
+}

@@ -1,0 +1,122 @@
+//! Reproducibility guarantees: the property §3.3 calls "ensures
+//! reproducibility of previous results".
+
+use sp_system::core::{Campaign, CampaignConfig, RunConfig, SpSystem};
+use sp_system::env::{catalog, Version};
+
+fn fresh_system() -> (SpSystem, sp_system::env::VmImageId) {
+    let mut system = SpSystem::new();
+    let image = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+    (system, image)
+}
+
+fn config(seed: u64) -> RunConfig {
+    RunConfig {
+        seed,
+        scale: 0.15,
+        threads: 4,
+        ..RunConfig::default()
+    }
+}
+
+/// Two independent systems, same seed: identical run digests (outputs are
+/// bit-for-bit equal by content address).
+#[test]
+fn identical_systems_produce_identical_digests() {
+    let (system_a, image_a) = fresh_system();
+    let (system_b, image_b) = fresh_system();
+    let run_a = system_a.run_validation("hermes", image_a, &config(1)).unwrap();
+    let run_b = system_b.run_validation("hermes", image_b, &config(1)).unwrap();
+    assert_eq!(run_a.digest(), run_b.digest());
+}
+
+/// Different seeds change the workloads (hence the outputs) but not the
+/// verdicts on a healthy platform.
+#[test]
+fn seeds_change_outputs_not_verdicts() {
+    let (system_a, image_a) = fresh_system();
+    let (system_b, image_b) = fresh_system();
+    let run_a = system_a.run_validation("hermes", image_a, &config(1)).unwrap();
+    let run_b = system_b.run_validation("hermes", image_b, &config(2)).unwrap();
+    assert_ne!(run_a.digest(), run_b.digest(), "outputs differ");
+    assert!(run_a.is_successful());
+    assert!(run_b.is_successful());
+    assert_eq!(run_a.passed(), run_b.passed());
+}
+
+/// Thread count must not affect results (the parallel builder and job pool
+/// are deterministic).
+#[test]
+fn thread_count_is_invisible() {
+    let (system_a, image_a) = fresh_system();
+    let (system_b, image_b) = fresh_system();
+    let mut config_1 = config(7);
+    config_1.threads = 1;
+    let mut config_8 = config(7);
+    config_8.threads = 8;
+    let run_1 = system_a.run_validation("hermes", image_a, &config_1).unwrap();
+    let run_8 = system_b.run_validation("hermes", image_b, &config_8).unwrap();
+    assert_eq!(run_1.digest(), run_8.digest());
+}
+
+/// A rerun on the same system compares bit-identically against its own
+/// reference: every comparison comes back `Identical`.
+#[test]
+fn reruns_compare_identical() {
+    let (system, image) = fresh_system();
+    let first = system.run_validation("hermes", image, &config(3)).unwrap();
+    let second = system.run_validation("hermes", image, &config(3)).unwrap();
+    assert_eq!(first.digest(), second.digest());
+    let compared = second
+        .results
+        .iter()
+        .filter(|r| r.compare.is_some())
+        .count();
+    assert!(compared > 0, "second run compares against the reference");
+    for result in &second.results {
+        if let Some(outcome) = &result.compare {
+            assert_eq!(
+                *outcome,
+                sp_system::core::CompareOutcome::Identical,
+                "test {}",
+                result.test
+            );
+        }
+    }
+}
+
+/// Whole campaigns are reproducible: same configuration, same summary.
+#[test]
+fn campaigns_are_reproducible() {
+    let run_campaign = || {
+        let (mut system, _) = {
+            let mut system = SpSystem::new();
+            let image = system
+                .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+                .unwrap();
+            (system, image)
+        };
+        system
+            .register_experiment(sp_system::experiments::hermes_experiment())
+            .unwrap();
+        let campaign_config = CampaignConfig {
+            experiments: vec!["hermes".into()],
+            images: system.images().iter().map(|i| i.id).collect(),
+            repetitions: 2,
+            run: config(11),
+            interval_secs: 86_400,
+        };
+        let summary = Campaign::new(&system, campaign_config).execute().unwrap();
+        summary
+            .runs
+            .iter()
+            .map(|r| (r.experiment.clone(), r.passed, r.failed, r.successful))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run_campaign(), run_campaign());
+}

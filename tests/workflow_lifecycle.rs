@@ -1,0 +1,121 @@
+//! Integration test of the full §3.1 four-phase workflow against the real
+//! ZEUS stack, including the production-recipe export and the freeze.
+
+use sp_system::build::prune::consolidate;
+use sp_system::core::{classify, MigrationManager, Phase, RunConfig, SpSystem};
+use sp_system::env::{catalog, Arch, CodeTrait, Version};
+
+fn config() -> RunConfig {
+    RunConfig {
+        scale: 0.3,
+        threads: 4,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn zeus_four_phase_lifecycle() {
+    let mut system = SpSystem::new();
+    let sl5 = system
+        .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+        .unwrap();
+    let sl6 = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::zeus_experiment())
+        .unwrap();
+
+    // Phase i — preparation: the ZEUS stack consolidates cleanly on SL5.
+    let mut manager = MigrationManager::new("zeus", system.clock().now());
+    let zeus = system.experiment("zeus").unwrap();
+    let sl5_env = system.image(sl5).unwrap().spec.clone();
+    let consolidation = consolidate(&zeus.graph, &sl5_env, &zeus.entry_points);
+    assert!(consolidation.is_clean(), "{consolidation:?}");
+    manager
+        .complete_preparation(vec![], system.clock().now())
+        .unwrap();
+    assert_eq!(manager.phase().name(), "operation");
+
+    // Phase ii — operation: two clean nightly runs on SL5.
+    for _ in 0..2 {
+        system.clock().advance(86_400);
+        let run = system.run_validation("zeus", sl5, &config()).unwrap();
+        assert!(run.is_successful());
+        manager
+            .on_run(&sl5_env, &run, None, system.clock().now())
+            .unwrap();
+    }
+
+    // Production recipe is exportable as soon as a validated run exists.
+    let recipe = system.export_production_recipe("zeus").unwrap();
+    assert!(recipe.environment.contains("os = SL5"));
+    assert_eq!(
+        recipe.artifacts.len(),
+        45,
+        "one tar-ball per ZEUS package"
+    );
+    assert!(recipe.render().contains("certified by validation run"));
+
+    // Phase iii — the SL6 migration fails; analysis opens an intervention
+    // blaming zcal.
+    system.clock().advance(86_400);
+    let sl6_env = system.image(sl6).unwrap().spec.clone();
+    let migrated = system.run_validation("zeus", sl6, &config()).unwrap();
+    assert!(!migrated.is_successful());
+    let diagnosis = classify(system.experiment("zeus").unwrap(), &migrated, &sl6_env);
+    manager
+        .on_run(&sl6_env, &migrated, diagnosis, system.clock().now())
+        .unwrap();
+    assert!(matches!(manager.phase(), Phase::Analysis { .. }));
+    let open = manager.open_interventions().next().unwrap();
+    assert_eq!(open.diagnosis.culprit, "zcal");
+
+    // Intervention: fix zcal and revalidate.
+    let mut fixed = sp_system::experiments::zeus_experiment();
+    let mut graph = sp_system::build::DependencyGraph::new();
+    for mut package in fixed.graph.packages().cloned() {
+        if package.id.as_str() == "zcal" {
+            package
+                .traits
+                .retain(|t| !matches!(t, CodeTrait::PointerSizeAssumption { .. }));
+        }
+        graph.add(package).unwrap();
+    }
+    fixed.graph = graph;
+    system.register_experiment(fixed).unwrap();
+    system.clock().advance(86_400);
+    let revalidated = system.run_validation("zeus", sl6, &config()).unwrap();
+    assert!(
+        revalidated.is_successful(),
+        "failures after fix: {:?}",
+        revalidated
+            .failures()
+            .map(|r| (&r.test, &r.status))
+            .collect::<Vec<_>>()
+    );
+    manager
+        .on_run(&sl6_env, &revalidated, None, system.clock().now())
+        .unwrap();
+    assert_eq!(manager.phase().name(), "operation");
+    assert_eq!(manager.open_interventions().count(), 0);
+
+    // The production recipe now points at the SL6 configuration.
+    let recipe = system.export_production_recipe("zeus").unwrap();
+    assert!(recipe.environment.contains("os = SL6"));
+    assert_eq!(recipe.validated_by, revalidated.id);
+
+    // Phase iv — freeze conserves the SL6 image; the programme ends.
+    let label = manager
+        .freeze(system.vault(), "ZEUS programme concluded", vec![], system.clock().now())
+        .unwrap();
+    assert!(label.starts_with("zeus-SL6"));
+    assert!(matches!(manager.phase(), Phase::Frozen { .. }));
+    assert!(system.vault().get(&label).is_ok());
+    // History shows the complete arc.
+    let phases: Vec<&str> = manager.history().iter().map(|(_, p)| *p).collect();
+    assert_eq!(
+        phases,
+        vec!["preparation", "operation", "analysis", "operation", "frozen"]
+    );
+}
