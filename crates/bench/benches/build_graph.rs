@@ -3,8 +3,8 @@
 //! stack (100 packages) and a 10× synthetic stack.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sp_build::{BuildPlan, DependencyGraph, Package, PackageId, PackageKind};
 use sp_build::incremental::{rebuild_set, ChangeSet};
+use sp_build::{BuildPlan, DependencyGraph, Package, PackageId, PackageKind};
 use sp_env::Version;
 
 /// A layered synthetic stack: `layers` layers of `width` packages, each

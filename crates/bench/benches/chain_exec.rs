@@ -21,16 +21,11 @@ fn bench_chain(c: &mut Criterion) {
 }
 
 fn bench_stages(c: &mut Criterion) {
-    use sp_hep::{
-        reconstruct, DetectorSim, Event, EventGenerator, SmearingConstants,
-    };
+    use sp_hep::{reconstruct, DetectorSim, Event, EventGenerator, SmearingConstants};
     let config = GeneratorConfig::hera_nc();
     let events: Vec<Event> = EventGenerator::new(config.clone(), 7).take(500).collect();
     let sim = DetectorSim::new(SmearingConstants::V2_SL5);
-    let simulated: Vec<Event> = events
-        .iter()
-        .map(|ev| sim.simulate(ev, ev.id))
-        .collect();
+    let simulated: Vec<Event> = events.iter().map(|ev| sim.simulate(ev, ev.id)).collect();
 
     let mut group = c.benchmark_group("chain_stages_500ev");
     group.bench_function("mcgen", |b| {

@@ -22,7 +22,10 @@ fn bench_classify(c: &mut Criterion) {
     let config = repro_run_config(0.05);
     let reference = system.run_validation("h1", sl5, &config).unwrap();
     let migrated = system.run_validation("h1", sl6, &config).unwrap();
-    assert!(!migrated.is_successful(), "migration must fail for the bench");
+    assert!(
+        !migrated.is_successful(),
+        "migration must fail for the bench"
+    );
 
     let experiment = system.experiment("h1").unwrap();
     let env = system.image(sl6).unwrap().spec.clone();

@@ -39,7 +39,9 @@ fn bench_archive(c: &mut Criterion) {
     let mut group = c.benchmark_group("archive");
     group.throughput(Throughput::Bytes(packed.len() as u64));
     group.bench_function("pack_32x4k", |b| b.iter(|| archive.pack()));
-    group.bench_function("unpack_32x4k", |b| b.iter(|| Archive::unpack(&packed).unwrap()));
+    group.bench_function("unpack_32x4k", |b| {
+        b.iter(|| Archive::unpack(&packed).unwrap())
+    });
     group.finish();
 }
 

@@ -67,7 +67,10 @@ fn main() {
          experiments within the sp-system at DESY ({} runs).\n",
         summary.total_runs()
     );
-    println!("{}", render_matrix(&system, &summary, &["zeus", "h1", "hermes"]));
+    println!(
+        "{}",
+        render_matrix(&system, &summary, &["zeus", "h1", "hermes"])
+    );
     println!("\nPer-experiment campaign statistics:\n");
     println!("{}", render_stats(&summary));
     println!(
@@ -85,7 +88,10 @@ fn main() {
         run: repro_run_config(scale),
         interval_secs: 86_400,
     };
-    eprintln!("running {} external-dependency runs ...", ext_config.total_runs());
+    eprintln!(
+        "running {} external-dependency runs ...",
+        ext_config.total_runs()
+    );
     let ext_summary = Campaign::new(&system, ext_config)
         .execute()
         .expect("external-axis campaign");

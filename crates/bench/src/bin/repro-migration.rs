@@ -27,7 +27,9 @@ fn main() {
         .register_image(catalog::sl7_gcc48(catalog::root6_version()))
         .expect("coherent image");
     for experiment in sp_experiments::hera_experiments() {
-        system.register_experiment(experiment).expect("coherent experiment");
+        system
+            .register_experiment(experiment)
+            .expect("coherent experiment");
     }
     let config = repro_run_config(scale);
 

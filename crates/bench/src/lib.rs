@@ -10,6 +10,15 @@
 //! | `repro-figure2` | Figure 2 (H1 validation-test outline) |
 //! | `repro-figure3` | Figure 3 (HERA validation summary matrix, >300 runs) |
 //! | `repro-migration` | §3.3 narrative: SL6 migration finds long-standing bugs; SL7/ROOT 6 outlook |
+//!
+//! ## Example
+//!
+//! ```
+//! let system = sp_bench::desy_deployment();
+//! assert_eq!(system.images().len(), 5); // the five §3.1 configurations
+//! assert_eq!(system.clients().len(), 7); // one VM each + batch + grid
+//! assert_eq!(system.experiments().count(), 3); // H1, ZEUS, HERMES
+//! ```
 
 use sp_core::{RunConfig, SpSystem};
 use sp_env::catalog;
@@ -22,7 +31,9 @@ pub fn desy_deployment() -> SpSystem {
     let mut system = SpSystem::new();
     for spec in catalog::paper_images() {
         let label = spec.label();
-        let id = system.register_image(spec).expect("catalog images are coherent");
+        let id = system
+            .register_image(spec)
+            .expect("catalog images are coherent");
         system
             .register_client(
                 &format!("sp-vm-{}", id),

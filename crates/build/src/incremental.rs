@@ -1,0 +1,183 @@
+//! Change-driven rebuild closures.
+//!
+//! The sp-system rebuilds "according to the current prescription of the
+//! working environment" — but a nightly cron need not rebuild a hundred
+//! packages when one header changed. A [`ChangeSet`] names what moved since
+//! the last build (experiment packages, external software, the environment
+//! itself) and [`rebuild_set`] answers the only question the scheduler
+//! asks: *exactly which packages must be rebuilt?* — the changed packages
+//! plus everything transitively depending on them, nothing more.
+
+use std::collections::BTreeSet;
+
+use crate::graph::{DependencyGraph, PackageId};
+
+/// What changed since the previous build.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChangeSet {
+    /// Experiment packages whose sources changed.
+    pub changed_packages: Vec<PackageId>,
+    /// External software packages that were upgraded or replaced.
+    pub changed_externals: Vec<String>,
+    /// Whether the environment itself (OS release, compiler) changed —
+    /// which invalidates every artifact.
+    pub environment_changed: bool,
+}
+
+impl ChangeSet {
+    /// The empty change set: nothing to rebuild.
+    pub fn none() -> Self {
+        ChangeSet::default()
+    }
+
+    /// A change set naming source changes in the given packages.
+    pub fn packages(ids: impl IntoIterator<Item = PackageId>) -> Self {
+        ChangeSet {
+            changed_packages: ids.into_iter().collect(),
+            ..ChangeSet::none()
+        }
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed_packages.is_empty()
+            && self.changed_externals.is_empty()
+            && !self.environment_changed
+    }
+}
+
+/// The exact set of packages that must be rebuilt for `changes`:
+///
+/// * an environment change invalidates the whole stack;
+/// * a changed package invalidates itself and its transitive dependents;
+/// * a changed external invalidates its direct users and *their* transitive
+///   dependents (rebuilt code links the new external; dependents link the
+///   rebuilt code).
+///
+/// Packages named in the change set but absent from the graph are ignored —
+/// a change to software the stack no longer ships cannot force work.
+pub fn rebuild_set(graph: &DependencyGraph, changes: &ChangeSet) -> BTreeSet<PackageId> {
+    if changes.environment_changed {
+        return graph.ids().cloned().collect();
+    }
+
+    let mut seeds: BTreeSet<PackageId> = changes
+        .changed_packages
+        .iter()
+        .filter(|id| graph.contains(id))
+        .cloned()
+        .collect();
+    if !changes.changed_externals.is_empty() {
+        for package in graph.packages() {
+            if changes
+                .changed_externals
+                .iter()
+                .any(|name| package.uses_external(name))
+            {
+                seeds.insert(package.id.clone());
+            }
+        }
+    }
+
+    let roots: Vec<PackageId> = seeds.iter().cloned().collect();
+    let mut rebuild = seeds;
+    rebuild.extend(graph.dependents_closure(&roots));
+    rebuild
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Package, PackageKind};
+    use sp_env::{CodeTrait, Version, VersionReq};
+
+    fn v1() -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    /// base <- mid <- top, plus rootuser (uses ROOT) <- rootdep, plus a
+    /// free-standing island.
+    fn graph() -> DependencyGraph {
+        DependencyGraph::from_packages([
+            Package::new("base", v1(), PackageKind::Library),
+            Package::new("mid", v1(), PackageKind::Library).dep("base"),
+            Package::new("top", v1(), PackageKind::Analysis).dep("mid"),
+            Package::new("rootuser", v1(), PackageKind::Analysis).with_trait(
+                CodeTrait::RequiresExternal {
+                    name: "root".into(),
+                    req: VersionReq::Any,
+                },
+            ),
+            Package::new("rootdep", v1(), PackageKind::Tool).dep("rootuser"),
+            Package::new("island", v1(), PackageKind::Tool),
+        ])
+        .unwrap()
+    }
+
+    fn ids(names: &[&str]) -> BTreeSet<PackageId> {
+        names.iter().map(|n| PackageId::new(*n)).collect()
+    }
+
+    #[test]
+    fn empty_change_set_rebuilds_nothing() {
+        assert!(ChangeSet::none().is_empty());
+        assert!(rebuild_set(&graph(), &ChangeSet::none()).is_empty());
+    }
+
+    #[test]
+    fn package_change_rebuilds_exactly_the_dependent_closure() {
+        let changes = ChangeSet::packages([PackageId::new("base")]);
+        assert!(!changes.is_empty());
+        assert_eq!(
+            rebuild_set(&graph(), &changes),
+            ids(&["base", "mid", "top"]),
+            "the island and the ROOT branch are untouched"
+        );
+    }
+
+    #[test]
+    fn leaf_change_rebuilds_only_itself() {
+        let changes = ChangeSet::packages([PackageId::new("top")]);
+        assert_eq!(rebuild_set(&graph(), &changes), ids(&["top"]));
+    }
+
+    #[test]
+    fn external_change_rebuilds_users_and_their_dependents() {
+        let changes = ChangeSet {
+            changed_externals: vec!["root".into()],
+            ..ChangeSet::none()
+        };
+        assert_eq!(
+            rebuild_set(&graph(), &changes),
+            ids(&["rootuser", "rootdep"])
+        );
+    }
+
+    #[test]
+    fn environment_change_rebuilds_everything() {
+        let changes = ChangeSet {
+            environment_changed: true,
+            ..ChangeSet::none()
+        };
+        assert_eq!(rebuild_set(&graph(), &changes).len(), graph().len());
+    }
+
+    #[test]
+    fn unknown_packages_are_ignored() {
+        let changes = ChangeSet::packages([PackageId::new("ghost")]);
+        assert!(rebuild_set(&graph(), &changes).is_empty());
+    }
+
+    #[test]
+    fn combined_changes_union() {
+        let changes = ChangeSet {
+            changed_packages: vec![PackageId::new("mid")],
+            changed_externals: vec!["root".into()],
+            environment_changed: false,
+        };
+        assert_eq!(
+            rebuild_set(&graph(), &changes),
+            ids(&["mid", "top", "rootuser", "rootdep"])
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # sp-build — the automated software build tools of the sp-system
+//!
+//! Ozerov & South (arXiv:1310.7814) name "automated software build tools"
+//! as a core piece of the validation framework: §3.1 (ii) performs "a
+//! regular, automated build of the experimental software … according to the
+//! current prescription of the working environment". This crate models that
+//! build system:
+//!
+//! * [`graph`](mod@graph) — the package model ([`Package`], [`PackageId`],
+//!   [`PackageKind`], [`Language`]) and the validated [`DependencyGraph`]
+//!   (missing-dependency and cycle detection via [`GraphError`]).
+//! * [`plan`] — [`BuildPlan`], the layered schedule extracted from a graph.
+//! * [`engine`] — the sequential [`BuildEngine`]: deterministic simulated
+//!   compilation driven by [`sp_env::check_compile`], captured build logs,
+//!   and binaries conserved as tar-balls in the common storage
+//!   ([`BuildReport`], [`BuildStatus`]).
+//! * [`parallel`] — [`ParallelBuilder`], the layer-parallel driver whose
+//!   output is bit-identical to the sequential engine for any thread count.
+//! * [`incremental`] — [`incremental::ChangeSet`] and
+//!   [`incremental::rebuild_set`]: exactly which packages a change forces
+//!   to rebuild.
+//! * [`prune`] — [`prune::consolidate`], the §3.1 (i) preparation-phase
+//!   audit (unnecessary/missing externals, unreachable packages).
+//!
+//! ## Example
+//!
+//! ```
+//! use sp_build::{BuildEngine, DependencyGraph, Package, PackageKind, ParallelBuilder};
+//! use sp_env::{catalog, Version};
+//! use sp_store::SharedStorage;
+//!
+//! let graph = DependencyGraph::from_packages([
+//!     Package::new("libcore", Version::new(1, 0, 0), PackageKind::Library),
+//!     Package::new("analysis", Version::new(2, 1, 0), PackageKind::Analysis).dep("libcore"),
+//! ])
+//! .unwrap();
+//!
+//! let env = catalog::sl6_gcc44(Version::two(5, 34));
+//! let builder = ParallelBuilder::new(BuildEngine::new(SharedStorage::new()), 4);
+//! let report = builder.build_stack(&graph, &env).unwrap();
+//! assert!(report.all_built());
+//! assert_eq!(report.built_count(), 2);
+//! ```
+
+pub mod engine;
+pub mod graph;
+pub mod incremental;
+pub mod parallel;
+pub mod plan;
+pub mod prune;
+
+pub use engine::{BuildEngine, BuildRecord, BuildReport, BuildStatus};
+pub use graph::{DependencyGraph, GraphError, Language, Package, PackageId, PackageKind};
+pub use parallel::ParallelBuilder;
+pub use plan::BuildPlan;

@@ -1,0 +1,182 @@
+//! Layer-parallel stack builds.
+//!
+//! [`ParallelBuilder`] executes a [`BuildPlan`] layer by layer: within one
+//! layer every package's dependencies are already recorded, so the layer's
+//! builds run concurrently on scoped worker threads. Because each package
+//! build is a pure function of `(package, environment, dependency
+//! statuses)`, the report is *identical* to the sequential
+//! [`BuildEngine`] result for any thread count — asserted by the
+//! reproducibility tests.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use sp_env::EnvironmentSpec;
+
+use crate::engine::{BuildEngine, BuildRecord, BuildReport};
+use crate::graph::{DependencyGraph, GraphError, PackageId};
+use crate::plan::BuildPlan;
+
+/// A build engine driving worker threads over build-plan layers.
+pub struct ParallelBuilder {
+    engine: BuildEngine,
+    threads: usize,
+}
+
+impl ParallelBuilder {
+    /// Wraps an engine with a worker count (minimum 1).
+    pub fn new(engine: BuildEngine, threads: usize) -> Self {
+        ParallelBuilder {
+            engine,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Builds the stack layer-parallel. The report equals the sequential
+    /// [`BuildEngine::build_stack`] result.
+    pub fn build_stack(
+        &self,
+        graph: &DependencyGraph,
+        env: &EnvironmentSpec,
+    ) -> Result<BuildReport, GraphError> {
+        let plan = BuildPlan::for_graph(graph)?;
+        let mut records: BTreeMap<PackageId, BuildRecord> = BTreeMap::new();
+
+        for layer in plan.layers() {
+            if layer.len() == 1 || self.threads == 1 {
+                for id in layer {
+                    let package = graph.get(id).expect("planned ids exist");
+                    let record = self.engine.build_package(package, env, &records);
+                    records.insert(id.clone(), record);
+                }
+                continue;
+            }
+            // Workers pull chunks of the layer; the merged result is
+            // order-independent because records are keyed by package id.
+            let fresh: Mutex<Vec<BuildRecord>> = Mutex::new(Vec::with_capacity(layer.len()));
+            let chunk = layer.len().div_ceil(self.threads);
+            std::thread::scope(|scope| {
+                for ids in layer.chunks(chunk) {
+                    let records = &records;
+                    let fresh = &fresh;
+                    let engine = &self.engine;
+                    scope.spawn(move || {
+                        let mut built: Vec<BuildRecord> = Vec::with_capacity(ids.len());
+                        for id in ids {
+                            let package = graph.get(id).expect("planned ids exist");
+                            built.push(engine.build_package(package, env, records));
+                        }
+                        fresh.lock().expect("collector lock").extend(built);
+                    });
+                }
+            });
+            for record in fresh.into_inner().expect("collector lock") {
+                records.insert(record.package.clone(), record);
+            }
+        }
+
+        Ok(BuildReport {
+            env_label: env.label(),
+            order: plan.order().to_vec(),
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Package, PackageKind};
+    use sp_env::{catalog, CodeTrait, Version, VersionReq};
+    use sp_store::SharedStorage;
+
+    /// A wide-ish synthetic stack with a failure on SL7 in the middle.
+    fn stack() -> DependencyGraph {
+        let mut packages = vec![Package::new(
+            "base",
+            Version::new(1, 0, 0),
+            PackageKind::Library,
+        )];
+        for i in 0..12 {
+            packages.push(
+                Package::new(
+                    format!("lib-{i}"),
+                    Version::new(1, i, 0),
+                    PackageKind::Library,
+                )
+                .dep("base"),
+            );
+        }
+        packages.push(
+            Package::new("cern-user", Version::new(2, 0, 0), PackageKind::Generator)
+                .dep("lib-0")
+                .with_trait(CodeTrait::RequiresExternal {
+                    name: "cernlib".into(),
+                    req: VersionReq::Any,
+                }),
+        );
+        for i in 0..4 {
+            packages.push(
+                Package::new(
+                    format!("ana-{i}"),
+                    Version::new(1, 0, i),
+                    PackageKind::Analysis,
+                )
+                .dep("cern-user")
+                .dep(format!("lib-{i}")),
+            );
+        }
+        DependencyGraph::from_packages(packages).unwrap()
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_any_thread_count() {
+        for env in [
+            catalog::sl6_gcc44(Version::two(5, 34)),
+            catalog::sl7_gcc48(Version::two(5, 34)), // cern-user fails here
+        ] {
+            let sequential = BuildEngine::new(SharedStorage::new())
+                .build_stack(&stack(), &env)
+                .unwrap();
+            for threads in [1usize, 2, 3, 8, 64] {
+                let parallel =
+                    ParallelBuilder::new(BuildEngine::new(SharedStorage::new()), threads)
+                        .build_stack(&stack(), &env)
+                        .unwrap();
+                assert_eq!(
+                    parallel,
+                    sequential,
+                    "thread count {threads} must be invisible on {}",
+                    env.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failure_skips_propagate_across_layers() {
+        let env = catalog::sl7_gcc48(Version::two(5, 34));
+        let report = ParallelBuilder::new(BuildEngine::new(SharedStorage::new()), 4)
+            .build_stack(&stack(), &env)
+            .unwrap();
+        assert_eq!(report.failed_count(), 1, "cern-user fails without CERNLIB");
+        assert_eq!(report.skipped_count(), 4, "all four analyses skip");
+        // Unaffected branches still build.
+        assert!(report.records[&PackageId::new("lib-7")]
+            .status
+            .has_artifact());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let builder = ParallelBuilder::new(BuildEngine::new(SharedStorage::new()), 0);
+        assert_eq!(builder.threads(), 1);
+        let env = catalog::sl6_gcc44(Version::two(5, 34));
+        assert!(builder.build_stack(&stack(), &env).unwrap().all_built());
+    }
+}

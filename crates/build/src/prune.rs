@@ -1,0 +1,215 @@
+//! Preparation-phase consolidation.
+//!
+//! §3.1 (i): during preparation the software is consolidated and
+//! "unnecessary external software dependencies" are removed before the
+//! stack enters regular operation. [`consolidate`] audits a stack against
+//! one environment and a set of entry points, reporting
+//!
+//! * externals installed in the environment that no (reachable) package
+//!   needs — candidates for removal;
+//! * externals a reachable package needs that the environment does not
+//!   satisfy — blockers for operation;
+//! * packages unreachable from the entry points — dead weight the
+//!   preservation programme need not carry.
+//!
+//! An empty `entry_points` slice means "everything is an entry point" (no
+//! reachability pruning), which is how the full HERA stacks are audited.
+
+use std::collections::BTreeSet;
+
+use sp_env::{CodeTrait, EnvironmentSpec};
+
+use crate::graph::{DependencyGraph, PackageId};
+
+/// Findings of one consolidation audit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsolidationReport {
+    /// Installed externals no reachable package requires.
+    pub unnecessary_externals: Vec<String>,
+    /// Externals required by reachable packages but missing (or installed
+    /// at an unsatisfying version) in the environment.
+    pub missing_externals: Vec<String>,
+    /// Packages not reachable from the entry points.
+    pub unreachable_packages: Vec<PackageId>,
+}
+
+impl ConsolidationReport {
+    /// Whether the stack is consolidated for this environment.
+    pub fn is_clean(&self) -> bool {
+        self.unnecessary_externals.is_empty()
+            && self.missing_externals.is_empty()
+            && self.unreachable_packages.is_empty()
+    }
+
+    /// Human-readable problem lines, the currency of
+    /// `MigrationManager::complete_preparation`.
+    pub fn problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for ext in &self.unnecessary_externals {
+            problems.push(format!("unnecessary external '{ext}' installed"));
+        }
+        for ext in &self.missing_externals {
+            problems.push(format!("required external '{ext}' unsatisfied"));
+        }
+        for pkg in &self.unreachable_packages {
+            problems.push(format!("package '{pkg}' unreachable from entry points"));
+        }
+        problems
+    }
+}
+
+/// Audits `graph` against `env`, keeping only what `entry_points` (and
+/// their dependency closures) need. See the module docs for the semantics.
+pub fn consolidate(
+    graph: &DependencyGraph,
+    env: &EnvironmentSpec,
+    entry_points: &[PackageId],
+) -> ConsolidationReport {
+    let reachable: BTreeSet<PackageId> = if entry_points.is_empty() {
+        graph.ids().cloned().collect()
+    } else {
+        let mut set: BTreeSet<PackageId> = entry_points
+            .iter()
+            .filter(|id| graph.contains(id))
+            .cloned()
+            .collect();
+        set.extend(graph.dependency_closure(entry_points));
+        set
+    };
+
+    let unreachable_packages: Vec<PackageId> = graph
+        .ids()
+        .filter(|id| !reachable.contains(*id))
+        .cloned()
+        .collect();
+
+    // Externals needed by the reachable stack, with satisfaction checks.
+    let mut required: BTreeSet<&str> = BTreeSet::new();
+    let mut missing: BTreeSet<String> = BTreeSet::new();
+    for id in &reachable {
+        let package = graph.get(id).expect("reachable ids exist");
+        for code_trait in &package.traits {
+            match code_trait {
+                CodeTrait::RequiresExternal { name, req } => {
+                    required.insert(name);
+                    match env.externals.get(name) {
+                        None => {
+                            missing.insert(name.clone());
+                        }
+                        Some(installed) if !req.matches(installed.version) => {
+                            missing.insert(name.clone());
+                        }
+                        Some(_) => {}
+                    }
+                }
+                CodeTrait::UsesExternalApi { name, .. } => {
+                    // Coding against an API implies needing the package;
+                    // presence is what consolidation checks (API-level
+                    // mismatches are a *compile* failure, not a missing
+                    // installation).
+                    required.insert(name);
+                    if env.externals.get(name).is_none() {
+                        missing.insert(name.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let unnecessary_externals: Vec<String> = env
+        .externals
+        .iter()
+        .map(|ext| ext.name.clone())
+        .filter(|name| !required.contains(name.as_str()))
+        .collect();
+
+    ConsolidationReport {
+        unnecessary_externals,
+        missing_externals: missing.into_iter().collect(),
+        unreachable_packages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Package, PackageKind};
+    use sp_env::{catalog, Arch, Version, VersionReq};
+
+    fn v1() -> Version {
+        Version::new(1, 0, 0)
+    }
+
+    fn stack() -> DependencyGraph {
+        DependencyGraph::from_packages([
+            Package::new("base", v1(), PackageKind::Library),
+            Package::new("gen", v1(), PackageKind::Generator)
+                .dep("base")
+                .with_trait(CodeTrait::RequiresExternal {
+                    name: "cernlib".into(),
+                    req: VersionReq::Any,
+                }),
+            Package::new("ana", v1(), PackageKind::Analysis)
+                .dep("base")
+                .with_trait(CodeTrait::RequiresExternal {
+                    name: "root".into(),
+                    req: VersionReq::AtLeast(Version::two(5, 26)),
+                })
+                .with_trait(CodeTrait::UsesExternalApi {
+                    name: "root".into(),
+                    api_level: 5,
+                }),
+            Package::new("fit", v1(), PackageKind::Analysis)
+                .dep("ana")
+                .with_trait(CodeTrait::RequiresExternal {
+                    name: "gsl".into(),
+                    req: VersionReq::AtLeast(Version::new(1, 10, 0)),
+                }),
+            Package::new("orphan", v1(), PackageKind::Tool),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_stack_on_sl5_is_clean() {
+        // SL5 installs root + cernlib + gsl; with no entry points the whole
+        // stack counts, so everything is needed and nothing is unreachable.
+        let env = catalog::sl5_gcc41(Arch::I686, Version::two(5, 34));
+        let report = consolidate(&stack(), &env, &[]);
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.problems().is_empty());
+    }
+
+    #[test]
+    fn entry_points_prune_unreachable_and_unneeded() {
+        let env = catalog::sl5_gcc41(Arch::I686, Version::two(5, 34));
+        // Only the fit analysis is preserved: gen (and its CERNLIB need)
+        // drop out, orphan is unreachable, CERNLIB becomes unnecessary.
+        let report = consolidate(&stack(), &env, &[PackageId::new("fit")]);
+        assert_eq!(report.unnecessary_externals, vec!["cernlib".to_string()]);
+        assert!(report.missing_externals.is_empty());
+        assert_eq!(
+            report.unreachable_packages,
+            vec![PackageId::new("gen"), PackageId::new("orphan")]
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.problems().len(), 3);
+    }
+
+    #[test]
+    fn sl7_reports_the_missing_cernlib() {
+        let env = catalog::sl7_gcc48(Version::two(5, 34));
+        let report = consolidate(&stack(), &env, &[]);
+        assert_eq!(report.missing_externals, vec!["cernlib".to_string()]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn version_requirement_mismatch_counts_as_missing() {
+        // ROOT 5.24 predates the AtLeast(5.26) requirement of `ana`.
+        let env = catalog::sl5_gcc41(Arch::I686, Version::two(5, 24));
+        let report = consolidate(&stack(), &env, &[PackageId::new("ana")]);
+        assert!(report.missing_externals.contains(&"root".to_string()));
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces this workspace uses: an unbounded MPMC
+//! [`channel`] (cloneable senders *and* receivers, blocking `recv`,
+//! disconnect on last-sender drop) and [`thread::scope`] built on
+//! `std::thread::scope`.
+
+pub mod channel {
+    //! Unbounded multi-producer multi-consumer FIFO channel.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; cloning adds a producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloning adds a consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error: all receivers were dropped (never produced by this stand-in,
+    /// since receivers share the queue's lifetime with senders).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: the channel is empty and every sender was dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel lock")
+                .push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Take (and release) the queue lock before notifying: a
+                // receiver that has seen `senders > 0` but not yet parked
+                // in `wait` still holds the lock, so acquiring it here
+                // orders the notification after the park. Notifying
+                // without it can lose the wakeup and leave `recv` blocked
+                // forever.
+                drop(self.shared.queue.lock().expect("channel lock"));
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.shared.ready.wait(queue).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking pop.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().expect("channel lock").pop_front()
+        }
+
+        /// Blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// Iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the crossbeam call shape (`scope(|s| …)` returns
+    //! a `Result`, `spawn` closures receive the scope handle).
+
+    /// Handle for spawning threads tied to the enclosing scope. `Copy`, and
+    /// passed by value, so it can be captured freely by spawn closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// matching crossbeam's signature (it is rarely used).
+        pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(self))
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all spawned threads before
+    /// returning. Panics in spawned threads propagate (so `Ok` is always
+    /// returned when this function returns normally).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fifo_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        let values: Vec<u32> = rx.iter().collect();
+        assert_eq!(values, vec![1, 2]);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn scoped_workers_drain_the_queue() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let (out_tx, out_rx) = channel::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let out_tx = out_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        out_tx.send(v * 2).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        drop(out_tx);
+        let mut doubled: Vec<u32> = out_rx.iter().collect();
+        doubled.sort_unstable();
+        assert_eq!(doubled, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -175,13 +175,11 @@ impl<'a> Campaign<'a> {
                         .map(column_label)
                         .unwrap_or_default();
                     let mut run_config = self.config.run.clone();
-                    run_config.description = format!(
-                        "{experiment} @ {image_label} (pass {})",
-                        repetition + 1
-                    );
-                    let run =
-                        self.system
-                            .run_validation(experiment, *image_id, &run_config)?;
+                    run_config.description =
+                        format!("{experiment} @ {image_label} (pass {})", repetition + 1);
+                    let run = self
+                        .system
+                        .run_validation(experiment, *image_id, &run_config)?;
                     runs.push(RunRecord {
                         id: run.id,
                         experiment: experiment.clone(),
@@ -229,12 +227,8 @@ fn aggregate_groups(run: &ValidationRun) -> BTreeMap<String, CellStatus> {
     by_group
         .into_iter()
         .map(|(group, statuses)| {
-            let any_fail = statuses
-                .iter()
-                .any(|s| matches!(s, TestStatus::Failed(_)));
-            let all_skipped = statuses
-                .iter()
-                .all(|s| matches!(s, TestStatus::Skipped(_)));
+            let any_fail = statuses.iter().any(|s| matches!(s, TestStatus::Failed(_)));
+            let all_skipped = statuses.iter().all(|s| matches!(s, TestStatus::Skipped(_)));
             let any_warn = statuses
                 .iter()
                 .any(|s| matches!(s, TestStatus::PassedWithWarnings(_)));

@@ -207,7 +207,10 @@ fn attribute_deviation(
 ) -> Option<Attribution> {
     let traits = experiment.effective_runtime_traits(package);
     match check_runtime(&traits, env) {
-        RuntimeOutcome::Deviating { causes, shift_sigma } => {
+        RuntimeOutcome::Deviating {
+            causes,
+            shift_sigma,
+        } => {
             // Find which package in the closure carries the deviating trait.
             let culprit = find_trait_carrier(experiment, package, &causes)
                 .unwrap_or_else(|| package.to_string());
@@ -283,7 +286,14 @@ mod tests {
         ])
         .unwrap();
         let mut suite = TestSuite::new("t", PreservationLevel::FullSoftware);
-        for pkg in ["lib64bug", "oldstyle", "kandr", "rootuser", "procreader", "ana"] {
+        for pkg in [
+            "lib64bug",
+            "oldstyle",
+            "kandr",
+            "rootuser",
+            "procreader",
+            "ana",
+        ] {
             suite
                 .add(ValidationTest::new(
                     format!("t/compile/{pkg}"),
@@ -341,10 +351,7 @@ mod tests {
     fn strictness_failure_is_os_category() {
         let exp = experiment();
         let env = catalog::sl7_gcc48(Version::two(5, 34));
-        let run = run_with_failures(vec![(
-            "t/compile/oldstyle",
-            FailureKind::CompileError,
-        )]);
+        let run = run_with_failures(vec![("t/compile/oldstyle", FailureKind::CompileError)]);
         let diagnosis = classify(&exp, &run, &env).unwrap();
         assert_eq!(diagnosis.category, InputCategory::OperatingSystem);
         assert_eq!(diagnosis.assignee, Assignee::HostIt);
@@ -386,7 +393,10 @@ mod tests {
         )]);
         let diagnosis = classify(&exp, &run, &env).unwrap();
         assert_eq!(diagnosis.category, InputCategory::ExperimentSoftware);
-        assert_eq!(diagnosis.culprit, "lib64bug", "blames the carrier, not the test");
+        assert_eq!(
+            diagnosis.culprit, "lib64bug",
+            "blames the carrier, not the test"
+        );
         assert_eq!(diagnosis.assignee, Assignee::Experiment);
         assert!(diagnosis.evidence[0].contains("latent bug"));
     }

@@ -198,7 +198,11 @@ impl CompareOutcome {
 
 fn relevant_lines<'a>(text: &'a str, ignore: &[String]) -> Vec<&'a str> {
     text.lines()
-        .filter(|line| !ignore.iter().any(|m| line.to_lowercase().contains(&m.to_lowercase())))
+        .filter(|line| {
+            !ignore
+                .iter()
+                .any(|m| line.to_lowercase().contains(&m.to_lowercase()))
+        })
         .collect()
 }
 
@@ -273,10 +277,7 @@ fn compare_histograms(a: &HistogramSet, b: &HistogramSet, min_p: f64) -> Compare
     let mut worst: Option<(String, f64)> = None;
     for hist in a.iter() {
         let reference = b.get(hist.name()).expect("same names");
-        let p = hist
-            .chi2_test(reference)
-            .map(|r| r.p_value)
-            .unwrap_or(0.0);
+        let p = hist.chi2_test(reference).map(|r| r.p_value).unwrap_or(0.0);
         if worst.as_ref().map(|(_, wp)| p < *wp).unwrap_or(true) {
             worst = Some((hist.name().to_string(), p));
         }
@@ -405,10 +406,7 @@ mod tests {
             abs_tol: 0.1,
         };
         assert!(!c
-            .compare(
-                &TestOutput::Text("x".into()),
-                &TestOutput::Numbers(vec![])
-            )
+            .compare(&TestOutput::Text("x".into()), &TestOutput::Numbers(vec![]))
             .passed());
     }
 

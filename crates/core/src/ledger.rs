@@ -46,11 +46,7 @@ impl RunLedger {
 
     /// Reference outputs for one test of an experiment, if any successful
     /// run has produced them.
-    pub fn reference_outputs(
-        &self,
-        experiment: &str,
-        test_id: &str,
-    ) -> Option<TestOutputs> {
+    pub fn reference_outputs(&self, experiment: &str, test_id: &str) -> Option<TestOutputs> {
         self.references
             .read()
             .get(experiment)

@@ -25,6 +25,21 @@
 //!   final freeze.
 //! * [`system`] — [`SpSystem`]: images, clients, suites, run execution.
 //! * [`campaign`] — multi-run campaigns (the >300 runs of §3.3).
+//!
+//! ## Example
+//!
+//! Comparing a new test output against its stored reference — the heart of
+//! the validation loop ("any differences compared to the last successful
+//! test are examined"):
+//!
+//! ```
+//! use sp_core::{Comparator, TestOutput};
+//!
+//! let reference = TestOutput::Numbers(vec![("sigma_nc".into(), 1.234)]);
+//! let new = TestOutput::Numbers(vec![("sigma_nc".into(), 1.234)]);
+//! let comparator = Comparator::default_for(&reference);
+//! assert!(comparator.compare(&new, &reference).passed());
+//! ```
 
 pub mod campaign;
 pub mod classify;
@@ -42,7 +57,7 @@ pub mod workflow;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignSummary};
 pub use classify::{classify, Diagnosis};
-pub use compare::{CompareOutcome, Comparator, TestOutput};
+pub use compare::{Comparator, CompareOutcome, TestOutput};
 pub use experiment::ExperimentDef;
 pub use inputs::{Assignee, InputCategory};
 pub use ledger::{PruneReport, RunLedger};

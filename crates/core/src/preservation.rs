@@ -62,9 +62,7 @@ impl PreservationLevel {
             PreservationLevel::AnalysisSoftware => {
                 "Full scientific analyses based on the existing reconstruction"
             }
-            PreservationLevel::FullSoftware => {
-                "Retain the full potential of the experimental data"
-            }
+            PreservationLevel::FullSoftware => "Retain the full potential of the experimental data",
         }
     }
 
@@ -87,9 +85,12 @@ impl PreservationLevel {
         match self {
             PreservationLevel::Documentation => &[],
             PreservationLevel::SimplifiedFormat => &[C::DataValidation],
-            PreservationLevel::AnalysisSoftware => {
-                &[C::Compilation, C::UnitCheck, C::StandaloneExecutable, C::DataValidation]
-            }
+            PreservationLevel::AnalysisSoftware => &[
+                C::Compilation,
+                C::UnitCheck,
+                C::StandaloneExecutable,
+                C::DataValidation,
+            ],
             PreservationLevel::FullSoftware => &[
                 C::Compilation,
                 C::UnitCheck,

@@ -177,17 +177,26 @@ mod tests {
         let current = run(2, &[("a", true), ("b", false), ("c", false), ("new", true)]);
         let report = RegressionReport::between(&baseline, &current);
 
-        assert_eq!(report.transitions[&TestId::new("a")], Transition::StillPassing);
+        assert_eq!(
+            report.transitions[&TestId::new("a")],
+            Transition::StillPassing
+        );
         assert!(matches!(
             report.transitions[&TestId::new("b")],
             Transition::NewFailure { .. }
         ));
-        assert_eq!(report.transitions[&TestId::new("c")], Transition::StillFailing);
+        assert_eq!(
+            report.transitions[&TestId::new("c")],
+            Transition::StillFailing
+        );
         assert!(matches!(
             report.transitions[&TestId::new("new")],
             Transition::Added { .. }
         ));
-        assert_eq!(report.transitions[&TestId::new("gone")], Transition::Removed);
+        assert_eq!(
+            report.transitions[&TestId::new("gone")],
+            Transition::Removed
+        );
 
         assert_eq!(report.new_failures(), vec![&TestId::new("b")]);
         assert!(!report.is_clean());

@@ -158,7 +158,9 @@ mod tests {
     #[test]
     fn add_and_lookup() {
         let mut suite = TestSuite::new("h1", PreservationLevel::FullSoftware);
-        suite.add(compile_test("h1/compile/h1rec", "h1rec")).unwrap();
+        suite
+            .add(compile_test("h1/compile/h1rec", "h1rec"))
+            .unwrap();
         assert_eq!(suite.len(), 1);
         assert!(suite.get(&TestId::new("h1/compile/h1rec")).is_some());
         assert!(suite.get(&TestId::new("nope")).is_none());

@@ -23,9 +23,9 @@ use sp_hep::{
     hist_io, reconstruct, Analysis, DetectorSim, Event, EventGenerator, GeneratorConfig,
     MicroEvent, SelectionCuts, SmearingConstants,
 };
-use sp_store::{FrozenVault, ObjectId, SharedStorage, StorageArea};
+use sp_store::{fnv64, FrozenVault, ObjectId, SharedStorage, StorageArea};
 
-use crate::compare::{CompareOutcome, Comparator, TestOutput};
+use crate::compare::{Comparator, CompareOutcome, TestOutput};
 use crate::experiment::ExperimentDef;
 use crate::ledger::RunLedger;
 use crate::run::{RunId, TestResult, TestStatus, ValidationRun};
@@ -176,8 +176,7 @@ impl SpSystem {
     /// in the common storage. Returns the image id.
     pub fn register_image(&mut self, spec: EnvironmentSpec) -> Result<VmImageId, SystemError> {
         let id = VmImageId(self.images.len() as u32 + 1);
-        let image =
-            VmImage::build(id, spec, self.clock.now()).map_err(SystemError::Image)?;
+        let image = VmImage::build(id, spec, self.clock.now()).map_err(SystemError::Image)?;
         self.storage.put_named(
             StorageArea::Images,
             &id.to_string(),
@@ -224,11 +223,8 @@ impl SpSystem {
                 test.category().label(),
                 env.render()
             );
-            self.storage.put_named(
-                StorageArea::Tests,
-                test.id.as_str(),
-                script.into_bytes(),
-            );
+            self.storage
+                .put_named(StorageArea::Tests, test.id.as_str(), script.into_bytes());
         }
         self.experiments.insert(def.name.clone(), def);
         Ok(())
@@ -255,10 +251,7 @@ impl SpSystem {
         let timestamp = self.clock.now();
 
         // §3.1 (ii): the regular, automated build.
-        let builder = ParallelBuilder::new(
-            BuildEngine::new(self.storage.clone()),
-            config.threads,
-        );
+        let builder = ParallelBuilder::new(BuildEngine::new(self.storage.clone()), config.threads);
         let build = builder
             .build_stack(&experiment.graph, env)
             .map_err(SystemError::Graph)?;
@@ -302,7 +295,8 @@ impl SpSystem {
         let specs: Vec<JobSpec> = parallel_tests.iter().map(|(j, _)| j.clone()).collect();
         pool.run_batch(specs, |spec| {
             let test = by_id[&spec.id];
-            let result = self.run_parallel_test(experiment, test, env, &build, spec, config, run_id);
+            let result =
+                self.run_parallel_test(experiment, test, env, &build, spec, config, run_id);
             let job_status = match &result.status {
                 TestStatus::Passed | TestStatus::PassedWithWarnings(_) => JobStatus::Succeeded,
                 TestStatus::Failed(FailureKind::Crash(m)) => JobStatus::Crashed(m.clone()),
@@ -439,8 +433,8 @@ impl SpSystem {
             _ => unreachable!("parallel tests are unit checks or standalone"),
         };
         let make = |status: TestStatus,
-                        outputs: Vec<(String, ObjectId)>,
-                        compare: Option<CompareOutcome>| TestResult {
+                    outputs: Vec<(String, ObjectId)>,
+                    compare: Option<CompareOutcome>| TestResult {
             test: test.id.clone(),
             category: test.category(),
             group: test.group.clone(),
@@ -479,9 +473,10 @@ impl SpSystem {
         };
 
         let output = match &test.kind {
-            TestKind::UnitCheck { package, check_index } => {
-                unit_check_output(package, *check_index, deviation)
-            }
+            TestKind::UnitCheck {
+                package,
+                check_index,
+            } => unit_check_output(package, *check_index, deviation),
             TestKind::Standalone { events, .. } => {
                 let events = scaled_events(*events, config.scale);
                 let seed = fnv64(test.id.as_str()) ^ config.seed;
@@ -492,7 +487,11 @@ impl SpSystem {
                     ("selected".into(), analysis.selected as f64),
                     (
                         "mean_log10_q2".into(),
-                        analysis.histograms.get("q2").map(|h| h.mean()).unwrap_or(0.0),
+                        analysis
+                            .histograms
+                            .get("q2")
+                            .map(|h| h.mean())
+                            .unwrap_or(0.0),
                     ),
                     (
                         "mean_e_prime".into(),
@@ -583,14 +582,19 @@ impl SpSystem {
             let mut outputs: Vec<(String, ObjectId)> = Vec::new();
             let data = match stage.name.as_str() {
                 "mcgen" => {
-                    let generated: Vec<Event> =
-                        EventGenerator::new(generator_config.clone(), seed)
-                            .take(events)
-                            .collect();
+                    let generated: Vec<Event> = EventGenerator::new(generator_config.clone(), seed)
+                        .take(events)
+                        .collect();
                     let bytes = sp_hep::write_dst(&generated);
                     outputs.push((
                         "gen.dst".to_string(),
-                        self.store_stage_output(run_id, test, &stage.name, "gen.dst", bytes.to_vec()),
+                        self.store_stage_output(
+                            run_id,
+                            test,
+                            &stage.name,
+                            "gen.dst",
+                            bytes.to_vec(),
+                        ),
                     ));
                     StageData::Events(generated)
                 }
@@ -598,8 +602,8 @@ impl SpSystem {
                     let StageData::Events(generated) = &inputs["mcgen"] else {
                         return Err("bad upstream data".to_string());
                     };
-                    let sim = DetectorSim::new(SmearingConstants::V2_SL5)
-                        .with_deviation(total_deviation);
+                    let sim =
+                        DetectorSim::new(SmearingConstants::V2_SL5).with_deviation(total_deviation);
                     let simulated: Vec<Event> = generated
                         .iter()
                         .map(|ev| sim.simulate(ev, seed ^ ev.id))
@@ -672,13 +676,7 @@ impl SpSystem {
                     payload.extend_from_slice(&bytes);
                     outputs.push((
                         "histograms".to_string(),
-                        self.store_stage_output(
-                            run_id,
-                            test,
-                            &stage.name,
-                            "histograms",
-                            payload,
-                        ),
+                        self.store_stage_output(run_id, test, &stage.name, "histograms", payload),
                     ));
                     StageData::Done
                 }
@@ -843,15 +841,9 @@ impl SpSystem {
     /// then this recipe should be deployed on a suitable resource at the
     /// time: an institute cluster, grid, cloud, sky, quantum computer, and
     /// so on."
-    pub fn export_production_recipe(
-        &self,
-        experiment_name: &str,
-    ) -> Option<ProductionRecipe> {
+    pub fn export_production_recipe(&self, experiment_name: &str) -> Option<ProductionRecipe> {
         let run = self.ledger.latest_successful(experiment_name)?;
-        let image = self
-            .images
-            .iter()
-            .find(|i| i.label() == run.image_label)?;
+        let image = self.images.iter().find(|i| i.label() == run.image_label)?;
         let mut artifacts: Vec<(String, ObjectId)> = Vec::new();
         for result in &run.results {
             for (name, oid) in &result.outputs {
@@ -921,16 +913,6 @@ fn scaled_events(events: usize, scale: f64) -> usize {
     ((events as f64 * scale).round() as usize).max(10)
 }
 
-/// FNV-1a over a string, for stable per-test seeds.
-fn fnv64(s: &str) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 /// Parses the prefixed stage-error convention into a failure kind.
 fn parse_stage_error(message: &str, stage_name: &str) -> FailureKind {
     if let Some(pkg) = message.strip_prefix("dep:") {
@@ -963,13 +945,24 @@ mod tests {
                 .with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 6.0 }),
             Package::new("mcgen-pkg", Version::new(2, 0, 0), PackageKind::Generator).dep("util"),
             Package::new("sim-pkg", Version::new(2, 0, 0), PackageKind::Simulation).dep("util"),
-            Package::new("reco-pkg", Version::new(2, 0, 0), PackageKind::Reconstruction)
-                .dep("legacy"),
+            Package::new(
+                "reco-pkg",
+                Version::new(2, 0, 0),
+                PackageKind::Reconstruction,
+            )
+            .dep("legacy"),
             Package::new("ana-pkg", Version::new(2, 0, 0), PackageKind::Analysis).dep("util"),
         ])
         .unwrap();
         let mut suite = TestSuite::new("tiny", PreservationLevel::FullSoftware);
-        for pkg in ["util", "legacy", "mcgen-pkg", "sim-pkg", "reco-pkg", "ana-pkg"] {
+        for pkg in [
+            "util",
+            "legacy",
+            "mcgen-pkg",
+            "sim-pkg",
+            "reco-pkg",
+            "ana-pkg",
+        ] {
             suite
                 .add(ValidationTest::new(
                     format!("tiny/compile/{pkg}"),

@@ -341,7 +341,8 @@ mod tests {
         assert_eq!(mgr.phase().name(), "operation");
 
         // Failed run -> analysis with an intervention.
-        mgr.on_run(&env, &run(false), Some(diagnosis()), 140).unwrap();
+        mgr.on_run(&env, &run(false), Some(diagnosis()), 140)
+            .unwrap();
         assert_eq!(mgr.phase().name(), "analysis");
         assert_eq!(mgr.open_interventions().count(), 1);
 

@@ -2,7 +2,7 @@
 //! and bookkeeping.
 
 use proptest::prelude::*;
-use sp_core::{CompareOutcome, Comparator, TestOutput};
+use sp_core::{Comparator, CompareOutcome, TestOutput};
 
 fn numbers_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
     prop::collection::vec(("[a-z]{1,8}", -1e6f64..1e6), 0..8)

@@ -260,10 +260,7 @@ pub fn check_compile(traits: &[CodeTrait], env: &EnvironmentSpec) -> CompileOutc
                 Some(pkg) if !req.matches(pkg.version) => diags.push(Diagnostic {
                     severity: Severity::Error,
                     code: t.code(),
-                    message: format!(
-                        "{name} {} does not satisfy requirement {req}",
-                        pkg.version
-                    ),
+                    message: format!("{name} {} does not satisfy requirement {req}", pkg.version),
                 }),
                 Some(_) => {}
             },
@@ -348,9 +345,7 @@ pub fn check_runtime(traits: &[CodeTrait], env: &EnvironmentSpec) -> RuntimeOutc
                 shift += shift_sigma;
                 causes.push(t.code());
             }
-            CodeTrait::UninitializedVariable { shift_sigma }
-                if strict >= Strictness::Standard =>
-            {
+            CodeTrait::UninitializedVariable { shift_sigma } if strict >= Strictness::Standard => {
                 // Newer compilers reorder stack slots; the garbage read is
                 // no longer the benign value it was on the SL5 toolchain.
                 shift += shift_sigma;
@@ -399,7 +394,10 @@ mod tests {
     #[test]
     fn pointer_assumption_silent_on_32bit_warns_on_64bit() {
         let traits = [CodeTrait::PointerSizeAssumption { shift_sigma: 2.0 }];
-        assert_eq!(check_compile(&traits, &sl5_32_gcc41()), CompileOutcome::Success);
+        assert_eq!(
+            check_compile(&traits, &sl5_32_gcc41()),
+            CompileOutcome::Success
+        );
         match check_compile(&traits, &sl6_64_gcc44()) {
             CompileOutcome::SuccessWithWarnings(d) => assert_eq!(d[0].code, "ptr-size"),
             other => panic!("expected warning, got {other:?}"),
@@ -414,9 +412,15 @@ mod tests {
     #[test]
     fn pointer_assumption_is_the_latent_64bit_bug() {
         let traits = [CodeTrait::PointerSizeAssumption { shift_sigma: 2.5 }];
-        assert_eq!(check_runtime(&traits, &sl5_32_gcc41()), RuntimeOutcome::Nominal);
+        assert_eq!(
+            check_runtime(&traits, &sl5_32_gcc41()),
+            RuntimeOutcome::Nominal
+        );
         match check_runtime(&traits, &sl6_64_gcc44()) {
-            RuntimeOutcome::Deviating { shift_sigma, causes } => {
+            RuntimeOutcome::Deviating {
+                shift_sigma,
+                causes,
+            } => {
                 assert!((shift_sigma - 2.5).abs() < 1e-12);
                 assert_eq!(causes, vec!["ptr-size"]);
             }
@@ -427,7 +431,10 @@ mod tests {
     #[test]
     fn strictness_ladder_for_implicit_decls() {
         let traits = [CodeTrait::ImplicitFunctionDecl];
-        assert_eq!(check_compile(&traits, &sl5_32_gcc41()), CompileOutcome::Success);
+        assert_eq!(
+            check_compile(&traits, &sl5_32_gcc41()),
+            CompileOutcome::Success
+        );
         assert!(matches!(
             check_compile(&traits, &sl6_64_gcc44()),
             CompileOutcome::SuccessWithWarnings(_)
@@ -471,9 +478,15 @@ mod tests {
         let traits = [CodeTrait::LargeMemoryFootprint];
         assert!(matches!(
             check_runtime(&traits, &sl5_32_gcc41()),
-            RuntimeOutcome::Crash { cause: "large-mem", .. }
+            RuntimeOutcome::Crash {
+                cause: "large-mem",
+                ..
+            }
         ));
-        assert_eq!(check_runtime(&traits, &sl6_64_gcc44()), RuntimeOutcome::Nominal);
+        assert_eq!(
+            check_runtime(&traits, &sl6_64_gcc44()),
+            RuntimeOutcome::Nominal
+        );
     }
 
     #[test]
@@ -483,7 +496,10 @@ mod tests {
             CodeTrait::UninitializedVariable { shift_sigma: 0.5 },
         ];
         match check_runtime(&traits, &sl6_64_gcc44()) {
-            RuntimeOutcome::Deviating { shift_sigma, causes } => {
+            RuntimeOutcome::Deviating {
+                shift_sigma,
+                causes,
+            } => {
                 assert!((shift_sigma - 1.5).abs() < 1e-12);
                 assert_eq!(causes.len(), 2);
             }
@@ -504,10 +520,16 @@ mod tests {
         for env in [sl5_32_gcc41(), sl6_64_gcc44(), sl7_64_gcc48()] {
             assert!(check_compile(&traits, &env).succeeded());
         }
-        assert_eq!(check_runtime(&traits, &sl5_32_gcc41()), RuntimeOutcome::Nominal);
+        assert_eq!(
+            check_runtime(&traits, &sl5_32_gcc41()),
+            RuntimeOutcome::Nominal
+        );
         assert!(matches!(
             check_runtime(&traits, &sl6_64_gcc44()),
-            RuntimeOutcome::Crash { cause: "legacy-syscall", .. }
+            RuntimeOutcome::Crash {
+                cause: "legacy-syscall",
+                ..
+            }
         ));
         assert!(matches!(
             check_runtime(&traits, &sl7_64_gcc48()),

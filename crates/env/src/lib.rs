@@ -17,6 +17,18 @@
 //! * [`catalog`] — the five configurations of the paper (§3.1) plus the
 //!   SL7/ROOT 6 "next challenges" extension.
 //! * [`timeline`] — the platform-evolution timeline driving migrations.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp_env::{catalog, Version};
+//!
+//! // The SL6 / gcc 4.4 configuration of §3.1, with ROOT 5.34.
+//! let spec = catalog::sl6_gcc44(Version::two(5, 34));
+//! assert!(spec.validate().is_empty());
+//! assert_eq!(spec.label(), "SL6/64bit gcc4.4");
+//! assert!(spec.full_label().contains("root5.34"));
+//! ```
 
 pub mod catalog;
 pub mod compat;

@@ -107,7 +107,12 @@ impl EnvironmentSpec {
 
     /// Configuration label in the paper's style: `SL5/32bit gcc4.1`.
     pub fn label(&self) -> String {
-        format!("{}/{} {}", self.os.label(), self.arch.label(), self.compiler.label())
+        format!(
+            "{}/{} {}",
+            self.os.label(),
+            self.arch.label(),
+            self.compiler.label()
+        )
     }
 
     /// Label including externals: `SL6/64bit gcc4.4 root5.34`.
@@ -192,7 +197,11 @@ pub struct VmImage {
 
 impl VmImage {
     /// Builds an image from a spec, enforcing coherence.
-    pub fn build(id: VmImageId, spec: EnvironmentSpec, built_at: u64) -> Result<Self, Vec<ImageError>> {
+    pub fn build(
+        id: VmImageId,
+        spec: EnvironmentSpec,
+        built_at: u64,
+    ) -> Result<Self, Vec<ImageError>> {
         let errors = spec.validate();
         if errors.is_empty() {
             Ok(VmImage { id, spec, built_at })

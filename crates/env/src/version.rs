@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn ordering_ignores_precision() {
-        assert_eq!(Version::two(5, 34).triple(), Version::new(5, 34, 0).triple());
+        assert_eq!(
+            Version::two(5, 34).triple(),
+            Version::new(5, 34, 0).triple()
+        );
         assert!(Version::two(5, 26) < Version::two(5, 34));
         assert!(Version::two(5, 34) < Version::two(6, 2));
         assert!(Version::new(4, 4, 7) > Version::new(4, 4, 0));

@@ -297,10 +297,7 @@ mod tests {
     #[test]
     fn validation_rejects_duplicates_unknowns_cycles() {
         assert!(matches!(
-            ChainDef::new(
-                "c",
-                vec![StageDef::new("a", &[]), StageDef::new("a", &[])]
-            ),
+            ChainDef::new("c", vec![StageDef::new("a", &[]), StageDef::new("a", &[])]),
             Err(ChainError::DuplicateStage(_))
         ));
         assert!(matches!(
@@ -351,11 +348,8 @@ mod tests {
         assert!(!report.all_succeeded());
         assert_eq!(report.first_failure(), Some("sim"));
         assert_eq!(report.skipped_count(), 1);
-        let by_name: BTreeMap<&str, &StageStatus> = report
-            .stages
-            .iter()
-            .map(|(n, s)| (n.as_str(), s))
-            .collect();
+        let by_name: BTreeMap<&str, &StageStatus> =
+            report.stages.iter().map(|(n, s)| (n.as_str(), s)).collect();
         assert!(by_name["gen"].succeeded());
         assert!(matches!(by_name["sim"], StageStatus::Failed(_)));
         assert!(matches!(by_name["ana"], StageStatus::Skipped { .. }));

@@ -111,9 +111,13 @@ impl CronSchedule {
         let limit = after + 5 * 366 * 86_400;
         while t <= limit {
             let civil = CivilTime::from_unix(t);
-            if self
-                .matches(civil.minute, civil.hour, civil.day, civil.month, civil.weekday)
-            {
+            if self.matches(
+                civil.minute,
+                civil.hour,
+                civil.day,
+                civil.month,
+                civil.weekday,
+            ) {
                 return Some(t);
             }
             t += 60;

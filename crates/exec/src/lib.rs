@@ -16,6 +16,19 @@
 //! * [`chain`] — DAG-structured analysis chains: "some of these tests …
 //!   are run in parallel, many are run sequentially and form discrete parts
 //!   in one of several full analysis chains" (§3.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use sp_exec::{CronSchedule, VirtualClock};
+//!
+//! let clock = VirtualClock::starting_at(1_356_998_400); // 2013-01-01 00:00 UTC
+//! let nightly = CronSchedule::nightly();
+//! let next = nightly.next_after(clock.now()).unwrap();
+//! assert!(next > clock.now());
+//! clock.advance_to(next);
+//! assert_eq!(clock.now(), next);
+//! ```
 
 pub mod chain;
 pub mod client;

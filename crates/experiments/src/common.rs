@@ -156,12 +156,8 @@ pub fn pkg(
     kloc: u32,
     deps: &[&str],
 ) -> Package {
-    let mut package = Package::new(
-        name,
-        Version::new(version.0, version.1, version.2),
-        kind,
-    )
-    .size_kloc(kloc);
+    let mut package =
+        Package::new(name, Version::new(version.0, version.1, version.2), kind).size_kloc(kloc);
     for dep in deps {
         package = package.dep(*dep);
     }
@@ -186,7 +182,9 @@ mod tests {
     #[test]
     fn suite_structure() {
         let graph = small_graph();
-        let chains = [ChainSpec::standard("nc", 1000, "gen", "sim", "ana", "ana", "ana")];
+        let chains = [ChainSpec::standard(
+            "nc", 1000, "gen", "sim", "ana", "ana", "ana",
+        )];
         let suite = build_suite(
             "t",
             PreservationLevel::FullSoftware,

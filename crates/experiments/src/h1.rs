@@ -30,9 +30,15 @@ pub fn h1_experiment() -> ExperimentDef {
         ("h1dump", 100),
     ];
     let chains = [
-        ChainSpec::standard("nc-dis", 3000, "django", "h1sim", "h1dst", "h1micro", "h1ncana"),
-        ChainSpec::standard("cc-dis", 2200, "lepto", "h1sim", "h1dst", "h1micro", "h1ccana"),
-        ChainSpec::standard("php", 2400, "pythia6", "h1sim", "h1dst", "h1micro", "h1phpana"),
+        ChainSpec::standard(
+            "nc-dis", 3000, "django", "h1sim", "h1dst", "h1micro", "h1ncana",
+        ),
+        ChainSpec::standard(
+            "cc-dis", 2200, "lepto", "h1sim", "h1dst", "h1micro", "h1ccana",
+        ),
+        ChainSpec::standard(
+            "php", 2400, "pythia6", "h1sim", "h1dst", "h1micro", "h1phpana",
+        ),
         ChainSpec::standard(
             "heavy-flavour",
             2200,
@@ -43,13 +49,7 @@ pub fn h1_experiment() -> ExperimentDef {
             "h1charm",
         ),
         ChainSpec::standard(
-            "high-q2",
-            2600,
-            "django",
-            "h1fast",
-            "h1dst",
-            "h1micro",
-            "h1highq2",
+            "high-q2", 2600, "django", "h1fast", "h1dst", "h1micro", "h1highq2",
         ),
     ];
     let suite = build_suite(
@@ -122,12 +122,24 @@ fn h1_packages() -> Vec<Package> {
         pkg("h1graph", (1, 8, 0), Library, 28, &["h1util"]).lang(Language::C),
         pkg("h1unpack", (3, 6, 0), Library, 33, &["h1io", "h1bank"]).lang(Language::Fortran),
         // ---- Monte Carlo generators ------------------------------------
-        pkg("django", (1, 4, 24), Generator, 50, &["h1util", "h1steer", "h1cern"])
-            .lang(Language::Fortran)
-            .with_trait(needs_cernlib()),
-        pkg("rapgap", (3, 1, 0), Generator, 55, &["h1util", "h1steer", "h1cern"])
-            .lang(Language::Fortran)
-            .with_trait(needs_cernlib()),
+        pkg(
+            "django",
+            (1, 4, 24),
+            Generator,
+            50,
+            &["h1util", "h1steer", "h1cern"],
+        )
+        .lang(Language::Fortran)
+        .with_trait(needs_cernlib()),
+        pkg(
+            "rapgap",
+            (3, 1, 0),
+            Generator,
+            55,
+            &["h1util", "h1steer", "h1cern"],
+        )
+        .lang(Language::Fortran)
+        .with_trait(needs_cernlib()),
         pkg("pythia6", (6, 4, 24), Generator, 75, &["h1steer"]).lang(Language::Fortran),
         pkg("lepto", (6, 5, 1), Generator, 35, &["h1steer"]).lang(Language::Fortran),
         pkg("ariadne", (4, 12, 0), Generator, 30, &["h1steer"]).lang(Language::Fortran),
@@ -140,34 +152,82 @@ fn h1_packages() -> Vec<Package> {
         pkg("h1gean", (3, 21, 0), Simulation, 95, &["h1geom", "h1cern"])
             .lang(Language::Fortran)
             .with_trait(needs_cernlib()),
-        pkg("h1sim", (8, 0, 0), Simulation, 120, &["h1gean", "h1cal", "h1track"])
-            .lang(Language::Fortran),
+        pkg(
+            "h1sim",
+            (8, 0, 0),
+            Simulation,
+            120,
+            &["h1gean", "h1cal", "h1track"],
+        )
+        .lang(Language::Fortran),
         pkg("h1digi", (4, 2, 0), Simulation, 45, &["h1sim"]).lang(Language::Fortran),
         pkg("h1noise", (2, 0, 0), Simulation, 18, &["h1cal"]).lang(Language::Fortran),
-        pkg("h1fast", (2, 5, 0), Simulation, 40, &["h1geom", "h1cal", "h1track"])
-            .lang(Language::Fortran),
+        pkg(
+            "h1fast",
+            (2, 5, 0),
+            Simulation,
+            40,
+            &["h1geom", "h1cal", "h1track"],
+        )
+        .lang(Language::Fortran),
         pkg("h1simdb", (1, 3, 0), Simulation, 15, &["h1db"]).lang(Language::C),
         pkg("h1align", (2, 1, 0), Simulation, 25, &["h1track", "h1db"]).lang(Language::Fortran),
         pkg("h1deadmat", (1, 1, 0), Simulation, 10, &["h1geom"]).lang(Language::Fortran),
         // ---- reconstruction ---------------------------------------------
-        pkg("h1rec", (10, 3, 0), Reconstruction, 150, &["h1cal", "h1track", "h1trig"])
-            .lang(Language::Fortran),
-        pkg("h1calrec", (6, 0, 0), Reconstruction, 65, &["h1cal", "h1rec"])
-            .lang(Language::Fortran),
-        pkg("h1trackrec", (7, 2, 0), Reconstruction, 85, &["h1track", "h1rec"])
-            .lang(Language::Fortran),
-        pkg("h1vertexrec", (3, 1, 0), Reconstruction, 35, &["h1vertex", "h1rec"])
-            .lang(Language::Fortran),
+        pkg(
+            "h1rec",
+            (10, 3, 0),
+            Reconstruction,
+            150,
+            &["h1cal", "h1track", "h1trig"],
+        )
+        .lang(Language::Fortran),
+        pkg(
+            "h1calrec",
+            (6, 0, 0),
+            Reconstruction,
+            65,
+            &["h1cal", "h1rec"],
+        )
+        .lang(Language::Fortran),
+        pkg(
+            "h1trackrec",
+            (7, 2, 0),
+            Reconstruction,
+            85,
+            &["h1track", "h1rec"],
+        )
+        .lang(Language::Fortran),
+        pkg(
+            "h1vertexrec",
+            (3, 1, 0),
+            Reconstruction,
+            35,
+            &["h1vertex", "h1rec"],
+        )
+        .lang(Language::Fortran),
         pkg("h1muonrec", (4, 0, 0), Reconstruction, 45, &["h1rec"]).lang(Language::Fortran),
         pkg("h1jetrec", (3, 4, 0), Reconstruction, 40, &["h1calrec"]).lang(Language::Fortran),
         pkg("h1elecrec", (4, 2, 0), Reconstruction, 38, &["h1calrec"]).lang(Language::Fortran),
-        pkg("h1hfsrec", (2, 2, 0), Reconstruction, 30, &["h1calrec", "h1trackrec"])
-            .lang(Language::Fortran),
+        pkg(
+            "h1hfsrec",
+            (2, 2, 0),
+            Reconstruction,
+            30,
+            &["h1calrec", "h1trackrec"],
+        )
+        .lang(Language::Fortran),
         pkg("h1kine", (3, 0, 0), Reconstruction, 25, &["h1rec"]).lang(Language::Fortran),
         pkg("h1pid", (2, 6, 0), Reconstruction, 35, &["h1trackrec"]).lang(Language::Fortran),
         pkg("h1qual", (2, 0, 0), Reconstruction, 20, &["h1rec"]).lang(Language::Fortran),
-        pkg("h1dst", (5, 1, 0), Reconstruction, 60, &["h1rec", "h1bank", "h1unpack"])
-            .lang(Language::Fortran),
+        pkg(
+            "h1dst",
+            (5, 1, 0),
+            Reconstruction,
+            60,
+            &["h1rec", "h1bank", "h1unpack"],
+        )
+        .lang(Language::Fortran),
         pkg("h1pot", (2, 3, 0), Reconstruction, 22, &["h1dst"]).lang(Language::Fortran),
         pkg("h1dmis", (1, 2, 0), Reconstruction, 14, &["h1rec"]).lang(Language::Fortran),
         // Level-4/5 trigger reconstruction; pre-C99 code.
@@ -184,8 +244,7 @@ fn h1_packages() -> Vec<Package> {
             p
         },
         {
-            let mut p =
-                pkg("h1micro", (3, 2, 0), Analysis, 70, &["h1oo"]).lang(Language::Cxx);
+            let mut p = pkg("h1micro", (3, 2, 0), Analysis, 70, &["h1oo"]).lang(Language::Cxx);
             for t in uses_root5() {
                 p = p.with_trait(t);
             }

@@ -67,9 +67,15 @@ fn hermes_packages() -> Vec<Package> {
         pkg("disng", (1, 4, 0), Generator, 20, &["hsteer"]).lang(Language::Fortran),
         pkg("hradgen", (1, 0, 0), Generator, 15, &["hsteer"]).lang(Language::Fortran),
         // ---- simulation -----------------------------------------------------
-        pkg("hsim", (4, 1, 0), Simulation, 70, &["hgeom", "hcal", "htrack"])
-            .lang(Language::Fortran)
-            .with_trait(needs_cernlib()),
+        pkg(
+            "hsim",
+            (4, 1, 0),
+            Simulation,
+            70,
+            &["hgeom", "hcal", "htrack"],
+        )
+        .lang(Language::Fortran)
+        .with_trait(needs_cernlib()),
         pkg("hdigi", (2, 0, 0), Simulation, 25, &["hsim"]).lang(Language::Fortran),
         pkg("hsmear", (1, 3, 0), Simulation, 15, &["hcal"]).lang(Language::Fortran),
         // ---- reconstruction --------------------------------------------------

@@ -19,6 +19,15 @@
 //! | `h1fpack` (H1), `zgana` (ZEUS) | g77 Fortran dialect | warnings ≥ gcc 4.4, errors on SL7 |
 //! | `h1oo`, `h1micro` (H1), `zdis` (ZEUS), `hana` (HERMES) | ROOT 5 API (CINT) | ROOT 6 images |
 //! | CERNLIB users | external requirement | SL7 (no CERNLIB distribution) |
+//!
+//! ## Example
+//!
+//! ```
+//! let experiments = sp_experiments::hera_experiments();
+//! let names: Vec<&str> = experiments.iter().map(|e| e.name.as_str()).collect();
+//! assert_eq!(names, ["zeus", "h1", "hermes"]);
+//! assert!(experiments.iter().all(|e| e.package_count() > 0));
+//! ```
 
 pub mod common;
 pub mod h1;

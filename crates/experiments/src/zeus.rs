@@ -20,8 +20,12 @@ pub fn zeus_experiment() -> ExperimentDef {
         ("zprod", 300),
     ];
     let chains = [
-        ChainSpec::standard("nc-dis", 2600, "amadeus", "mozart", "zdstw", "zmicro", "zncana"),
-        ChainSpec::standard("cc-dis", 2000, "zlepto", "mozart", "zdstw", "zmicro", "zccana"),
+        ChainSpec::standard(
+            "nc-dis", 2600, "amadeus", "mozart", "zdstw", "zmicro", "zncana",
+        ),
+        ChainSpec::standard(
+            "cc-dis", 2000, "zlepto", "mozart", "zdstw", "zmicro", "zccana",
+        ),
     ];
     let suite = build_suite(
         "zeus",
@@ -78,9 +82,15 @@ fn zeus_packages() -> Vec<Package> {
             .with_trait(needs_cernlib()),
         pkg("zgrape", (1, 1, 0), Generator, 20, &["zsteer"]).lang(Language::Fortran),
         // ---- simulation ---------------------------------------------------
-        pkg("mozart", (5, 3, 0), Simulation, 110, &["zgeom", "zcal", "ztrack"])
-            .lang(Language::Fortran)
-            .with_trait(needs_cernlib()),
+        pkg(
+            "mozart",
+            (5, 3, 0),
+            Simulation,
+            110,
+            &["zgeom", "zcal", "ztrack"],
+        )
+        .lang(Language::Fortran)
+        .with_trait(needs_cernlib()),
         pkg("zgeant", (3, 21, 0), Simulation, 80, &["zgeom"])
             .lang(Language::Fortran)
             .with_trait(needs_cernlib()),
@@ -88,14 +98,26 @@ fn zeus_packages() -> Vec<Package> {
         pkg("ztrig", (2, 4, 0), Simulation, 30, &["zdb"]).lang(Language::Fortran),
         pkg("zsmear", (1, 7, 0), Simulation, 20, &["zcal"]).lang(Language::Fortran),
         // ---- reconstruction ------------------------------------------------
-        pkg("zephyr", (7, 0, 0), Reconstruction, 130, &["zcal", "ztrack", "ztrig"])
-            .lang(Language::Fortran),
+        pkg(
+            "zephyr",
+            (7, 0, 0),
+            Reconstruction,
+            130,
+            &["zcal", "ztrack", "ztrig"],
+        )
+        .lang(Language::Fortran),
         pkg("zcalrec", (4, 2, 0), Reconstruction, 50, &["zephyr"]).lang(Language::Fortran),
         pkg("ztrackrec", (5, 0, 0), Reconstruction, 60, &["zephyr"]).lang(Language::Fortran),
         pkg("zvertex", (2, 3, 0), Reconstruction, 25, &["ztrackrec"]).lang(Language::Fortran),
         pkg("zke", (2, 0, 0), Reconstruction, 22, &["zephyr"]).lang(Language::Fortran),
-        pkg("zeflow", (1, 9, 0), Reconstruction, 28, &["zcalrec", "ztrackrec"])
-            .lang(Language::Fortran),
+        pkg(
+            "zeflow",
+            (1, 9, 0),
+            Reconstruction,
+            28,
+            &["zcalrec", "ztrackrec"],
+        )
+        .lang(Language::Fortran),
         pkg("zdstw", (3, 1, 0), Reconstruction, 40, &["zephyr", "zbos"]).lang(Language::Fortran),
         pkg("zqual", (1, 5, 0), Reconstruction, 18, &["zephyr"]).lang(Language::Fortran),
         // ---- analysis -------------------------------------------------------

@@ -35,7 +35,10 @@ impl Histogram1D {
     /// If `nbins == 0` or `lo >= hi` or either bound is non-finite.
     pub fn new(name: impl Into<String>, nbins: usize, lo: f64, hi: f64) -> Self {
         assert!(nbins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         Histogram1D {
             name: name.into(),
             lo,

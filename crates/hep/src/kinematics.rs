@@ -151,7 +151,11 @@ impl DisKinematics {
         let cos_t = theta.cos();
         let q2 = 2.0 * e_beam * e_prime * (1.0 + cos_t);
         let y = 1.0 - (e_prime / (2.0 * e_beam)) * (1.0 - cos_t);
-        let x = if y > 0.0 && s > 0.0 { (q2 / (s * y)).min(1.0) } else { 1.0 };
+        let x = if y > 0.0 && s > 0.0 {
+            (q2 / (s * y)).min(1.0)
+        } else {
+            1.0
+        };
         let w2 = (s * y - q2).max(0.0);
         DisKinematics { q2, x, y, w2 }
     }

@@ -314,15 +314,20 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let a: Vec<Event> = EventGenerator::new(GeneratorConfig::hera_nc(), 5).take(20).collect();
-        let b: Vec<Event> = EventGenerator::new(GeneratorConfig::hera_nc(), 5).take(20).collect();
+        let a: Vec<Event> = EventGenerator::new(GeneratorConfig::hera_nc(), 5)
+            .take(20)
+            .collect();
+        let b: Vec<Event> = EventGenerator::new(GeneratorConfig::hera_nc(), 5)
+            .take(20)
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     fn event_ids_are_sequential() {
-        let events: Vec<Event> =
-            EventGenerator::new(GeneratorConfig::hera_nc(), 1).take(5).collect();
+        let events: Vec<Event> = EventGenerator::new(GeneratorConfig::hera_nc(), 1)
+            .take(5)
+            .collect();
         let ids: Vec<u64> = events.iter().map(|e| e.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
     }

@@ -60,8 +60,8 @@ pub fn reconstruct(event: &Event, config: &GeneratorConfig) -> RecoEvent {
         .filter(|p| p.status == 1 && p.charge != 0)
         .count();
 
-    let kinematics =
-        electron.map(|e| DisKinematics::electron_method(config.e_beam, config.p_beam, e.e, e.theta()));
+    let kinematics = electron
+        .map(|e| DisKinematics::electron_method(config.e_beam, config.p_beam, e.e, e.theta()));
 
     let visible: FourVector = event
         .particles
@@ -121,8 +121,7 @@ mod tests {
     fn cc_events_have_no_electron_but_pt_miss() {
         let events = reco_sample(GeneratorConfig::hera_cc(), 200, 2);
         assert!(events.iter().all(|e| e.electron.is_none()));
-        let mean_ptmiss: f64 =
-            events.iter().map(|e| e.pt_miss).sum::<f64>() / events.len() as f64;
+        let mean_ptmiss: f64 = events.iter().map(|e| e.pt_miss).sum::<f64>() / events.len() as f64;
         let nc = reco_sample(GeneratorConfig::hera_nc(), 200, 2);
         let mean_ptmiss_nc: f64 = nc.iter().map(|e| e.pt_miss).sum::<f64>() / nc.len() as f64;
         assert!(

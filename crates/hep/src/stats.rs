@@ -147,7 +147,13 @@ mod tests {
 
     #[test]
     fn gamma_p_q_complement() {
-        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (2.5, 4.0), (10.0, 8.0), (50.0, 55.0)] {
+        for &(a, x) in &[
+            (0.5, 0.3),
+            (1.0, 1.0),
+            (2.5, 4.0),
+            (10.0, 8.0),
+            (50.0, 55.0),
+        ] {
             let p = gamma_p(a, x);
             let q = gamma_q(a, x);
             assert!((p + q - 1.0).abs() < 1e-10, "a={a} x={x}: p+q={}", p + q);

@@ -8,7 +8,15 @@ use sp_hep::{
 
 fn particle_strategy() -> impl Strategy<Value = Particle> {
     (
-        prop_oneof![Just(11i32), Just(-11), Just(211), Just(-211), Just(111), Just(22), Just(12)],
+        prop_oneof![
+            Just(11i32),
+            Just(-11),
+            Just(211),
+            Just(-211),
+            Just(111),
+            Just(22),
+            Just(12)
+        ],
         0.01f64..500.0,
         0.0f64..std::f64::consts::PI,
         0.0f64..std::f64::consts::TAU,

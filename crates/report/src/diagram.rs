@@ -86,7 +86,11 @@ pub fn figure1_diagram(system: &SpSystem) -> String {
         out.push_str("          (none registered)\n");
     }
     for client in system.clients() {
-        out.push_str(&format!("          - {} [{}]\n", client.name, client.kind.label()));
+        out.push_str(&format!(
+            "          - {} [{}]\n",
+            client.name,
+            client.kind.label()
+        ));
     }
     out.push_str(&format!(
         "\n        {} virtual machine image(s) registered\n",

@@ -139,9 +139,7 @@ pub fn matrix_page(
     };
 
     let mut html = String::new();
-    html.push_str(
-        "<!DOCTYPE html>\n<html><head><title>sp-system validation summary</title>\n",
-    );
+    html.push_str("<!DOCTYPE html>\n<html><head><title>sp-system validation summary</title>\n");
     html.push_str(STYLE);
     html.push_str("</head><body>\n<h1>Summary of validation tests</h1>\n");
     html.push_str(&format!(
@@ -243,7 +241,11 @@ mod tests {
         use sp_core::{CampaignSummary, SpSystem};
         let mut cells = std::collections::BTreeMap::new();
         cells.insert(
-            ("hermes".to_string(), "compilation".to_string(), "SL6".to_string()),
+            (
+                "hermes".to_string(),
+                "compilation".to_string(),
+                "SL6".to_string(),
+            ),
             CellStatus::Pass,
         );
         cells.insert(

@@ -31,12 +31,7 @@ impl JsonValue {
 
     /// Convenience object constructor from pairs.
     pub fn object(pairs: impl IntoIterator<Item = (&'static str, JsonValue)>) -> Self {
-        JsonValue::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Serialises to compact JSON.

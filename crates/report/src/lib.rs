@@ -14,6 +14,17 @@
 //! * [`diagram`] — the Figure-1 system illustration, generated from a live
 //!   [`SpSystem`](sp_core::SpSystem).
 //! * [`summary`] — campaign statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp_report::TextTable;
+//!
+//! let mut table = TextTable::new(&["package", "status"]);
+//! table.row(&["h1oo", "OK"]).row(&["h1fpack", "FAIL"]);
+//! let rendered = table.render();
+//! assert!(rendered.contains("h1oo") && rendered.contains("FAIL"));
+//! ```
 
 pub mod diagram;
 pub mod html;

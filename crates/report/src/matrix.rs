@@ -16,18 +16,17 @@ use crate::table::{Align, TextTable};
 ///
 /// `band_order` fixes the vertical order of the experiment bands (the paper
 /// shows ZEUS on top, H1 in the middle, HERMES at the bottom).
-pub fn render_matrix(
-    system: &SpSystem,
-    summary: &CampaignSummary,
-    band_order: &[&str],
-) -> String {
+pub fn render_matrix(system: &SpSystem, summary: &CampaignSummary, band_order: &[&str]) -> String {
     let mut out = String::new();
     out.push_str("Summary of validation tests (configurations across, processes down)\n\n");
 
     let mut headers: Vec<&str> = vec!["experiment", "process"];
     headers.extend(summary.image_labels.iter().map(String::as_str));
     let mut aligns = vec![Align::Left, Align::Left];
-    aligns.extend(std::iter::repeat_n(Align::Right, summary.image_labels.len()));
+    aligns.extend(std::iter::repeat_n(
+        Align::Right,
+        summary.image_labels.len(),
+    ));
     let mut table = TextTable::new(&headers).align(&aligns);
 
     let rows = summary.rows();

@@ -24,12 +24,14 @@ pub struct ExperimentStats {
 pub fn campaign_stats(summary: &CampaignSummary) -> BTreeMap<String, ExperimentStats> {
     let mut stats: BTreeMap<String, ExperimentStats> = BTreeMap::new();
     for run in &summary.runs {
-        let entry = stats.entry(run.experiment.clone()).or_insert(ExperimentStats {
-            runs: 0,
-            successful: 0,
-            tests_passed: 0,
-            tests_failed: 0,
-        });
+        let entry = stats
+            .entry(run.experiment.clone())
+            .or_insert(ExperimentStats {
+                runs: 0,
+                successful: 0,
+                tests_passed: 0,
+                tests_failed: 0,
+            });
         entry.runs += 1;
         entry.successful += run.successful as usize;
         entry.tests_passed += run.passed;

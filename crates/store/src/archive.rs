@@ -181,7 +181,10 @@ fn validate_path(path: &str) -> Result<()> {
     if path.is_empty() || path.starts_with('/') {
         return reject(path);
     }
-    if path.split('/').any(|c| c.is_empty() || c == "." || c == "..") {
+    if path
+        .split('/')
+        .any(|c| c.is_empty() || c == "." || c == "..")
+    {
         return reject(path);
     }
     Ok(())

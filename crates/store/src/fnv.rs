@@ -1,0 +1,35 @@
+//! FNV-1a hashing for deterministic seeds and synthetic content.
+//!
+//! Content addressing uses [`sha256`](crate::sha256); FNV-1a is the cheap
+//! non-cryptographic companion used wherever the workspace needs a stable
+//! `u64` derived from a name — per-test seeds, synthetic binary payloads.
+//! It lives here so every crate hashes identically; seeds and object
+//! contents derived from it must never diverge between crates.
+
+/// FNV-1a over a string.
+pub fn fnv64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn distinct_inputs_differ() {
+        assert_ne!(fnv64("h1rec/1"), fnv64("h1rec/2"));
+    }
+}

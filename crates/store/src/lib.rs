@@ -22,9 +22,22 @@
 //! * [`vault`] — write-once conservation of the *last working image*
 //!   (workflow phase iv).
 //! * [`retention`] — retention policies over stored runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use sp_store::ContentStore;
+//!
+//! let store = ContentStore::new();
+//! let id = store.put(b"validation output".to_vec());
+//! // Identical content deduplicates to the same object id.
+//! assert_eq!(store.put(b"validation output".to_vec()), id);
+//! assert_eq!(store.get(id).unwrap().to_vec(), b"validation output");
+//! ```
 
 pub mod archive;
 pub mod content;
+pub mod fnv;
 pub mod meta;
 pub mod object;
 pub mod retention;
@@ -34,6 +47,7 @@ pub mod vault;
 
 pub use archive::{Archive, ArchiveEntry};
 pub use content::ContentStore;
+pub use fnv::fnv64;
 pub use meta::MetaStore;
 pub use object::ObjectId;
 pub use retention::RetentionPolicy;

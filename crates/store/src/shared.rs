@@ -217,7 +217,10 @@ mod tests {
     fn named_put_lookup_get() {
         let storage = SharedStorage::new();
         let id = storage.put_named(StorageArea::Tests, "h1/compile/h1rec.sh", &b"#!/bin/sh"[..]);
-        assert_eq!(storage.lookup(StorageArea::Tests, "h1/compile/h1rec.sh"), Some(id));
+        assert_eq!(
+            storage.lookup(StorageArea::Tests, "h1/compile/h1rec.sh"),
+            Some(id)
+        );
         let bytes = storage
             .get_named(StorageArea::Tests, "h1/compile/h1rec.sh")
             .unwrap()
@@ -252,7 +255,10 @@ mod tests {
         let storage = SharedStorage::new();
         storage.put_named(StorageArea::Tests, "key", &b"test"[..]);
         storage.put_named(StorageArea::Results, "key", &b"result"[..]);
-        let t = storage.get_named(StorageArea::Tests, "key").unwrap().unwrap();
+        let t = storage
+            .get_named(StorageArea::Tests, "key")
+            .unwrap()
+            .unwrap();
         let r = storage
             .get_named(StorageArea::Results, "key")
             .unwrap()

@@ -37,10 +37,19 @@ fn main() {
     let h1 = system.experiment("h1").expect("registered");
     let sl5_env = system.image(sl5).expect("registered").spec.clone();
     let report = consolidate(&h1.graph, &sl5_env, &h1.entry_points);
-    println!("phase i (preparation): consolidation on {}", sl5_env.label());
-    println!("    unnecessary externals: {:?}", report.unnecessary_externals);
+    println!(
+        "phase i (preparation): consolidation on {}",
+        sl5_env.label()
+    );
+    println!(
+        "    unnecessary externals: {:?}",
+        report.unnecessary_externals
+    );
     println!("    missing externals:     {:?}", report.missing_externals);
-    println!("    unreachable packages:  {:?}", report.unreachable_packages);
+    println!(
+        "    unreachable packages:  {:?}",
+        report.unreachable_packages
+    );
     assert!(report.is_clean(), "H1 stack is consolidated for SL5");
     manager
         .complete_preparation(vec![], system.clock().now())
@@ -103,7 +112,9 @@ fn main() {
         graph.add(package).expect("copying a valid graph");
     }
     fixed.graph = graph;
-    system.register_experiment(fixed).expect("fixed stack registers");
+    system
+        .register_experiment(fixed)
+        .expect("fixed stack registers");
 
     system.clock().advance(86_400);
     let revalidated = system

@@ -20,7 +20,9 @@ fn main() {
         system.register_image(spec).expect("coherent image");
     }
     for experiment in sp_system::experiments::hera_experiments() {
-        system.register_experiment(experiment).expect("coherent experiment");
+        system
+            .register_experiment(experiment)
+            .expect("coherent experiment");
     }
 
     let config = CampaignConfig {
@@ -39,7 +41,10 @@ fn main() {
         .execute()
         .expect("campaign executes");
 
-    println!("{}", render_matrix(&system, &summary, &["zeus", "h1", "hermes"]));
+    println!(
+        "{}",
+        render_matrix(&system, &summary, &["zeus", "h1", "hermes"])
+    );
     println!("{}", render_stats(&summary));
 
     // The script-based web pages of §3.3.
@@ -55,8 +60,7 @@ fn main() {
         matrix_page(&system, &summary, &["zeus", "h1", "hermes"]),
     )
     .expect("matrix page");
-    fs::write(site.join("campaign.json"), campaign_json(&summary).render())
-        .expect("json export");
+    fs::write(site.join("campaign.json"), campaign_json(&summary).render()).expect("json export");
     // Materialise the output objects so every link on the run pages
     // resolves ("all output files are kept").
     let export = system.storage().export_to_dir(site).expect("object export");

@@ -35,7 +35,9 @@ fn main() {
     println!("note: ROOT 6 on SL6/gcc4.4 rejected at image build (needs C++11)\n");
 
     for experiment in sp_system::experiments::hera_experiments() {
-        system.register_experiment(experiment).expect("coherent experiment");
+        system
+            .register_experiment(experiment)
+            .expect("coherent experiment");
     }
     let config = RunConfig {
         scale: 0.25,
@@ -51,20 +53,14 @@ fn main() {
 
     for (label, image) in [("SL7 + ROOT 5.34", sl7_root5), ("SL7 + ROOT 6", sl7_root6)] {
         println!("=== {label} ===\n");
-        let mut table = TextTable::new(&[
-            "experiment",
-            "category",
-            "passed",
-            "failed",
-            "skipped",
-        ])
-        .align(&[
-            Align::Left,
-            Align::Left,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-        ]);
+        let mut table = TextTable::new(&["experiment", "category", "passed", "failed", "skipped"])
+            .align(&[
+                Align::Left,
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+            ]);
         for experiment in ["zeus", "h1", "hermes"] {
             let run = system
                 .run_validation(experiment, image, &config)

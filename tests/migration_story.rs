@@ -56,10 +56,7 @@ fn h1_sl6_migration_finds_h1bank() {
     let diagnosis = classify(h1, &migrated, &env).unwrap();
     assert_eq!(diagnosis.category, InputCategory::ExperimentSoftware);
     assert_eq!(diagnosis.culprit, "h1bank");
-    assert_eq!(
-        diagnosis.assignee,
-        sp_system::core::Assignee::Experiment
-    );
+    assert_eq!(diagnosis.assignee, sp_system::core::Assignee::Experiment);
 }
 
 /// HERMES has no latent 64-bit bugs: its SL6 migration is clean.
@@ -104,9 +101,13 @@ fn root5_version_bumps_are_green() {
         .register_experiment(sp_system::experiments::hermes_experiment())
         .unwrap();
 
-    let first = system.run_validation("hermes", root_532, &config()).unwrap();
+    let first = system
+        .run_validation("hermes", root_532, &config())
+        .unwrap();
     assert!(first.is_successful());
-    let bumped = system.run_validation("hermes", root_534, &config()).unwrap();
+    let bumped = system
+        .run_validation("hermes", root_534, &config())
+        .unwrap();
     assert!(bumped.is_successful(), "ROOT 5.32 -> 5.34 must be benign");
     assert_eq!(
         first.passed(),
@@ -128,7 +129,9 @@ fn root6_breaks_the_analysis_layer() {
         .register_experiment(sp_system::experiments::hermes_experiment())
         .unwrap();
 
-    let run = system.run_validation("hermes", sl7_root6, &config()).unwrap();
+    let run = system
+        .run_validation("hermes", sl7_root6, &config())
+        .unwrap();
     assert!(!run.is_successful());
     // hana fails to compile; everything depending on it skips.
     let hana_compile = run

@@ -59,10 +59,22 @@ fn client_joining_requirements() {
     }
     // Either requirement missing: rejected.
     assert!(system
-        .register_client("no-storage", ClientKind::BatchNode, CronSchedule::nightly(), false, true)
+        .register_client(
+            "no-storage",
+            ClientKind::BatchNode,
+            CronSchedule::nightly(),
+            false,
+            true
+        )
         .is_err());
     assert!(system
-        .register_client("no-cron", ClientKind::BatchNode, CronSchedule::nightly(), true, false)
+        .register_client(
+            "no-cron",
+            ClientKind::BatchNode,
+            CronSchedule::nightly(),
+            true,
+            false
+        )
         .is_err());
 }
 
@@ -89,8 +101,7 @@ fn chains_have_the_paper_stage_structure() {
     for experiment in hera_experiments() {
         for test in experiment.suite.tests() {
             if let sp_system::core::TestKind::Chain { chain, .. } = &test.kind {
-                let stages: Vec<&str> =
-                    chain.stages().iter().map(|s| s.name.as_str()).collect();
+                let stages: Vec<&str> = chain.stages().iter().map(|s| s.name.as_str()).collect();
                 assert_eq!(
                     stages,
                     vec!["mcgen", "sim", "dst", "microdst", "analysis", "validation"],

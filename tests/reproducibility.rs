@@ -30,8 +30,12 @@ fn config(seed: u64) -> RunConfig {
 fn identical_systems_produce_identical_digests() {
     let (system_a, image_a) = fresh_system();
     let (system_b, image_b) = fresh_system();
-    let run_a = system_a.run_validation("hermes", image_a, &config(1)).unwrap();
-    let run_b = system_b.run_validation("hermes", image_b, &config(1)).unwrap();
+    let run_a = system_a
+        .run_validation("hermes", image_a, &config(1))
+        .unwrap();
+    let run_b = system_b
+        .run_validation("hermes", image_b, &config(1))
+        .unwrap();
     assert_eq!(run_a.digest(), run_b.digest());
 }
 
@@ -41,8 +45,12 @@ fn identical_systems_produce_identical_digests() {
 fn seeds_change_outputs_not_verdicts() {
     let (system_a, image_a) = fresh_system();
     let (system_b, image_b) = fresh_system();
-    let run_a = system_a.run_validation("hermes", image_a, &config(1)).unwrap();
-    let run_b = system_b.run_validation("hermes", image_b, &config(2)).unwrap();
+    let run_a = system_a
+        .run_validation("hermes", image_a, &config(1))
+        .unwrap();
+    let run_b = system_b
+        .run_validation("hermes", image_b, &config(2))
+        .unwrap();
     assert_ne!(run_a.digest(), run_b.digest(), "outputs differ");
     assert!(run_a.is_successful());
     assert!(run_b.is_successful());
@@ -59,8 +67,12 @@ fn thread_count_is_invisible() {
     config_1.threads = 1;
     let mut config_8 = config(7);
     config_8.threads = 8;
-    let run_1 = system_a.run_validation("hermes", image_a, &config_1).unwrap();
-    let run_8 = system_b.run_validation("hermes", image_b, &config_8).unwrap();
+    let run_1 = system_a
+        .run_validation("hermes", image_a, &config_1)
+        .unwrap();
+    let run_8 = system_b
+        .run_validation("hermes", image_b, &config_8)
+        .unwrap();
     assert_eq!(run_1.digest(), run_8.digest());
 }
 

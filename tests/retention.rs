@@ -98,13 +98,8 @@ fn pruning_actually_frees_storage() {
     // Different seeds => different outputs per run => prunable objects.
     for seed in 0..4 {
         system.clock().advance(86_400);
-        let run_config = RunConfig {
-            seed,
-            ..config()
-        };
-        system
-            .run_validation("hermes", image, &run_config)
-            .unwrap();
+        let run_config = RunConfig { seed, ..config() };
+        system.run_validation("hermes", image, &run_config).unwrap();
     }
     let before = system.storage().content().len();
     let report = system.ledger().prune(

@@ -50,11 +50,7 @@ fn zeus_four_phase_lifecycle() {
     // Production recipe is exportable as soon as a validated run exists.
     let recipe = system.export_production_recipe("zeus").unwrap();
     assert!(recipe.environment.contains("os = SL5"));
-    assert_eq!(
-        recipe.artifacts.len(),
-        45,
-        "one tar-ball per ZEUS package"
-    );
+    assert_eq!(recipe.artifacts.len(), 45, "one tar-ball per ZEUS package");
     assert!(recipe.render().contains("certified by validation run"));
 
     // Phase iii — the SL6 migration fails; analysis opens an intervention
@@ -107,7 +103,12 @@ fn zeus_four_phase_lifecycle() {
 
     // Phase iv — freeze conserves the SL6 image; the programme ends.
     let label = manager
-        .freeze(system.vault(), "ZEUS programme concluded", vec![], system.clock().now())
+        .freeze(
+            system.vault(),
+            "ZEUS programme concluded",
+            vec![],
+            system.clock().now(),
+        )
         .unwrap();
     assert!(label.starts_with("zeus-SL6"));
     assert!(matches!(manager.phase(), Phase::Frozen { .. }));
@@ -116,6 +117,12 @@ fn zeus_four_phase_lifecycle() {
     let phases: Vec<&str> = manager.history().iter().map(|(_, p)| *p).collect();
     assert_eq!(
         phases,
-        vec!["preparation", "operation", "analysis", "operation", "frozen"]
+        vec![
+            "preparation",
+            "operation",
+            "analysis",
+            "operation",
+            "frozen"
+        ]
     );
 }
