@@ -1,9 +1,12 @@
 //! End-to-end validation-run cost: the full §3.1 (ii) cycle — parallel
 //! stack build, unit checks, standalone executables, analysis chains,
-//! reference comparison and bookkeeping — per experiment.
+//! reference comparison and bookkeeping — per experiment, plus the whole
+//! Figure-3 campaign grid under the sequential oracle and the work-stealing
+//! `CampaignEngine` at several worker counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::{desy_deployment, repro_run_config};
+use sp_core::{Campaign, CampaignConfig, CampaignEngine, SpSystem};
 
 fn bench_validation_runs(c: &mut Criterion) {
     let system = desy_deployment();
@@ -59,5 +62,53 @@ fn bench_stack_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_validation_runs, bench_stack_build);
+/// The full 3-experiment × 5-image grid, one nightly pass: sequential
+/// oracle vs the sharded engine. Each iteration runs on a fresh system so
+/// neither path inherits the other's references or digest cache.
+fn bench_campaign_engines(c: &mut Criterion) {
+    let grid = |system: &SpSystem| CampaignConfig {
+        experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
+        images: system.images().iter().map(|i| i.id).collect(),
+        repetitions: 1,
+        run: repro_run_config(0.05),
+        interval_secs: 86_400,
+    };
+    let mut group = c.benchmark_group("campaign_grid");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let system = desy_deployment();
+            let config = grid(&system);
+            Campaign::new(&system, config)
+                .execute()
+                .expect("oracle campaign")
+                .total_runs()
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let system = desy_deployment();
+                    let config = grid(&system);
+                    CampaignEngine::plan(&system, config, workers)
+                        .expect("planned grid")
+                        .execute()
+                        .expect("engine campaign")
+                        .total_runs()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_engines,
+    bench_validation_runs,
+    bench_stack_build
+);
 criterion_main!(benches);

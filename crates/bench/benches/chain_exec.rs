@@ -3,7 +3,7 @@
 //! clock of a validation run, so it fixes how often the cron can fire.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sp_hep::{run_chain, GeneratorConfig};
+use sp_hep::{run_chain, run_chain_with_scratch, ChainScratch, GeneratorConfig};
 
 fn bench_chain(c: &mut Criterion) {
     let config = GeneratorConfig::hera_nc();
@@ -15,6 +15,13 @@ fn bench_chain(c: &mut Criterion) {
             BenchmarkId::new("full_chain", events),
             &events,
             |b, &events| b.iter(|| run_chain(&config, events, 42, 0.0)),
+        );
+        // Steady state: per-event buffers amortised across whole chains.
+        let mut scratch = ChainScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("full_chain_scratch", events),
+            &events,
+            |b, &events| b.iter(|| run_chain_with_scratch(&config, events, 42, 0.0, &mut scratch)),
         );
     }
     group.finish();

@@ -9,7 +9,7 @@ use sp_env::{catalog, Arch, Version};
 
 fn bench_classify(c: &mut Criterion) {
     // Set up a failed H1 run on SL6 with an SL5 reference.
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl5 = system
         .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
         .unwrap();
@@ -32,7 +32,7 @@ fn bench_classify(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("analysis_phase");
     group.bench_function("classify_failed_h1_run", |b| {
-        b.iter(|| classify(experiment, &migrated, &env))
+        b.iter(|| classify(&experiment, &migrated, &env))
     });
     group.bench_function("regression_report_h1", |b| {
         b.iter(|| RegressionReport::between(&reference, &migrated))

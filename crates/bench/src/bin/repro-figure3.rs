@@ -5,27 +5,31 @@
 //! system, compiler and external dependencies, after the paper's ">300
 //! runs".
 //!
+//! The >300-run campaign executes on the sharded `CampaignEngine` (one
+//! work-stealing lane per experiment, batched ledger commits); pass
+//! `--compare` to also replay it on the sequential `Campaign` oracle and
+//! verify the two summaries are identical while reporting the speedup.
+//!
 //! Expected shape (§3.3): the SL5 columns validate cleanly, while the
 //! 64-bit columns surface the latent pointer bugs in the H1 and ZEUS stacks
 //! ("already identified and helped to solve several long-standing bugs");
 //! HERMES stays green throughout.
 //!
 //! ```text
-//! cargo run --release -p sp-bench --bin repro-figure3 [--scale 0.3]
+//! cargo run --release -p sp-bench --bin repro-figure3 \
+//!     [--scale 0.3] [--workers 4] [--compare]
 //! ```
 
 use sp_bench::{desy_deployment, repro_run_config, scale_from_args};
-use sp_core::{Campaign, CampaignConfig};
-use sp_env::{catalog, Arch};
+use sp_core::{Campaign, CampaignConfig, CampaignEngine, CampaignSummary, SpSystem};
+use sp_env::{catalog, Arch, VmImageId};
 use sp_report::render_matrix;
 use sp_report::summary::render_stats;
 
-fn main() {
-    let scale = scale_from_args(0.3);
-    let mut system = desy_deployment();
-
-    // The external-dependency axis: one SL5/32bit gcc4.4 image per ROOT
-    // version, plus the SL6-devtoolset ROOT 6 probe.
+/// The deployment plus the external-dependency image axis: one SL5/32bit
+/// gcc4.4 image per ROOT version, plus the SL6-devtoolset ROOT 6 probe.
+fn deployment_with_root_axis() -> (SpSystem, Vec<VmImageId>, Vec<VmImageId>) {
+    let system = desy_deployment();
     let mut root_axis = Vec::new();
     for version in catalog::paper_root_versions() {
         let id = system
@@ -38,29 +42,75 @@ fn main() {
             .register_image(catalog::sl6_devtoolset_root6())
             .expect("coherent image"),
     );
-    let system = system;
-
-    // 3 experiments x 5 images x 21 nightly passes = 315 runs (">300").
-    let paper_image_ids: Vec<_> = system
+    let paper_image_ids: Vec<VmImageId> = system
         .images()
         .iter()
         .map(|i| i.id)
         .filter(|id| !root_axis.contains(id))
         .collect();
-    let config = CampaignConfig {
+    (system, paper_image_ids, root_axis)
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn workers_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--workers")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
+fn main() {
+    let scale = scale_from_args(0.3);
+    let workers = workers_from_args();
+    let (system, paper_image_ids, root_axis) = deployment_with_root_axis();
+
+    // 3 experiments x 5 images x 21 nightly passes = 315 runs (">300").
+    let grid = |images: Vec<VmImageId>, repetitions: usize| CampaignConfig {
         experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
-        images: paper_image_ids,
-        repetitions: 21,
+        images,
+        repetitions,
         run: repro_run_config(scale),
         interval_secs: 86_400,
     };
+    let config = grid(paper_image_ids.clone(), 21);
     let planned = config.total_runs();
-    eprintln!("running {planned} validation runs (scale {scale}) ...");
+    eprintln!("running {planned} validation runs (scale {scale}, {workers} workers) ...");
     let started = std::time::Instant::now();
-    let summary = Campaign::new(&system, config)
-        .execute()
-        .expect("campaign over registered experiments");
-    eprintln!("campaign finished in {:.1?}\n", started.elapsed());
+    let engine =
+        CampaignEngine::plan(&system, config, workers).expect("campaign over registered names");
+    let summary = engine.execute().expect("sharded campaign");
+    let parallel_elapsed = started.elapsed();
+    eprintln!("campaign finished in {parallel_elapsed:.1?}\n");
+
+    if flag("--compare") {
+        // Replay the identical campaign sequentially on a fresh, identical
+        // system: the reference oracle must agree cell-for-cell.
+        let (oracle_system, oracle_images, _) = deployment_with_root_axis();
+        let oracle_config = grid(oracle_images, 21);
+        eprintln!("replaying {planned} runs on the sequential oracle ...");
+        let started = std::time::Instant::now();
+        let oracle: CampaignSummary = Campaign::new(&oracle_system, oracle_config)
+            .execute()
+            .expect("sequential oracle campaign");
+        let sequential_elapsed = started.elapsed();
+        assert_eq!(
+            summary, oracle,
+            "engine summary must be byte-identical to the sequential oracle"
+        );
+        eprintln!(
+            "oracle finished in {sequential_elapsed:.1?}; summaries identical; \
+             speedup {:.2}x with {workers} workers\n",
+            sequential_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(1e-9)
+        );
+    }
 
     println!(
         "Figure 3. A summary of the validation tests carried out by the HERA\n\
@@ -81,18 +131,13 @@ fn main() {
     );
 
     // ---- Figure 3, external-dependency axis -----------------------------
-    let ext_config = CampaignConfig {
-        experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
-        images: root_axis,
-        repetitions: 1,
-        run: repro_run_config(scale),
-        interval_secs: 86_400,
-    };
+    let ext_config = grid(root_axis, 1);
     eprintln!(
         "running {} external-dependency runs ...",
         ext_config.total_runs()
     );
-    let ext_summary = Campaign::new(&system, ext_config)
+    let ext_summary = CampaignEngine::plan(&system, ext_config, workers)
+        .expect("external-axis plan")
         .execute()
         .expect("external-axis campaign");
     println!(

@@ -13,7 +13,7 @@ use sp_env::{catalog, Arch, Version};
 
 fn main() {
     let scale = scale_from_args(0.4);
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl5_32 = system
         .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
         .expect("coherent image");
@@ -46,7 +46,7 @@ fn main() {
         if !migrated.is_successful() {
             let def = system.experiment(experiment).expect("registered");
             let env = system.image(sl6_64).expect("registered").spec.clone();
-            if let Some(diagnosis) = classify(def, &migrated, &env) {
+            if let Some(diagnosis) = classify(&def, &migrated, &env) {
                 println!("    diagnosis: {}", diagnosis.headline());
                 for evidence in diagnosis.evidence.iter().take(3) {
                     println!("      - {evidence}");
@@ -72,7 +72,7 @@ fn main() {
             if !run.is_successful() {
                 let def = system.experiment(experiment).expect("registered");
                 let env = system.image(image).expect("registered").spec.clone();
-                if let Some(diagnosis) = classify(def, &run, &env) {
+                if let Some(diagnosis) = classify(&def, &run, &env) {
                     println!("    diagnosis: {}", diagnosis.headline());
                 }
             }

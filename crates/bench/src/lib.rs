@@ -28,7 +28,7 @@ use sp_exec::{ClientKind, CronSchedule};
 /// experiments, and a set of clients (one VM per image plus a batch and a
 /// grid node).
 pub fn desy_deployment() -> SpSystem {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     for spec in catalog::paper_images() {
         let label = spec.label();
         let id = system

@@ -234,31 +234,55 @@ impl BuildEngine {
     /// pure function of the package and environment, so identical builds
     /// deduplicate to identical content addresses — the property the
     /// reproducibility guarantees rest on.
+    ///
+    /// Conservation goes through the storage digest cache keyed by the
+    /// package *revision* (identity, version, size and environment): a
+    /// nightly campaign rebuilding an unchanged package neither re-packs
+    /// nor re-hashes the tar-ball, it reuses the memoised content address.
     fn conserve_tarball(&self, package: &Package, env: &EnvironmentSpec) -> ObjectId {
-        let mut archive = Archive::new();
-        let manifest = format!(
-            "package = {}\nversion = {}\nlanguage = {}\nkind = {}\nbuilt-for = {}\n",
-            package.id,
-            package.version,
-            package.language.label(),
-            package.kind.label(),
-            env.label(),
-        );
-        archive
-            .add(ArchiveEntry::file("MANIFEST", manifest.into_bytes()))
-            .expect("static path is legal");
-        archive
-            .add(ArchiveEntry::executable(
-                format!("bin/{}", package.id),
-                synthetic_binary(package, env),
-            ))
-            .expect("derived path is legal");
-        self.storage.put_archive(
+        let revision = package_revision(package, env);
+        self.storage.put_named_cached(
             StorageArea::Artifacts,
             &format!("{}/{}/{}", package.id, package.version, env.label()),
-            &archive,
+            &revision,
+            || {
+                let mut archive = Archive::new();
+                let manifest = format!(
+                    "package = {}\nversion = {}\nlanguage = {}\nkind = {}\nbuilt-for = {}\n",
+                    package.id,
+                    package.version,
+                    package.language.label(),
+                    package.kind.label(),
+                    env.label(),
+                );
+                archive
+                    .add(ArchiveEntry::file("MANIFEST", manifest.into_bytes()))
+                    .expect("static path is legal");
+                archive
+                    .add(ArchiveEntry::executable(
+                        format!("bin/{}", package.id),
+                        synthetic_binary(package, env),
+                    ))
+                    .expect("derived path is legal");
+                archive.pack()
+            },
         )
     }
+}
+
+/// The digest-cache key of one package build: every determinant of the
+/// conserved tar-ball bytes. Bumping a package version, resizing it, or
+/// switching environment changes the revision and forces a real pack+hash.
+fn package_revision(package: &Package, env: &EnvironmentSpec) -> String {
+    format!(
+        "{}@{}+{}+{}+{}kloc@{}",
+        package.id,
+        package.version,
+        package.language.label(),
+        package.kind.label(),
+        package.kloc,
+        env.label(),
+    )
 }
 
 /// Deterministic pseudo-binary payload sized with the package (~32 bytes
@@ -360,6 +384,40 @@ mod tests {
         assert_eq!(report.failed_count(), 1);
         assert_eq!(report.skipped_count(), 1);
         assert!(!report.all_built());
+    }
+
+    #[test]
+    fn rebuilds_hit_the_digest_cache() {
+        let storage = SharedStorage::new();
+        let engine = BuildEngine::new(storage.clone());
+        let env = catalog::sl6_gcc44(Version::two(5, 34));
+        engine.build_stack(&stack(), &env).unwrap();
+        let after_first = storage.content().stats();
+        let cache_after_first = storage.digest_cache().stats();
+        assert_eq!(cache_after_first.hits, 0);
+        assert_eq!(cache_after_first.misses, 4, "one per conserved package");
+
+        let report = engine.build_stack(&stack(), &env).unwrap();
+        assert!(report.all_built());
+        let after_second = storage.content().stats();
+        let cache_after_second = storage.digest_cache().stats();
+        assert_eq!(
+            cache_after_second.hits, 4,
+            "unchanged artifacts not re-hashed"
+        );
+        assert_eq!(
+            after_first.inserted + after_first.deduplicated,
+            after_second.inserted + after_second.deduplicated,
+            "no content-store put at all on the second build"
+        );
+        // A different environment is a different revision: cache misses.
+        engine
+            .build_stack(
+                &stack(),
+                &catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)),
+            )
+            .unwrap();
+        assert!(storage.digest_cache().stats().misses > 4);
     }
 
     #[test]

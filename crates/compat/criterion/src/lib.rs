@@ -4,8 +4,53 @@
 //! `criterion_main!`, benchmark groups, `BenchmarkId`, `Throughput`,
 //! `Bencher::iter` — with a simple median-of-samples timer instead of the
 //! real statistical machinery. Output is one line per benchmark.
+//!
+//! Two environment variables drive CI integration:
+//!
+//! * `SP_BENCH_QUICK=1` — quick mode: two samples per benchmark and a much
+//!   smaller calibration budget, so a full `cargo bench` sweep fits in a CI
+//!   smoke step. Numbers are noisy; the point is catching order-of-magnitude
+//!   regressions and keeping the bench code exercised.
+//! * `SP_BENCH_JSON=<path>` — appends one JSON object per benchmark
+//!   (`{"bench": …, "median_ns": …}`) to `<path>`; this is how the
+//!   `BENCH_BASELINE.json` numbers in-repo are (re)generated.
 
 use std::time::Instant;
+
+/// Whether quick mode is active (`SP_BENCH_QUICK=1`).
+fn quick_mode() -> bool {
+    std::env::var("SP_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Appends one benchmark record to the `SP_BENCH_JSON` file, if set.
+fn append_json_record(label: &str, median_secs: f64, tp: Option<Throughput>) {
+    let Ok(path) = std::env::var("SP_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let rate = match tp {
+        Some(Throughput::Elements(n)) if median_secs > 0.0 => {
+            format!(", \"elements_per_sec\": {:.1}", n as f64 / median_secs)
+        }
+        Some(Throughput::Bytes(n)) if median_secs > 0.0 => {
+            format!(", \"bytes_per_sec\": {:.1}", n as f64 / median_secs)
+        }
+        _ => String::new(),
+    };
+    let line = format!(
+        "{{\"bench\": \"{label}\", \"median_ns\": {:.0}{rate}}}\n",
+        median_secs * 1e9
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
 
 /// Prevents the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -173,11 +218,13 @@ impl Bencher {
     where
         R: FnMut() -> O,
     {
-        // Warm-up + calibration: aim for ~1ms per sample, at least 1 iter.
+        // Warm-up + calibration: aim for ~1ms per sample (~0.1ms in quick
+        // mode), at least 1 iter.
+        let budget = if quick_mode() { 1e-4 } else { 1e-3 };
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().as_secs_f64().max(1e-9);
-        let iters = (1e-3 / once).clamp(1.0, 10_000.0) as u64;
+        let iters = (budget / once).clamp(1.0, 10_000.0) as u64;
         let start = Instant::now();
         for _ in 0..iters {
             black_box(routine());
@@ -191,6 +238,11 @@ fn run_one<F>(group: &str, id: &BenchmarkId, sample_size: usize, tp: Option<Thro
 where
     F: FnMut(&mut Bencher),
 {
+    let sample_size = if quick_mode() {
+        sample_size.min(2)
+    } else {
+        sample_size
+    };
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
     };
@@ -218,6 +270,7 @@ where
         _ => String::new(),
     };
     println!("bench {label:<48} {}{rate}", format_time(median));
+    append_json_record(&label, median, tp);
 }
 
 fn format_time(secs: f64) -> String {

@@ -1,9 +1,10 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides the two pieces this workspace uses: an unbounded MPMC
+//! Provides the three pieces this workspace uses: an unbounded MPMC
 //! [`channel`] (cloneable senders *and* receivers, blocking `recv`,
-//! disconnect on last-sender drop) and [`thread::scope`] built on
-//! `std::thread::scope`.
+//! disconnect on last-sender drop), [`thread::scope`] built on
+//! `std::thread::scope`, and the work-stealing [`deque`] primitives
+//! (`Worker` / `Stealer` / `Injector`) backing `sp_exec::pool`.
 
 pub mod channel {
     //! Unbounded multi-producer multi-consumer FIFO channel.
@@ -136,6 +137,195 @@ pub mod channel {
     }
 }
 
+pub mod deque {
+    //! Work-stealing double-ended queues with the `crossbeam-deque` API
+    //! shape: each worker owns a [`Worker`] end it pushes and pops locally,
+    //! hands out [`Stealer`]s to its peers, and an [`Injector`] serves as
+    //! the shared global queue tasks are seeded into.
+    //!
+    //! The stand-in trades the real lock-free Chase–Lev deque for a locked
+    //! `VecDeque`: the *scheduling semantics* (LIFO/FIFO local end, FIFO
+    //! steals from the opposite end, [`Steal::Retry`] on contention) are
+    //! preserved, which is all the deterministic pools built on top rely
+    //! on.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex, TryLockError};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Unwraps a stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// Local-queue flavour: order in which the owner pops its own tasks.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue (owner pops oldest first).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// Creates a LIFO worker queue (owner pops newest first).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut queue = self.queue.lock().expect("deque lock");
+            match self.flavor {
+                Flavor::Fifo => queue.pop_front(),
+                Flavor::Lifo => queue.pop_back(),
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque lock").len()
+        }
+
+        /// Creates a stealer handle for this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A peer's stealing end of a worker queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest task from the peer's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut queue) => match queue.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(TryLockError::WouldBlock) => Steal::Retry,
+                Err(TryLockError::Poisoned(poisoned)) => match poisoned.into_inner().pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+            }
+        }
+
+        /// Whether the queue was empty at the time of observation.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// The shared global (injection) queue.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Attempts to steal the oldest task from the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.try_lock() {
+                Ok(mut queue) => match queue.pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+                Err(TryLockError::WouldBlock) => Steal::Retry,
+                Err(TryLockError::Poisoned(poisoned)) => match poisoned.into_inner().pop_front() {
+                    Some(task) => Steal::Success(task),
+                    None => Steal::Empty,
+                },
+            }
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque lock").len()
+        }
+    }
+}
+
 pub mod thread {
     //! Scoped threads with the crossbeam call shape (`scope(|s| …)` returns
     //! a `Result`, `spawn` closures receive the scope handle).
@@ -190,6 +380,66 @@ mod tests {
         let values: Vec<u32> = rx.iter().collect();
         assert_eq!(values, vec![1, 2]);
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn deque_local_order_and_steal_end() {
+        let lifo = deque::Worker::new_lifo();
+        lifo.push(1);
+        lifo.push(2);
+        assert_eq!(lifo.pop(), Some(2), "LIFO owner pops newest");
+        let fifo = deque::Worker::new_fifo();
+        fifo.push(1);
+        fifo.push(2);
+        fifo.push(3);
+        assert_eq!(fifo.pop(), Some(1), "FIFO owner pops oldest");
+        let stealer = fifo.stealer();
+        assert_eq!(stealer.steal(), deque::Steal::Success(2), "steals oldest");
+        assert_eq!(fifo.len(), 1);
+        assert_eq!(fifo.pop(), Some(3));
+        assert!(stealer.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_shared_fifo() {
+        let injector = deque::Injector::new();
+        for i in 0..10 {
+            injector.push(i);
+        }
+        assert_eq!(injector.len(), 10);
+        let mut drained = Vec::new();
+        while let deque::Steal::Success(v) = injector.steal() {
+            drained.push(v);
+        }
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert!(injector.is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealing_loses_no_task() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let worker = deque::Worker::new_fifo();
+        for i in 0..1000 {
+            worker.push(i);
+        }
+        let found = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let stealer = worker.stealer();
+                let found = &found;
+                s.spawn(move |_| loop {
+                    match stealer.steal() {
+                        deque::Steal::Success(_) => {
+                            found.fetch_add(1, Ordering::SeqCst);
+                        }
+                        deque::Steal::Retry => std::hint::spin_loop(),
+                        deque::Steal::Empty => break,
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(found.load(Ordering::SeqCst), 1000);
     }
 
     #[test]

@@ -1,16 +1,49 @@
-//! Multi-run validation campaigns.
+//! Multi-run validation campaigns: planning, sequential and parallel
+//! execution.
 //!
 //! "In total more than 300 runs over sets of pre-defined tests have been
 //! performed within the sp-system by the HERA experiments." (§3.3)
 //!
-//! A [`Campaign`] executes a grid of (experiment × image) validation runs,
-//! repeated over simulated nightly cron firings, and aggregates the cell
-//! statuses that the Figure-3 summary matrix displays.
+//! A campaign replays a grid of (experiment × image) validation runs over
+//! simulated nightly cron firings and aggregates the cell statuses the
+//! Figure-3 summary matrix displays. Execution is split into two phases:
+//!
+//! 1. **Planning** — [`CampaignPlan`] flattens the grid into an indexed
+//!    list of [`RunTask`]s, validating every experiment name and image id
+//!    *up front* (an unknown image is a [`SystemError::UnknownImage`]
+//!    before anything runs, never a half-executed campaign). Tasks are
+//!    grouped into per-repetition **barriers**: the virtual clock advances
+//!    exactly once per pass, after every task of the pass has finished.
+//!
+//! 2. **Execution** — either sequentially through [`Campaign`] (the
+//!    reference oracle: one `run_validation` per task in task order), or in
+//!    parallel through [`CampaignEngine`], which dispatches each
+//!    repetition's tasks onto a work-stealing pool
+//!    ([`sp_exec::WorkStealingPool`]).
+//!
+//! ## Why the engine shards by experiment
+//!
+//! Within one repetition, runs of the *same* experiment form a dependency
+//! chain: a successful run promotes its outputs to reference status, and
+//! the next run of that experiment compares against exactly those
+//! references. Runs of *different* experiments share nothing (references
+//! are per-experiment, storage is content-addressed, ids are
+//! pre-assigned). The engine therefore schedules one **lane** per
+//! experiment — the stealable unit — executing each lane's tasks in task
+//! order and promoting references as it goes, while different lanes run
+//! concurrently. At the repetition barrier the runs are committed to the
+//! ledger in task order through a single [`RunLedger::commit_batch`]
+//! (one lock acquisition per repetition instead of one per run), and the
+//! clock ticks. The result: a [`CampaignSummary`] byte-identical to the
+//! sequential oracle for any worker count, which
+//! `crates/core/tests/campaign_equivalence.rs` asserts property-wise.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use sp_env::VmImageId;
+use sp_exec::WorkStealingPool;
 
+use crate::ledger::RunLedger;
 use crate::run::{RunId, TestStatus, ValidationRun};
 use crate::system::{RunConfig, SpSystem, SystemError};
 
@@ -74,7 +107,7 @@ impl CellStatus {
 }
 
 /// Summary record of one executed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunRecord {
     /// Run id.
     pub id: RunId,
@@ -95,7 +128,7 @@ pub struct RunRecord {
 }
 
 /// The aggregated result of a campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSummary {
     /// One record per executed run, in execution order.
     pub runs: Vec<RunRecord>,
@@ -128,20 +161,191 @@ impl CampaignSummary {
             .unwrap_or(CellStatus::NotRun)
     }
 
-    /// Distinct (experiment, group) rows in insertion order of experiments.
+    /// Distinct (experiment, group) rows, keeping the key order of `cells`.
     pub fn rows(&self) -> Vec<(String, String)> {
+        let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
         let mut rows: Vec<(String, String)> = Vec::new();
         for (exp, group, _) in self.cells.keys() {
-            let key = (exp.clone(), group.clone());
-            if !rows.contains(&key) {
-                rows.push(key);
+            if seen.insert((exp.as_str(), group.as_str())) {
+                rows.push((exp.clone(), group.clone()));
             }
         }
         rows
     }
 }
 
-/// Executes campaigns against a system.
+/// One planned validation run of the campaign grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTask {
+    /// Global sequential position in the flattened grid; pre-assigned run
+    /// ids and result ordering both derive from it.
+    pub index: usize,
+    /// Which nightly pass (0-based) this task belongs to.
+    pub repetition: usize,
+    /// Experiment to validate.
+    pub experiment: String,
+    /// Image to validate on.
+    pub image: VmImageId,
+    /// Matrix column label of that image.
+    pub image_label: String,
+    /// Run description ("which software versions were used").
+    pub description: String,
+}
+
+/// The planning phase: the campaign grid flattened into indexed tasks with
+/// explicit repetition barriers.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    config: CampaignConfig,
+    tasks: Vec<RunTask>,
+    image_labels: Vec<String>,
+    runs_per_repetition: usize,
+}
+
+impl CampaignPlan {
+    /// Plans a campaign, validating every experiment name and image id up
+    /// front: planning fails with [`SystemError::UnknownExperiment`] /
+    /// [`SystemError::UnknownImage`] before a single run executes.
+    pub fn new(system: &SpSystem, config: CampaignConfig) -> Result<Self, SystemError> {
+        for name in &config.experiments {
+            if system.experiment(name).is_none() {
+                return Err(SystemError::UnknownExperiment(name.clone()));
+            }
+        }
+        let mut image_labels = Vec::with_capacity(config.images.len());
+        for image_id in &config.images {
+            let image = system
+                .image(*image_id)
+                .ok_or(SystemError::UnknownImage(*image_id))?;
+            image_labels.push(column_label(&image));
+        }
+
+        let runs_per_repetition = config.experiments.len() * config.images.len();
+        let mut tasks = Vec::with_capacity(config.total_runs());
+        for repetition in 0..config.repetitions {
+            for experiment in &config.experiments {
+                for (image_id, image_label) in config.images.iter().zip(&image_labels) {
+                    tasks.push(RunTask {
+                        index: tasks.len(),
+                        repetition,
+                        experiment: experiment.clone(),
+                        image: *image_id,
+                        image_label: image_label.clone(),
+                        description: format!(
+                            "{experiment} @ {image_label} (pass {})",
+                            repetition + 1
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(CampaignPlan {
+            config,
+            tasks,
+            image_labels,
+            runs_per_repetition,
+        })
+    }
+
+    /// The campaign configuration this plan was built from.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// All tasks in sequential (index) order.
+    pub fn tasks(&self) -> &[RunTask] {
+        &self.tasks
+    }
+
+    /// Number of repetition barriers (clock advances) the plan contains.
+    pub fn repetitions(&self) -> usize {
+        self.config.repetitions
+    }
+
+    /// Total planned runs.
+    pub fn total_runs(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The tasks of one repetition — the unit between two barriers.
+    pub fn repetition_tasks(&self, repetition: usize) -> &[RunTask] {
+        let start = repetition * self.runs_per_repetition;
+        let end = (start + self.runs_per_repetition).min(self.tasks.len());
+        &self.tasks[start..end]
+    }
+
+    /// Matrix column labels, in image order.
+    pub fn image_labels(&self) -> &[String] {
+        &self.image_labels
+    }
+
+    /// Groups one repetition's tasks into per-experiment lanes (the
+    /// engine's stealable unit), preserving task order within each lane.
+    fn lanes(&self, repetition: usize) -> Vec<Vec<&RunTask>> {
+        let mut order: Vec<&str> = Vec::new();
+        let mut lanes: BTreeMap<&str, Vec<&RunTask>> = BTreeMap::new();
+        for task in self.repetition_tasks(repetition) {
+            let lane = lanes.entry(task.experiment.as_str()).or_default();
+            if lane.is_empty() {
+                order.push(task.experiment.as_str());
+            }
+            lane.push(task);
+        }
+        order
+            .into_iter()
+            .map(|name| lanes.remove(name).expect("lane recorded"))
+            .collect()
+    }
+}
+
+/// Streaming aggregation of runs into a [`CampaignSummary`]; shared by the
+/// sequential oracle and the parallel engine so both produce identical
+/// summaries by construction (given runs arrive in task order).
+struct SummaryAggregator {
+    runs: Vec<RunRecord>,
+    cells: BTreeMap<(String, String, String), CellStatus>,
+    image_labels: Vec<String>,
+}
+
+impl SummaryAggregator {
+    fn new(plan: &CampaignPlan) -> Self {
+        SummaryAggregator {
+            runs: Vec::with_capacity(plan.total_runs()),
+            cells: BTreeMap::new(),
+            image_labels: plan.image_labels().to_vec(),
+        }
+    }
+
+    fn record(&mut self, task: &RunTask, run: &ValidationRun) {
+        self.runs.push(RunRecord {
+            id: run.id,
+            experiment: task.experiment.clone(),
+            image_label: task.image_label.clone(),
+            timestamp: run.timestamp,
+            passed: run.passed(),
+            failed: run.failed(),
+            skipped: run.skipped(),
+            successful: run.is_successful(),
+        });
+        for (group, status) in aggregate_groups(run) {
+            self.cells.insert(
+                (task.experiment.clone(), group, task.image_label.clone()),
+                status,
+            );
+        }
+    }
+
+    fn finish(self) -> CampaignSummary {
+        CampaignSummary {
+            runs: self.runs,
+            cells: self.cells,
+            image_labels: self.image_labels,
+        }
+    }
+}
+
+/// The sequential campaign executor — the reference oracle the parallel
+/// [`CampaignEngine`] is validated against.
 pub struct Campaign<'a> {
     system: &'a SpSystem,
     config: CampaignConfig,
@@ -153,56 +357,118 @@ impl<'a> Campaign<'a> {
         Campaign { system, config }
     }
 
-    /// Runs the full grid, aggregating per-cell statuses from the *last*
+    /// Runs the full grid strictly sequentially, one `run_validation` per
+    /// task in task order, aggregating per-cell statuses from the *last*
     /// run of each (experiment, image) pair.
     pub fn execute(&self) -> Result<CampaignSummary, SystemError> {
-        let mut runs: Vec<RunRecord> = Vec::new();
-        let mut cells: BTreeMap<(String, String, String), CellStatus> = BTreeMap::new();
-        let mut image_labels: Vec<String> = Vec::new();
-
-        for image_id in &self.config.images {
-            if let Some(image) = self.system.image(*image_id) {
-                image_labels.push(column_label(image));
+        let plan = CampaignPlan::new(self.system, self.config.clone())?;
+        let mut aggregator = SummaryAggregator::new(&plan);
+        for repetition in 0..plan.repetitions() {
+            for task in plan.repetition_tasks(repetition) {
+                let mut run_config = plan.config().run.clone();
+                run_config.description = task.description.clone();
+                let run = self
+                    .system
+                    .run_validation(&task.experiment, task.image, &run_config)?;
+                aggregator.record(task, &run);
             }
+            self.system.clock().advance(plan.config().interval_secs);
         }
+        Ok(aggregator.finish())
+    }
+}
 
-        for repetition in 0..self.config.repetitions {
-            for experiment in &self.config.experiments {
-                for image_id in &self.config.images {
-                    let image_label = self
-                        .system
-                        .image(*image_id)
-                        .map(column_label)
-                        .unwrap_or_default();
-                    let mut run_config = self.config.run.clone();
-                    run_config.description =
-                        format!("{experiment} @ {image_label} (pass {})", repetition + 1);
-                    let run = self
-                        .system
-                        .run_validation(experiment, *image_id, &run_config)?;
-                    runs.push(RunRecord {
-                        id: run.id,
-                        experiment: experiment.clone(),
-                        image_label: image_label.clone(),
-                        timestamp: run.timestamp,
-                        passed: run.passed(),
-                        failed: run.failed(),
-                        skipped: run.skipped(),
-                        successful: run.is_successful(),
-                    });
-                    for (group, status) in aggregate_groups(&run) {
-                        cells.insert((experiment.clone(), group, image_label.clone()), status);
+/// The parallel campaign executor: each repetition's per-experiment lanes
+/// are dispatched onto a work-stealing pool, references are promoted in
+/// lane order, and the repetition's runs are committed to the ledger in a
+/// single batch at the barrier.
+pub struct CampaignEngine<'a> {
+    system: &'a SpSystem,
+    plan: CampaignPlan,
+    workers: usize,
+}
+
+impl<'a> CampaignEngine<'a> {
+    /// Creates an engine over a plan with the given worker count
+    /// (minimum 1). One worker degenerates to sequential lane execution.
+    pub fn new(system: &'a SpSystem, plan: CampaignPlan, workers: usize) -> Self {
+        CampaignEngine {
+            system,
+            plan,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Plans and creates an engine in one step.
+    pub fn plan(
+        system: &'a SpSystem,
+        config: CampaignConfig,
+        workers: usize,
+    ) -> Result<Self, SystemError> {
+        Ok(Self::new(
+            system,
+            CampaignPlan::new(system, config)?,
+            workers,
+        ))
+    }
+
+    /// The underlying plan.
+    pub fn campaign_plan(&self) -> &CampaignPlan {
+        &self.plan
+    }
+
+    /// Executes the plan. The summary is byte-identical to what
+    /// [`Campaign::execute`] produces on an identically prepared system,
+    /// for any worker count.
+    pub fn execute(&self) -> Result<CampaignSummary, SystemError> {
+        let base = self.system.reserve_run_ids(self.plan.total_runs() as u64);
+        let pool = WorkStealingPool::new(self.workers);
+        let ledger: &RunLedger = self.system.ledger();
+        let mut aggregator = SummaryAggregator::new(&self.plan);
+
+        for repetition in 0..self.plan.repetitions() {
+            let lanes = self.plan.lanes(repetition);
+            // Fan the lanes out; each lane runs its tasks in task order and
+            // promotes references as it goes, so intra-experiment
+            // comparisons see exactly the sequential reference state.
+            let lane_results: Vec<Result<Vec<(&RunTask, ValidationRun)>, SystemError>> =
+                pool.run(lanes, |_, lane| {
+                    let mut completed = Vec::with_capacity(lane.len());
+                    for task in lane {
+                        let run_id = RunId(base.0 + task.index as u64);
+                        let mut run_config = self.plan.config().run.clone();
+                        run_config.description = task.description.clone();
+                        let run = self.system.execute_run_with_id(
+                            &task.experiment,
+                            task.image,
+                            &run_config,
+                            run_id,
+                        )?;
+                        ledger.promote(&run);
+                        completed.push((task, run));
                     }
-                }
-            }
-            self.system.clock().advance(self.config.interval_secs);
-        }
+                    Ok(completed)
+                });
 
-        Ok(CampaignSummary {
-            runs,
-            cells,
-            image_labels,
-        })
+            // Barrier: collect the repetition in task order, append it to
+            // the run log in one batch (references were already promoted
+            // in-lane in dependency order — re-promoting here would only
+            // redo that work under the write lock), then advance the
+            // clock exactly once for this pass.
+            let mut repetition_runs: Vec<(&RunTask, ValidationRun)> = Vec::new();
+            for lane in lane_results {
+                repetition_runs.extend(lane?);
+            }
+            repetition_runs.sort_by_key(|(task, _)| task.index);
+            for (task, run) in &repetition_runs {
+                aggregator.record(task, run);
+            }
+            ledger.log_batch(repetition_runs.into_iter().map(|(_, run)| run).collect());
+            self.system
+                .clock()
+                .advance(self.plan.config().interval_secs);
+        }
+        Ok(aggregator.finish())
     }
 }
 
@@ -305,5 +571,136 @@ mod tests {
             interval_secs: 86_400,
         };
         assert_eq!(config.total_runs(), 30);
+    }
+
+    #[test]
+    fn rows_deduplicate_in_key_order() {
+        let mut cells: BTreeMap<(String, String, String), CellStatus> = BTreeMap::new();
+        for image in ["a-img", "b-img"] {
+            cells.insert(("h1".into(), "g1".into(), image.into()), CellStatus::Pass);
+            cells.insert(("h1".into(), "g2".into(), image.into()), CellStatus::Fail);
+            cells.insert(("zeus".into(), "g1".into(), image.into()), CellStatus::Pass);
+        }
+        let summary = CampaignSummary {
+            runs: vec![],
+            cells,
+            image_labels: vec!["a-img".into(), "b-img".into()],
+        };
+        assert_eq!(
+            summary.rows(),
+            vec![
+                ("h1".to_string(), "g1".to_string()),
+                ("h1".to_string(), "g2".to_string()),
+                ("zeus".to_string(), "g1".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_rejects_unknown_names_up_front() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(sp_env::catalog::sl6_gcc44(sp_env::Version::two(5, 34)))
+            .unwrap();
+        let config = CampaignConfig {
+            experiments: vec!["ghost".into()],
+            images: vec![image],
+            repetitions: 1,
+            run: RunConfig::default(),
+            interval_secs: 1,
+        };
+        assert!(matches!(
+            CampaignPlan::new(&system, config),
+            Err(SystemError::UnknownExperiment(_))
+        ));
+        let config = CampaignConfig {
+            experiments: vec![],
+            images: vec![VmImageId(99)],
+            repetitions: 1,
+            run: RunConfig::default(),
+            interval_secs: 1,
+        };
+        assert!(matches!(
+            CampaignPlan::new(&system, config),
+            Err(SystemError::UnknownImage(VmImageId(99)))
+        ));
+    }
+
+    #[test]
+    fn plan_flattens_with_barriers_and_lanes() {
+        let system = SpSystem::new();
+        let img1 = system
+            .register_image(sp_env::catalog::sl6_gcc44(sp_env::Version::two(5, 34)))
+            .unwrap();
+        let img2 = system
+            .register_image(sp_env::catalog::sl5_gcc41(
+                sp_env::Arch::I686,
+                sp_env::Version::two(5, 34),
+            ))
+            .unwrap();
+        system
+            .register_experiment(sp_experiments_stub("alpha"))
+            .unwrap();
+        system
+            .register_experiment(sp_experiments_stub("beta"))
+            .unwrap();
+        let config = CampaignConfig {
+            experiments: vec!["beta".into(), "alpha".into()],
+            images: vec![img1, img2],
+            repetitions: 3,
+            run: RunConfig::default(),
+            interval_secs: 60,
+        };
+        let plan = CampaignPlan::new(&system, config).unwrap();
+        assert_eq!(plan.total_runs(), 12);
+        assert_eq!(plan.repetitions(), 3);
+        assert_eq!(plan.image_labels().len(), 2);
+        // Indices are globally sequential and barrier slices are disjoint.
+        for (i, task) in plan.tasks().iter().enumerate() {
+            assert_eq!(task.index, i);
+            assert_eq!(task.repetition, i / 4);
+        }
+        let rep1 = plan.repetition_tasks(1);
+        assert_eq!(rep1.len(), 4);
+        assert_eq!(rep1[0].index, 4);
+        // Lanes: config order (beta first), task order inside each lane.
+        let lanes = plan.lanes(1);
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0][0].experiment, "beta");
+        assert_eq!(lanes[1][0].experiment, "alpha");
+        assert!(lanes[0].windows(2).all(|w| w[0].index < w[1].index));
+        assert!(plan.tasks()[0].description.contains("(pass 1)"));
+    }
+
+    /// A minimal registrable experiment for plan-level tests.
+    fn sp_experiments_stub(name: &str) -> crate::experiment::ExperimentDef {
+        use crate::preservation::PreservationLevel;
+        use crate::suite::TestSuite;
+        use crate::test::{TestKind, ValidationTest};
+        use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
+        let graph = DependencyGraph::from_packages([Package::new(
+            "core",
+            sp_env::Version::new(1, 0, 0),
+            PackageKind::Library,
+        )])
+        .unwrap();
+        let mut suite = TestSuite::new(name, PreservationLevel::FullSoftware);
+        suite
+            .add(ValidationTest::new(
+                format!("{name}/compile/core"),
+                name,
+                "compilation",
+                TestKind::Compile {
+                    package: PackageId::new("core"),
+                },
+            ))
+            .unwrap();
+        crate::experiment::ExperimentDef {
+            name: name.into(),
+            color: "blue",
+            graph,
+            suite,
+            entry_points: vec![PackageId::new("core")],
+        }
     }
 }

@@ -34,14 +34,62 @@ impl RunLedger {
     /// Records a completed run. If the run validated successfully, its
     /// outputs become the new reference for the experiment.
     pub fn record(&self, run: ValidationRun) {
-        if run.is_successful() {
+        self.promote(&run);
+        self.runs.write().push(run);
+    }
+
+    /// Promotes a successful run's outputs to reference status *without*
+    /// appending it to the run log. No-op for failed runs.
+    ///
+    /// This is the half of [`record`](Self::record) the parallel campaign
+    /// engine needs mid-repetition: an experiment lane must update its
+    /// references in image order (the next run of the same experiment
+    /// compares against them), while the run log itself is appended once
+    /// per repetition via [`log_batch`](Self::log_batch) so the recording
+    /// order stays deterministic across worker counts.
+    pub fn promote(&self, run: &ValidationRun) {
+        if !run.is_successful() {
+            return;
+        }
+        let mut refs = self.references.write();
+        let entry = refs.entry(run.experiment.clone()).or_default();
+        for result in &run.results {
+            entry.insert(result.test.as_str().to_string(), result.outputs.clone());
+        }
+    }
+
+    /// Records a whole batch of runs under a single lock acquisition per
+    /// map (one for the references, one for the run log), instead of one
+    /// per run. Reference promotion follows batch order, so committing a
+    /// campaign repetition's runs in task order reproduces exactly the
+    /// reference state sequential execution would have left behind.
+    pub fn commit_batch(&self, runs: Vec<ValidationRun>) {
+        if runs.is_empty() {
+            return;
+        }
+        {
             let mut refs = self.references.write();
-            let entry = refs.entry(run.experiment.clone()).or_default();
-            for result in &run.results {
-                entry.insert(result.test.as_str().to_string(), result.outputs.clone());
+            for run in runs.iter().filter(|r| r.is_successful()) {
+                let entry = refs.entry(run.experiment.clone()).or_default();
+                for result in &run.results {
+                    entry.insert(result.test.as_str().to_string(), result.outputs.clone());
+                }
             }
         }
-        self.runs.write().push(run);
+        self.runs.write().extend(runs);
+    }
+
+    /// Appends a batch of runs to the run log under a single lock
+    /// acquisition **without touching the references** — the append half
+    /// of [`commit_batch`](Self::commit_batch), for callers (the campaign
+    /// engine) that already promoted each run via
+    /// [`promote`](Self::promote) in dependency order and would only
+    /// redo that work.
+    pub fn log_batch(&self, runs: Vec<ValidationRun>) {
+        if runs.is_empty() {
+            return;
+        }
+        self.runs.write().extend(runs);
     }
 
     /// Reference outputs for one test of an experiment, if any successful
@@ -271,6 +319,68 @@ mod tests {
         assert_eq!(ledger.runs_matching("zeus").len(), 1);
         assert!(ledger.get(RunId(2)).is_some());
         assert!(ledger.get(RunId(99)).is_none());
+    }
+
+    #[test]
+    fn commit_batch_matches_sequential_record() {
+        let sequential = RunLedger::new();
+        let batched = RunLedger::new();
+        let runs = vec![
+            run(1, "h1", "SL5", true),
+            run(2, "zeus", "SL5", true),
+            run(3, "h1", "SL6", false),
+            run(4, "h1", "SL5", true),
+        ];
+        for r in runs.clone() {
+            sequential.record(r);
+        }
+        batched.commit_batch(runs);
+        assert_eq!(batched.run_count(), sequential.run_count());
+        for experiment in ["h1", "zeus"] {
+            assert_eq!(
+                batched.reference_outputs(experiment, "t1"),
+                sequential.reference_outputs(experiment, "t1"),
+                "batch-order promotion must equal sequential promotion"
+            );
+            assert_eq!(
+                batched.latest_successful(experiment).map(|r| r.id),
+                sequential.latest_successful(experiment).map(|r| r.id)
+            );
+        }
+        batched.commit_batch(Vec::new());
+        assert_eq!(batched.run_count(), 4, "empty batch is a no-op");
+    }
+
+    #[test]
+    fn log_batch_appends_without_promoting() {
+        let ledger = RunLedger::new();
+        ledger.log_batch(vec![run(1, "h1", "SL5", true), run(2, "h1", "SL5", true)]);
+        assert_eq!(ledger.run_count(), 2);
+        assert!(
+            !ledger.has_reference("h1"),
+            "log_batch must leave references untouched"
+        );
+        ledger.log_batch(Vec::new());
+        assert_eq!(ledger.run_count(), 2);
+    }
+
+    #[test]
+    fn promote_updates_references_without_logging() {
+        let ledger = RunLedger::new();
+        ledger.promote(&run(1, "h1", "SL5", true));
+        assert!(ledger.has_reference("h1"));
+        assert_eq!(
+            ledger.run_count(),
+            0,
+            "promotion does not append to the log"
+        );
+        ledger.promote(&run(2, "h1", "SL6", false));
+        let outputs = ledger.reference_outputs("h1", "t1").unwrap();
+        assert_eq!(
+            outputs[0].1,
+            ObjectId::for_bytes(b"out-1"),
+            "failures don't promote"
+        );
     }
 
     #[test]

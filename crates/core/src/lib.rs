@@ -24,7 +24,10 @@
 //! * [`workflow`] — the four-phase life cycle (§3.1 i–iv), including the
 //!   final freeze.
 //! * [`system`] — [`SpSystem`]: images, clients, suites, run execution.
-//! * [`campaign`] — multi-run campaigns (the >300 runs of §3.3).
+//! * [`campaign`] — multi-run campaigns (the >300 runs of §3.3), split
+//!   into a planning phase ([`CampaignPlan`]) and two interchangeable
+//!   executors: the sequential [`Campaign`] oracle and the sharded,
+//!   work-stealing [`CampaignEngine`].
 //!
 //! ## Example
 //!
@@ -55,7 +58,10 @@ pub mod system;
 pub mod test;
 pub mod workflow;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignSummary};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignEngine, CampaignPlan, CampaignSummary, CellStatus, RunRecord,
+    RunTask,
+};
 pub use classify::{classify, Diagnosis};
 pub use compare::{Comparator, CompareOutcome, TestOutput};
 pub use experiment::ExperimentDef;

@@ -11,8 +11,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sp_build::{BuildEngine, BuildReport, BuildStatus, GraphError, ParallelBuilder};
 use sp_env::{check_runtime, EnvironmentSpec, ImageError, RuntimeOutcome, VmImage, VmImageId};
 use sp_exec::{
@@ -93,15 +94,22 @@ impl Default for RunConfig {
 }
 
 /// The sp-system: storage, images, clients, experiments, bookkeeping.
+///
+/// Every piece of mutable state lives behind interior mutability (atomics
+/// for the id counters, `parking_lot` locks for the registries), so a
+/// shared `&SpSystem` is all a worker thread needs: the campaign engine
+/// dispatches [`run_validation`](Self::run_validation) calls from many
+/// workers concurrently, and registration remains possible between
+/// campaigns without exclusive ownership.
 pub struct SpSystem {
     storage: SharedStorage,
     vault: FrozenVault,
     clock: VirtualClock,
     job_ids: JobIdGenerator,
     run_ids: AtomicU64,
-    images: Vec<VmImage>,
-    clients: Vec<Client>,
-    experiments: BTreeMap<String, ExperimentDef>,
+    images: RwLock<Vec<Arc<VmImage>>>,
+    clients: RwLock<Vec<Client>>,
+    experiments: RwLock<BTreeMap<String, Arc<ExperimentDef>>>,
     ledger: RunLedger,
 }
 
@@ -125,9 +133,9 @@ impl SpSystem {
             clock,
             job_ids: JobIdGenerator::new(),
             run_ids: AtomicU64::new(1),
-            images: Vec::new(),
-            clients: Vec::new(),
-            experiments: BTreeMap::new(),
+            images: RwLock::new(Vec::new()),
+            clients: RwLock::new(Vec::new()),
+            experiments: RwLock::new(BTreeMap::new()),
             ledger: RunLedger::new(),
         }
     }
@@ -152,49 +160,55 @@ impl SpSystem {
         &self.ledger
     }
 
-    /// Registered images.
-    pub fn images(&self) -> &[VmImage] {
-        &self.images
+    /// Registered images (snapshot in registration order).
+    pub fn images(&self) -> Vec<Arc<VmImage>> {
+        self.images.read().clone()
     }
 
-    /// Registered clients.
-    pub fn clients(&self) -> &[Client] {
-        &self.clients
+    /// Registered clients (snapshot in registration order).
+    pub fn clients(&self) -> Vec<Client> {
+        self.clients.read().clone()
     }
 
-    /// Registered experiments.
-    pub fn experiments(&self) -> impl Iterator<Item = &ExperimentDef> {
-        self.experiments.values()
+    /// Registered experiments (snapshot in name order).
+    pub fn experiments(&self) -> impl Iterator<Item = Arc<ExperimentDef>> {
+        self.experiments
+            .read()
+            .values()
+            .cloned()
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     /// Looks up an experiment by name.
-    pub fn experiment(&self, name: &str) -> Option<&ExperimentDef> {
-        self.experiments.get(name)
+    pub fn experiment(&self, name: &str) -> Option<Arc<ExperimentDef>> {
+        self.experiments.read().get(name).cloned()
     }
 
     /// Builds and registers a VM image from a spec, conserving its recipe
     /// in the common storage. Returns the image id.
-    pub fn register_image(&mut self, spec: EnvironmentSpec) -> Result<VmImageId, SystemError> {
-        let id = VmImageId(self.images.len() as u32 + 1);
+    pub fn register_image(&self, spec: EnvironmentSpec) -> Result<VmImageId, SystemError> {
+        let mut images = self.images.write();
+        let id = VmImageId(images.len() as u32 + 1);
         let image = VmImage::build(id, spec, self.clock.now()).map_err(SystemError::Image)?;
         self.storage.put_named(
             StorageArea::Images,
             &id.to_string(),
             image.spec.recipe().into_bytes(),
         );
-        self.images.push(image);
+        images.push(Arc::new(image));
         Ok(id)
     }
 
     /// Looks up an image.
-    pub fn image(&self, id: VmImageId) -> Option<&VmImage> {
-        self.images.iter().find(|i| i.id == id)
+    pub fn image(&self, id: VmImageId) -> Option<Arc<VmImage>> {
+        self.images.read().iter().find(|i| i.id == id).cloned()
     }
 
     /// Registers a client machine, enforcing the §3.1 requirements (common
     /// storage access + cron capability).
     pub fn register_client(
-        &mut self,
+        &self,
         name: &str,
         kind: ClientKind,
         schedule: CronSchedule,
@@ -203,13 +217,13 @@ impl SpSystem {
     ) -> Result<(), SystemError> {
         let client = Client::register(name, kind, schedule, has_storage_access, can_run_cron)
             .map_err(SystemError::Client)?;
-        self.clients.push(client);
+        self.clients.write().push(client);
         Ok(())
     }
 
     /// Registers an experiment: validates its graph and conserves the test
     /// definitions (thin script layers) in the common storage.
-    pub fn register_experiment(&mut self, def: ExperimentDef) -> Result<(), SystemError> {
+    pub fn register_experiment(&self, def: ExperimentDef) -> Result<(), SystemError> {
         def.graph.validate().map_err(SystemError::Graph)?;
         for test in def.suite.tests() {
             let env = self.storage.shell_env(
@@ -226,8 +240,17 @@ impl SpSystem {
             self.storage
                 .put_named(StorageArea::Tests, test.id.as_str(), script.into_bytes());
         }
-        self.experiments.insert(def.name.clone(), def);
+        self.experiments
+            .write()
+            .insert(def.name.clone(), Arc::new(def));
         Ok(())
+    }
+
+    /// Reserves `count` consecutive run ids, returning the first. The
+    /// campaign engine pre-assigns ids to planned tasks so that parallel
+    /// execution hands out exactly the ids sequential execution would.
+    pub fn reserve_run_ids(&self, count: u64) -> RunId {
+        RunId(self.run_ids.fetch_add(count, Ordering::SeqCst))
     }
 
     /// Runs the full validation of one experiment on one image: the §3.1
@@ -238,16 +261,35 @@ impl SpSystem {
         image_id: VmImageId,
         config: &RunConfig,
     ) -> Result<ValidationRun, SystemError> {
+        let run_id = self.reserve_run_ids(1);
+        let run = self.execute_run_with_id(experiment_name, image_id, config, run_id)?;
+        self.ledger.record(run.clone());
+        Ok(run)
+    }
+
+    /// The execution core of [`run_validation`](Self::run_validation) with
+    /// a caller-assigned run id and **no ledger commit**: the run summary
+    /// is conserved in the common storage, but recording (and reference
+    /// promotion) is left to the caller. The campaign engine uses this to
+    /// batch a whole repetition's runs into one
+    /// [`RunLedger::commit_batch`] while controlling reference-promotion
+    /// order explicitly.
+    pub fn execute_run_with_id(
+        &self,
+        experiment_name: &str,
+        image_id: VmImageId,
+        config: &RunConfig,
+        run_id: RunId,
+    ) -> Result<ValidationRun, SystemError> {
         let experiment = self
-            .experiments
-            .get(experiment_name)
+            .experiment(experiment_name)
             .ok_or_else(|| SystemError::UnknownExperiment(experiment_name.to_string()))?;
+        let experiment = &*experiment;
         let image = self
             .image(image_id)
             .ok_or(SystemError::UnknownImage(image_id))?;
         let env = &image.spec;
 
-        let run_id = RunId(self.run_ids.fetch_add(1, Ordering::SeqCst));
         let timestamp = self.clock.now();
 
         // §3.1 (ii): the regular, automated build.
@@ -352,8 +394,9 @@ impl SpSystem {
             results,
         };
 
-        // Bookkeeping: run summary into the common storage, run into the
-        // ledger (which promotes successful runs to reference status).
+        // Bookkeeping: run summary into the common storage. The ledger
+        // commit (which promotes successful runs to reference status) is
+        // the caller's responsibility.
         let summary = format!(
             "run {} experiment {} image {} time {}\npassed {} failed {} skipped {}\ndigest {}\n",
             run.id,
@@ -370,7 +413,6 @@ impl SpSystem {
             &format!("{run_id}/SUMMARY"),
             summary.into_bytes(),
         );
-        self.ledger.record(run.clone());
         Ok(run)
     }
 
@@ -843,7 +885,12 @@ impl SpSystem {
     /// so on."
     pub fn export_production_recipe(&self, experiment_name: &str) -> Option<ProductionRecipe> {
         let run = self.ledger.latest_successful(experiment_name)?;
-        let image = self.images.iter().find(|i| i.label() == run.image_label)?;
+        let image = self
+            .images
+            .read()
+            .iter()
+            .find(|i| i.label() == run.image_label)
+            .cloned()?;
         let mut artifacts: Vec<(String, ObjectId)> = Vec::new();
         for result in &run.results {
             for (name, oid) in &result.outputs {
@@ -1049,7 +1096,7 @@ mod tests {
 
     #[test]
     fn first_run_on_reference_platform_is_green() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let image = system
             .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
             .unwrap();
@@ -1067,7 +1114,7 @@ mod tests {
 
     #[test]
     fn second_identical_run_is_bit_identical() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let image = system
             .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
             .unwrap();
@@ -1087,7 +1134,7 @@ mod tests {
 
     #[test]
     fn migration_to_64bit_finds_the_latent_bug() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let sl5_32 = system
             .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
             .unwrap();
@@ -1127,7 +1174,7 @@ mod tests {
 
     #[test]
     fn diagnosis_blames_the_experiment_package() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let sl5_32 = system
             .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
             .unwrap();
@@ -1140,7 +1187,7 @@ mod tests {
 
         let experiment = system.experiment("tiny").unwrap();
         let env = system.image(sl6_64).unwrap().spec.clone();
-        let diagnosis = crate::classify(experiment, &migrated, &env).unwrap();
+        let diagnosis = crate::classify(&experiment, &migrated, &env).unwrap();
         assert_eq!(
             diagnosis.category,
             crate::inputs::InputCategory::ExperimentSoftware
@@ -1150,7 +1197,7 @@ mod tests {
 
     #[test]
     fn unknown_experiment_and_image_error() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let image = system
             .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
             .unwrap();
@@ -1167,7 +1214,7 @@ mod tests {
 
     #[test]
     fn incoherent_image_rejected() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let bad = sp_env::EnvironmentSpec::new(
             sp_env::OsRelease::SL6,
             Arch::I686,
@@ -1181,7 +1228,7 @@ mod tests {
 
     #[test]
     fn client_requirements_enforced() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         assert!(system
             .register_client(
                 "vm-sl6",
@@ -1208,7 +1255,7 @@ mod tests {
 
     #[test]
     fn production_recipe_export() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         // No experiment, no recipe.
         assert!(system.export_production_recipe("tiny").is_none());
 
@@ -1237,7 +1284,7 @@ mod tests {
 
     #[test]
     fn outputs_are_kept_in_common_storage() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let image = system
             .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
             .unwrap();

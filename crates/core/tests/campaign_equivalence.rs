@@ -1,0 +1,241 @@
+//! Parallel-vs-sequential campaign equivalence.
+//!
+//! The contract of `CampaignEngine`: for any grid, any repetition count and
+//! any worker count, the parallel engine must produce a `CampaignSummary`
+//! **identical** to the sequential `Campaign` oracle — same run records
+//! (ids, timestamps, counts), same cells, same ledger contents — and the
+//! virtual clock must advance exactly once per repetition barrier.
+
+use proptest::prelude::*;
+use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
+use sp_core::{
+    Campaign, CampaignConfig, CampaignEngine, CampaignPlan, ExperimentDef, PreservationLevel,
+    RunConfig, SpSystem, TestKind, TestSuite, ValidationTest,
+};
+use sp_env::{catalog, Arch, CodeTrait, Version, VmImageId};
+
+/// A compact experiment: a clean library, an analysis on top, and (for the
+/// "buggy" flavour) a latent 64-bit pointer bug that deviates on SL6 — so
+/// random grids exercise both reference promotion and comparison failures.
+fn experiment(name: &str, buggy: bool) -> ExperimentDef {
+    let mut lib = Package::new("lib", Version::new(1, 2, 0), PackageKind::Library);
+    if buggy {
+        lib = lib.with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 6.0 });
+    }
+    let graph = DependencyGraph::from_packages([
+        lib,
+        Package::new("ana", Version::new(2, 0, 0), PackageKind::Analysis).dep("lib"),
+    ])
+    .unwrap();
+    let mut suite = TestSuite::new(name, PreservationLevel::FullSoftware);
+    for pkg in ["lib", "ana"] {
+        suite
+            .add(ValidationTest::new(
+                format!("{name}/compile/{pkg}"),
+                name,
+                "compilation",
+                TestKind::Compile {
+                    package: PackageId::new(pkg),
+                },
+            ))
+            .unwrap();
+    }
+    suite
+        .add(ValidationTest::new(
+            format!("{name}/unit/lib-0"),
+            name,
+            "unit checks",
+            TestKind::UnitCheck {
+                package: PackageId::new("lib"),
+                check_index: 0,
+            },
+        ))
+        .unwrap();
+    suite
+        .add(ValidationTest::new(
+            format!("{name}/standalone/ana"),
+            name,
+            "analysis",
+            TestKind::Standalone {
+                package: PackageId::new("ana"),
+                events: 10,
+            },
+        ))
+        .unwrap();
+    ExperimentDef {
+        name: name.into(),
+        color: "blue",
+        graph,
+        suite,
+        entry_points: vec![PackageId::new("ana")],
+    }
+}
+
+const EXPERIMENTS: [(&str, bool); 3] = [("alpha", false), ("beta", true), ("gamma", false)];
+
+/// Builds a fresh system with all three experiments and three images
+/// (32-bit SL5 reference, 64-bit SL5, 64-bit SL6) registered.
+fn fresh_system() -> (SpSystem, Vec<VmImageId>) {
+    let system = SpSystem::new();
+    let images = vec![
+        system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap(),
+        system
+            .register_image(catalog::sl5_gcc44(Arch::X86_64, Version::two(5, 34)))
+            .unwrap(),
+        system
+            .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+            .unwrap(),
+    ];
+    for (name, buggy) in EXPERIMENTS {
+        system.register_experiment(experiment(name, buggy)).unwrap();
+    }
+    (system, images)
+}
+
+/// Decodes a non-empty bitmask into the selected subset.
+fn subset<T: Clone>(pool: &[T], mask: usize) -> Vec<T> {
+    pool.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+fn config_for(
+    experiments: Vec<String>,
+    images: Vec<VmImageId>,
+    repetitions: usize,
+) -> CampaignConfig {
+    CampaignConfig {
+        experiments,
+        images,
+        repetitions,
+        run: RunConfig {
+            scale: 0.01,
+            threads: 2,
+            ..RunConfig::default()
+        },
+        interval_secs: 3_600,
+    }
+}
+
+proptest! {
+    /// The headline property: identical `CampaignSummary` (runs, cells,
+    /// image labels), identical run counts and identical reference state,
+    /// for random grids and worker counts.
+    #[test]
+    fn engine_matches_sequential_oracle(
+        exp_mask in 1usize..8,
+        img_mask in 1usize..8,
+        repetitions in 1usize..=2,
+        workers in 1usize..=4,
+    ) {
+        let experiment_pool: Vec<String> =
+            EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+
+        let (seq_system, seq_images) = fresh_system();
+        let (par_system, par_images) = fresh_system();
+        prop_assert_eq!(&seq_images, &par_images);
+
+        let experiments = subset(&experiment_pool, exp_mask);
+        let images = subset(&seq_images, img_mask);
+
+        let sequential = Campaign::new(
+            &seq_system,
+            config_for(experiments.clone(), images.clone(), repetitions),
+        )
+        .execute()
+        .expect("sequential campaign");
+
+        let engine = CampaignEngine::plan(
+            &par_system,
+            config_for(experiments, images, repetitions),
+            workers,
+        )
+        .expect("plan over registered names");
+        let parallel = engine.execute().expect("parallel campaign");
+
+        prop_assert_eq!(&parallel, &sequential, "summaries must be byte-identical");
+        prop_assert_eq!(parallel.total_runs(), sequential.total_runs());
+        prop_assert_eq!(
+            par_system.ledger().run_count(),
+            seq_system.ledger().run_count()
+        );
+        // The recorded run logs agree id-for-id and digest-for-digest.
+        let seq_runs = seq_system.ledger().runs();
+        let par_runs = par_system.ledger().runs();
+        for (s, p) in seq_runs.iter().zip(&par_runs) {
+            prop_assert_eq!(s.id, p.id);
+            prop_assert_eq!(&s.experiment, &p.experiment);
+            prop_assert_eq!(s.timestamp, p.timestamp);
+            prop_assert_eq!(s.digest(), p.digest(), "run outcomes must match");
+        }
+        // Reference state converged identically: one more single-pass
+        // campaign on each system must again agree cell-for-cell.
+        for (name, _) in EXPERIMENTS {
+            prop_assert_eq!(
+                seq_system.ledger().has_reference(name),
+                par_system.ledger().has_reference(name)
+            );
+        }
+    }
+}
+
+/// Repetition barriers: the virtual clock advances exactly `repetitions`
+/// times, by `interval_secs` each, under both executors — regardless of
+/// worker count.
+#[test]
+fn barriers_advance_clock_once_per_repetition() {
+    for workers in [1, 3] {
+        let (system, images) = fresh_system();
+        let start = system.clock().now();
+        let repetitions = 4;
+        let interval = 86_400;
+        let mut config = config_for(
+            vec!["alpha".into(), "gamma".into()],
+            vec![images[0]],
+            repetitions,
+        );
+        config.interval_secs = interval;
+        let engine = CampaignEngine::plan(&system, config, workers).unwrap();
+        let summary = engine.execute().unwrap();
+        assert_eq!(
+            system.clock().now(),
+            start + repetitions as u64 * interval,
+            "clock must tick exactly once per pass ({workers} workers)"
+        );
+        // Every run of pass `r` carries the pass-r timestamp.
+        for (i, record) in summary.runs.iter().enumerate() {
+            let pass = i / 2; // 2 experiments × 1 image per pass
+            assert_eq!(record.timestamp, start + pass as u64 * interval);
+        }
+    }
+
+    // The sequential oracle has the same barrier semantics.
+    let (system, images) = fresh_system();
+    let start = system.clock().now();
+    let config = config_for(vec!["alpha".into()], vec![images[0]], 3);
+    Campaign::new(&system, config).execute().unwrap();
+    assert_eq!(system.clock().now(), start + 3 * 3_600);
+}
+
+/// Unknown ids are rejected while planning — before anything executes.
+#[test]
+fn planning_surfaces_unknown_image_before_running() {
+    let (system, images) = fresh_system();
+    let mut config = config_for(vec!["alpha".into()], images, 1);
+    config.images.push(VmImageId(99));
+    let runs_before = system.ledger().run_count();
+    let error = CampaignPlan::new(&system, config).unwrap_err();
+    assert!(matches!(
+        error,
+        sp_core::system::SystemError::UnknownImage(VmImageId(99))
+    ));
+    assert_eq!(
+        system.ledger().run_count(),
+        runs_before,
+        "no run may have executed"
+    );
+}

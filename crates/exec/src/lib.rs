@@ -11,8 +11,10 @@
 //! * [`cron`] — cron expressions and next-fire computation.
 //! * [`job`] — job specifications, unique job ids, job results.
 //! * [`client`] — client machines and the two joining requirements.
-//! * [`queue`] — a crossbeam-based work queue with deterministic result
-//!   collection.
+//! * [`pool`] — the generic work-stealing scheduler: per-worker deques,
+//!   oldest-first stealing, results in task-index order.
+//! * [`queue`] — the job-batch façade over the pool, with deterministic
+//!   result collection by job id.
 //! * [`chain`] — DAG-structured analysis chains: "some of these tests …
 //!   are run in parallel, many are run sequentially and form discrete parts
 //!   in one of several full analysis chains" (§3.2).
@@ -35,6 +37,7 @@ pub mod client;
 pub mod clock;
 pub mod cron;
 pub mod job;
+pub mod pool;
 pub mod queue;
 
 pub use chain::{ChainDef, ChainError, ChainReport, StageDef, StageStatus};
@@ -42,4 +45,5 @@ pub use client::{Client, ClientError, ClientKind};
 pub use clock::VirtualClock;
 pub use cron::{CronError, CronSchedule};
 pub use job::{JobId, JobIdGenerator, JobResult, JobSpec, JobStatus};
+pub use pool::{PoolStats, WorkStealingPool};
 pub use queue::JobPool;

@@ -1,0 +1,286 @@
+//! The work-stealing execution pool.
+//!
+//! [`WorkStealingPool`] generalises the channel-fed [`crate::queue::JobPool`]
+//! into a reusable scheduler for *any* indexed task batch: tasks are seeded
+//! round-robin into per-worker deques, each worker drains its own queue
+//! first and then steals from its peers (oldest-first, so stolen work is the
+//! work least likely to be cache-hot on its owner), and results are returned
+//! **ordered by task index** regardless of which worker ran what. That
+//! deterministic ordering is what lets the campaign engine in `sp-core`
+//! guarantee byte-identical summaries across worker counts.
+//!
+//! The paper's deployment motivates the shape: ">300 runs over sets of
+//! pre-defined tests have been performed within the sp-system by the HERA
+//! experiments" (§3.3) — a grid of independent, unevenly sized tasks
+//! (HERMES validates in a fraction of H1's wall time), which is exactly the
+//! load profile work stealing handles well and a fixed pre-partition does
+//! not.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+/// Counters describing how a batch was scheduled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed from a worker's own queue.
+    pub local: usize,
+    /// Tasks executed after being stolen from a peer.
+    pub stolen: usize,
+}
+
+impl PoolStats {
+    /// Total tasks executed.
+    pub fn total(&self) -> usize {
+        self.local + self.stolen
+    }
+}
+
+/// A fixed-width work-stealing pool.
+///
+/// The pool itself is stateless between batches (workers are scoped threads
+/// spawned per [`run`](Self::run)), so one instance can be reused across
+/// campaign repetitions without carrying state over a barrier.
+pub struct WorkStealingPool {
+    workers: usize,
+}
+
+impl WorkStealingPool {
+    /// Creates a pool with `workers` worker threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        WorkStealingPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every task, in parallel, returning results ordered by
+    /// task index (`results[i]` is `f(i, tasks[i])`).
+    ///
+    /// `f` must be pure per task (it may read shared state): together with
+    /// the index ordering this makes the output independent of scheduling,
+    /// worker count and steal interleaving.
+    pub fn run<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.run_with_stats(tasks, f).0
+    }
+
+    /// [`run`](Self::run), additionally reporting scheduling counters.
+    pub fn run_with_stats<T, R, F>(&self, tasks: Vec<T>, f: F) -> (Vec<R>, PoolStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return (Vec::new(), PoolStats::default());
+        }
+        let workers = self.workers.min(total);
+
+        // Seed the per-worker queues round-robin so every worker starts
+        // with a fair share; FIFO local ends keep index order as the
+        // tendency, which helps the collected results arrive nearly sorted.
+        let queues: Vec<Worker<(usize, T)>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<(usize, T)>> = queues.iter().map(|q| q.stealer()).collect();
+        for (index, task) in tasks.into_iter().enumerate() {
+            queues[index % workers].push((index, task));
+        }
+
+        let local_count = AtomicUsize::new(0);
+        let stolen_count = AtomicUsize::new(0);
+        // A panicking task must not leave its peers spinning on a
+        // completion count that will never be reached: the first panic is
+        // parked here, every worker bails out, and it is re-raised on the
+        // caller thread after the scope joins.
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let panic_slot: std::sync::Mutex<Option<Box<dyn std::any::Any + Send>>> =
+            std::sync::Mutex::new(None);
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, R)>();
+
+        crossbeam::thread::scope(|scope| {
+            for (me, queue) in queues.into_iter().enumerate() {
+                let stealers = &stealers;
+                let local_count = &local_count;
+                let stolen_count = &stolen_count;
+                let abort = &abort;
+                let panic_slot = &panic_slot;
+                let result_tx = result_tx.clone();
+                let f = &f;
+                scope.spawn(move |_| {
+                    let execute = |index: usize, task: T| -> bool {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                f(index, task)
+                            }));
+                        match outcome {
+                            Ok(result) => {
+                                if result_tx.send((index, result)).is_err() {
+                                    unreachable!("result channel outlives the scope");
+                                }
+                                true
+                            }
+                            Err(payload) => {
+                                let mut slot = panic_slot.lock().expect("panic slot");
+                                slot.get_or_insert(payload);
+                                abort.store(true, Ordering::SeqCst);
+                                false
+                            }
+                        }
+                    };
+                    loop {
+                        if abort.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // 1. Own queue first.
+                        if let Some((index, task)) = queue.pop() {
+                            local_count.fetch_add(1, Ordering::Relaxed);
+                            if !execute(index, task) {
+                                break;
+                            }
+                            continue;
+                        }
+                        // 2. Steal from peers, scanning away from ourselves
+                        //    so two idle workers don't hammer one victim.
+                        let mut stole = None;
+                        let mut contended = false;
+                        for offset in 1..stealers.len() {
+                            let victim = (me + offset) % stealers.len();
+                            match stealers[victim].steal() {
+                                Steal::Success(task) => {
+                                    stole = Some(task);
+                                    break;
+                                }
+                                Steal::Retry => contended = true,
+                                Steal::Empty => {}
+                            }
+                        }
+                        if let Some((index, task)) = stole {
+                            stolen_count.fetch_add(1, Ordering::Relaxed);
+                            if !execute(index, task) {
+                                break;
+                            }
+                            continue;
+                        }
+                        // 3. Every queue (own + all peers) was observed
+                        //    empty with no contention. Tasks cannot enqueue
+                        //    further tasks, so no new work can ever appear:
+                        //    whatever remains is in flight on other workers
+                        //    and this worker is done. Only a contended
+                        //    (locked) queue — which may still hold tasks —
+                        //    warrants another sweep.
+                        if !contended {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        })
+        .expect("pool scope");
+        drop(result_tx);
+
+        if let Some(payload) = panic_slot.into_inner().expect("panic slot") {
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut indexed: Vec<(usize, R)> = result_rx.iter().collect();
+        assert!(
+            indexed.len() == total,
+            "every task must produce a result ({} of {total})",
+            indexed.len()
+        );
+        indexed.sort_by_key(|(index, _)| *index);
+        let results = indexed.into_iter().map(|(_, r)| r).collect();
+        let stats = PoolStats {
+            local: local_count.load(Ordering::Relaxed),
+            stolen: stolen_count.load(Ordering::Relaxed),
+        };
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_task_index() {
+        let pool = WorkStealingPool::new(4);
+        let tasks: Vec<u64> = (0..100).collect();
+        let results = pool.run(tasks, |index, task| {
+            assert_eq!(index as u64, task);
+            task * 2
+        });
+        assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let tasks: Vec<u64> = (0..50).collect();
+        let one = WorkStealingPool::new(1).run(tasks.clone(), |i, t| i as u64 + t);
+        let eight = WorkStealingPool::new(8).run(tasks, |i, t| i as u64 + t);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let results = WorkStealingPool::new(4).run(Vec::<u32>::new(), |_, t| t);
+        assert!(results.is_empty());
+        assert_eq!(WorkStealingPool::new(0).workers(), 1, "clamped");
+    }
+
+    #[test]
+    fn uneven_tasks_are_stolen() {
+        // One long task pins a worker; the rest must migrate to its peers.
+        let mut tasks = vec![50u64];
+        tasks.extend(std::iter::repeat_n(1u64, 63));
+        let pool = WorkStealingPool::new(4);
+        let (results, stats) = pool.run_with_stats(tasks, |_, millis| {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            millis
+        });
+        assert_eq!(results.len(), 64);
+        assert_eq!(stats.total(), 64);
+        assert!(
+            stats.stolen > 0,
+            "uneven load must trigger stealing: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pool_actually_parallelises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        WorkStealingPool::new(8).run((0..16).collect::<Vec<u32>>(), |_, t| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+            t
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1);
+    }
+
+    #[test]
+    fn panics_in_tasks_propagate() {
+        let outcome = std::panic::catch_unwind(|| {
+            WorkStealingPool::new(2).run(vec![1u32, 2, 3], |_, t| {
+                if t == 2 {
+                    panic!("task failure");
+                }
+                t
+            })
+        });
+        assert!(outcome.is_err());
+    }
+}

@@ -1,25 +1,25 @@
 //! The parallel job pool.
 //!
-//! Standalone validation tests "are run in parallel" (§3.2). The pool takes
-//! a batch of job specifications and a pure job function, executes them on
-//! `threads` workers via a crossbeam channel, and returns results sorted by
-//! job id so downstream bookkeeping is deterministic regardless of
+//! Standalone validation tests "are run in parallel" (§3.2). [`JobPool`] is
+//! the job-batch façade over the generic work-stealing scheduler in
+//! [`crate::pool`]: it takes a batch of job specifications and a pure job
+//! function, executes them on `threads` workers, and returns results sorted
+//! by job id so downstream bookkeeping is deterministic regardless of
 //! scheduling order.
 
-use crossbeam::channel;
-
 use crate::job::{JobResult, JobSpec};
+use crate::pool::WorkStealingPool;
 
 /// A fixed-width worker pool for running job batches.
 pub struct JobPool {
-    threads: usize,
+    pool: WorkStealingPool,
 }
 
 impl JobPool {
     /// Creates a pool with `threads` workers (minimum 1).
     pub fn new(threads: usize) -> Self {
         JobPool {
-            threads: threads.max(1),
+            pool: WorkStealingPool::new(threads),
         }
     }
 
@@ -32,35 +32,7 @@ impl JobPool {
     where
         F: Fn(&JobSpec) -> JobResult + Sync,
     {
-        if specs.is_empty() {
-            return Vec::new();
-        }
-        let (spec_tx, spec_rx) = channel::unbounded::<JobSpec>();
-        let (result_tx, result_rx) = channel::unbounded::<JobResult>();
-        let n = specs.len();
-        for spec in specs {
-            spec_tx.send(spec).expect("open channel");
-        }
-        drop(spec_tx);
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                let spec_rx = spec_rx.clone();
-                let result_tx = result_tx.clone();
-                let run = &run;
-                scope.spawn(move |_| {
-                    while let Ok(spec) = spec_rx.recv() {
-                        let result = run(&spec);
-                        result_tx.send(result).expect("open channel");
-                    }
-                });
-            }
-        })
-        .expect("worker panicked");
-        drop(result_tx);
-
-        let mut results: Vec<JobResult> = result_rx.iter().collect();
-        assert_eq!(results.len(), n, "every job must produce a result");
+        let mut results = self.pool.run(specs, |_, spec| run(&spec));
         results.sort_by_key(|r| r.id);
         results
     }

@@ -102,6 +102,21 @@ impl DetectorSim {
     /// `seed` should be unique per event (e.g. run seed ⊕ event id) for
     /// reproducibility.
     pub fn simulate(&self, event: &Event, seed: u64) -> Event {
+        let mut out = Event {
+            id: event.id,
+            process: event.process,
+            truth: event.truth,
+            particles: Vec::with_capacity(event.particles.len()),
+            weight: event.weight,
+        };
+        self.simulate_into(event, seed, &mut out);
+        out
+    }
+
+    /// [`simulate`](Self::simulate), writing the simulated event into
+    /// `out`'s reused buffers instead of allocating. Draws the same random
+    /// sequence, so both paths are bit-identical for the same seed.
+    pub fn simulate_into(&self, event: &Event, seed: u64, out: &mut Event) {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let scale = 1.0 + self.deviation_sigma * self.constants.scale_uncertainty;
         // A deviating platform also loses a little efficiency (wrong branch
@@ -110,26 +125,27 @@ impl DetectorSim {
             (self.constants.efficiency * (1.0 - 0.01 * self.deviation_sigma)).clamp(0.0, 1.0);
         let (theta_min, theta_max) = self.constants.acceptance;
 
-        let mut out = event.clone();
-        out.particles = event
-            .particles
-            .iter()
-            .filter_map(|p| {
-                // Neutrinos pass through unmeasured.
-                if p.pdg_id == 12 {
-                    return Some(p.clone());
-                }
-                let theta = p.p4.theta();
-                if theta < theta_min || theta > theta_max {
-                    return None; // outside acceptance (beam pipe)
-                }
-                if rng.gen::<f64>() > efficiency {
-                    return None; // detection inefficiency
-                }
-                Some(self.smear(p, scale, &mut rng))
-            })
-            .collect();
-        out
+        out.id = event.id;
+        out.process = event.process;
+        out.truth = event.truth;
+        out.weight = event.weight;
+        out.particles.clear();
+        for p in &event.particles {
+            // Neutrinos pass through unmeasured.
+            if p.pdg_id == 12 {
+                out.particles.push(p.clone());
+                continue;
+            }
+            let theta = p.p4.theta();
+            if theta < theta_min || theta > theta_max {
+                continue; // outside acceptance (beam pipe)
+            }
+            if rng.gen::<f64>() > efficiency {
+                continue; // detection inefficiency
+            }
+            let smeared = self.smear(p, scale, &mut rng);
+            out.particles.push(smeared);
+        }
     }
 
     /// Smears one particle's energy with the appropriate resolution and
@@ -168,6 +184,17 @@ mod tests {
         let a = sim.simulate(&event, 99);
         let b = sim.simulate(&event, 99);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simulate_into_matches_allocating_path() {
+        let sim = DetectorSim::new(SmearingConstants::V2_SL5).with_deviation(1.5);
+        let mut scratch = sample_event(9); // pre-dirtied buffer
+        for seed in 0..20u64 {
+            let event = sample_event(seed);
+            sim.simulate_into(&event, seed ^ 77, &mut scratch);
+            assert_eq!(scratch, sim.simulate(&event, seed ^ 77));
+        }
     }
 
     #[test]

@@ -57,26 +57,102 @@ pub use kinematics::{DisKinematics, FourVector};
 pub use mcgen::{Event, EventGenerator, GeneratorConfig, Particle, Process};
 pub use reco::{reconstruct, RecoEvent};
 
+/// Reusable per-event buffers for the analysis chain.
+///
+/// One validation run processes thousands of events through
+/// generate → simulate → reconstruct; allocating fresh particle vectors for
+/// every event used to dominate the chain's wall time. A `ChainScratch`
+/// owns the generated-event and simulated-event buffers instead, so a
+/// worker amortises its allocations across a whole run (and across *runs*,
+/// if it keeps the scratch alive): after warm-up the steady state performs
+/// no per-event heap allocation at all — the generator's fragmentation
+/// buffer lives inside [`EventGenerator`], the two event buffers live here,
+/// and [`reconstruct`] and [`Analysis::process`] are allocation-free by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct ChainScratch {
+    generated: Event,
+    simulated: Event,
+}
+
+impl Default for ChainScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChainScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        let empty = Event {
+            id: 0,
+            process: mcgen::Process::NeutralCurrent,
+            truth: DisKinematics {
+                q2: 0.0,
+                x: 0.0,
+                y: 0.0,
+                w2: 0.0,
+            },
+            particles: Vec::new(),
+            weight: 1.0,
+        };
+        ChainScratch {
+            generated: empty.clone(),
+            simulated: empty,
+        }
+    }
+
+    /// Current capacity of the particle buffers (generated, simulated) —
+    /// useful for asserting that the buffers are actually reused.
+    pub fn capacities(&self) -> (usize, usize) {
+        (
+            self.generated.particles.capacity(),
+            self.simulated.particles.capacity(),
+        )
+    }
+}
+
 /// Runs the complete chain (generate → simulate → reconstruct → analyse)
 /// with `events` events and the given seed, applying an optional
 /// environment-induced deviation (σ units) in the detector simulation.
 ///
 /// This is the convenience entry point used by examples and by the
-/// validation framework's chain tests.
+/// validation framework's chain tests. It creates a fresh [`ChainScratch`]
+/// per call; hot loops that run many chains should hold their own scratch
+/// and call [`run_chain_with_scratch`].
 pub fn run_chain(
     config: &GeneratorConfig,
     events: usize,
     seed: u64,
     deviation_sigma: f64,
 ) -> AnalysisResult {
-    let generator = EventGenerator::new(config.clone(), seed);
+    let mut scratch = ChainScratch::new();
+    run_chain_with_scratch(config, events, seed, deviation_sigma, &mut scratch)
+}
+
+/// [`run_chain`] with caller-provided scratch buffers: the allocation-free
+/// steady-state path. Results are bit-identical to [`run_chain`] for the
+/// same inputs regardless of what the scratch previously held.
+pub fn run_chain_with_scratch(
+    config: &GeneratorConfig,
+    events: usize,
+    seed: u64,
+    deviation_sigma: f64,
+    scratch: &mut ChainScratch,
+) -> AnalysisResult {
+    let mut generator = EventGenerator::new(config.clone(), seed);
     let sim = DetectorSim::new(SmearingConstants::V2_SL5).with_deviation(deviation_sigma);
     let cuts = SelectionCuts::default();
     let mut analysis = Analysis::new(cuts);
 
-    for event in generator.take(events) {
-        let simulated = sim.simulate(&event, seed ^ event.id);
-        let reco = reconstruct(&simulated, config);
+    for _ in 0..events {
+        generator.generate_into(&mut scratch.generated);
+        sim.simulate_into(
+            &scratch.generated,
+            seed ^ scratch.generated.id,
+            &mut scratch.simulated,
+        );
+        let reco = reconstruct(&scratch.simulated, config);
         analysis.process(&reco);
     }
     analysis.finish()
@@ -95,6 +171,24 @@ mod tests {
         let ha = a.histograms.get("q2").unwrap();
         let hb = b.histograms.get("q2").unwrap();
         assert_eq!(ha.counts(), hb.counts());
+    }
+
+    #[test]
+    fn scratch_path_matches_and_reuses_buffers() {
+        let config = GeneratorConfig::hera_nc();
+        let fresh = run_chain(&config, 300, 42, 0.0);
+
+        let mut scratch = ChainScratch::new();
+        // Dirty the scratch with a different workload first.
+        run_chain_with_scratch(&config, 50, 7, 2.0, &mut scratch);
+        let warm_capacity = scratch.capacities();
+        let reused = run_chain_with_scratch(&config, 300, 42, 0.0, &mut scratch);
+
+        assert_eq!(fresh, reused, "scratch reuse must not change physics");
+        assert!(
+            warm_capacity.0 > 0 && warm_capacity.1 > 0,
+            "buffers retained between chains: {warm_capacity:?}"
+        );
     }
 
     #[test]

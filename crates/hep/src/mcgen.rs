@@ -177,6 +177,9 @@ pub struct EventGenerator {
     config: GeneratorConfig,
     rng: StdRng,
     next_id: u64,
+    /// Reusable jet-fragmentation buffer so the steady-state hot path
+    /// ([`generate_into`](Self::generate_into)) performs no allocation.
+    fractions: Vec<f64>,
 }
 
 impl EventGenerator {
@@ -186,11 +189,33 @@ impl EventGenerator {
             config,
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
+            fractions: Vec::new(),
         }
     }
 
-    /// Generates one event.
+    /// Generates one event into a fresh allocation.
     fn generate(&mut self) -> Event {
+        let mut event = Event {
+            id: 0,
+            process: self.config.process,
+            truth: DisKinematics {
+                q2: 0.0,
+                x: 0.0,
+                y: 0.0,
+                w2: 0.0,
+            },
+            particles: Vec::new(),
+            weight: 1.0,
+        };
+        self.generate_into(&mut event);
+        event
+    }
+
+    /// Generates the next event **in place**, reusing `out`'s particle
+    /// buffer. Draws exactly the same random sequence as the allocating
+    /// iterator path, so `generate_into` and `generate` produce
+    /// bit-identical event streams from the same seed.
+    pub fn generate_into(&mut self, out: &mut Event) {
         let id = self.next_id;
         self.next_id += 1;
         let cfg = &self.config;
@@ -208,7 +233,8 @@ impl EventGenerator {
         let w2 = (s * y - q2).max(0.0);
         let truth = DisKinematics { q2, x, y, w2 };
 
-        let mut particles = Vec::new();
+        out.particles.clear();
+        let particles = &mut out.particles;
 
         // Scattered lepton (NC) or neutrino (CC); photoproduction has a
         // quasi-real photon and no high-energy lepton in the detector. The
@@ -252,13 +278,15 @@ impl EventGenerator {
         // one, each fragment smeared around the jet axis so the sum stays
         // close to (but not exactly at) the jet four-vector.
         let n = multiplicity(&mut self.rng, cfg.mean_multiplicity, 60);
-        let mut fractions: Vec<f64> = (0..n).map(|_| self.rng.gen_range(0.2..1.2)).collect();
-        let total: f64 = fractions.iter().sum();
-        for f in &mut fractions {
+        self.fractions.clear();
+        self.fractions
+            .extend((0..n).map(|_| self.rng.gen_range(0.2..1.2)));
+        let total: f64 = self.fractions.iter().sum();
+        for f in &mut self.fractions {
             *f /= total;
         }
         let jet_theta = jet.theta();
-        for (i, frac) in fractions.iter().enumerate() {
+        for (i, frac) in self.fractions.iter().enumerate() {
             let e = (jet.e * frac).max(0.05);
             let dtheta = self.rng.gen_range(-0.25..0.25);
             let dphi = self.rng.gen_range(-0.35..0.35);
@@ -279,13 +307,10 @@ impl EventGenerator {
             ));
         }
 
-        Event {
-            id,
-            process: cfg.process,
-            truth,
-            particles,
-            weight: 1.0,
-        }
+        out.id = id;
+        out.process = cfg.process;
+        out.truth = truth;
+        out.weight = 1.0;
     }
 }
 
@@ -321,6 +346,19 @@ mod tests {
             .take(20)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_into_matches_iterator_path() {
+        let allocated: Vec<Event> = EventGenerator::new(GeneratorConfig::hera_nc(), 11)
+            .take(30)
+            .collect();
+        let mut generator = EventGenerator::new(GeneratorConfig::hera_nc(), 11);
+        let mut scratch = allocated[0].clone(); // arbitrary pre-dirtied buffer
+        for expected in &allocated {
+            generator.generate_into(&mut scratch);
+            assert_eq!(&scratch, expected, "in-place path must be bit-identical");
+        }
     }
 
     #[test]

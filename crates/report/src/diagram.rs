@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn diagram_reflects_live_system() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         system
             .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
             .unwrap();

@@ -69,7 +69,7 @@ mod tests {
     /// matrix.
     #[test]
     fn matrix_renders_from_real_campaign() {
-        let mut system = SpSystem::new();
+        let system = SpSystem::new();
         let sl5 = system
             .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
             .unwrap();

@@ -1,0 +1,155 @@
+//! Revision-keyed digest cache over the content store.
+//!
+//! Content addressing hashes every object on `put`. For build artifacts
+//! that is wasted work on the hot path: a nightly campaign re-conserves the
+//! *same* package tar-balls for the same `(package, version, environment)`
+//! revision hundreds of times, re-packing and re-hashing bytes whose digest
+//! cannot have changed. The [`DigestCache`] memoises `revision → ObjectId`,
+//! so an unchanged artifact costs one map lookup instead of an archive pack
+//! plus a SHA-256 pass.
+//!
+//! A cache entry is only trusted while the object it points to is still
+//! present in the content store — retention pruning may evict objects, in
+//! which case the producer runs again and the entry is refreshed (see
+//! [`crate::SharedStorage::put_named_cached`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::ObjectId;
+
+/// Counters for cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DigestCacheStats {
+    /// Lookups answered from the cache (no re-hash performed).
+    pub hits: u64,
+    /// Lookups that fell through to hashing (first sight of the revision,
+    /// or its object was evicted in the meantime).
+    pub misses: u64,
+    /// Revisions currently cached.
+    pub entries: usize,
+}
+
+impl DigestCacheStats {
+    /// Fraction of lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent `revision → content address` memo.
+#[derive(Debug, Default)]
+pub struct DigestCache {
+    entries: RwLock<HashMap<String, ObjectId>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DigestCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DigestCache::default()
+    }
+
+    /// Looks up the content address cached for `revision` (no counters).
+    pub fn peek(&self, revision: &str) -> Option<ObjectId> {
+        self.entries.read().get(revision).copied()
+    }
+
+    /// Records that `revision` hashes to `id`.
+    pub fn insert(&self, revision: &str, id: ObjectId) {
+        self.entries.write().insert(revision.to_string(), id);
+    }
+
+    /// Drops one revision (e.g. after its object was pruned). Returns
+    /// whether it was cached.
+    pub fn invalidate(&self, revision: &str) -> bool {
+        self.entries.write().remove(revision).is_some()
+    }
+
+    /// Records a lookup answered from cache.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup that fell through to hashing.
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the effectiveness counters.
+    pub fn stats(&self) -> DigestCacheStats {
+        DigestCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.read().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_peek_invalidate() {
+        let cache = DigestCache::new();
+        let id = ObjectId::for_bytes(b"tarball");
+        assert_eq!(cache.peek("pkg@1.0@SL6"), None);
+        cache.insert("pkg@1.0@SL6", id);
+        assert_eq!(cache.peek("pkg@1.0@SL6"), Some(id));
+        assert!(cache.invalidate("pkg@1.0@SL6"));
+        assert!(!cache.invalidate("pkg@1.0@SL6"));
+        assert_eq!(cache.peek("pkg@1.0@SL6"), None);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = DigestCache::new();
+        cache.note_miss();
+        cache.insert("r", ObjectId::for_bytes(b"x"));
+        cache.note_hit();
+        cache.note_hit();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(DigestCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(DigestCache::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let revision = format!("rev-{}", (t + i) % 50);
+                    match cache.peek(&revision) {
+                        Some(_) => cache.note_hit(),
+                        None => {
+                            cache.note_miss();
+                            cache.insert(&revision, ObjectId::for_bytes(revision.as_bytes()));
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 50);
+        assert_eq!(stats.hits + stats.misses, 800);
+    }
+}

@@ -13,6 +13,8 @@
 //!   against the NIST test vectors).
 //! * [`object`] — [`ObjectId`] content addresses.
 //! * [`content`] — [`ContentStore`], an integrity-checked object store.
+//! * [`digest_cache`] — revision-keyed digest memoisation, so unchanged
+//!   artifacts are not re-packed and re-hashed on every nightly firing.
 //! * [`archive`] — the `SPAR` archive format standing in for the tar-balls
 //!   in which compiled package binaries are conserved.
 //! * [`meta`] — namespaced key/value bookkeeping metadata.
@@ -37,6 +39,7 @@
 
 pub mod archive;
 pub mod content;
+pub mod digest_cache;
 pub mod fnv;
 pub mod meta;
 pub mod object;
@@ -47,6 +50,7 @@ pub mod vault;
 
 pub use archive::{Archive, ArchiveEntry};
 pub use content::ContentStore;
+pub use digest_cache::{DigestCache, DigestCacheStats};
 pub use fnv::fnv64;
 pub use meta::MetaStore;
 pub use object::ObjectId;

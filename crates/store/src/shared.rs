@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use crate::{Archive, ContentStore, MetaStore, ObjectId, Result};
+use crate::{Archive, ContentStore, DigestCache, MetaStore, ObjectId, Result};
 
 /// Logical areas of the common storage, mirroring the directory layout of
 /// the DESY deployment.
@@ -68,6 +68,7 @@ impl std::fmt::Display for StorageArea {
 pub struct SharedStorage {
     content: Arc<ContentStore>,
     meta: Arc<MetaStore>,
+    digests: Arc<DigestCache>,
 }
 
 impl SharedStorage {
@@ -76,6 +77,7 @@ impl SharedStorage {
         SharedStorage {
             content: Arc::new(ContentStore::new()),
             meta: Arc::new(MetaStore::new()),
+            digests: Arc::new(DigestCache::new()),
         }
     }
 
@@ -89,6 +91,11 @@ impl SharedStorage {
         &self.meta
     }
 
+    /// The digest cache backing [`put_named_cached`](Self::put_named_cached).
+    pub fn digest_cache(&self) -> &DigestCache {
+        &self.digests
+    }
+
     /// Stores raw bytes under `area/key` and returns the content address.
     pub fn put_named(&self, area: StorageArea, key: &str, data: impl Into<Bytes>) -> ObjectId {
         let id = self.content.put(data);
@@ -99,6 +106,41 @@ impl SharedStorage {
     /// Stores an archive (tar-ball) under `area/key`.
     pub fn put_archive(&self, area: StorageArea, key: &str, archive: &Archive) -> ObjectId {
         self.put_named(area, key, archive.pack())
+    }
+
+    /// Stores the bytes `produce` would yield under `area/key`, memoised by
+    /// `revision`: if this revision was stored before and its object is
+    /// still present, `produce` is **not called** and nothing is re-hashed —
+    /// the cached content address is returned directly.
+    ///
+    /// `revision` must capture every determinant of the produced content
+    /// (e.g. package id, version and environment label for a build
+    /// artifact); a revision that under-describes its content will happily
+    /// serve stale bytes. Entries whose objects were pruned from the
+    /// content store are detected and refreshed.
+    pub fn put_named_cached(
+        &self,
+        area: StorageArea,
+        key: &str,
+        revision: &str,
+        produce: impl FnOnce() -> Bytes,
+    ) -> ObjectId {
+        if let Some(id) = self.digests.peek(revision) {
+            if self.content.contains(id) {
+                self.digests.note_hit();
+                // Keep the name → address mapping fresh for this key even
+                // when the bytes were produced under an earlier key.
+                self.meta.set(area.namespace(), key, id.to_hex());
+                return id;
+            }
+            // The object was evicted (retention pruning): drop the stale
+            // entry and fall through to a full store.
+            self.digests.invalidate(revision);
+        }
+        self.digests.note_miss();
+        let id = self.put_named(area, key, produce());
+        self.digests.insert(revision, id);
+        id
     }
 
     /// Resolves `area/key` to its content address, if registered.
@@ -226,6 +268,50 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(bytes.as_ref(), b"#!/bin/sh");
+    }
+
+    #[test]
+    fn cached_put_skips_producer_on_hit() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let storage = SharedStorage::new();
+        let produced = AtomicUsize::new(0);
+        let make = || {
+            produced.fetch_add(1, Ordering::SeqCst);
+            Bytes::from(b"tarball-bytes".to_vec())
+        };
+        let first =
+            storage.put_named_cached(StorageArea::Artifacts, "p/1.0/SL6", "p@1.0@SL6", make);
+        let second =
+            storage.put_named_cached(StorageArea::Artifacts, "p/1.0/SL6", "p@1.0@SL6", make);
+        assert_eq!(first, second);
+        assert_eq!(
+            produced.load(Ordering::SeqCst),
+            1,
+            "second put served from cache"
+        );
+        let stats = storage.digest_cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different revision misses and produces again.
+        storage.put_named_cached(StorageArea::Artifacts, "p/1.1/SL6", "p@1.1@SL6", || {
+            Bytes::from(b"other".to_vec())
+        });
+        assert_eq!(produced.load(Ordering::SeqCst), 1);
+        assert_eq!(storage.digest_cache().stats().entries, 2);
+    }
+
+    #[test]
+    fn cached_put_recovers_from_eviction() {
+        let storage = SharedStorage::new();
+        let id = storage.put_named_cached(StorageArea::Artifacts, "k", "rev", || {
+            Bytes::from(b"data".to_vec())
+        });
+        assert!(storage.content().remove(id), "simulate retention pruning");
+        let again = storage.put_named_cached(StorageArea::Artifacts, "k", "rev", || {
+            Bytes::from(b"data".to_vec())
+        });
+        assert_eq!(id, again);
+        assert!(storage.content().contains(again), "object restored");
+        assert_eq!(storage.digest_cache().stats().misses, 2);
     }
 
     #[test]

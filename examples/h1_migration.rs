@@ -16,7 +16,7 @@ use sp_system::core::{classify, MigrationManager, RegressionReport, RunConfig, S
 use sp_system::env::{catalog, Arch, CodeTrait, Version};
 
 fn main() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl5 = system
         .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
         .expect("coherent image");
@@ -88,7 +88,7 @@ fn main() {
     println!("    {}", regression.summary());
 
     // ---- phase (iii): analysis -------------------------------------------
-    let diagnosis = classify(h1, &migrated, &sl6_env);
+    let diagnosis = classify(&h1, &migrated, &sl6_env);
     manager
         .on_run(&sl6_env, &migrated, diagnosis.clone(), system.clock().now())
         .expect("failure enters analysis");

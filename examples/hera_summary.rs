@@ -15,7 +15,7 @@ use sp_system::report::summary::{campaign_json, render_stats};
 use sp_system::report::{matrix_page, render_matrix, run_index_page, run_page};
 
 fn main() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     for spec in catalog::paper_images() {
         system.register_image(spec).expect("coherent image");
     }

@@ -11,7 +11,7 @@ use sp_system::report::TextTable;
 fn main() {
     // The sp-system hosts virtual machine images built from recipes; this
     // one is the paper's SL6/64bit gcc4.4 configuration with ROOT 5.34.
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .expect("catalog images are coherent");

@@ -15,7 +15,7 @@ use sp_system::env::{catalog, Version};
 use sp_system::report::table::{Align, TextTable};
 
 fn main() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl6 = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .expect("coherent image");
@@ -87,7 +87,7 @@ fn main() {
             if !run.is_successful() {
                 let def = system.experiment(experiment).expect("registered");
                 let env = system.image(image).expect("registered").spec.clone();
-                if let Some(diagnosis) = classify(def, &run, &env) {
+                if let Some(diagnosis) = classify(&def, &run, &env) {
                     println!("{experiment}: {}", diagnosis.headline());
                 }
             }

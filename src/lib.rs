@@ -18,7 +18,7 @@
 //! use sp_system::env::{catalog, Version};
 //!
 //! // A system with one SL6 image and the HERMES experiment.
-//! let mut system = SpSystem::new();
+//! let system = SpSystem::new();
 //! let image = system
 //!     .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
 //!     .unwrap();

@@ -9,7 +9,7 @@ use sp_system::store::{FrozenImage, ObjectId, StoreError};
 /// guarantee the preservation programme rests on.
 #[test]
 fn storage_corruption_is_detected() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();
@@ -58,7 +58,7 @@ fn vault_is_write_once() {
 /// touching the ledger.
 #[test]
 fn unknown_targets_leave_no_trace() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();
@@ -91,7 +91,7 @@ fn cyclic_stack_rejected_at_registration() {
         ),
         entry_points: vec![],
     };
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     assert!(system.register_experiment(broken).is_err());
 }
 

@@ -18,7 +18,7 @@ fn config() -> RunConfig {
 /// and name the right package.
 #[test]
 fn h1_sl6_migration_finds_h1bank() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl5 = system
         .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
         .unwrap();
@@ -53,7 +53,7 @@ fn h1_sl6_migration_finds_h1bank() {
     // the intervention.
     let h1 = system.experiment("h1").unwrap();
     let env = system.image(sl6).unwrap().spec.clone();
-    let diagnosis = classify(h1, &migrated, &env).unwrap();
+    let diagnosis = classify(&h1, &migrated, &env).unwrap();
     assert_eq!(diagnosis.category, InputCategory::ExperimentSoftware);
     assert_eq!(diagnosis.culprit, "h1bank");
     assert_eq!(diagnosis.assignee, sp_system::core::Assignee::Experiment);
@@ -62,7 +62,7 @@ fn h1_sl6_migration_finds_h1bank() {
 /// HERMES has no latent 64-bit bugs: its SL6 migration is clean.
 #[test]
 fn hermes_sl6_migration_is_clean() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl5 = system
         .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
         .unwrap();
@@ -90,7 +90,7 @@ fn hermes_sl6_migration_is_clean() {
 /// API level is unchanged, so outputs stay bit-identical.
 #[test]
 fn root5_version_bumps_are_green() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let root_532 = system
         .register_image(catalog::sl5_gcc44(Arch::X86_64, Version::two(5, 32)))
         .unwrap();
@@ -120,7 +120,7 @@ fn root5_version_bumps_are_green() {
 /// ROOT-API packages, classified as an external-dependency problem.
 #[test]
 fn root6_breaks_the_analysis_layer() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     // SL6 + devtoolset keeps CERNLIB available, isolating the ROOT 6 break.
     let sl7_root6 = system
         .register_image(catalog::sl6_devtoolset_root6())
@@ -147,7 +147,7 @@ fn root6_breaks_the_analysis_layer() {
 
     let hermes = system.experiment("hermes").unwrap();
     let env = system.image(sl7_root6).unwrap().spec.clone();
-    let diagnosis = classify(hermes, &run, &env).unwrap();
+    let diagnosis = classify(&hermes, &run, &env).unwrap();
     assert_eq!(diagnosis.category, InputCategory::ExternalDependency);
     assert_eq!(diagnosis.culprit, "root");
 }
@@ -156,7 +156,7 @@ fn root6_breaks_the_analysis_layer() {
 /// compile, and the event displays crash on the changed kernel interface.
 #[test]
 fn sl7_breaks_cernlib_users_and_legacy_tools() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl7 = system
         .register_image(catalog::sl7_gcc48(Version::two(5, 34)))
         .unwrap();

@@ -41,7 +41,7 @@ fn five_root_versions() {
 /// common sp-system storage … as well as the ability to run a cron-job."
 #[test]
 fn client_joining_requirements() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     // Both requirements met: any machine kind joins.
     for (name, kind) in [
         (
@@ -119,7 +119,7 @@ fn chains_have_the_paper_stage_structure() {
 /// all output files are kept."
 #[test]
 fn unique_job_ids_and_outputs_kept() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();

@@ -5,7 +5,7 @@ use sp_system::core::{Campaign, CampaignConfig, RunConfig, SpSystem};
 use sp_system::env::{catalog, Version};
 
 fn fresh_system() -> (SpSystem, sp_system::env::VmImageId) {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();
@@ -106,8 +106,8 @@ fn reruns_compare_identical() {
 #[test]
 fn campaigns_are_reproducible() {
     let run_campaign = || {
-        let (mut system, _) = {
-            let mut system = SpSystem::new();
+        let (system, _) = {
+            let system = SpSystem::new();
             let image = system
                 .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
                 .unwrap();

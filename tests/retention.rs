@@ -15,7 +15,7 @@ fn config() -> RunConfig {
 
 #[test]
 fn keep_everything_policy_drops_nothing() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();
@@ -38,7 +38,7 @@ fn keep_everything_policy_drops_nothing() {
 
 #[test]
 fn pruning_preserves_references_and_comparability() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();
@@ -88,7 +88,7 @@ fn pruning_preserves_references_and_comparability() {
 
 #[test]
 fn pruning_actually_frees_storage() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let image = system
         .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
         .unwrap();

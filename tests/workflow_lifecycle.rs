@@ -15,7 +15,7 @@ fn config() -> RunConfig {
 
 #[test]
 fn zeus_four_phase_lifecycle() {
-    let mut system = SpSystem::new();
+    let system = SpSystem::new();
     let sl5 = system
         .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
         .unwrap();
@@ -59,7 +59,7 @@ fn zeus_four_phase_lifecycle() {
     let sl6_env = system.image(sl6).unwrap().spec.clone();
     let migrated = system.run_validation("zeus", sl6, &config()).unwrap();
     assert!(!migrated.is_successful());
-    let diagnosis = classify(system.experiment("zeus").unwrap(), &migrated, &sl6_env);
+    let diagnosis = classify(&system.experiment("zeus").unwrap(), &migrated, &sl6_env);
     manager
         .on_run(&sl6_env, &migrated, diagnosis, system.clock().now())
         .unwrap();
