@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::{desy_deployment, repro_run_config};
-use sp_core::{Campaign, CampaignConfig, CampaignEngine, SpSystem};
+use sp_core::{Campaign, CampaignConfig, CampaignEngine, CampaignOptions, SpSystem};
 
 fn bench_validation_runs(c: &mut Criterion) {
     let system = desy_deployment();
@@ -72,6 +72,7 @@ fn bench_campaign_engines(c: &mut Criterion) {
         repetitions: 1,
         run: repro_run_config(0.05),
         interval_secs: 86_400,
+        options: CampaignOptions::default(),
     };
     let mut group = c.benchmark_group("campaign_grid");
     group.sample_size(10);
@@ -105,9 +106,43 @@ fn bench_campaign_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The memoization headline: the same grid repeated over five nightly
+/// passes, uncached vs memoized. From the second pass on every cell's
+/// determinants are unchanged, so the memoized engine replays conserved
+/// outputs (digest-first comparisons included) instead of re-running the
+/// chains; each iteration uses a fresh system so the memo is rebuilt from
+/// scratch every time.
+fn bench_campaign_memoized(c: &mut Criterion) {
+    let grid = |system: &SpSystem, memoize: bool| CampaignConfig {
+        experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
+        images: system.images().iter().map(|i| i.id).collect(),
+        repetitions: 5,
+        run: repro_run_config(0.05),
+        interval_secs: 86_400,
+        options: CampaignOptions { memoize },
+    };
+    let mut group = c.benchmark_group("campaign_grid");
+    group.sample_size(10);
+    for (label, memoize) in [("uncached_5rep", false), ("memoized_5rep", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let system = desy_deployment();
+                let config = grid(&system, memoize);
+                CampaignEngine::plan(&system, config, 4)
+                    .expect("planned grid")
+                    .execute()
+                    .expect("engine campaign")
+                    .total_runs()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_campaign_engines,
+    bench_campaign_memoized,
     bench_validation_runs,
     bench_stack_build
 );

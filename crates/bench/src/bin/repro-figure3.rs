@@ -6,9 +6,13 @@
 //! runs".
 //!
 //! The >300-run campaign executes on the sharded `CampaignEngine` (one
-//! work-stealing lane per experiment, batched ledger commits); pass
-//! `--compare` to also replay it on the sequential `Campaign` oracle and
-//! verify the two summaries are identical while reporting the speedup.
+//! work-stealing lane per experiment, batched ledger commits) with run
+//! memoization on: after the first nightly pass every (experiment, image,
+//! test) cell is unchanged, so later passes replay conserved outputs
+//! digest-first instead of re-running the chains — pass `--no-memoize` to
+//! force full re-execution of all 21 passes. Pass `--compare` to also
+//! replay the campaign on the sequential `Campaign` oracle (uncached) and
+//! verify the summaries are identical while reporting the speedup.
 //!
 //! Expected shape (§3.3): the SL5 columns validate cleanly, while the
 //! 64-bit columns surface the latent pointer bugs in the H1 and ZEUS stacks
@@ -17,11 +21,13 @@
 //!
 //! ```text
 //! cargo run --release -p sp-bench --bin repro-figure3 \
-//!     [--scale 0.3] [--workers 4] [--compare]
+//!     [--scale 0.3] [--workers 4] [--compare] [--no-memoize]
 //! ```
 
 use sp_bench::{desy_deployment, repro_run_config, scale_from_args};
-use sp_core::{Campaign, CampaignConfig, CampaignEngine, CampaignSummary, SpSystem};
+use sp_core::{
+    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignSummary, SpSystem,
+};
 use sp_env::{catalog, Arch, VmImageId};
 use sp_report::render_matrix;
 use sp_report::summary::render_stats;
@@ -70,19 +76,23 @@ fn workers_from_args() -> usize {
 fn main() {
     let scale = scale_from_args(0.3);
     let workers = workers_from_args();
+    let memoize = !flag("--no-memoize");
     let (system, paper_image_ids, root_axis) = deployment_with_root_axis();
 
     // 3 experiments x 5 images x 21 nightly passes = 315 runs (">300").
-    let grid = |images: Vec<VmImageId>, repetitions: usize| CampaignConfig {
+    let grid = |images: Vec<VmImageId>, repetitions: usize, memoize: bool| CampaignConfig {
         experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
         images,
         repetitions,
         run: repro_run_config(scale),
         interval_secs: 86_400,
+        options: CampaignOptions { memoize },
     };
-    let config = grid(paper_image_ids.clone(), 21);
+    let config = grid(paper_image_ids.clone(), 21, memoize);
     let planned = config.total_runs();
-    eprintln!("running {planned} validation runs (scale {scale}, {workers} workers) ...");
+    eprintln!(
+        "running {planned} validation runs (scale {scale}, {workers} workers, memoize {memoize}) ..."
+    );
     let started = std::time::Instant::now();
     let engine =
         CampaignEngine::plan(&system, config, workers).expect("campaign over registered names");
@@ -91,11 +101,12 @@ fn main() {
     eprintln!("campaign finished in {parallel_elapsed:.1?}\n");
 
     if flag("--compare") {
-        // Replay the identical campaign sequentially on a fresh, identical
-        // system: the reference oracle must agree cell-for-cell.
+        // Replay the identical campaign sequentially — and uncached — on a
+        // fresh, identical system: the reference oracle must agree
+        // cell-for-cell, proving memoized replay changes nothing.
         let (oracle_system, oracle_images, _) = deployment_with_root_axis();
-        let oracle_config = grid(oracle_images, 21);
-        eprintln!("replaying {planned} runs on the sequential oracle ...");
+        let oracle_config = grid(oracle_images, 21, false);
+        eprintln!("replaying {planned} runs on the uncached sequential oracle ...");
         let started = std::time::Instant::now();
         let oracle: CampaignSummary = Campaign::new(&oracle_system, oracle_config)
             .execute()
@@ -131,7 +142,7 @@ fn main() {
     );
 
     // ---- Figure 3, external-dependency axis -----------------------------
-    let ext_config = grid(root_axis, 1);
+    let ext_config = grid(root_axis, 1, memoize);
     eprintln!(
         "running {} external-dependency runs ...",
         ext_config.total_runs()

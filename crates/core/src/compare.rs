@@ -10,6 +10,7 @@
 
 use sp_hep::hist_io;
 use sp_hep::HistogramSet;
+use sp_store::{HashingWriter, ObjectId};
 
 /// The output of one validation test, in one of the paper's flavours.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,39 +28,85 @@ pub enum TestOutput {
 }
 
 impl TestOutput {
+    /// Core serialiser: emits the deterministic byte encoding piecewise, so
+    /// the same code path feeds a buffer ([`encode_into`](Self::encode_into)),
+    /// a buffer-plus-digest tee ([`encode_and_digest`](Self::encode_and_digest))
+    /// or a digest-only stream ([`digest`](Self::digest)).
+    fn encode_with(&self, emit: &mut dyn FnMut(&[u8])) {
+        match self {
+            TestOutput::YesNo(b) => {
+                emit(&[b'Y', *b as u8]);
+            }
+            TestOutput::ExitCode(c) => {
+                emit(b"E");
+                emit(&c.to_le_bytes());
+            }
+            TestOutput::Text(t) => {
+                emit(b"T");
+                emit(t.as_bytes());
+            }
+            TestOutput::Numbers(ns) => {
+                emit(b"N");
+                for (name, value) in ns {
+                    let name = clamp_number_name(name);
+                    emit(&(name.len() as u16).to_le_bytes());
+                    emit(name.as_bytes());
+                    emit(&value.to_le_bytes());
+                }
+            }
+            TestOutput::Histograms(set) => {
+                emit(b"H");
+                hist_io::encode_set_with(set, emit);
+            }
+        }
+    }
+
     /// Serialises the output for the common storage. Deterministic, so
     /// identical outputs deduplicate to identical object ids.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.encoded_size_hint());
+        self.encode_into(&mut v);
+        v
+    }
+
+    /// Appends the encoding to `out` without allocating a fresh buffer —
+    /// the reusable-scratch counterpart of [`to_bytes`](Self::to_bytes).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_size_hint());
+        self.encode_with(&mut |bytes| out.extend_from_slice(bytes));
+    }
+
+    /// Serialises into `out` (clearing it first) and returns the content
+    /// address: one traversal of the output structure with no intermediate
+    /// buffers (histograms stream field-wise straight into `out`), then a
+    /// single contiguous hash pass — and callers hand the id to
+    /// `put_named_prehashed`, so the store never re-hashes the bytes.
+    pub fn encode_and_digest(&self, out: &mut Vec<u8>) -> ObjectId {
+        out.clear();
+        self.encode_into(out);
+        ObjectId::for_bytes(out)
+    }
+
+    /// The content address of the encoded output, streamed straight into
+    /// the hasher — no encoding buffer is materialised, for histograms
+    /// included. Equal digests mean bit-identical encodings, so this is
+    /// the value the digest-first comparison fast paths key on.
+    pub fn digest(&self) -> ObjectId {
+        let mut writer = HashingWriter::digest_only();
+        self.encode_with(&mut |bytes| writer.write(bytes));
+        ObjectId(writer.finish())
+    }
+
+    /// Rough encoded size, used to pre-reserve buffers.
+    fn encoded_size_hint(&self) -> usize {
         match self {
-            TestOutput::YesNo(b) => {
-                let mut v = vec![b'Y'];
-                v.push(*b as u8);
-                v
-            }
-            TestOutput::ExitCode(c) => {
-                let mut v = vec![b'E'];
-                v.extend_from_slice(&c.to_le_bytes());
-                v
-            }
-            TestOutput::Text(t) => {
-                let mut v = vec![b'T'];
-                v.extend_from_slice(t.as_bytes());
-                v
-            }
+            TestOutput::YesNo(_) => 2,
+            TestOutput::ExitCode(_) => 5,
+            TestOutput::Text(t) => 1 + t.len(),
             TestOutput::Numbers(ns) => {
-                let mut v = vec![b'N'];
-                for (name, value) in ns {
-                    v.extend_from_slice(&(name.len() as u16).to_le_bytes());
-                    v.extend_from_slice(name.as_bytes());
-                    v.extend_from_slice(&value.to_le_bytes());
-                }
-                v
+                1 + ns.iter().map(|(name, _)| 10 + name.len()).sum::<usize>()
             }
-            TestOutput::Histograms(set) => {
-                let mut v = vec![b'H'];
-                v.extend_from_slice(&hist_io::encode_set(set));
-                v
-            }
+            TestOutput::Histograms(set) => 16 + set.len() * 512,
         }
     }
 
@@ -71,7 +118,8 @@ impl TestOutput {
             b'E' => Some(TestOutput::ExitCode(i32::from_le_bytes(
                 rest.try_into().ok()?,
             ))),
-            b'T' => Some(TestOutput::Text(String::from_utf8(rest.to_vec()).ok()?)),
+            // Validate UTF-8 in place; only the final String copies.
+            b'T' => Some(TestOutput::Text(std::str::from_utf8(rest).ok()?.to_owned())),
             b'N' => {
                 let mut ns = Vec::new();
                 let mut cur = rest;
@@ -84,7 +132,7 @@ impl TestOutput {
                     if cur.len() < len + 8 {
                         return None;
                     }
-                    let name = String::from_utf8(cur[..len].to_vec()).ok()?;
+                    let name = std::str::from_utf8(&cur[..len]).ok()?.to_owned();
                     let value = f64::from_le_bytes(cur[len..len + 8].try_into().ok()?);
                     ns.push((name, value));
                     cur = &cur[len + 8..];
@@ -95,6 +143,28 @@ impl TestOutput {
             _ => None,
         }
     }
+}
+
+/// Guards the `u16` length prefix of a `Numbers` entry name: a name longer
+/// than 65535 bytes cannot be represented and previously truncated the
+/// *prefix* silently, corrupting the whole record. Debug builds assert;
+/// release builds saturate to the longest valid UTF-8 prefix so the record
+/// stays decodable.
+fn clamp_number_name(name: &str) -> &str {
+    const MAX: usize = u16::MAX as usize;
+    if name.len() <= MAX {
+        return name;
+    }
+    debug_assert!(
+        name.len() <= MAX,
+        "Numbers entry name exceeds the u16 length prefix ({} bytes)",
+        name.len()
+    );
+    let mut end = MAX;
+    while !name.is_char_boundary(end) {
+        end -= 1;
+    }
+    &name[..end]
 }
 
 /// How to compare a test output against its reference.
@@ -138,6 +208,17 @@ impl Comparator {
             },
             TestOutput::Histograms(_) => Comparator::HistogramChi2 { min_p_value: 0.01 },
         }
+    }
+
+    /// Digest-first fast path: two outputs whose *content addresses* are
+    /// equal are bit-identical, so every comparator — `Exact`, `TextDiff`,
+    /// `Numeric`, `HistogramChi2` — would return
+    /// [`CompareOutcome::Identical`] without either side being decoded
+    /// (for histograms this skips the `hist_io` decode and the χ² sweep
+    /// entirely). Returns `None` when the digests differ and a full
+    /// [`compare`](Self::compare) over the decoded outputs is required.
+    pub fn compare_by_id(&self, new: ObjectId, reference: ObjectId) -> Option<CompareOutcome> {
+        (new == reference).then_some(CompareOutcome::Identical)
     }
 
     /// Compares `new` against `reference`.
@@ -312,6 +393,87 @@ mod tests {
         for out in outputs {
             let bytes = out.to_bytes();
             assert_eq!(TestOutput::from_bytes(&bytes), Some(out));
+        }
+    }
+
+    #[test]
+    fn encode_into_and_digest_match_to_bytes() {
+        let mut hist = Histogram1D::new("h", 5, 0.0, 5.0);
+        hist.fill(1.0);
+        let outputs = [
+            TestOutput::YesNo(false),
+            TestOutput::ExitCode(7),
+            TestOutput::Text("log line\n".into()),
+            TestOutput::Numbers(vec![("x".into(), 1.5)]),
+            TestOutput::Histograms([hist].into_iter().collect()),
+        ];
+        let mut scratch = Vec::new();
+        for out in outputs {
+            let bytes = out.to_bytes();
+            scratch.clear();
+            out.encode_into(&mut scratch);
+            assert_eq!(scratch, bytes, "encode_into agrees with to_bytes");
+            let id = out.encode_and_digest(&mut scratch);
+            assert_eq!(
+                scratch, bytes,
+                "encode_and_digest materialises the encoding"
+            );
+            assert_eq!(
+                id,
+                ObjectId::for_bytes(&bytes),
+                "teed digest is the content address"
+            );
+            assert_eq!(out.digest(), id, "streaming digest agrees");
+        }
+    }
+
+    #[test]
+    fn numbers_name_length_boundary_round_trips() {
+        // Exactly 65535 bytes: the largest representable name.
+        let name = "n".repeat(u16::MAX as usize);
+        let out = TestOutput::Numbers(vec![(name.clone(), 2.75)]);
+        let bytes = out.to_bytes();
+        let decoded = TestOutput::from_bytes(&bytes).expect("boundary name decodes");
+        assert_eq!(decoded, out);
+        assert_eq!(out.digest(), ObjectId::for_bytes(&bytes));
+    }
+
+    /// The saturating guard only applies in release builds (debug builds
+    /// assert instead): an over-long name is truncated to the longest
+    /// valid UTF-8 prefix and the record stays decodable.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn numbers_name_over_limit_saturates() {
+        // 65534 ASCII bytes + one 3-byte char straddling the limit: the
+        // clamp must back up to the char boundary at 65534.
+        let mut name = "a".repeat(u16::MAX as usize - 1);
+        name.push('€');
+        let out = TestOutput::Numbers(vec![(name, 1.0)]);
+        let decoded = TestOutput::from_bytes(&out.to_bytes()).expect("record stays decodable");
+        let TestOutput::Numbers(ns) = decoded else {
+            panic!("flavour preserved");
+        };
+        assert_eq!(ns[0].0.len(), u16::MAX as usize - 1);
+        assert_eq!(ns[0].1, 1.0);
+    }
+
+    #[test]
+    fn compare_by_id_short_circuits_equal_digests() {
+        let a = TestOutput::Numbers(vec![("x".into(), 1.0)]);
+        let b = TestOutput::Numbers(vec![("x".into(), 2.0)]);
+        for comparator in [
+            Comparator::Exact,
+            Comparator::Numeric {
+                rel_tol: 1e-9,
+                abs_tol: 1e-12,
+            },
+            Comparator::HistogramChi2 { min_p_value: 0.01 },
+        ] {
+            assert_eq!(
+                comparator.compare_by_id(a.digest(), a.digest()),
+                Some(CompareOutcome::Identical)
+            );
+            assert_eq!(comparator.compare_by_id(a.digest(), b.digest()), None);
         }
     }
 

@@ -102,6 +102,24 @@ impl RunLedger {
             .cloned()
     }
 
+    /// Content address of one named reference output, read under the lock
+    /// without cloning the whole output list — the digest-first comparison
+    /// paths call this once per test, so it stays allocation-free.
+    pub fn reference_output_id(
+        &self,
+        experiment: &str,
+        test_id: &str,
+        output_name: &str,
+    ) -> Option<ObjectId> {
+        self.references
+            .read()
+            .get(experiment)?
+            .get(test_id)?
+            .iter()
+            .find(|(name, _)| name == output_name)
+            .map(|(_, id)| *id)
+    }
+
     /// Whether an experiment has any reference at all (false before its
     /// first successful run).
     pub fn has_reference(&self, experiment: &str) -> bool {

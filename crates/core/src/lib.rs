@@ -59,8 +59,8 @@ pub mod test;
 pub mod workflow;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignEngine, CampaignPlan, CampaignSummary, CellStatus, RunRecord,
-    RunTask,
+    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignPlan, CampaignSummary,
+    CellStatus, RunRecord, RunTask,
 };
 pub use classify::{classify, Diagnosis};
 pub use compare::{Comparator, CompareOutcome, TestOutput};

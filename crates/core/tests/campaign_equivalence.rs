@@ -6,17 +6,21 @@
 //! (ids, timestamps, counts), same cells, same ledger contents — and the
 //! virtual clock must advance exactly once per repetition barrier.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
 use sp_core::{
-    Campaign, CampaignConfig, CampaignEngine, CampaignPlan, ExperimentDef, PreservationLevel,
-    RunConfig, SpSystem, TestKind, TestSuite, ValidationTest,
+    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignPlan, ExperimentDef,
+    PreservationLevel, RunConfig, SpSystem, TestKind, TestSuite, ValidationTest,
 };
 use sp_env::{catalog, Arch, CodeTrait, Version, VmImageId};
+use sp_exec::ChainDef;
 
-/// A compact experiment: a clean library, an analysis on top, and (for the
-/// "buggy" flavour) a latent 64-bit pointer bug that deviates on SL6 — so
-/// random grids exercise both reference promotion and comparison failures.
+/// A compact experiment: a clean library, an analysis on top, a tiny MC
+/// chain, and (for the "buggy" flavour) a latent 64-bit pointer bug that
+/// deviates on SL6 — so random grids exercise reference promotion,
+/// comparison failures and chain memoisation alike.
 fn experiment(name: &str, buggy: bool) -> ExperimentDef {
     let mut lib = Package::new("lib", Version::new(1, 2, 0), PackageKind::Library);
     if buggy {
@@ -58,6 +62,29 @@ fn experiment(name: &str, buggy: bool) -> ExperimentDef {
             "analysis",
             TestKind::Standalone {
                 package: PackageId::new("ana"),
+                events: 10,
+            },
+        ))
+        .unwrap();
+    let stage_packages: BTreeMap<String, PackageId> = [
+        ("mcgen", "lib"),
+        ("sim", "lib"),
+        ("dst", "lib"),
+        ("microdst", "lib"),
+        ("analysis", "ana"),
+        ("validation", "ana"),
+    ]
+    .into_iter()
+    .map(|(stage, pkg)| (stage.to_string(), PackageId::new(pkg)))
+    .collect();
+    suite
+        .add(ValidationTest::new(
+            format!("{name}/chain/nc"),
+            name,
+            "MC chain",
+            TestKind::Chain {
+                chain: ChainDef::full_analysis_chain("nc"),
+                stage_packages,
                 events: 10,
             },
         ))
@@ -118,6 +145,7 @@ fn config_for(
             ..RunConfig::default()
         },
         interval_secs: 3_600,
+        options: CampaignOptions::default(),
     }
 }
 
@@ -181,6 +209,105 @@ proptest! {
             );
         }
     }
+}
+
+proptest! {
+    /// Memoization transparency: for random grids, worker counts and
+    /// repetition counts ≥ 2 (so the memo actually serves repeated cells),
+    /// a memoized campaign produces a `CampaignSummary` and run-log
+    /// digests byte-identical to the uncached path. Comparisons against
+    /// the evolving reference are recomputed on replay, which is exactly
+    /// what this property checks.
+    #[test]
+    fn memoized_campaign_matches_uncached(
+        exp_mask in 1usize..8,
+        img_mask in 1usize..8,
+        repetitions in 2usize..=3,
+        workers in 1usize..=4,
+    ) {
+        let experiment_pool: Vec<String> =
+            EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+
+        let (plain_system, plain_images) = fresh_system();
+        let (memo_system, memo_images) = fresh_system();
+        prop_assert_eq!(&plain_images, &memo_images);
+
+        let experiments = subset(&experiment_pool, exp_mask);
+        let images = subset(&plain_images, img_mask);
+
+        let uncached = Campaign::new(
+            &plain_system,
+            config_for(experiments.clone(), images.clone(), repetitions),
+        )
+        .execute()
+        .expect("uncached campaign");
+
+        let mut memo_config = config_for(experiments, images, repetitions);
+        memo_config.options = CampaignOptions::memoized();
+        let memoized = CampaignEngine::plan(&memo_system, memo_config, workers)
+            .expect("plan over registered names")
+            .execute()
+            .expect("memoized campaign");
+
+        prop_assert_eq!(&memoized, &uncached, "summaries must be byte-identical");
+        let plain_runs = plain_system.ledger().runs();
+        let memo_runs = memo_system.ledger().runs();
+        prop_assert_eq!(plain_runs.len(), memo_runs.len());
+        for (p, m) in plain_runs.iter().zip(&memo_runs) {
+            prop_assert_eq!(p.id, m.id);
+            prop_assert_eq!(p.digest(), m.digest(), "run outcomes must match");
+        }
+        // Repetitions beyond the first replay every cell: both memos must
+        // have served hits, or the test is vacuous.
+        let output_stats = memo_system.output_memo_stats();
+        prop_assert!(
+            output_stats.hits > 0,
+            "output memo never hit on a repeated grid: {output_stats:?}"
+        );
+        let chain_stats = memo_system.chain_memo_stats();
+        prop_assert!(
+            chain_stats.hits > 0,
+            "chain memo never hit on a repeated grid: {chain_stats:?}"
+        );
+    }
+}
+
+/// Deterministic memo accounting: on an N-repetition single-cell campaign
+/// the first pass misses and every later pass is served from the memo,
+/// with the summary identical to the uncached twin system.
+#[test]
+fn memo_serves_repeated_cells_and_counts_hits() {
+    let repetitions = 4;
+    let (memo_system, images) = fresh_system();
+    let (plain_system, _) = fresh_system();
+    let mut config = config_for(vec!["alpha".into()], vec![images[0]], repetitions);
+    config.options = CampaignOptions::memoized();
+    let memoized = CampaignEngine::plan(&memo_system, config, 2)
+        .unwrap()
+        .execute()
+        .unwrap();
+
+    let plain_config = config_for(vec!["alpha".into()], vec![images[0]], repetitions);
+    let uncached = Campaign::new(&plain_system, plain_config)
+        .execute()
+        .unwrap();
+    assert_eq!(memoized, uncached);
+
+    // One unit check + one standalone test per run: 2 memoisable outputs.
+    let stats = memo_system.output_memo_stats();
+    assert_eq!(stats.misses, 2, "first pass misses each output cell once");
+    assert_eq!(
+        stats.hits,
+        2 * (repetitions as u64 - 1),
+        "every later pass serves both cells from the memo"
+    );
+    // One chain test per run: first pass executes, the rest replay.
+    let chain_stats = memo_system.chain_memo_stats();
+    assert_eq!(chain_stats.misses, 1);
+    assert_eq!(chain_stats.hits, repetitions as u64 - 1);
+    // The uncached twin never touched its memos.
+    let plain_stats = plain_system.output_memo_stats();
+    assert_eq!((plain_stats.hits, plain_stats.misses), (0, 0));
 }
 
 /// Repetition barriers: the virtual clock advances exactly `repetitions`

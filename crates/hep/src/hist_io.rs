@@ -11,7 +11,7 @@
 //!         | entries u64 | sum_w f64 | sum_wx f64 | sum_wx2 f64
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 
 use crate::hist::{Histogram1D, HistogramSet};
 
@@ -46,14 +46,21 @@ impl std::error::Error for HistIoError {}
 
 /// Serialises a histogram set.
 pub fn encode_set(set: &HistogramSet) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + set.len() * 512);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(set.len() as u32);
+    let mut buf = Vec::with_capacity(64 + set.len() * 512);
+    encode_set_with(set, &mut |bytes| buf.extend_from_slice(bytes));
+    Bytes::from(buf)
+}
+
+/// Streams the set encoding through `emit` field by field, so callers can
+/// hash or tee the bytes without materialising the whole encoding first
+/// (the digest-first content-addressing path relies on this).
+pub fn encode_set_with(set: &HistogramSet, emit: &mut dyn FnMut(&[u8])) {
+    emit(MAGIC);
+    emit(&VERSION.to_le_bytes());
+    emit(&(set.len() as u32).to_le_bytes());
     for hist in set.iter() {
-        encode_hist(&mut buf, hist);
+        encode_hist_with(hist, emit);
     }
-    buf.freeze()
 }
 
 /// Deserialises a histogram set.
@@ -82,25 +89,25 @@ pub fn decode_set(data: &[u8]) -> Result<HistogramSet, HistIoError> {
     Ok(set)
 }
 
-fn encode_hist(buf: &mut BytesMut, hist: &Histogram1D) {
-    buf.put_u16_le(hist.name().len() as u16);
-    buf.put_slice(hist.name().as_bytes());
-    buf.put_u32_le(hist.nbins() as u32);
-    buf.put_f64_le(hist.lo());
-    buf.put_f64_le(hist.hi());
+fn encode_hist_with(hist: &Histogram1D, emit: &mut dyn FnMut(&[u8])) {
+    emit(&(hist.name().len() as u16).to_le_bytes());
+    emit(hist.name().as_bytes());
+    emit(&(hist.nbins() as u32).to_le_bytes());
+    emit(&hist.lo().to_le_bytes());
+    emit(&hist.hi().to_le_bytes());
     for &c in hist.counts() {
-        buf.put_f64_le(c);
+        emit(&c.to_le_bytes());
     }
     for &s in hist.sumw2() {
-        buf.put_f64_le(s);
+        emit(&s.to_le_bytes());
     }
-    buf.put_f64_le(hist.underflow());
-    buf.put_f64_le(hist.overflow());
-    buf.put_u64_le(hist.entries());
+    emit(&hist.underflow().to_le_bytes());
+    emit(&hist.overflow().to_le_bytes());
+    emit(&hist.entries().to_le_bytes());
     let (sum_w, sum_wx, sum_wx2) = hist.moment_sums();
-    buf.put_f64_le(sum_w);
-    buf.put_f64_le(sum_wx);
-    buf.put_f64_le(sum_wx2);
+    emit(&sum_w.to_le_bytes());
+    emit(&sum_wx.to_le_bytes());
+    emit(&sum_wx2.to_le_bytes());
 }
 
 fn decode_hist(cur: &mut &[u8]) -> Result<Histogram1D, HistIoError> {

@@ -62,7 +62,7 @@ pub fn render_matrix(system: &SpSystem, summary: &CampaignSummary, band_order: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sp_core::{Campaign, CampaignConfig, RunConfig};
+    use sp_core::{Campaign, CampaignConfig, CampaignOptions, RunConfig};
     use sp_env::{catalog, Arch, Version};
 
     /// End-to-end: a reduced two-experiment campaign renders a coherent
@@ -90,6 +90,7 @@ mod tests {
                 ..RunConfig::default()
             },
             interval_secs: 86_400,
+            options: CampaignOptions::default(),
         };
         let summary = Campaign::new(&system, config).execute().unwrap();
         let rendered = render_matrix(&system, &summary, &["hermes"]);

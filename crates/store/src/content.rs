@@ -52,6 +52,27 @@ impl ContentStore {
     pub fn put(&self, data: impl Into<Bytes>) -> ObjectId {
         let data = data.into();
         let id = ObjectId::for_bytes(&data);
+        self.insert(id, data);
+        id
+    }
+
+    /// Stores `data` under a caller-computed content address, skipping the
+    /// hash pass [`put`](Self::put) would perform. The caller must have
+    /// obtained `id` by hashing exactly these bytes — e.g. through
+    /// [`crate::sha256::HashingWriter`] while serialising them — which is
+    /// verified in debug builds.
+    pub fn put_prehashed(&self, id: ObjectId, data: impl Into<Bytes>) -> ObjectId {
+        let data = data.into();
+        debug_assert_eq!(
+            ObjectId::for_bytes(&data),
+            id,
+            "put_prehashed: id does not address these bytes"
+        );
+        self.insert(id, data);
+        id
+    }
+
+    fn insert(&self, id: ObjectId, data: Bytes) {
         let mut objects = self.objects.write();
         let mut stats = self.stats.write();
         if let std::collections::hash_map::Entry::Vacant(entry) = objects.entry(id) {
@@ -61,7 +82,6 @@ impl ContentStore {
         } else {
             stats.deduplicated += 1;
         }
-        id
     }
 
     /// Fetches an object, verifying its integrity.

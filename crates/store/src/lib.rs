@@ -15,6 +15,9 @@
 //! * [`content`] — [`ContentStore`], an integrity-checked object store.
 //! * [`digest_cache`] — revision-keyed digest memoisation, so unchanged
 //!   artifacts are not re-packed and re-hashed on every nightly firing.
+//! * [`run_memo`] — cell-level run memoisation ([`RunMemo`] keyed by
+//!   test, seed, environment revision and scale), so unchanged validation
+//!   cells replay their conserved outputs instead of re-executing chains.
 //! * [`archive`] — the `SPAR` archive format standing in for the tar-balls
 //!   in which compiled package binaries are conserved.
 //! * [`meta`] — namespaced key/value bookkeeping metadata.
@@ -44,6 +47,7 @@ pub mod fnv;
 pub mod meta;
 pub mod object;
 pub mod retention;
+pub mod run_memo;
 pub mod sha256;
 pub mod shared;
 pub mod vault;
@@ -55,6 +59,8 @@ pub use fnv::fnv64;
 pub use meta::MetaStore;
 pub use object::ObjectId;
 pub use retention::RetentionPolicy;
+pub use run_memo::{RunKey, RunMemo};
+pub use sha256::HashingWriter;
 pub use shared::{ExportSummary, SharedStorage, StorageArea};
 pub use vault::{FrozenImage, FrozenVault};
 

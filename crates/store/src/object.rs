@@ -13,9 +13,9 @@ use crate::sha256;
 pub struct ObjectId(pub [u8; 32]);
 
 impl ObjectId {
-    /// Hashes `data` into its content address.
+    /// Hashes `data` into its content address (one-shot fast path).
     pub fn for_bytes(data: &[u8]) -> Self {
-        ObjectId(sha256::digest(data))
+        ObjectId(sha256::Sha256::digest_of(data))
     }
 
     /// Full 64-character hex rendering.

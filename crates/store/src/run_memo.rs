@@ -1,0 +1,227 @@
+//! Cell-level run memoisation over the content store.
+//!
+//! The [`crate::DigestCache`] memoises *build artifacts* by package
+//! revision. This module extends the same idea one level up, to whole
+//! validation cells: the paper replays the same tests across many nightly
+//! firings and OS/software revisions, and a cell whose determinants —
+//! test identity, campaign seed, environment revision and workload scale —
+//! are unchanged must produce bit-identical outputs (§3.3: "ensures
+//! reproducibility of previous results"). [`RunMemo`] maps such a
+//! [`RunKey`] to whatever production the caller wants to replay (content
+//! addresses of the stored outputs, pre-comparison statuses, …), so an
+//! unchanged (experiment, image, test) cell costs a map lookup instead of
+//! a full MC-chain re-execution.
+//!
+//! Two trust rules, mirroring the digest cache:
+//!
+//! * a key must capture **every** determinant of the memoised production —
+//!   an under-described key happily serves stale results;
+//! * entries are only valid while the objects they point at are still in
+//!   the content store; callers re-check presence and
+//!   [`invalidate`](RunMemo::invalidate) after retention pruning.
+//!
+//! Anything *relative* — most importantly the comparison against the
+//! current reference run, which evolves as references are promoted — must
+//! be recomputed at replay time and therefore does not belong in the memo.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::digest_cache::DigestCacheStats;
+
+/// The determinants of one validation cell's production.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Test identifier (experiment-qualified, e.g. `h1/chain/nc`).
+    pub test: String,
+    /// Campaign base seed (per-test seeds derive deterministically from it).
+    pub seed: u64,
+    /// Environment / image revision — the *full* label including externals,
+    /// so two images differing only in their installed ROOT do not collide.
+    pub env_revision: String,
+    /// Workload scale factor, stored as raw bits for `Eq`/`Hash`.
+    scale_bits: u64,
+}
+
+impl RunKey {
+    /// Builds a key from the cell determinants.
+    pub fn new(
+        test: impl Into<String>,
+        seed: u64,
+        env_revision: impl Into<String>,
+        scale: f64,
+    ) -> Self {
+        RunKey {
+            test: test.into(),
+            seed,
+            env_revision: env_revision.into(),
+            scale_bits: scale.to_bits(),
+        }
+    }
+
+    /// The workload scale factor this key was built with.
+    pub fn scale(&self) -> f64 {
+        f64::from_bits(self.scale_bits)
+    }
+}
+
+/// A concurrent `cell determinants → memoised production` map with
+/// hit/miss accounting, generic in what a "production" is.
+#[derive(Debug)]
+pub struct RunMemo<V> {
+    entries: RwLock<HashMap<RunKey, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for RunMemo<V> {
+    fn default() -> Self {
+        RunMemo {
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V: Clone> RunMemo<V> {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        RunMemo::default()
+    }
+
+    /// Looks up the production memoised for `key` (no counters — callers
+    /// validate the entry first and then note a hit or miss).
+    pub fn peek(&self, key: &RunKey) -> Option<V> {
+        self.entries.read().get(key).cloned()
+    }
+
+    /// Records the production of `key`.
+    pub fn insert(&self, key: RunKey, value: V) {
+        self.entries.write().insert(key, value);
+    }
+
+    /// Drops one entry (e.g. after its objects were pruned). Returns
+    /// whether it was present.
+    pub fn invalidate(&self, key: &RunKey) -> bool {
+        self.entries.write().remove(key).is_some()
+    }
+
+    /// Drops every entry whose key matches `predicate`, returning how many
+    /// were removed. Used when a whole determinant class is invalidated at
+    /// once — e.g. an experiment definition is replaced, so every cell of
+    /// that experiment must re-execute.
+    pub fn invalidate_matching(&self, predicate: impl Fn(&RunKey) -> bool) -> usize {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|key, _| !predicate(key));
+        before - entries.len()
+    }
+
+    /// Records a cell served from the memo.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cell that fell through to execution.
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the effectiveness counters.
+    pub fn stats(&self) -> DigestCacheStats {
+        DigestCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.read().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_distinguishes_every_determinant() {
+        let base = RunKey::new("h1/chain/nc", 7, "SL6/64bit gcc4.4 root5.34", 0.5);
+        assert_eq!(
+            base,
+            RunKey::new("h1/chain/nc", 7, "SL6/64bit gcc4.4 root5.34", 0.5)
+        );
+        assert_ne!(
+            base,
+            RunKey::new("h1/chain/cc", 7, "SL6/64bit gcc4.4 root5.34", 0.5)
+        );
+        assert_ne!(
+            base,
+            RunKey::new("h1/chain/nc", 8, "SL6/64bit gcc4.4 root5.34", 0.5)
+        );
+        assert_ne!(
+            base,
+            RunKey::new("h1/chain/nc", 7, "SL6/64bit gcc4.4 root5.26", 0.5)
+        );
+        assert_ne!(
+            base,
+            RunKey::new("h1/chain/nc", 7, "SL6/64bit gcc4.4 root5.34", 1.0)
+        );
+        assert_eq!(base.scale(), 0.5);
+    }
+
+    #[test]
+    fn peek_insert_invalidate_and_stats() {
+        let memo: RunMemo<u32> = RunMemo::new();
+        let key = RunKey::new("t", 1, "env", 1.0);
+        assert_eq!(memo.peek(&key), None);
+        memo.note_miss();
+        memo.insert(key.clone(), 42);
+        assert_eq!(memo.peek(&key), Some(42));
+        memo.note_hit();
+        let stats = memo.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!(memo.invalidate(&key));
+        assert!(!memo.invalidate(&key));
+        assert_eq!(memo.stats().entries, 0);
+    }
+
+    #[test]
+    fn invalidate_matching_drops_a_key_class() {
+        let memo: RunMemo<u32> = RunMemo::new();
+        memo.insert(RunKey::new("h1::a", 1, "env", 1.0), 1);
+        memo.insert(RunKey::new("h1::b", 1, "env", 1.0), 2);
+        memo.insert(RunKey::new("zeus::a", 1, "env", 1.0), 3);
+        assert_eq!(memo.invalidate_matching(|k| k.test.starts_with("h1::")), 2);
+        assert_eq!(memo.stats().entries, 1);
+        assert!(memo.peek(&RunKey::new("zeus::a", 1, "env", 1.0)).is_some());
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        use std::sync::Arc;
+        let memo: Arc<RunMemo<u64>> = Arc::new(RunMemo::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let memo = Arc::clone(&memo);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let key = RunKey::new(format!("t-{}", (t + i) % 25), i % 3, "env", 1.0);
+                    match memo.peek(&key) {
+                        Some(_) => memo.note_hit(),
+                        None => {
+                            memo.note_miss();
+                            memo.insert(key, t * 1000 + i);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = memo.stats();
+        assert_eq!(stats.entries, 75, "25 tests x 3 seeds");
+        assert_eq!(stats.hits + stats.misses, 800);
+    }
+}

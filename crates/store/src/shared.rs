@@ -103,6 +103,33 @@ impl SharedStorage {
         id
     }
 
+    /// Stores bytes whose content address the caller already computed while
+    /// serialising them (via [`crate::sha256::HashingWriter`]), skipping the
+    /// hash pass [`put_named`](Self::put_named) would repeat.
+    pub fn put_named_prehashed(
+        &self,
+        area: StorageArea,
+        key: &str,
+        id: ObjectId,
+        data: impl Into<Bytes>,
+    ) -> ObjectId {
+        let id = self.content.put_prehashed(id, data);
+        self.meta.set(area.namespace(), key, id.to_hex());
+        id
+    }
+
+    /// Registers `area/key` as a *name* for an object that is already in
+    /// the content store — the memoised-replay path, where the bytes were
+    /// conserved by an earlier run under a different key. Returns `false`
+    /// (and registers nothing) if the object is absent.
+    pub fn register_named(&self, area: StorageArea, key: &str, id: ObjectId) -> bool {
+        if !self.content.contains(id) {
+            return false;
+        }
+        self.meta.set(area.namespace(), key, id.to_hex());
+        true
+    }
+
     /// Stores an archive (tar-ball) under `area/key`.
     pub fn put_archive(&self, area: StorageArea, key: &str, archive: &Archive) -> ObjectId {
         self.put_named(area, key, archive.pack())

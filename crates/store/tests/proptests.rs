@@ -24,7 +24,9 @@ fn entry_strategy() -> impl Strategy<Value = ArchiveEntry> {
 }
 
 proptest! {
-    /// Incremental hashing equals one-shot hashing for any split points.
+    /// Incremental hashing over any random chunking equals the one-shot
+    /// fast path (`Sha256::digest_of`), and the streaming `HashingWriter`
+    /// fed the same chunks agrees while materialising exactly the input.
     #[test]
     fn sha256_incremental_equals_oneshot(
         data in prop::collection::vec(any::<u8>(), 0..2048),
@@ -36,15 +38,39 @@ proptest! {
             .collect();
         splits.sort_unstable();
         splits.dedup();
+        splits.push(data.len());
+
+        let oneshot = sha256::Sha256::digest_of(&data);
+        prop_assert_eq!(oneshot, sha256::digest(&data));
 
         let mut hasher = sha256::Sha256::new();
+        let mut buf = Vec::new();
+        let mut writer = sha256::HashingWriter::tee(&mut buf);
         let mut prev = 0usize;
         for &s in &splits {
             hasher.update(&data[prev..s]);
+            writer.write(&data[prev..s]);
             prev = s;
         }
-        hasher.update(&data[prev..]);
-        prop_assert_eq!(hasher.finalize(), sha256::digest(&data));
+        prop_assert_eq!(hasher.finalize(), oneshot);
+        prop_assert_eq!(writer.finish(), oneshot);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// `put_prehashed` with an id computed while serialising behaves
+    /// exactly like `put`: same address, deduplicated storage.
+    #[test]
+    fn prehashed_put_equals_hashed_put(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let store = ContentStore::new();
+        let plain = store.put(data.clone());
+        let mut buf = Vec::new();
+        let mut writer = sha256::HashingWriter::tee(&mut buf);
+        writer.write(&data);
+        let id = ObjectId(writer.finish());
+        let prehashed = store.put_prehashed(id, buf);
+        prop_assert_eq!(plain, prehashed);
+        prop_assert_eq!(store.len(), 1);
+        prop_assert_eq!(store.get(prehashed).unwrap().as_ref(), &data[..]);
     }
 
     /// Content addresses are stable and injective in practice.

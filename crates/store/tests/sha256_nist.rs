@@ -5,7 +5,7 @@
 //! Cryptographic Algorithm Validation Program `SHA256ShortMsg.rsp` /
 //! `SHA256LongMsg.rsp` response files.
 
-use sp_store::sha256::{digest, to_hex, Sha256};
+use sp_store::sha256::{digest, to_hex, HashingWriter, Sha256};
 
 fn hex_digest(data: &[u8]) -> String {
     to_hex(&digest(data))
@@ -81,6 +81,51 @@ fn cavp_short_message_vectors() {
     for (msg_hex, want) in vectors {
         let msg = unhex(msg_hex);
         assert_eq!(&hex_digest(&msg), want, "message {msg_hex}");
+    }
+}
+
+/// FIPS 180-2 appendix B.2-style long-message vectors: the 896-bit
+/// two-block message (whose padding spills into a third block) and the
+/// million-`a` message, each through the one-shot fast path *and* the
+/// incremental interface.
+#[test]
+fn nist_long_message_vectors() {
+    let two_block = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+    let want_two_block = "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1";
+    assert_eq!(to_hex(&Sha256::digest_of(two_block)), want_two_block);
+    let mut incremental = Sha256::new();
+    incremental.update(&two_block[..64]);
+    incremental.update(&two_block[64..]);
+    assert_eq!(to_hex(&incremental.finalize()), want_two_block);
+
+    let million = vec![b'a'; 1_000_000];
+    let want_million = "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0";
+    assert_eq!(to_hex(&Sha256::digest_of(&million)), want_million);
+    let mut incremental = Sha256::new();
+    for chunk in million.chunks(997) {
+        incremental.update(chunk);
+    }
+    assert_eq!(to_hex(&incremental.finalize()), want_million);
+}
+
+/// Multi-block boundary sweep: every length from 0 to 200 bytes agrees
+/// between the one-shot fast path, the incremental hasher and the
+/// streaming `HashingWriter`, covering both padding regimes of all three
+/// final-block layouts.
+#[test]
+fn oneshot_incremental_and_writer_agree_on_every_boundary() {
+    let data: Vec<u8> = (0u32..200).map(|i| (i * 131 % 251) as u8).collect();
+    for len in 0..=data.len() {
+        let oneshot = Sha256::digest_of(&data[..len]);
+        let mut h = Sha256::new();
+        h.update(&data[..len]);
+        assert_eq!(h.finalize(), oneshot, "incremental at len {len}");
+        let mut buf = Vec::new();
+        let mut writer = HashingWriter::tee(&mut buf);
+        writer.write(&data[..len]);
+        assert_eq!(writer.finish(), oneshot, "writer at len {len}");
+        assert_eq!(buf, &data[..len]);
     }
 }
 

@@ -9,7 +9,7 @@
 use std::fs;
 use std::path::Path;
 
-use sp_system::core::{Campaign, CampaignConfig, RunConfig, SpSystem};
+use sp_system::core::{Campaign, CampaignConfig, CampaignOptions, RunConfig, SpSystem};
 use sp_system::env::catalog;
 use sp_system::report::summary::{campaign_json, render_stats};
 use sp_system::report::{matrix_page, render_matrix, run_index_page, run_page};
@@ -35,6 +35,7 @@ fn main() {
             ..RunConfig::default()
         },
         interval_secs: 86_400,
+        options: CampaignOptions::default(),
     };
     println!("running {} validation runs ...\n", config.total_runs());
     let summary = Campaign::new(&system, config)

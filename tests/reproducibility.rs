@@ -1,7 +1,7 @@
 //! Reproducibility guarantees: the property §3.3 calls "ensures
 //! reproducibility of previous results".
 
-use sp_system::core::{Campaign, CampaignConfig, RunConfig, SpSystem};
+use sp_system::core::{Campaign, CampaignConfig, CampaignOptions, RunConfig, SpSystem};
 use sp_system::env::{catalog, Version};
 
 fn fresh_system() -> (SpSystem, sp_system::env::VmImageId) {
@@ -122,6 +122,7 @@ fn campaigns_are_reproducible() {
             repetitions: 2,
             run: config(11),
             interval_secs: 86_400,
+            options: CampaignOptions::default(),
         };
         let summary = Campaign::new(&system, campaign_config).execute().unwrap();
         summary
