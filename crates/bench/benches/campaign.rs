@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::{desy_deployment, repro_run_config};
-use sp_core::{Campaign, CampaignConfig, CampaignEngine, CampaignOptions, SpSystem};
+use sp_core::{
+    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignScheduler, SpSystem,
+};
 
 fn bench_validation_runs(c: &mut Criterion) {
     let system = desy_deployment();
@@ -139,8 +141,96 @@ fn bench_campaign_memoized(c: &mut Criterion) {
     group.finish();
 }
 
+/// The DESY deployment plus a fourth experiment (a HERMES-shaped stack
+/// under its own name), so the scheduler benches can split the same total
+/// grid into 1 or 4 experiment-disjoint campaigns.
+fn four_experiment_deployment() -> SpSystem {
+    let system = desy_deployment();
+    let mut hera = sp_experiments::hermes_experiment();
+    hera.name = "hera".into();
+    system
+        .register_experiment(hera)
+        .expect("renamed experiment registers");
+    system
+}
+
+/// Multi-campaign scheduling: the identical 4-experiment × 5-image grid
+/// submitted as one campaign vs as four concurrent single-experiment
+/// campaigns over the same shared pool, plus the warm-state effect — the
+/// same memoized campaign started cold vs started from a restored
+/// `SPWS` snapshot (first repetition already replays).
+fn bench_campaign_sched(c: &mut Criterion) {
+    let experiments = ["zeus", "h1", "hermes", "hera"];
+    let config = |system: &SpSystem, names: &[&str], repetitions: usize| CampaignConfig {
+        experiments: names.iter().map(|n| n.to_string()).collect(),
+        images: system.images().iter().map(|i| i.id).collect(),
+        repetitions,
+        run: repro_run_config(0.05),
+        interval_secs: 86_400,
+        options: CampaignOptions::memoized(),
+    };
+
+    let mut group = c.benchmark_group("campaign_sched");
+    group.sample_size(10);
+    group.bench_function("1_campaign", |b| {
+        b.iter(|| {
+            let system = four_experiment_deployment();
+            let mut scheduler = CampaignScheduler::new(&system, 4);
+            scheduler
+                .submit(config(&system, &experiments, 2))
+                .expect("one grid campaign");
+            scheduler.execute().expect("scheduled batch").len()
+        })
+    });
+    group.bench_function("4_campaigns", |b| {
+        b.iter(|| {
+            let system = four_experiment_deployment();
+            let mut scheduler = CampaignScheduler::new(&system, 4);
+            for name in &experiments {
+                scheduler
+                    .submit(config(&system, &[name], 2))
+                    .expect("disjoint campaign");
+            }
+            scheduler.execute().expect("scheduled batch").len()
+        })
+    });
+
+    // Warm-state restore: one checkpoint, re-imported per iteration.
+    let checkpoint = std::env::temp_dir().join(format!("sp-bench-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&checkpoint).expect("checkpoint dir");
+    {
+        let system = desy_deployment();
+        let mut scheduler = CampaignScheduler::new(&system, 4);
+        scheduler
+            .submit(config(&system, &["zeus", "h1", "hermes"], 1))
+            .expect("priming campaign");
+        scheduler.execute().expect("priming batch");
+        system.export_to_dir(&checkpoint).expect("checkpoint");
+    }
+    for (label, warm) in [("cold_memo", false), ("warm_restored", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let system = desy_deployment();
+                if warm {
+                    system
+                        .import_from_dir(&checkpoint)
+                        .expect("restored checkpoint");
+                }
+                let mut scheduler = CampaignScheduler::new(&system, 4);
+                scheduler
+                    .submit(config(&system, &["zeus", "h1", "hermes"], 1))
+                    .expect("bench campaign");
+                scheduler.execute().expect("bench batch").len()
+            })
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&checkpoint).ok();
+}
+
 criterion_group!(
     benches,
+    bench_campaign_sched,
     bench_campaign_engines,
     bench_campaign_memoized,
     bench_validation_runs,

@@ -15,11 +15,37 @@
 //!    grouped into per-repetition **barriers**: the virtual clock advances
 //!    exactly once per pass, after every task of the pass has finished.
 //!
-//! 2. **Execution** — either sequentially through [`Campaign`] (the
-//!    reference oracle: one `run_validation` per task in task order), or in
-//!    parallel through [`CampaignEngine`], which dispatches each
-//!    repetition's tasks onto a work-stealing pool
-//!    ([`sp_exec::WorkStealingPool`]).
+//! 2. **Execution** — sequentially through [`Campaign`] (the reference
+//!    oracle: one `run_validation` per task in task order), in parallel
+//!    through [`CampaignEngine`] (one campaign over a work-stealing
+//!    pool), or multi-tenant through [`CampaignScheduler`], which runs
+//!    **N campaigns concurrently against one shared system**.
+//!
+//! ## The scheduler: submission and collection
+//!
+//! [`CampaignScheduler`] splits campaign execution into *plan submission*
+//! and *result collection*. [`submit`](CampaignScheduler::submit) plans a
+//! campaign, checks it is experiment-disjoint from every other submission
+//! (references, memo cells and lanes are per-experiment — disjointness is
+//! what makes each campaign independent), and pre-reserves its contiguous
+//! run-id range. [`execute`](CampaignScheduler::execute) then runs
+//! admitted campaigns in rounds — one repetition per campaign per round —
+//! dispatching every campaign's experiment lanes **fair-share interleaved**
+//! onto one shared [`sp_exec::LaneScheduler`] pool, committing each
+//! campaign's repetition to the ledger as its own batch (no cross-campaign
+//! interleaving inside a batch), and collecting one [`CampaignReport`] per
+//! campaign.
+//!
+//! Each campaign runs on its own **virtual timeline**: repetition `r` is
+//! stamped `origin + r × interval` where `origin` is the shared clock at
+//! execute time, and the shared clock is only ever moved *forward*
+//! ([`sp_exec::VirtualClock::advance_to`]) past completed barriers. The
+//! result: every campaign's summary is byte-identical to executing that
+//! campaign alone on an identically prepared system — which
+//! `crates/core/tests/campaign_equivalence.rs` asserts property-wise.
+//! Per-campaign admission caps how many campaigns run concurrently, and a
+//! campaign-scoped [`sp_exec::CancellationToken`] stops one campaign
+//! without touching its neighbours.
 //!
 //! ## Why the engine shards by experiment
 //!
@@ -38,10 +64,10 @@
 //! sequential oracle for any worker count, which
 //! `crates/core/tests/campaign_equivalence.rs` asserts property-wise.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use sp_env::VmImageId;
-use sp_exec::WorkStealingPool;
+use sp_exec::{CampaignId, CancellationToken, Lane, LaneScheduler};
 
 use crate::ledger::RunLedger;
 use crate::run::{RunId, TestStatus, ValidationRun};
@@ -416,6 +442,10 @@ impl<'a> Campaign<'a> {
 /// are dispatched onto a work-stealing pool, references are promoted in
 /// lane order, and the repetition's runs are committed to the ledger in a
 /// single batch at the barrier.
+///
+/// Since the scheduler refactor this is a thin convenience over
+/// [`CampaignScheduler`] with exactly one submitted campaign; the
+/// byte-identity contract against [`Campaign`] is unchanged.
 pub struct CampaignEngine<'a> {
     system: &'a SpSystem,
     plan: CampaignPlan,
@@ -455,53 +485,390 @@ impl<'a> CampaignEngine<'a> {
     /// [`Campaign::execute`] produces on an identically prepared system,
     /// for any worker count.
     pub fn execute(&self) -> Result<CampaignSummary, SystemError> {
-        let base = self.system.reserve_run_ids(self.plan.total_runs() as u64);
-        let pool = WorkStealingPool::new(self.workers);
-        let ledger: &RunLedger = self.system.ledger();
-        let mut aggregator = SummaryAggregator::new(&self.plan);
+        let mut scheduler = CampaignScheduler::new(self.system, self.workers);
+        scheduler.submit_plan(self.plan.clone())?;
+        let mut reports = scheduler.execute()?;
+        Ok(reports.remove(0).summary)
+    }
+}
 
-        for repetition in 0..self.plan.repetitions() {
-            let lanes = self.plan.lanes(repetition);
-            // Fan the lanes out; each lane runs its tasks in task order and
-            // promotes references as it goes, so intra-experiment
-            // comparisons see exactly the sequential reference state.
-            let lane_results: Vec<Result<Vec<(&RunTask, ValidationRun)>, SystemError>> =
-                pool.run(lanes, |_, lane| {
-                    let mut completed = Vec::with_capacity(lane.len());
-                    for task in lane {
+/// Handle to one submitted campaign within a [`CampaignScheduler`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignTicket(usize);
+
+impl CampaignTicket {
+    /// Position of the campaign in submission order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Aggregated scheduling counters of one [`CampaignScheduler`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Campaigns submitted to this scheduler.
+    pub campaigns_submitted: usize,
+    /// Campaigns admitted into the concurrent active set so far.
+    pub campaigns_admitted: usize,
+    /// Campaigns that ran every repetition to completion.
+    pub campaigns_completed: usize,
+    /// Campaigns stopped by their cancellation token.
+    pub campaigns_cancelled: usize,
+    /// Scheduling rounds dispatched (each round = one repetition per
+    /// active campaign, fair-share interleaved).
+    pub rounds: u64,
+    /// Experiment lanes executed.
+    pub lanes_executed: u64,
+    /// Experiment lanes skipped by cancellation.
+    pub lanes_cancelled: u64,
+    /// Lanes a pool worker took from its own queue.
+    pub lanes_local: u64,
+    /// Lanes a pool worker stole from a peer.
+    pub lanes_stolen: u64,
+}
+
+/// The collected result of one scheduled campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The submission this report answers.
+    pub ticket: CampaignTicket,
+    /// Aggregated summary over the completed repetitions. For a campaign
+    /// cancelled mid-flight this covers exactly the repetitions whose
+    /// barrier was passed; a partially executed repetition is discarded,
+    /// never half-committed.
+    pub summary: CampaignSummary,
+    /// Repetition barriers passed.
+    pub completed_repetitions: usize,
+    /// Whether the campaign was stopped by its cancellation token.
+    pub cancelled: bool,
+}
+
+/// One submitted campaign: the plan plus its pre-reserved run-id range
+/// and cancellation token.
+struct Submission {
+    plan: CampaignPlan,
+    base: RunId,
+    token: CancellationToken,
+}
+
+/// The multi-campaign scheduler: N campaigns against one shared
+/// [`SpSystem`], fair-share over one work-stealing pool.
+///
+/// See the module docs for the execution model. Tickets are scoped to one
+/// [`execute`](Self::execute) batch; the scheduler can be reused for a
+/// fresh batch afterwards (counters accumulate).
+pub struct CampaignScheduler<'a> {
+    system: &'a SpSystem,
+    lanes: LaneScheduler,
+    admission_limit: usize,
+    submissions: Vec<Submission>,
+    campaigns_submitted: usize,
+    campaigns_admitted: usize,
+    campaigns_completed: usize,
+    campaigns_cancelled: usize,
+}
+
+impl<'a> CampaignScheduler<'a> {
+    /// Creates a scheduler whose shared pool has `workers` threads
+    /// (minimum 1) and no admission limit.
+    pub fn new(system: &'a SpSystem, workers: usize) -> Self {
+        CampaignScheduler {
+            system,
+            lanes: LaneScheduler::new(workers),
+            admission_limit: usize::MAX,
+            submissions: Vec::new(),
+            campaigns_submitted: 0,
+            campaigns_admitted: 0,
+            campaigns_completed: 0,
+            campaigns_cancelled: 0,
+        }
+    }
+
+    /// Caps how many campaigns run concurrently (minimum 1); further
+    /// submissions wait in submission order until a slot frees up.
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = limit.max(1);
+        self
+    }
+
+    /// Plans and submits a campaign: validates every experiment and image
+    /// up front, rejects overlap with already-submitted campaigns, and
+    /// pre-reserves the campaign's contiguous run-id range.
+    pub fn submit(&mut self, config: CampaignConfig) -> Result<CampaignTicket, SystemError> {
+        let plan = CampaignPlan::new(self.system, config)?;
+        self.submit_plan(plan)
+    }
+
+    /// Submits an already-validated plan (the [`CampaignEngine`] path).
+    pub fn submit_plan(&mut self, plan: CampaignPlan) -> Result<CampaignTicket, SystemError> {
+        for submission in &self.submissions {
+            for name in &plan.config().experiments {
+                if submission.plan.config().experiments.contains(name) {
+                    return Err(SystemError::CampaignConflict(name.clone()));
+                }
+            }
+        }
+        let base = self.system.reserve_run_ids(plan.total_runs() as u64);
+        let ticket = CampaignTicket(self.submissions.len());
+        self.submissions.push(Submission {
+            plan,
+            base,
+            token: CancellationToken::new(),
+        });
+        self.campaigns_submitted += 1;
+        Ok(ticket)
+    }
+
+    /// The run-id range `[first, last]` pre-reserved for a submission.
+    pub fn reserved_run_ids(&self, ticket: CampaignTicket) -> Option<(RunId, RunId)> {
+        let submission = self.submissions.get(ticket.0)?;
+        let total = submission.plan.total_runs() as u64;
+        Some((
+            submission.base,
+            RunId(submission.base.0 + total.saturating_sub(1)),
+        ))
+    }
+
+    /// The cancellation token of a submission — a cheap clone the caller
+    /// can keep and trip from any thread while the batch executes.
+    pub fn cancellation_token(&self, ticket: CampaignTicket) -> Option<CancellationToken> {
+        self.submissions.get(ticket.0).map(|s| s.token.clone())
+    }
+
+    /// Cancels one campaign: its not-yet-started lanes are skipped, its
+    /// current repetition is discarded, and no further repetitions run.
+    /// Other campaigns are unaffected.
+    pub fn cancel(&self, ticket: CampaignTicket) {
+        if let Some(submission) = self.submissions.get(ticket.0) {
+            submission.token.cancel();
+        }
+    }
+
+    /// Snapshot of the accumulated scheduling counters.
+    pub fn stats(&self) -> ScheduleStats {
+        let lanes = self.lanes.stats();
+        ScheduleStats {
+            campaigns_submitted: self.campaigns_submitted,
+            campaigns_admitted: self.campaigns_admitted,
+            campaigns_completed: self.campaigns_completed,
+            campaigns_cancelled: self.campaigns_cancelled,
+            rounds: lanes.rounds,
+            lanes_executed: lanes.lanes_executed,
+            lanes_cancelled: lanes.lanes_cancelled,
+            lanes_local: lanes.local,
+            lanes_stolen: lanes.stolen,
+        }
+    }
+
+    /// Runs every submitted campaign to completion (or cancellation) and
+    /// collects one report per submission, in submission order.
+    ///
+    /// Rounds dispatch one repetition per active campaign; within a round
+    /// every campaign's lanes share the pool fair-share interleaved. At
+    /// each campaign's repetition barrier its runs are committed to the
+    /// ledger as **one batch in task order** — batches of different
+    /// campaigns never interleave inside a commit, and each campaign's
+    /// ledger ids are exactly its pre-reserved range in ascending order.
+    pub fn execute(&mut self) -> Result<Vec<CampaignReport>, SystemError> {
+        let submissions = std::mem::take(&mut self.submissions);
+        let origin = self.system.clock().now();
+        let ledger: &RunLedger = self.system.ledger();
+
+        struct CampaignState<'p> {
+            plan: &'p CampaignPlan,
+            base: RunId,
+            token: CancellationToken,
+            aggregator: SummaryAggregator,
+            next_repetition: usize,
+            cancelled: bool,
+        }
+        let mut states: Vec<CampaignState<'_>> = submissions
+            .iter()
+            .map(|submission| CampaignState {
+                plan: &submission.plan,
+                base: submission.base,
+                token: submission.token.clone(),
+                aggregator: SummaryAggregator::new(&submission.plan),
+                next_repetition: 0,
+                cancelled: false,
+            })
+            .collect();
+
+        // Admission: up to `admission_limit` campaigns active at once, the
+        // rest waiting in submission order. A campaign with nothing to run
+        // completes at admission without occupying a slot.
+        let admission_limit = self.admission_limit;
+        let mut waiting: VecDeque<usize> = (0..states.len()).collect();
+        let mut active: Vec<usize> = Vec::new();
+        macro_rules! admit {
+            () => {
+                while active.len() < admission_limit {
+                    match waiting.pop_front() {
+                        Some(index) => {
+                            self.campaigns_admitted += 1;
+                            if states[index].plan.repetitions() == 0 {
+                                self.campaigns_completed += 1;
+                            } else {
+                                active.push(index);
+                            }
+                        }
+                        None => break,
+                    }
+                }
+            };
+        }
+        admit!();
+
+        type LaneResult<'p> = Result<Vec<(&'p RunTask, ValidationRun)>, SystemError>;
+        /// One dispatched lane's payload: (campaign index, its plan, the
+        /// lane's tasks, the repetition timestamp).
+        type LanePayload<'p> = (usize, &'p CampaignPlan, Vec<&'p RunTask>, u64);
+
+        while !active.is_empty() {
+            // One repetition per active campaign, fair-share interleaved.
+            // Lanes promote references as they run, so before dispatching
+            // a campaign's repetition its experiments' reference states
+            // are checkpointed — a repetition discarded by cancellation
+            // rolls its promotions back (references of runs that
+            // officially never happened must not leak into later work).
+            let mut round: Vec<Lane<LanePayload<'_>>> = Vec::new();
+            let mut checkpoints: BTreeMap<usize, Vec<(String, crate::ledger::ReferenceState)>> =
+                BTreeMap::new();
+            for &index in &active {
+                let state = &states[index];
+                if state.cancelled || state.token.is_cancelled() {
+                    continue;
+                }
+                checkpoints.insert(
+                    index,
+                    state
+                        .plan
+                        .config()
+                        .experiments
+                        .iter()
+                        .map(|name| (name.clone(), ledger.reference_state(name)))
+                        .collect(),
+                );
+                let repetition = state.next_repetition;
+                let timestamp = origin + repetition as u64 * state.plan.config().interval_secs;
+                for lane_tasks in state.plan.lanes(repetition) {
+                    round.push(Lane {
+                        campaign: CampaignId(index as u64),
+                        token: state.token.clone(),
+                        payload: (index, state.plan, lane_tasks, timestamp),
+                    });
+                }
+            }
+            let bases: Vec<RunId> = states.iter().map(|s| s.base).collect();
+
+            let results = self
+                .lanes
+                .dispatch(round, |_, (index, plan, tasks, timestamp)| {
+                    let base = bases[index];
+                    let mut completed: Vec<(&RunTask, ValidationRun)> =
+                        Vec::with_capacity(tasks.len());
+                    for task in tasks {
                         let run_id = RunId(base.0 + task.index as u64);
-                        let run_config = self.plan.config().run_config_for(task);
-                        let run = self.system.execute_run_with_id(
+                        let run_config = plan.config().run_config_for(task);
+                        match self.system.execute_run_at(
                             &task.experiment,
                             task.image,
                             &run_config,
                             run_id,
-                        )?;
-                        ledger.promote(&run);
-                        completed.push((task, run));
+                            timestamp,
+                        ) {
+                            Ok(run) => {
+                                // In-lane reference promotion: the next run
+                                // of the same experiment compares against
+                                // exactly this state.
+                                ledger.promote(&run);
+                                completed.push((task, run));
+                            }
+                            Err(error) => return (index, Err(error)),
+                        }
                     }
-                    Ok(completed)
+                    (index, Ok(completed))
                 });
 
-            // Barrier: collect the repetition in task order, append it to
-            // the run log in one batch (references were already promoted
-            // in-lane in dependency order — re-promoting here would only
-            // redo that work under the write lock), then advance the
-            // clock exactly once for this pass.
-            let mut repetition_runs: Vec<(&RunTask, ValidationRun)> = Vec::new();
-            for lane in lane_results {
-                repetition_runs.extend(lane?);
+            // Collect per campaign: group this round's lane results. A
+            // `None` is a skipped lane of a cancelled campaign — the
+            // scheduler learns which one below, because a round
+            // dispatches lanes only for live campaigns, so every lane of
+            // a cancelled campaign comes back `None` together.
+            let mut per_campaign: BTreeMap<usize, Vec<Option<LaneResult<'_>>>> = BTreeMap::new();
+            for (index, lane_result) in results.into_iter().flatten() {
+                per_campaign
+                    .entry(index)
+                    .or_default()
+                    .push(Some(lane_result));
             }
-            repetition_runs.sort_by_key(|(task, _)| task.index);
-            for (task, run) in &repetition_runs {
-                aggregator.record(task, run);
+
+            let mut still_active: Vec<usize> = Vec::new();
+            for &index in &active {
+                let state = &mut states[index];
+                let expected_lanes = if state.cancelled || state.token.is_cancelled() {
+                    0
+                } else {
+                    state.plan.lanes(state.next_repetition).len()
+                };
+                let lane_results = per_campaign.remove(&index).unwrap_or_default();
+                let complete = lane_results.len() == expected_lanes
+                    && !state.token.is_cancelled()
+                    && !state.cancelled;
+                if complete {
+                    // Barrier: commit the repetition in task order as one
+                    // batch (references were already promoted in-lane), and
+                    // move the shared clock forward past this barrier.
+                    let mut repetition_runs: Vec<(&RunTask, ValidationRun)> = Vec::new();
+                    for lane in lane_results.into_iter().flatten() {
+                        repetition_runs.extend(lane?);
+                    }
+                    repetition_runs.sort_by_key(|(task, _)| task.index);
+                    for (task, run) in &repetition_runs {
+                        state.aggregator.record(task, run);
+                    }
+                    ledger.log_batch(repetition_runs.into_iter().map(|(_, run)| run).collect());
+                    state.next_repetition += 1;
+                    self.system.clock().advance_to(
+                        origin + state.next_repetition as u64 * state.plan.config().interval_secs,
+                    );
+                    if state.next_repetition < state.plan.repetitions() {
+                        still_active.push(index);
+                    } else {
+                        self.campaigns_completed += 1;
+                    }
+                } else {
+                    // Cancelled mid-round: the partial repetition is
+                    // discarded — its runs were conserved in storage but
+                    // never reach the ledger log, and any references its
+                    // lanes promoted are rolled back to the checkpoint
+                    // taken before dispatch.
+                    if let Some(checkpoint) = checkpoints.remove(&index) {
+                        for (experiment, reference_state) in checkpoint {
+                            ledger.restore_reference_state(&experiment, reference_state);
+                        }
+                    }
+                    state.cancelled = true;
+                    self.campaigns_cancelled += 1;
+                }
             }
-            ledger.log_batch(repetition_runs.into_iter().map(|(_, run)| run).collect());
-            self.system
-                .clock()
-                .advance(self.plan.config().interval_secs);
+            active = still_active;
+            admit!();
         }
-        Ok(aggregator.finish())
+
+        // Campaigns never admitted... cannot happen (the loop drains the
+        // waiting queue), but cancelled-before-start campaigns finalize
+        // with whatever they completed: zero repetitions.
+        Ok(states
+            .into_iter()
+            .enumerate()
+            .map(|(index, state)| CampaignReport {
+                ticket: CampaignTicket(index),
+                completed_repetitions: state.next_repetition,
+                cancelled: state.cancelled,
+                summary: state.aggregator.finish(),
+            })
+            .collect())
     }
 }
 
@@ -707,6 +1074,155 @@ mod tests {
         assert_eq!(lanes[1][0].experiment, "alpha");
         assert!(lanes[0].windows(2).all(|w| w[0].index < w[1].index));
         assert!(plan.tasks()[0].description.contains("(pass 1)"));
+    }
+
+    #[test]
+    fn scheduler_rejects_overlapping_campaigns() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(sp_env::catalog::sl6_gcc44(sp_env::Version::two(5, 34)))
+            .unwrap();
+        system
+            .register_experiment(sp_experiments_stub("alpha"))
+            .unwrap();
+        system
+            .register_experiment(sp_experiments_stub("beta"))
+            .unwrap();
+        let config = |experiments: Vec<String>| CampaignConfig {
+            experiments,
+            images: vec![image],
+            repetitions: 1,
+            run: RunConfig::default(),
+            interval_secs: 60,
+            options: CampaignOptions::default(),
+        };
+        let mut scheduler = CampaignScheduler::new(&system, 2);
+        let ticket = scheduler.submit(config(vec!["alpha".into()])).unwrap();
+        assert_eq!(ticket.index(), 0);
+        // Disjoint: fine.
+        scheduler.submit(config(vec!["beta".into()])).unwrap();
+        // Overlapping: rejected at submission, before anything runs.
+        assert!(matches!(
+            scheduler.submit(config(vec!["alpha".into()])),
+            Err(SystemError::CampaignConflict(name)) if name == "alpha"
+        ));
+        assert_eq!(scheduler.stats().campaigns_submitted, 2);
+    }
+
+    #[test]
+    fn scheduler_reserves_disjoint_run_id_ranges() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(sp_env::catalog::sl6_gcc44(sp_env::Version::two(5, 34)))
+            .unwrap();
+        for name in ["alpha", "beta"] {
+            system
+                .register_experiment(sp_experiments_stub(name))
+                .unwrap();
+        }
+        let config = |name: &str, repetitions: usize| CampaignConfig {
+            experiments: vec![name.into()],
+            images: vec![image],
+            repetitions,
+            run: RunConfig::default(),
+            interval_secs: 60,
+            options: CampaignOptions::default(),
+        };
+        let mut scheduler = CampaignScheduler::new(&system, 2);
+        let first = scheduler.submit(config("alpha", 3)).unwrap();
+        let second = scheduler.submit(config("beta", 2)).unwrap();
+        let (a_lo, a_hi) = scheduler.reserved_run_ids(first).unwrap();
+        let (b_lo, b_hi) = scheduler.reserved_run_ids(second).unwrap();
+        assert_eq!(a_hi.0 - a_lo.0 + 1, 3);
+        assert_eq!(b_hi.0 - b_lo.0 + 1, 2);
+        assert!(a_hi.0 < b_lo.0, "ranges are disjoint and ordered");
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_without_touching_neighbours() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(sp_env::catalog::sl6_gcc44(sp_env::Version::two(5, 34)))
+            .unwrap();
+        for name in ["alpha", "beta"] {
+            system
+                .register_experiment(sp_experiments_stub(name))
+                .unwrap();
+        }
+        let config = |name: &str| CampaignConfig {
+            experiments: vec![name.into()],
+            images: vec![image],
+            repetitions: 3,
+            run: RunConfig::default(),
+            interval_secs: 60,
+            options: CampaignOptions::default(),
+        };
+        let mut scheduler = CampaignScheduler::new(&system, 2);
+        let doomed = scheduler.submit(config("alpha")).unwrap();
+        let live = scheduler.submit(config("beta")).unwrap();
+        scheduler.cancel(doomed);
+        let reports = scheduler.execute().unwrap();
+
+        let doomed_report = &reports[doomed.index()];
+        assert!(doomed_report.cancelled);
+        assert_eq!(doomed_report.completed_repetitions, 0);
+        assert!(doomed_report.summary.runs.is_empty());
+
+        let live_report = &reports[live.index()];
+        assert!(!live_report.cancelled);
+        assert_eq!(live_report.completed_repetitions, 3);
+        assert_eq!(live_report.summary.total_runs(), 3);
+
+        let stats = scheduler.stats();
+        assert_eq!(stats.campaigns_cancelled, 1);
+        assert_eq!(stats.campaigns_completed, 1);
+        // Only beta's runs reached the ledger.
+        assert!(system
+            .ledger()
+            .runs()
+            .iter()
+            .all(|run| run.experiment == "beta"));
+    }
+
+    #[test]
+    fn admission_limit_serialises_excess_campaigns() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(sp_env::catalog::sl6_gcc44(sp_env::Version::two(5, 34)))
+            .unwrap();
+        for name in ["alpha", "beta", "gamma"] {
+            system
+                .register_experiment(sp_experiments_stub(name))
+                .unwrap();
+        }
+        let config = |name: &str| CampaignConfig {
+            experiments: vec![name.into()],
+            images: vec![image],
+            repetitions: 2,
+            run: RunConfig::default(),
+            interval_secs: 60,
+            options: CampaignOptions::default(),
+        };
+        let mut scheduler = CampaignScheduler::new(&system, 2).with_admission_limit(1);
+        for name in ["alpha", "beta", "gamma"] {
+            scheduler.submit(config(name)).unwrap();
+        }
+        let reports = scheduler.execute().unwrap();
+        assert_eq!(reports.len(), 3);
+        for report in &reports {
+            assert!(!report.cancelled);
+            assert_eq!(report.completed_repetitions, 2);
+            assert_eq!(report.summary.total_runs(), 2);
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.campaigns_admitted, 3);
+        assert_eq!(stats.campaigns_completed, 3);
+        // With one admission slot each campaign runs alone; the ledger
+        // holds each campaign's range contiguously.
+        let ids: Vec<u64> = system.ledger().runs().iter().map(|r| r.id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "serialised campaigns commit in id order");
     }
 
     /// A minimal registrable experiment for plan-level tests.

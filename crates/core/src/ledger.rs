@@ -14,7 +14,12 @@ use sp_store::ObjectId;
 use crate::run::{RunId, ValidationRun};
 
 /// Named output objects of one test (name → content address pairs).
-type TestOutputs = Vec<(String, ObjectId)>;
+pub type TestOutputs = Vec<(String, ObjectId)>;
+
+/// A captured copy of one experiment's reference map (`None` = the
+/// experiment had no references), restorable via
+/// [`RunLedger::restore_reference_state`].
+pub type ReferenceState = Option<BTreeMap<String, TestOutputs>>;
 
 /// In-memory run ledger with per-test reference-output tracking.
 #[derive(Default)]
@@ -90,6 +95,30 @@ impl RunLedger {
             return;
         }
         self.runs.write().extend(runs);
+    }
+
+    /// Captures one experiment's current reference map. The campaign
+    /// scheduler snapshots this before dispatching a repetition: lanes
+    /// promote references *as they run* (the next run of the same
+    /// experiment must compare against them), so a repetition discarded by
+    /// cancellation needs its promotions rolled back — references of a
+    /// run that officially never happened must not leak into later work.
+    pub fn reference_state(&self, experiment: &str) -> ReferenceState {
+        self.references.read().get(experiment).cloned()
+    }
+
+    /// Restores an experiment's reference map to a previously captured
+    /// [`reference_state`](Self::reference_state) (`None` removes it).
+    pub fn restore_reference_state(&self, experiment: &str, state: ReferenceState) {
+        let mut refs = self.references.write();
+        match state {
+            Some(map) => {
+                refs.insert(experiment.to_string(), map);
+            }
+            None => {
+                refs.remove(experiment);
+            }
+        }
     }
 
     /// Reference outputs for one test of an experiment, if any successful
@@ -174,6 +203,19 @@ impl RunLedger {
     /// Looks up a run by id.
     pub fn get(&self, id: RunId) -> Option<ValidationRun> {
         self.runs.read().iter().find(|r| r.id == id).cloned()
+    }
+
+    /// [`prune`](Self::prune) with "now" read from a
+    /// [`sp_store::TimeSource`] — in simulations the `sp-exec` virtual
+    /// clock, so age-based retention rules are decided in simulated time,
+    /// against the same clock the runs were stamped by.
+    pub fn prune_at(
+        &self,
+        policy: &sp_store::RetentionPolicy,
+        time: &impl sp_store::TimeSource,
+        storage: &sp_store::ContentStore,
+    ) -> PruneReport {
+        self.prune(policy, time.now_secs(), storage)
     }
 
     /// Applies a retention policy (§3.3 keeps everything; a pruning host
@@ -398,6 +440,35 @@ mod tests {
             outputs[0].1,
             ObjectId::for_bytes(b"out-1"),
             "failures don't promote"
+        );
+    }
+
+    #[test]
+    fn reference_state_round_trips_and_rolls_back() {
+        let ledger = RunLedger::new();
+        // No references yet: the captured state is `None`, and restoring
+        // it after a promotion removes the leaked entry.
+        let before = ledger.reference_state("h1");
+        assert!(before.is_none());
+        ledger.promote(&run(1, "h1", "SL5", true));
+        assert!(ledger.has_reference("h1"));
+        ledger.restore_reference_state("h1", before);
+        assert!(!ledger.has_reference("h1"), "promotion rolled back");
+
+        // With an existing reference: restore brings back exactly the
+        // captured outputs, not the later promotion's.
+        ledger.promote(&run(1, "h1", "SL5", true));
+        let captured = ledger.reference_state("h1");
+        ledger.promote(&run(2, "h1", "SL6", true));
+        assert_eq!(
+            ledger.reference_outputs("h1", "t1").unwrap()[0].1,
+            ObjectId::for_bytes(b"out-2")
+        );
+        ledger.restore_reference_state("h1", captured);
+        assert_eq!(
+            ledger.reference_outputs("h1", "t1").unwrap()[0].1,
+            ObjectId::for_bytes(b"out-1"),
+            "restored to the captured state"
         );
     }
 

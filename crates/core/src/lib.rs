@@ -56,11 +56,13 @@ pub mod run;
 pub mod suite;
 pub mod system;
 pub mod test;
+mod warm;
 pub mod workflow;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignPlan, CampaignSummary,
-    CellStatus, RunRecord, RunTask,
+    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignPlan, CampaignReport,
+    CampaignScheduler, CampaignSummary, CampaignTicket, CellStatus, RunRecord, RunTask,
+    ScheduleStats,
 };
 pub use classify::{classify, Diagnosis};
 pub use compare::{Comparator, CompareOutcome, TestOutput};
@@ -71,6 +73,9 @@ pub use preservation::PreservationLevel;
 pub use regress::{RegressionReport, Transition};
 pub use run::{RunId, TestResult, TestStatus, ValidationRun};
 pub use suite::{SuiteBreakdown, TestSuite};
-pub use system::{ProductionRecipe, RunConfig, SpSystem};
+pub use system::{
+    ProductionRecipe, RunConfig, SpSystem, SystemExportSummary, SystemImportSummary,
+    WarmRestoreReport, WARM_STATE_FILE,
+};
 pub use test::{FailureKind, TestCategory, TestId, TestKind, ValidationTest};
 pub use workflow::{MigrationManager, Phase};

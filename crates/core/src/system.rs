@@ -24,9 +24,13 @@ use sp_hep::{
     hist_io, reconstruct, Analysis, DetectorSim, Event, EventGenerator, GeneratorConfig,
     MicroEvent, SelectionCuts, SmearingConstants,
 };
+use sp_store::snapshot::{decode_run_key, encode_run_key};
 use sp_store::{
-    fnv64, DigestCacheStats, FrozenVault, ObjectId, RunKey, RunMemo, SharedStorage, StorageArea,
+    fnv64, DigestCacheStats, FrozenVault, ObjectId, RetentionPolicy, RunKey, RunMemo,
+    SharedStorage, Snapshot, SnapshotError, SnapshotSection, StorageArea,
 };
+
+use crate::warm;
 
 use crate::compare::{Comparator, CompareOutcome, TestOutput};
 use crate::experiment::ExperimentDef;
@@ -47,6 +51,12 @@ pub enum SystemError {
     Client(ClientError),
     /// The experiment's dependency graph is invalid.
     Graph(GraphError),
+    /// A submitted campaign names an experiment another submitted campaign
+    /// already covers. Concurrent campaigns must be experiment-disjoint —
+    /// references, memo cells and ledger lanes are all per-experiment, and
+    /// disjointness is what makes each campaign's summary byte-identical
+    /// to running it alone.
+    CampaignConflict(String),
 }
 
 impl std::fmt::Display for SystemError {
@@ -63,6 +73,10 @@ impl std::fmt::Display for SystemError {
             }
             SystemError::Client(e) => write!(f, "client rejected: {e}"),
             SystemError::Graph(e) => write!(f, "invalid package graph: {e}"),
+            SystemError::CampaignConflict(experiment) => write!(
+                f,
+                "experiment '{experiment}' is already covered by a submitted campaign"
+            ),
         }
     }
 }
@@ -324,13 +338,30 @@ impl SpSystem {
     /// promotion) is left to the caller. The campaign engine uses this to
     /// batch a whole repetition's runs into one
     /// [`RunLedger::commit_batch`] while controlling reference-promotion
-    /// order explicitly.
+    /// order explicitly. The run is stamped with the current clock time.
     pub fn execute_run_with_id(
         &self,
         experiment_name: &str,
         image_id: VmImageId,
         config: &RunConfig,
         run_id: RunId,
+    ) -> Result<ValidationRun, SystemError> {
+        self.execute_run_at(experiment_name, image_id, config, run_id, self.clock.now())
+    }
+
+    /// [`execute_run_with_id`](Self::execute_run_with_id) with an explicit
+    /// timestamp. The campaign scheduler runs N campaigns concurrently,
+    /// each on its own virtual timeline (`origin + repetition × interval`);
+    /// stamping runs from that timeline instead of the live shared clock is
+    /// what keeps every campaign's summary byte-identical to executing it
+    /// alone.
+    pub fn execute_run_at(
+        &self,
+        experiment_name: &str,
+        image_id: VmImageId,
+        config: &RunConfig,
+        run_id: RunId,
+        timestamp: u64,
     ) -> Result<ValidationRun, SystemError> {
         let experiment = self
             .experiment(experiment_name)
@@ -340,8 +371,6 @@ impl SpSystem {
             .image(image_id)
             .ok_or(SystemError::UnknownImage(image_id))?;
         let env = &image.spec;
-
-        let timestamp = self.clock.now();
 
         // §3.1 (ii): the regular, automated build — a pure function of
         // (experiment stack, environment), so memoized cells reuse the
@@ -484,15 +513,17 @@ impl SpSystem {
             )
         });
         if let Some(key) = &memo_key {
-            match self.build_memo.peek(key) {
-                Some(report) if self.build_artifacts_present(&report) => {
+            match self.build_memo.entry(key) {
+                Some((report, _)) if self.build_artifacts_present(&report) => {
                     self.build_memo.note_hit();
                     return Ok(report);
                 }
-                Some(_) => {
+                Some((_, generation)) => {
                     // A conserved tar-ball was pruned: rebuild (which
-                    // re-conserves it) and refresh the entry.
-                    self.build_memo.invalidate(key);
+                    // re-conserves it) and refresh the entry. Generation-
+                    // guarded, so a fresh entry a concurrent campaign
+                    // inserted in the meantime survives this eviction.
+                    self.build_memo.invalidate_generation(key, generation);
                     self.build_memo.note_miss();
                 }
                 None => self.build_memo.note_miss(),
@@ -626,8 +657,8 @@ impl SpSystem {
             .memoize
             .then(|| cell_key(experiment, test, config, env));
         if let Some(key) = &memo_key {
-            match self.output_memo.peek(key) {
-                Some(oid) if self.storage.content().contains(oid) => {
+            match self.output_memo.entry(key) {
+                Some((oid, _)) if self.storage.content().contains(oid) => {
                     self.output_memo.note_hit();
                     self.storage.register_named(
                         StorageArea::Results,
@@ -642,10 +673,12 @@ impl SpSystem {
                     );
                     return make(status, vec![("result".to_string(), oid)], compare);
                 }
-                Some(_) => {
+                Some((_, generation)) => {
                     // The object was pruned from the content store: the
                     // entry can no longer be served, fall through to a run.
-                    self.output_memo.invalidate(key);
+                    // Generation-guarded, so the eviction cannot drop a
+                    // fresh entry a concurrent campaign re-inserted.
+                    self.output_memo.invalidate_generation(key, generation);
                     self.output_memo.note_miss();
                 }
                 None => self.output_memo.note_miss(),
@@ -807,15 +840,17 @@ impl SpSystem {
             .memoize
             .then(|| cell_key(experiment, test, config, env));
         if let Some(key) = &memo_key {
-            match self.chain_memo.peek(key) {
-                Some(memo) => {
+            match self.chain_memo.entry(key) {
+                Some((memo, generation)) => {
                     if let Some(results) = self.replay_chain_test(experiment, test, &memo, run_id) {
                         self.chain_memo.note_hit();
                         return results;
                     }
                     // Some conserved object was pruned: drop the entry and
-                    // re-execute.
-                    self.chain_memo.invalidate(key);
+                    // re-execute. Generation-guarded, so this campaign's
+                    // eviction cannot drop an entry another in-flight
+                    // campaign just refreshed.
+                    self.chain_memo.invalidate_generation(key, generation);
                     self.chain_memo.note_miss();
                 }
                 None => self.chain_memo.note_miss(),
@@ -1175,6 +1210,202 @@ impl SpSystem {
         )
     }
 
+    /// Prunes the run history under `policy`, deciding ages against the
+    /// system's **virtual clock** — the clock the runs were stamped by —
+    /// rather than a caller-supplied constant that can silently drift
+    /// from simulated time. See [`RunLedger::prune`] for the guarantees
+    /// (references always survive; shared objects are never removed).
+    pub fn prune_runs(&self, policy: &RetentionPolicy) -> crate::ledger::PruneReport {
+        self.ledger
+            .prune_at(policy, &self.clock, self.storage.content())
+    }
+
+    /// Serialises the warm state — the three run memos, the digest cache
+    /// and the system counters (run-id cursor, clock) — into the versioned
+    /// `SPWS` snapshot format, to be conserved alongside the exported
+    /// storage. A restarted system that imports this replays memoized
+    /// cells instead of re-earning its caches over weeks of nightlies.
+    pub fn export_warm_state(&self) -> Vec<u8> {
+        let mut snapshot = Snapshot::new();
+
+        let mut system = SnapshotSection::new(warm::SECTION_SYSTEM);
+        let mut run_ids = Vec::new();
+        sp_store::snapshot::wire::put_u64(&mut run_ids, self.run_ids.load(Ordering::SeqCst));
+        system.push(b"run-ids".to_vec(), run_ids);
+        let mut clock = Vec::new();
+        sp_store::snapshot::wire::put_u64(&mut clock, self.clock.now());
+        system.push(b"clock".to_vec(), clock);
+        snapshot.sections.push(system);
+
+        let mut digests = SnapshotSection::new(warm::SECTION_DIGEST_CACHE);
+        let mut digest_entries = self.storage.digest_cache().export_entries();
+        digest_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (revision, id) in digest_entries {
+            digests.push(revision.into_bytes(), warm::encode_object_id(id));
+        }
+        snapshot.sections.push(digests);
+
+        let mut outputs = SnapshotSection::new(warm::SECTION_OUTPUT_MEMO);
+        for (key, id) in sorted_entries(self.output_memo.export_entries()) {
+            outputs.push(encode_run_key(&key), warm::encode_object_id(id));
+        }
+        snapshot.sections.push(outputs);
+
+        let mut chains = SnapshotSection::new(warm::SECTION_CHAIN_MEMO);
+        for (key, chain) in sorted_entries(self.chain_memo.export_entries()) {
+            chains.push(encode_run_key(&key), warm::encode_chain(&chain));
+        }
+        snapshot.sections.push(chains);
+
+        let mut builds = SnapshotSection::new(warm::SECTION_BUILD_MEMO);
+        for (key, report) in sorted_entries(self.build_memo.export_entries()) {
+            builds.push(encode_run_key(&key), warm::encode_build_report(&report));
+        }
+        snapshot.sections.push(builds);
+
+        snapshot.encode()
+    }
+
+    /// Restores warm state exported by [`export_warm_state`]
+    /// (Self::export_warm_state). The objects the memo entries point at
+    /// must already be in the content store (import the storage first);
+    /// trust is earned in layers and anything that fails a layer is
+    /// dropped, never served:
+    ///
+    /// 1. the snapshot container validates its versioned header and every
+    ///    entry's digest (bit-rot drops the entry);
+    /// 2. every key and value must decode structurally;
+    /// 3. every content address a memo entry references must resolve in
+    ///    the content store.
+    ///
+    /// The run-id cursor and the clock only ever move forward (a snapshot
+    /// can never make a live system reuse ids or travel back in time).
+    pub fn import_warm_state(&self, bytes: &[u8]) -> Result<WarmRestoreReport, SnapshotError> {
+        let (snapshot, load) = Snapshot::decode(bytes)?;
+        let mut report = WarmRestoreReport {
+            snapshot: load,
+            ..WarmRestoreReport::default()
+        };
+        let content = self.storage.content();
+
+        if let Some(section) = snapshot.section(warm::SECTION_SYSTEM) {
+            for (key, value) in &section.entries {
+                let mut cursor = sp_store::snapshot::wire::Cursor::new(value);
+                let Some(value) = cursor.take_u64() else {
+                    report.entries_rejected += 1;
+                    continue;
+                };
+                match key.as_slice() {
+                    b"run-ids" => {
+                        self.run_ids.fetch_max(value, Ordering::SeqCst);
+                    }
+                    b"clock" => {
+                        self.clock.advance_to(value);
+                        report.clock_restored = true;
+                    }
+                    _ => report.entries_rejected += 1,
+                }
+            }
+        }
+
+        if let Some(section) = snapshot.section(warm::SECTION_DIGEST_CACHE) {
+            for (key, value) in &section.entries {
+                let revision = String::from_utf8(key.clone()).ok();
+                let id = warm::decode_object_id(value);
+                match (revision, id) {
+                    (Some(revision), Some(id)) if content.contains(id) => {
+                        self.storage.digest_cache().insert(&revision, id);
+                        report.digest_cache_entries += 1;
+                    }
+                    _ => report.entries_rejected += 1,
+                }
+            }
+        }
+
+        if let Some(section) = snapshot.section(warm::SECTION_OUTPUT_MEMO) {
+            for (key, value) in &section.entries {
+                match (decode_run_key(key), warm::decode_object_id(value)) {
+                    (Some(key), Some(id)) if content.contains(id) => {
+                        self.output_memo.insert(key, id);
+                        report.output_memo_entries += 1;
+                    }
+                    _ => report.entries_rejected += 1,
+                }
+            }
+        }
+
+        if let Some(section) = snapshot.section(warm::SECTION_CHAIN_MEMO) {
+            for (key, value) in &section.entries {
+                match (decode_run_key(key), warm::decode_chain(value)) {
+                    (Some(key), Some(chain))
+                        if chain
+                            .stages
+                            .iter()
+                            .flat_map(|s| &s.outputs)
+                            .all(|(_, oid)| content.contains(*oid)) =>
+                    {
+                        self.chain_memo.insert(key, chain);
+                        report.chain_memo_entries += 1;
+                    }
+                    _ => report.entries_rejected += 1,
+                }
+            }
+        }
+
+        if let Some(section) = snapshot.section(warm::SECTION_BUILD_MEMO) {
+            for (key, value) in &section.entries {
+                match (decode_run_key(key), warm::decode_build_report(value)) {
+                    (Some(key), Some(build)) if self.build_artifacts_present(&build) => {
+                        self.build_memo.insert(key, build);
+                        report.build_memo_entries += 1;
+                    }
+                    _ => report.entries_rejected += 1,
+                }
+            }
+        }
+
+        Ok(report)
+    }
+
+    /// Exports the whole preservable state to a directory: the common
+    /// storage (objects + area indexes, via
+    /// [`SharedStorage::export_to_dir`]) plus the warm state as
+    /// `warm_state.spws` next to it.
+    pub fn export_to_dir(&self, dir: &std::path::Path) -> std::io::Result<SystemExportSummary> {
+        let storage = self.storage.export_to_dir(dir)?;
+        let warm_state = self.export_warm_state();
+        let warm_state_bytes = warm_state.len();
+        std::fs::write(dir.join(WARM_STATE_FILE), warm_state)?;
+        Ok(SystemExportSummary {
+            storage,
+            warm_state_bytes,
+        })
+    }
+
+    /// Imports a directory written by [`export_to_dir`](Self::export_to_dir):
+    /// content objects first (re-hashed, bit-rot rejected), then the warm
+    /// state on top of them. A missing or structurally corrupt
+    /// `warm_state.spws` degrades to a cold restart — the storage import
+    /// still stands, and the reason is reported, not swallowed.
+    pub fn import_from_dir(&self, dir: &std::path::Path) -> std::io::Result<SystemImportSummary> {
+        let storage = self.storage.import_from_dir(dir)?;
+        let (warm, warm_state_error) = match std::fs::read(dir.join(WARM_STATE_FILE)) {
+            Ok(bytes) => match self.import_warm_state(&bytes) {
+                Ok(report) => (report, None),
+                Err(error) => (WarmRestoreReport::default(), Some(error.to_string())),
+            },
+            Err(_) => (
+                WarmRestoreReport::default(),
+                Some("warm state file missing".into()),
+            ),
+        };
+        Ok(SystemImportSummary {
+            storage,
+            warm,
+            warm_state_error,
+        })
+    }
+
     /// Exports the "successfully validated recipe of the latest
     /// configuration" (§3.1): the environment recipe of the image the last
     /// successful run executed on, plus the content addresses of every
@@ -1207,26 +1438,100 @@ impl SpSystem {
     }
 }
 
+/// File name of the warm-state snapshot inside an exported directory.
+pub const WARM_STATE_FILE: &str = "warm_state.spws";
+
+/// Sorts exported memo entries by key for a deterministic snapshot
+/// encoding (the memos iterate a hash map).
+fn sorted_entries<V>(mut entries: Vec<(RunKey, V)>) -> Vec<(RunKey, V)> {
+    entries.sort_by(|a, b| {
+        (
+            &a.0.test,
+            a.0.seed,
+            &a.0.env_revision,
+            a.0.scale().to_bits(),
+        )
+            .cmp(&(
+                &b.0.test,
+                b.0.seed,
+                &b.0.env_revision,
+                b.0.scale().to_bits(),
+            ))
+    });
+    entries
+}
+
+/// What a warm-state restore accepted, per layer of trust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmRestoreReport {
+    /// Container-level accounting (digest-validated vs dropped entries).
+    pub snapshot: sp_store::SnapshotLoadReport,
+    /// Digest-cache entries restored (object present).
+    pub digest_cache_entries: usize,
+    /// Output-memo entries restored (object present).
+    pub output_memo_entries: usize,
+    /// Chain-memo entries restored (every stage output present).
+    pub chain_memo_entries: usize,
+    /// Build-memo entries restored (every artifact present).
+    pub build_memo_entries: usize,
+    /// Entries that passed the container digest but failed decoding or
+    /// referenced absent objects — dropped, never trusted.
+    pub entries_rejected: usize,
+    /// Whether the clock was moved forward to the snapshot's time.
+    pub clock_restored: bool,
+}
+
+impl WarmRestoreReport {
+    /// Total memo/cache entries restored across all sections.
+    pub fn entries_restored(&self) -> usize {
+        self.digest_cache_entries
+            + self.output_memo_entries
+            + self.chain_memo_entries
+            + self.build_memo_entries
+    }
+}
+
+/// Result of [`SpSystem::export_to_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemExportSummary {
+    /// The storage export (objects written, areas indexed).
+    pub storage: sp_store::ExportSummary,
+    /// Size of the serialised warm-state snapshot in bytes.
+    pub warm_state_bytes: usize,
+}
+
+/// Result of [`SpSystem::import_from_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemImportSummary {
+    /// The storage import (objects admitted/rejected, names restored).
+    pub storage: sp_store::ImportSummary,
+    /// The warm-state restore report.
+    pub warm: WarmRestoreReport,
+    /// Why the warm state (if any) could not be restored; `None` on
+    /// success. The import degrades to a cold restart in that case.
+    pub warm_state_error: Option<String>,
+}
+
 /// One memoised chain-stage production: everything deterministic given
 /// the cell key (test, seed, environment revision, scale). The job id and
 /// the validation-stage comparison are recomputed at replay time — the
 /// former is per-run, the latter depends on the evolving reference state.
 #[derive(Clone)]
-struct MemoizedStage {
+pub(crate) struct MemoizedStage {
     /// Chain stage name (`mcgen`, `sim`, …, `validation`).
-    stage: String,
+    pub(crate) stage: String,
     /// Stage-qualified test id (`<chain test>/<stage>`).
-    test: crate::test::TestId,
-    category: TestCategory,
-    status: TestStatus,
+    pub(crate) test: crate::test::TestId,
+    pub(crate) category: TestCategory,
+    pub(crate) status: TestStatus,
     /// Conserved outputs: name → content address in the common storage.
-    outputs: Vec<(String, ObjectId)>,
+    pub(crate) outputs: Vec<(String, ObjectId)>,
 }
 
 /// The memoised production of one whole chain test, in stage-report order.
 #[derive(Clone)]
-struct MemoizedChain {
-    stages: Vec<MemoizedStage>,
+pub(crate) struct MemoizedChain {
+    pub(crate) stages: Vec<MemoizedStage>,
 }
 
 impl MemoizedChain {
@@ -1621,6 +1926,143 @@ mod tests {
             (0, 2),
             "a stale entry must not count as a hit"
         );
+    }
+
+    #[test]
+    fn warm_state_restart_replays_memoized_cells() {
+        let memo_config = RunConfig {
+            memoize: true,
+            ..config()
+        };
+
+        // A long-lived system earns its warm state...
+        let original = SpSystem::new();
+        let image = original
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        original.register_experiment(tiny_experiment()).unwrap();
+        let first = original
+            .run_validation("tiny", image, &memo_config)
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("sp-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let exported = original.export_to_dir(&dir).unwrap();
+        assert!(exported.warm_state_bytes > 0);
+
+        // ...and a restarted system (fresh process: definitions re-created
+        // from code, state imported from the preservation medium) replays
+        // the memoized cells instead of re-running the chains.
+        let restarted = SpSystem::new();
+        let summary = restarted.import_from_dir(&dir).unwrap();
+        assert!(summary.warm_state_error.is_none(), "{summary:?}");
+        assert!(summary.warm.entries_restored() > 0);
+        assert!(summary.warm.clock_restored);
+        assert_eq!(summary.warm.entries_rejected, 0);
+        assert_eq!(restarted.clock().now(), original.clock().now());
+        let image = restarted
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        restarted.register_experiment(tiny_experiment()).unwrap();
+
+        let replayed = restarted
+            .run_validation("tiny", image, &memo_config)
+            .unwrap();
+        assert!(
+            restarted.chain_memo_stats().hits > 0,
+            "chain cells must replay from the restored memo"
+        );
+        assert!(restarted.output_memo_stats().hits > 0);
+        assert!(restarted.build_memo_stats().hits > 0);
+        assert_eq!(
+            replayed.digest(),
+            first.digest(),
+            "the replayed run is byte-identical to the original"
+        );
+        assert!(
+            replayed.id > first.id,
+            "the restored run-id cursor never reuses ids"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_warm_state_entries_are_dropped_not_trusted() {
+        let memo_config = RunConfig {
+            memoize: true,
+            ..config()
+        };
+        let original = SpSystem::new();
+        let image = original
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        original.register_experiment(tiny_experiment()).unwrap();
+        original
+            .run_validation("tiny", image, &memo_config)
+            .unwrap();
+
+        let mut bytes = original.export_warm_state();
+        // Flip one byte deep inside the payload (past the header): either
+        // an entry digest stops matching or a decode fails — in both
+        // cases the affected entry is dropped, the rest load.
+        let victim = bytes.len() / 2;
+        bytes[victim] ^= 0xff;
+
+        let restarted = SpSystem::new();
+        // Objects first (the memo importers validate against them).
+        for (_, oid) in original.storage().list(sp_store::StorageArea::Results, "") {
+            if let Ok(data) = original.storage().content().get(oid) {
+                restarted.storage().content().put(data);
+            }
+        }
+        for (_, oid) in original
+            .storage()
+            .list(sp_store::StorageArea::Artifacts, "")
+        {
+            if let Ok(data) = original.storage().content().get(oid) {
+                restarted.storage().content().put(data);
+            }
+        }
+        match restarted.import_warm_state(&bytes) {
+            Ok(report) => {
+                let clean = original.export_warm_state();
+                let (clean_snapshot, _) = sp_store::Snapshot::decode(&clean).unwrap();
+                let total = clean_snapshot.entry_count();
+                assert!(
+                    report.snapshot.entries_dropped + report.entries_rejected > 0,
+                    "the corrupted entry must be rejected somewhere: {report:?}"
+                );
+                assert!(
+                    report.snapshot.entries_loaded <= total,
+                    "nothing can be fabricated"
+                );
+            }
+            Err(_) => {
+                // Structural corruption (a length field): the whole load
+                // aborts and the system stays cold — also never trusting
+                // the corrupted bytes.
+                assert_eq!(restarted.chain_memo_stats().entries, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_runs_uses_the_virtual_clock() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        for _ in 0..3 {
+            system.clock().advance(86_400);
+            system.run_validation("tiny", image, &config()).unwrap();
+        }
+        // An aggressive age-based policy decided against the *virtual*
+        // clock: after advancing simulated time far beyond the failure
+        // window, old runs prune without the caller passing any "now".
+        system.clock().advance(365 * 86_400);
+        let report = system.prune_runs(&sp_store::RetentionPolicy::pruning(1, 1, 0));
+        assert!(report.dropped > 0, "{report:?}");
+        assert!(system.ledger().has_reference("tiny"));
     }
 
     #[test]

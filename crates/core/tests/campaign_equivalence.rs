@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
 use sp_core::{
-    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignPlan, ExperimentDef,
-    PreservationLevel, RunConfig, SpSystem, TestKind, TestSuite, ValidationTest,
+    Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignPlan, CampaignScheduler,
+    ExperimentDef, PreservationLevel, RunConfig, SpSystem, TestKind, TestSuite, ValidationTest,
 };
 use sp_env::{catalog, Arch, CodeTrait, Version, VmImageId};
 use sp_exec::ChainDef;
@@ -269,6 +269,113 @@ proptest! {
             chain_stats.hits > 0,
             "chain memo never hit on a repeated grid: {chain_stats:?}"
         );
+    }
+}
+
+proptest! {
+    /// The multi-campaign headline property: N experiment-disjoint
+    /// campaigns run **concurrently** through the `CampaignScheduler`
+    /// against one shared system, for random experiment partitions, image
+    /// subsets, repetition counts, worker counts, admission limits and
+    /// memoization. For every campaign:
+    ///
+    /// * its `CampaignSummary` is **byte-identical** to the sequential
+    ///   `Campaign` oracle executing the same config alone on a fresh,
+    ///   identically prepared system (run-id cursor pre-advanced to the
+    ///   campaign's reserved base);
+    /// * the shared ledger holds exactly the campaign's pre-reserved
+    ///   run-id range, in ascending order — no cross-campaign
+    ///   interleaving inside any campaign's sequence and no foreign ids.
+    #[test]
+    fn concurrent_campaigns_match_sequential_oracles(
+        assignment in prop::collection::vec(0usize..3, 3),
+        img_masks in prop::collection::vec(1usize..8, 3),
+        repetitions in prop::collection::vec(1usize..=2, 3),
+        workers in 1usize..=4,
+        admission_limit in 1usize..=3,
+        memoize in prop::bool::ANY,
+    ) {
+        let experiment_pool: Vec<String> =
+            EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+
+        // Partition the experiments into up to three disjoint campaigns.
+        let mut partitions: Vec<Vec<String>> = vec![Vec::new(); 3];
+        for (experiment, &slot) in experiment_pool.iter().zip(&assignment) {
+            partitions[slot].push(experiment.clone());
+        }
+        let campaigns: Vec<(Vec<String>, usize, usize)> = partitions
+            .into_iter()
+            .zip(img_masks)
+            .zip(repetitions)
+            .filter(|((experiments, _), _)| !experiments.is_empty())
+            .map(|((experiments, img_mask), reps)| (experiments, img_mask, reps))
+            .collect();
+        prop_assume!(!campaigns.is_empty());
+
+        let (shared_system, shared_images) = fresh_system();
+        let origin = shared_system.clock().now();
+
+        let mut scheduler =
+            CampaignScheduler::new(&shared_system, workers).with_admission_limit(admission_limit);
+        let mut submitted = Vec::new();
+        for (experiments, img_mask, reps) in &campaigns {
+            let images = subset(&shared_images, *img_mask);
+            let mut config = config_for(experiments.clone(), images, *reps);
+            config.options = CampaignOptions { memoize };
+            let ticket = scheduler.submit(config).expect("disjoint submission");
+            let range = scheduler.reserved_run_ids(ticket).expect("reserved range");
+            submitted.push((ticket, range));
+        }
+        let reports = scheduler.execute().expect("scheduled batch");
+        prop_assert_eq!(reports.len(), campaigns.len());
+
+        for (((experiments, img_mask, reps), (ticket, (first, last))), report) in
+            campaigns.iter().zip(&submitted).zip(&reports)
+        {
+            prop_assert_eq!(report.ticket, *ticket);
+            prop_assert!(!report.cancelled);
+            prop_assert_eq!(report.completed_repetitions, *reps);
+
+            // The sequential oracle: a fresh, identically prepared system
+            // whose run-id cursor starts at this campaign's reserved base
+            // and whose clock starts at the shared origin.
+            let (oracle_system, oracle_images) = fresh_system();
+            prop_assert_eq!(oracle_system.clock().now(), origin);
+            if first.0 > 1 {
+                oracle_system.reserve_run_ids(first.0 - 1);
+            }
+            let images = subset(&oracle_images, *img_mask);
+            let mut config = config_for(experiments.clone(), images, *reps);
+            config.options = CampaignOptions { memoize };
+            let oracle = Campaign::new(&oracle_system, config)
+                .execute()
+                .expect("oracle campaign");
+            prop_assert_eq!(
+                &report.summary,
+                &oracle,
+                "campaign summary must be byte-identical to its solo oracle"
+            );
+
+            // Ledger: exactly the reserved range, ascending, no foreign
+            // interleaving within the campaign's sequence.
+            let campaign_ids: Vec<u64> = shared_system
+                .ledger()
+                .runs()
+                .iter()
+                .filter(|run| experiments.contains(&run.experiment))
+                .map(|run| run.id.0)
+                .collect();
+            let expected: Vec<u64> = (first.0..=last.0).collect();
+            prop_assert_eq!(
+                campaign_ids,
+                expected,
+                "ledger must hold exactly the pre-reserved range in order"
+            );
+        }
+
+        // Nothing else reached the ledger.
+        let total: usize = reports.iter().map(|r| r.summary.total_runs()).sum();
+        prop_assert_eq!(shared_system.ledger().run_count(), total);
     }
 }
 

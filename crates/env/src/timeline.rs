@@ -133,6 +133,95 @@ pub fn hera_timeline() -> Vec<TimelineEntry> {
     entries
 }
 
+/// The post-paper extension: the releases and end-of-life notices a
+/// deployment surviving past 2014 integrates — "the next challenges
+/// include the testing of the SL7 environment" (§3.3) and beyond.
+pub fn beyond_timeline() -> Vec<TimelineEntry> {
+    vec![
+        TimelineEntry {
+            year: 2015,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(6, 4),
+            },
+        },
+        TimelineEntry {
+            year: 2016,
+            event: PlatformEvent::ExternalRelease {
+                name: "root".into(),
+                version: Version::two(6, 8),
+            },
+        },
+        TimelineEntry {
+            year: 2019,
+            event: PlatformEvent::OsEndOfLife(crate::os::OsRelease::SL5),
+        },
+        TimelineEntry {
+            year: 2020,
+            event: PlatformEvent::OsEndOfLife(crate::os::OsRelease::SL6),
+        },
+    ]
+}
+
+/// The full HERA + beyond timeline, sorted by year.
+pub fn extended_timeline() -> Vec<TimelineEntry> {
+    let mut entries = hera_timeline();
+    entries.extend(beyond_timeline());
+    entries.sort_by_key(|e| e.year);
+    entries
+}
+
+/// Approximate Unix timestamp of January 1st of `year` (365.25-day years
+/// from the epoch — the paper's timeline has year granularity, so drift of
+/// a day per century is irrelevant).
+pub fn year_to_unix(year: u16) -> u64 {
+    (year.saturating_sub(1970) as u64) * 31_557_600
+}
+
+/// A clock-driven view over a timeline: feed it the virtual clock's "now"
+/// and it yields the platform events that have become due since the last
+/// call. This is the hook a long-horizon simulation uses to integrate new
+/// OS generations and external releases as simulated time passes.
+#[derive(Debug, Clone)]
+pub struct TimelineCursor {
+    entries: Vec<TimelineEntry>,
+    next: usize,
+}
+
+impl TimelineCursor {
+    /// Creates a cursor over `entries` (sorted by year internally).
+    pub fn new(mut entries: Vec<TimelineEntry>) -> Self {
+        entries.sort_by_key(|e| e.year);
+        TimelineCursor { entries, next: 0 }
+    }
+
+    /// Events due at or before `now_secs` that have not been yielded yet,
+    /// in year order. Subsequent calls with the same `now_secs` return
+    /// nothing — each event fires exactly once.
+    pub fn due(&mut self, now_secs: u64) -> Vec<TimelineEntry> {
+        let mut fired = Vec::new();
+        while let Some(entry) = self.entries.get(self.next) {
+            if year_to_unix(entry.year) > now_secs {
+                break;
+            }
+            fired.push(entry.clone());
+            self.next += 1;
+        }
+        fired
+    }
+
+    /// Unix time of the next pending event, if any — what a simulation
+    /// driver advances the clock towards.
+    pub fn next_event_secs(&self) -> Option<u64> {
+        self.entries.get(self.next).map(|e| year_to_unix(e.year))
+    }
+
+    /// Events not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.entries.len() - self.next
+    }
+}
+
 /// Events in `timeline` occurring strictly after `year_from` and up to and
 /// including `year_to`.
 pub fn events_between(
@@ -184,6 +273,51 @@ mod tests {
         assert!(slice
             .iter()
             .any(|e| matches!(e.event, PlatformEvent::OsAvailable(os) if os.generation == 6)));
+    }
+
+    #[test]
+    fn extended_timeline_is_sorted_and_superset() {
+        let extended = extended_timeline();
+        assert_eq!(
+            extended.len(),
+            hera_timeline().len() + beyond_timeline().len()
+        );
+        for pair in extended.windows(2) {
+            assert!(pair[0].year <= pair[1].year);
+        }
+        assert!(extended
+            .iter()
+            .any(|e| matches!(e.event, PlatformEvent::OsEndOfLife(os) if os.generation == 6)));
+    }
+
+    #[test]
+    fn cursor_fires_each_event_exactly_once() {
+        let mut cursor = TimelineCursor::new(hera_timeline());
+        let total = cursor.remaining();
+        assert_eq!(cursor.next_event_secs(), Some(year_to_unix(2007)));
+
+        // Nothing is due before the first event year.
+        assert!(cursor.due(year_to_unix(2006)).is_empty());
+
+        let through_2011 = cursor.due(year_to_unix(2011));
+        assert!(!through_2011.is_empty());
+        assert!(through_2011.iter().all(|e| e.year <= 2011));
+        // Same instant again: already fired.
+        assert!(cursor.due(year_to_unix(2011)).is_empty());
+
+        let rest = cursor.due(u64::MAX);
+        assert_eq!(through_2011.len() + rest.len(), total);
+        assert_eq!(cursor.remaining(), 0);
+        assert_eq!(cursor.next_event_secs(), None);
+    }
+
+    #[test]
+    fn year_to_unix_is_monotonic_and_era_consistent() {
+        assert_eq!(year_to_unix(1970), 0);
+        assert!(year_to_unix(2013) < year_to_unix(2014));
+        // Within a day of the real 2013-01-01 epoch used by sp-exec.
+        let era_2013 = 1_356_998_400u64;
+        assert!(year_to_unix(2013).abs_diff(era_2013) < 2 * 86_400);
     }
 
     #[test]

@@ -44,6 +44,17 @@ impl VirtualClock {
     }
 }
 
+/// Retention policies prune by age; threading the virtual clock through
+/// as the [`sp_store::TimeSource`] makes those decisions happen in
+/// *simulated* time — a long-horizon simulation that advances the clock
+/// across years prunes exactly what a real deployment would have pruned
+/// at that point of the timeline.
+impl sp_store::TimeSource for VirtualClock {
+    fn now_secs(&self) -> u64 {
+        self.now()
+    }
+}
+
 /// The start of the paper's deployment era: 2013-01-01T00:00:00Z.
 pub const ERA_2013: u64 = 1_356_998_400;
 
@@ -71,6 +82,15 @@ mod tests {
         assert_eq!(clock.now(), 1000);
         assert_eq!(clock.advance_to(2000), 2000);
         assert_eq!(clock.now(), 2000);
+    }
+
+    #[test]
+    fn clock_is_a_time_source() {
+        use sp_store::TimeSource;
+        let clock = VirtualClock::starting_at(ERA_2013);
+        assert_eq!(clock.now_secs(), ERA_2013);
+        clock.advance(10);
+        assert_eq!(clock.now_secs(), ERA_2013 + 10);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`client`] — client machines and the two joining requirements.
 //! * [`pool`] — the generic work-stealing scheduler: per-worker deques,
 //!   oldest-first stealing, results in task-index order.
+//! * [`sched`] — fair-share lane dispatch over one shared pool:
+//!   round-robin interleaving across campaigns, campaign-scoped
+//!   cancellation tokens, scheduling counters.
 //! * [`queue`] — the job-batch façade over the pool, with deterministic
 //!   result collection by job id.
 //! * [`chain`] — DAG-structured analysis chains: "some of these tests …
@@ -39,6 +42,7 @@ pub mod cron;
 pub mod job;
 pub mod pool;
 pub mod queue;
+pub mod sched;
 
 pub use chain::{ChainDef, ChainError, ChainReport, StageDef, StageStatus};
 pub use client::{Client, ClientError, ClientKind};
@@ -47,3 +51,4 @@ pub use cron::{CronError, CronSchedule};
 pub use job::{JobId, JobIdGenerator, JobResult, JobSpec, JobStatus};
 pub use pool::{PoolStats, WorkStealingPool};
 pub use queue::JobPool;
+pub use sched::{CampaignId, CancellationToken, Lane, LaneScheduler, LaneSchedulerStats};

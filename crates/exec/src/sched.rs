@@ -1,0 +1,296 @@
+//! Fair-share lane scheduling over one shared work-stealing pool.
+//!
+//! The [`crate::WorkStealingPool`] executes one indexed batch at a time;
+//! multi-campaign operation needs one level above it: *several* logical
+//! campaigns, each contributing lanes (ordered task sequences), sharing
+//! one pool without any campaign starving the others. [`LaneScheduler`]
+//! provides exactly that slice:
+//!
+//! * **fair-share dispatch** — lanes are interleaved round-robin across
+//!   campaigns before they are seeded into the pool, so a campaign with
+//!   many lanes cannot park a small campaign behind its whole backlog;
+//! * **campaign-scoped cancellation** — every lane carries its campaign's
+//!   [`CancellationToken`]; a lane whose token was cancelled is skipped on
+//!   the worker (result `None`) instead of executing;
+//! * **scheduling accounting** — dispatch rounds, executed and cancelled
+//!   lanes, and the pool's local/stolen split accumulate in
+//!   [`LaneSchedulerStats`] across rounds, which is what the report layer
+//!   surfaces as the scheduler digest.
+//!
+//! The scheduler is deliberately ignorant of what a "campaign" *is* —
+//! `sp-core` builds the actual [`CampaignScheduler`] on top of this by
+//! submitting per-repetition experiment lanes and collecting validated
+//! runs; the admission policy (which campaigns are active at all) also
+//! lives there, next to the domain knowledge it needs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::pool::WorkStealingPool;
+
+/// Identifier of one campaign within a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CampaignId(pub u64);
+
+impl std::fmt::Display for CampaignId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cmp-{:03}", self.0)
+    }
+}
+
+/// A shareable cancellation flag scoped to one campaign: cancelling it
+/// stops that campaign's not-yet-started lanes without touching any other
+/// campaign sharing the pool.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// Creates a live (not cancelled) token.
+    pub fn new() -> Self {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation. Lanes already executing finish; lanes not
+    /// yet started are skipped.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// One schedulable lane: a campaign tag, the campaign's cancellation
+/// token, and an opaque payload (the task sequence, for `sp-core`).
+#[derive(Debug)]
+pub struct Lane<T> {
+    /// Which campaign this lane belongs to.
+    pub campaign: CampaignId,
+    /// The campaign's cancellation token.
+    pub token: CancellationToken,
+    /// Scheduler-opaque lane payload.
+    pub payload: T,
+}
+
+/// Counters describing everything a scheduler dispatched so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneSchedulerStats {
+    /// Dispatch rounds executed.
+    pub rounds: u64,
+    /// Lanes handed to the pool and executed.
+    pub lanes_executed: u64,
+    /// Lanes skipped because their campaign was cancelled.
+    pub lanes_cancelled: u64,
+    /// Lanes executed from a worker's own queue (pool accounting).
+    pub local: u64,
+    /// Lanes executed after being stolen from a peer (pool accounting).
+    pub stolen: u64,
+}
+
+/// The fair-share lane dispatcher over one shared [`WorkStealingPool`].
+pub struct LaneScheduler {
+    pool: WorkStealingPool,
+    rounds: AtomicU64,
+    lanes_executed: AtomicU64,
+    lanes_cancelled: AtomicU64,
+    local: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl LaneScheduler {
+    /// Creates a scheduler whose shared pool has `workers` threads
+    /// (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        LaneScheduler {
+            pool: WorkStealingPool::new(workers),
+            rounds: AtomicU64::new(0),
+            lanes_executed: AtomicU64::new(0),
+            lanes_cancelled: AtomicU64::new(0),
+            local: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker threads of the shared pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Dispatches one round of lanes over the shared pool.
+    ///
+    /// Lanes are re-ordered fair-share — round-robin across campaigns in
+    /// first-appearance order — before being seeded, then executed by the
+    /// work-stealing pool. Results come back **in the order the lanes
+    /// were passed in**, with `None` for lanes whose campaign was
+    /// cancelled before the lane started. `f` must be pure per lane (it
+    /// may read shared state), which keeps results independent of worker
+    /// count and steal interleaving.
+    pub fn dispatch<T, R, F>(&self, lanes: Vec<Lane<T>>, f: F) -> Vec<Option<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(CampaignId, T) -> R + Sync,
+    {
+        if lanes.is_empty() {
+            return Vec::new();
+        }
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+
+        // Fair-share interleave: one lane per campaign per turn, campaigns
+        // in first-appearance order, lane order preserved within each
+        // campaign. `order[fair_index] = original_index` scatters results
+        // back afterwards.
+        let order = fair_share_order(&lanes);
+        let mut slots: Vec<Option<Lane<T>>> = lanes.into_iter().map(Some).collect();
+        let fair: Vec<(usize, Lane<T>)> = order
+            .iter()
+            .map(|&original| (original, slots[original].take().expect("each lane once")))
+            .collect();
+
+        let (results, pool_stats) = self.pool.run_with_stats(fair, |_, (original, lane)| {
+            if lane.token.is_cancelled() {
+                self.lanes_cancelled.fetch_add(1, Ordering::Relaxed);
+                return (original, None);
+            }
+            self.lanes_executed.fetch_add(1, Ordering::Relaxed);
+            (original, Some(f(lane.campaign, lane.payload)))
+        });
+        self.local
+            .fetch_add(pool_stats.local as u64, Ordering::Relaxed);
+        self.stolen
+            .fetch_add(pool_stats.stolen as u64, Ordering::Relaxed);
+
+        let mut out: Vec<Option<R>> = (0..results.len()).map(|_| None).collect();
+        for (original, result) in results {
+            out[original] = result;
+        }
+        out
+    }
+
+    /// Snapshot of the accumulated scheduling counters.
+    pub fn stats(&self) -> LaneSchedulerStats {
+        LaneSchedulerStats {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            lanes_executed: self.lanes_executed.load(Ordering::Relaxed),
+            lanes_cancelled: self.lanes_cancelled.load(Ordering::Relaxed),
+            local: self.local.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Round-robin interleaving order across campaigns: indices into `lanes`
+/// such that consecutive positions cycle through the campaigns (in first
+/// appearance order), preserving lane order within each campaign.
+fn fair_share_order<T>(lanes: &[Lane<T>]) -> Vec<usize> {
+    let mut campaigns: Vec<CampaignId> = Vec::new();
+    let mut per_campaign: Vec<Vec<usize>> = Vec::new();
+    for (index, lane) in lanes.iter().enumerate() {
+        match campaigns.iter().position(|c| *c == lane.campaign) {
+            Some(slot) => per_campaign[slot].push(index),
+            None => {
+                campaigns.push(lane.campaign);
+                per_campaign.push(vec![index]);
+            }
+        }
+    }
+    let mut order = Vec::with_capacity(lanes.len());
+    let mut turn = 0;
+    while order.len() < lanes.len() {
+        for queue in &per_campaign {
+            if let Some(&index) = queue.get(turn) {
+                order.push(index);
+            }
+        }
+        turn += 1;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(campaign: u64, token: &CancellationToken, payload: u32) -> Lane<u32> {
+        Lane {
+            campaign: CampaignId(campaign),
+            token: token.clone(),
+            payload,
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let sched = LaneScheduler::new(4);
+        let token = CancellationToken::new();
+        let lanes: Vec<Lane<u32>> = (0..32).map(|i| lane(i % 3, &token, i as u32)).collect();
+        let results = sched.dispatch(lanes, |_, payload| payload * 2);
+        let expected: Vec<Option<u32>> = (0..32).map(|i| Some(i * 2)).collect();
+        assert_eq!(results, expected);
+        let stats = sched.stats();
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.lanes_executed, 32);
+        assert_eq!(stats.local + stats.stolen, 32);
+    }
+
+    #[test]
+    fn fair_share_interleaves_campaigns() {
+        let token = CancellationToken::new();
+        // Campaign 1 contributes 4 lanes, campaign 2 contributes 2.
+        let lanes: Vec<Lane<u32>> = vec![
+            lane(1, &token, 0),
+            lane(1, &token, 1),
+            lane(1, &token, 2),
+            lane(1, &token, 3),
+            lane(2, &token, 4),
+            lane(2, &token, 5),
+        ];
+        let order = fair_share_order(&lanes);
+        // One lane per campaign per turn: 1a 2a 1b 2b 1c 1d.
+        assert_eq!(order, vec![0, 4, 1, 5, 2, 3]);
+    }
+
+    #[test]
+    fn cancellation_skips_only_the_cancelled_campaign() {
+        let sched = LaneScheduler::new(2);
+        let live = CancellationToken::new();
+        let doomed = CancellationToken::new();
+        doomed.cancel();
+        assert!(doomed.is_cancelled());
+        let lanes = vec![
+            lane(1, &live, 10),
+            lane(2, &doomed, 20),
+            lane(1, &live, 30),
+            lane(2, &doomed, 40),
+        ];
+        let results = sched.dispatch(lanes, |_, payload| payload);
+        assert_eq!(results, vec![Some(10), None, Some(30), None]);
+        let stats = sched.stats();
+        assert_eq!(stats.lanes_executed, 2);
+        assert_eq!(stats.lanes_cancelled, 2);
+    }
+
+    #[test]
+    fn empty_round_is_free() {
+        let sched = LaneScheduler::new(2);
+        let results: Vec<Option<u32>> = sched.dispatch(Vec::<Lane<u32>>::new(), |_, p| p);
+        assert!(results.is_empty());
+        assert_eq!(sched.stats().rounds, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_rounds() {
+        let sched = LaneScheduler::new(2);
+        let token = CancellationToken::new();
+        for _ in 0..3 {
+            sched.dispatch(vec![lane(1, &token, 1), lane(2, &token, 2)], |_, p| p);
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.lanes_executed, 6);
+    }
+}

@@ -2,7 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use sp_core::CampaignSummary;
+use sp_core::{CampaignSummary, ScheduleStats};
+use sp_store::DigestCacheStats;
 
 use crate::json::JsonValue;
 use crate::table::{Align, TextTable};
@@ -58,6 +59,61 @@ pub fn render_stats(summary: &CampaignSummary) -> String {
             s.successful.to_string(),
             s.tests_passed.to_string(),
             s.tests_failed.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders the multi-campaign scheduler digest: admission and completion
+/// counters, lane scheduling (including work-steals), and the memo
+/// effectiveness the warm state contributed — the readable run digest the
+/// `repro-longhaul` driver prints after each phase.
+pub fn render_scheduler_stats(
+    stats: &ScheduleStats,
+    chain_memo: &DigestCacheStats,
+    output_memo: &DigestCacheStats,
+    build_memo: &DigestCacheStats,
+) -> String {
+    let mut table = TextTable::new(&["scheduler", "value"]).align(&[Align::Left, Align::Right]);
+    table.row_owned(vec![
+        "campaigns submitted".into(),
+        stats.campaigns_submitted.to_string(),
+    ]);
+    table.row_owned(vec![
+        "campaigns admitted".into(),
+        stats.campaigns_admitted.to_string(),
+    ]);
+    table.row_owned(vec![
+        "campaigns completed".into(),
+        stats.campaigns_completed.to_string(),
+    ]);
+    table.row_owned(vec![
+        "campaigns cancelled".into(),
+        stats.campaigns_cancelled.to_string(),
+    ]);
+    table.row_owned(vec!["rounds".into(), stats.rounds.to_string()]);
+    table.row_owned(vec![
+        "lanes executed".into(),
+        stats.lanes_executed.to_string(),
+    ]);
+    table.row_owned(vec![
+        "lanes cancelled".into(),
+        stats.lanes_cancelled.to_string(),
+    ]);
+    table.row_owned(vec!["lane steals".into(), stats.lanes_stolen.to_string()]);
+    for (label, memo) in [
+        ("chain memo hits", chain_memo),
+        ("output memo hits", output_memo),
+        ("build memo hits", build_memo),
+    ] {
+        table.row_owned(vec![
+            label.into(),
+            format!(
+                "{} ({:.0}% of {})",
+                memo.hits,
+                memo.hit_rate() * 100.0,
+                memo.hits + memo.misses
+            ),
         ]);
     }
     table.render()
@@ -147,6 +203,31 @@ mod tests {
         assert!(rendered.contains("h1"));
         assert!(rendered.contains("zeus"));
         assert!(rendered.contains("12"));
+    }
+
+    #[test]
+    fn scheduler_digest_renders_counters_and_memo_hits() {
+        let stats = ScheduleStats {
+            campaigns_submitted: 3,
+            campaigns_admitted: 3,
+            campaigns_completed: 2,
+            campaigns_cancelled: 1,
+            rounds: 7,
+            lanes_executed: 21,
+            lanes_cancelled: 2,
+            lanes_local: 15,
+            lanes_stolen: 6,
+        };
+        let memo = DigestCacheStats {
+            hits: 9,
+            misses: 3,
+            entries: 12,
+        };
+        let rendered = render_scheduler_stats(&stats, &memo, &memo, &memo);
+        assert!(rendered.contains("campaigns admitted"));
+        assert!(rendered.contains("lane steals"));
+        assert!(rendered.contains("9 (75% of 12)"));
+        assert!(rendered.contains("campaigns cancelled"));
     }
 
     #[test]

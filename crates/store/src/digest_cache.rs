@@ -92,6 +92,18 @@ impl DigestCache {
             entries: self.entries.read().len(),
         }
     }
+
+    /// Snapshot of every `(revision, object id)` pair, in unspecified
+    /// order — the warm-state snapshot serialiser iterates this.
+    /// Restoring goes through plain [`insert`](Self::insert), one
+    /// validated entry at a time.
+    pub fn export_entries(&self) -> Vec<(String, ObjectId)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|(revision, id)| (revision.clone(), *id))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,13 @@
 //!   images) and the "few shell variables" interface ([`shared::ShellEnv`]).
 //! * [`vault`] — write-once conservation of the *last working image*
 //!   (workflow phase iv).
-//! * [`retention`] — retention policies over stored runs.
+//! * [`retention`] — retention policies over stored runs, with a
+//!   [`retention::TimeSource`] so simulated deployments prune in
+//!   simulated time.
+//! * [`snapshot`] — the versioned `SPWS` warm-state snapshot format:
+//!   memo and digest-cache entries conserved alongside the exported
+//!   storage, digest-guarded so a restarted system never trusts a
+//!   corrupted entry.
 //!
 //! ## Example
 //!
@@ -50,6 +56,7 @@ pub mod retention;
 pub mod run_memo;
 pub mod sha256;
 pub mod shared;
+pub mod snapshot;
 pub mod vault;
 
 pub use archive::{Archive, ArchiveEntry};
@@ -58,10 +65,11 @@ pub use digest_cache::{DigestCache, DigestCacheStats};
 pub use fnv::fnv64;
 pub use meta::MetaStore;
 pub use object::ObjectId;
-pub use retention::RetentionPolicy;
+pub use retention::{RetentionPolicy, TimeSource};
 pub use run_memo::{RunKey, RunMemo};
 pub use sha256::HashingWriter;
-pub use shared::{ExportSummary, SharedStorage, StorageArea};
+pub use shared::{ExportSummary, ImportSummary, SharedStorage, StorageArea};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotLoadReport, SnapshotSection};
 pub use vault::{FrozenImage, FrozenVault};
 
 /// Errors produced by the storage substrate.

@@ -6,6 +6,18 @@
 //! rules a host IT department would apply while still guaranteeing that the
 //! reference runs needed for regression comparison survive.
 
+/// A source of "now" for retention decisions, decoupled from the concrete
+/// clock type. In a real deployment this is the system clock; in the
+/// long-horizon simulations it is the `sp-exec` virtual clock (which
+/// implements this trait), so pruning decisions — threaded through
+/// `RunLedger::prune_at` / `SpSystem::prune_runs` in `sp-core` — are made
+/// in *simulated* time rather than with caller-supplied constants that
+/// silently drift from the clock the runs were stamped by.
+pub trait TimeSource {
+    /// Current time, seconds since the Unix epoch.
+    fn now_secs(&self) -> u64;
+}
+
 /// A record the retention policy can reason about, decoupled from the
 /// concrete run type in `sp-core`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +161,21 @@ mod tests {
         let (kept, _) = policy.apply(&records, 1_000);
         assert!(kept.contains(&"ok-old".to_string()));
         assert!(kept.contains(&"ok-new".to_string()));
+    }
+
+    #[test]
+    fn age_rules_follow_the_supplied_now() {
+        let policy = RetentionPolicy::pruning(2, 1, 50);
+        let records = vec![
+            rec("old-fail", 100, false, false),
+            rec("ok", 900, true, false),
+        ];
+        // At t=120 the failure is within its 50 s grace window...
+        let (kept, _) = policy.apply(&records, 120);
+        assert!(kept.contains(&"old-fail".to_string()));
+        // ...at t=1000 it has aged out.
+        let (_, dropped) = policy.apply(&records, 1_000);
+        assert_eq!(dropped, vec!["old-fail".to_string()]);
     }
 
     #[test]

@@ -23,6 +23,19 @@
 //! Anything *relative* — most importantly the comparison against the
 //! current reference run, which evolves as references are promoted — must
 //! be recomputed at replay time and therefore does not belong in the memo.
+//!
+//! ## Campaign-safe eviction
+//!
+//! With several campaigns running against one shared system, the
+//! peek-validate-invalidate cycle races: campaign A peeks an entry, finds
+//! its conserved object pruned, and decides to drop the entry — but in the
+//! meantime campaign B may have re-executed the cell and inserted a
+//! *fresh* entry under the same key. An unconditional invalidate would
+//! throw B's valid work away. Every entry therefore carries a
+//! **generation counter**: [`RunMemo::entry`] returns the value together
+//! with its generation, and [`RunMemo::invalidate_generation`] only
+//! removes the entry if the generation still matches — a stale eviction
+//! decision silently loses to a newer insert.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,11 +80,19 @@ impl RunKey {
     }
 }
 
+/// A memoised production together with the generation it was inserted at.
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    generation: u64,
+}
+
 /// A concurrent `cell determinants → memoised production` map with
 /// hit/miss accounting, generic in what a "production" is.
 #[derive(Debug)]
 pub struct RunMemo<V> {
-    entries: RwLock<HashMap<RunKey, V>>,
+    entries: RwLock<HashMap<RunKey, Slot<V>>>,
+    generations: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -80,6 +101,7 @@ impl<V> Default for RunMemo<V> {
     fn default() -> Self {
         RunMemo {
             entries: RwLock::new(HashMap::new()),
+            generations: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -95,18 +117,49 @@ impl<V: Clone> RunMemo<V> {
     /// Looks up the production memoised for `key` (no counters — callers
     /// validate the entry first and then note a hit or miss).
     pub fn peek(&self, key: &RunKey) -> Option<V> {
-        self.entries.read().get(key).cloned()
+        self.entries.read().get(key).map(|slot| slot.value.clone())
     }
 
-    /// Records the production of `key`.
+    /// Looks up the production memoised for `key` together with its
+    /// generation — the token [`invalidate_generation`]
+    /// (Self::invalidate_generation) needs to evict campaign-safely.
+    pub fn entry(&self, key: &RunKey) -> Option<(V, u64)> {
+        self.entries
+            .read()
+            .get(key)
+            .map(|slot| (slot.value.clone(), slot.generation))
+    }
+
+    /// Records the production of `key` under a fresh generation.
     pub fn insert(&self, key: RunKey, value: V) {
-        self.entries.write().insert(key, value);
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        self.entries.write().insert(key, Slot { value, generation });
     }
 
-    /// Drops one entry (e.g. after its objects were pruned). Returns
-    /// whether it was present.
+    /// Drops one entry unconditionally (e.g. the whole determinant became
+    /// invalid). Returns whether it was present. For evictions justified
+    /// by the *content* of the entry — a pruned conserved object — use
+    /// [`invalidate_generation`](Self::invalidate_generation) instead,
+    /// which cannot drop an entry it never examined.
     pub fn invalidate(&self, key: &RunKey) -> bool {
         self.entries.write().remove(key).is_some()
+    }
+
+    /// Drops the entry under `key` only if it still carries `generation`
+    /// (as returned by [`entry`](Self::entry)). Returns whether the entry
+    /// was removed. A concurrent campaign that re-inserted a fresh entry
+    /// in the meantime bumped the generation, so a stale eviction decision
+    /// is a no-op — one campaign's prune can never drop another in-flight
+    /// campaign's valid entry.
+    pub fn invalidate_generation(&self, key: &RunKey, generation: u64) -> bool {
+        let mut entries = self.entries.write();
+        match entries.get(key) {
+            Some(slot) if slot.generation == generation => {
+                entries.remove(key);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Drops every entry whose key matches `predicate`, returning how many
@@ -118,6 +171,20 @@ impl<V: Clone> RunMemo<V> {
         let before = entries.len();
         entries.retain(|key, _| !predicate(key));
         before - entries.len()
+    }
+
+    /// Snapshot of every `(key, value)` pair, in unspecified order. The
+    /// warm-state snapshot serialisers iterate this; generations are *not*
+    /// exported (they only order concurrent evictions within one process
+    /// lifetime and restart from zero on import). Restoring goes through
+    /// plain [`insert`](Self::insert), one validated entry at a time —
+    /// the importer checks each entry against the content store first.
+    pub fn export_entries(&self) -> Vec<(RunKey, V)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|(key, slot)| (key.clone(), slot.value.clone()))
+            .collect()
     }
 
     /// Records a cell served from the memo.
@@ -184,6 +251,50 @@ mod tests {
         assert!(memo.invalidate(&key));
         assert!(!memo.invalidate(&key));
         assert_eq!(memo.stats().entries, 0);
+    }
+
+    #[test]
+    fn stale_eviction_cannot_drop_a_fresh_entry() {
+        // Campaign A reads an entry and (after finding its conserved
+        // object pruned) decides to evict it; campaign B re-executes the
+        // cell and inserts a fresh entry in between. A's eviction must
+        // lose: the generation it holds is stale.
+        let memo: RunMemo<u32> = RunMemo::new();
+        let key = RunKey::new("h1::chain/nc", 1, "env", 1.0);
+        memo.insert(key.clone(), 1);
+        let (_, stale_generation) = memo.entry(&key).unwrap();
+
+        // B replaces the entry (e.g. after re-conserving the output).
+        memo.insert(key.clone(), 2);
+
+        assert!(
+            !memo.invalidate_generation(&key, stale_generation),
+            "a stale generation must not evict"
+        );
+        assert_eq!(memo.peek(&key), Some(2), "B's fresh entry survives");
+
+        // With the current generation the eviction goes through.
+        let (_, generation) = memo.entry(&key).unwrap();
+        assert!(memo.invalidate_generation(&key, generation));
+        assert_eq!(memo.peek(&key), None);
+        // And evicting a missing key is a no-op either way.
+        assert!(!memo.invalidate_generation(&key, generation));
+    }
+
+    #[test]
+    fn exported_entries_round_trip_through_insert() {
+        let memo: RunMemo<u32> = RunMemo::new();
+        memo.insert(RunKey::new("a", 1, "env", 1.0), 10);
+        memo.insert(RunKey::new("b", 2, "env", 0.5), 20);
+        let exported = memo.export_entries();
+        assert_eq!(exported.len(), 2);
+
+        let restored: RunMemo<u32> = RunMemo::new();
+        for (key, value) in exported {
+            restored.insert(key, value);
+        }
+        assert_eq!(restored.peek(&RunKey::new("a", 1, "env", 1.0)), Some(10));
+        assert_eq!(restored.peek(&RunKey::new("b", 2, "env", 0.5)), Some(20));
     }
 
     #[test]

@@ -209,6 +209,13 @@ impl SharedStorage {
         for area in StorageArea::all() {
             let mut index = String::new();
             for (key, oid) in self.list(area, "") {
+                // A name may outlive its object (retention pruning removes
+                // objects, not bookkeeping names): dangling names are left
+                // out of the export rather than failing it — the indexes
+                // describe what is actually conserved.
+                if !self.content.contains(oid) {
+                    continue;
+                }
                 index.push_str(&format!("{key} {}\n", oid.to_hex()));
                 if seen.insert(oid) {
                     let bytes = self
@@ -225,6 +232,57 @@ impl SharedStorage {
             objects_written,
             areas_indexed: StorageArea::all().len(),
         })
+    }
+
+    /// Loads a directory written by [`export_to_dir`](Self::export_to_dir)
+    /// back into this storage: every `objects/<hex>` file is re-hashed and
+    /// admitted only if its bytes still address to its file name (silent
+    /// bit-rot on the preservation medium is *rejected*, not imported),
+    /// then the `<area>.index` listings restore the name → address
+    /// mappings whose objects survived.
+    pub fn import_from_dir(&self, dir: &std::path::Path) -> std::io::Result<ImportSummary> {
+        let objects_dir = dir.join("objects");
+        let mut summary = ImportSummary::default();
+        if objects_dir.is_dir() {
+            for entry in std::fs::read_dir(&objects_dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(id) = name.to_str().and_then(ObjectId::from_hex) else {
+                    summary.objects_rejected += 1;
+                    continue;
+                };
+                let bytes = std::fs::read(entry.path())?;
+                if ObjectId::for_bytes(&bytes) != id {
+                    summary.objects_rejected += 1;
+                    continue;
+                }
+                self.content.put_prehashed(id, bytes);
+                summary.objects_loaded += 1;
+            }
+        }
+        for area in StorageArea::all() {
+            let index_path = dir.join(format!("{}.index", area.namespace()));
+            let Ok(index) = std::fs::read_to_string(&index_path) else {
+                continue;
+            };
+            for line in index.lines() {
+                let Some((key, hex)) = line.rsplit_once(' ') else {
+                    summary.names_rejected += 1;
+                    continue;
+                };
+                let restored = ObjectId::from_hex(hex)
+                    .map(|id| self.register_named(area, key, id))
+                    .unwrap_or(false);
+                if restored {
+                    summary.names_restored += 1;
+                } else {
+                    // Unparseable address, or the object it names was
+                    // rejected above: the name would dangle.
+                    summary.names_rejected += 1;
+                }
+            }
+        }
+        Ok(summary)
     }
 
     /// Builds the "few shell variables" environment for a test job.
@@ -248,6 +306,20 @@ pub struct ExportSummary {
     pub objects_written: usize,
     /// Area index files written.
     pub areas_indexed: usize,
+}
+
+/// Result of a filesystem import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImportSummary {
+    /// Objects whose bytes re-hashed to their file name and were admitted.
+    pub objects_loaded: usize,
+    /// Object files rejected (unparseable name or content-address
+    /// mismatch — bit-rot is never imported).
+    pub objects_rejected: usize,
+    /// Name → address mappings restored from the area indexes.
+    pub names_restored: usize,
+    /// Index lines skipped (malformed, or naming a rejected object).
+    pub names_rejected: usize,
 }
 
 /// The thin shell-variable interface between the sp-system and a user test.
@@ -417,6 +489,38 @@ mod tests {
         let oid = storage.lookup(StorageArea::Results, "run/a").unwrap();
         let on_disk = std::fs::read(dir.join("objects").join(oid.to_hex())).unwrap();
         assert_eq!(on_disk, b"alpha");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_import_round_trip_rejects_bit_rot() {
+        let storage = SharedStorage::new();
+        storage.put_named(StorageArea::Results, "run/a", &b"alpha"[..]);
+        let rotten = storage.put_named(StorageArea::Results, "run/b", &b"beta"[..]);
+
+        let dir = std::env::temp_dir().join(format!("sp-import-{}", std::process::id()));
+        storage.export_to_dir(&dir).unwrap();
+        // Bit-rot on the preservation medium: flip a byte of one object.
+        let path = dir.join("objects").join(rotten.to_hex());
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+
+        let restored = SharedStorage::new();
+        let summary = restored.import_from_dir(&dir).unwrap();
+        assert_eq!(summary.objects_loaded, 1);
+        assert_eq!(summary.objects_rejected, 1, "rot is rejected, not trusted");
+        assert_eq!(summary.names_restored, 1);
+        assert_eq!(summary.names_rejected, 1, "the dangling name is skipped");
+        assert_eq!(
+            restored
+                .get_named(StorageArea::Results, "run/a")
+                .unwrap()
+                .unwrap()
+                .as_ref(),
+            b"alpha"
+        );
+        assert!(restored.lookup(StorageArea::Results, "run/b").is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,11 +26,9 @@ fn keep_everything_policy_drops_nothing() {
         system.clock().advance(86_400);
         system.run_validation("hermes", image, &config()).unwrap();
     }
-    let report = system.ledger().prune(
-        &RetentionPolicy::keep_everything(),
-        system.clock().now(),
-        system.storage().content(),
-    );
+    // Prune through the system: "now" is read from the virtual clock the
+    // runs were stamped by, not passed in by the caller.
+    let report = system.prune_runs(&RetentionPolicy::keep_everything());
     assert_eq!(report.dropped, 0);
     assert_eq!(report.kept, 3);
     assert_eq!(report.objects_removed, 0);
@@ -55,11 +53,7 @@ fn pruning_preserves_references_and_comparability() {
     assert_eq!(system.ledger().run_count(), 5);
 
     // Aggressive policy: keep the last run and one successful run.
-    let report = system.ledger().prune(
-        &RetentionPolicy::pruning(1, 1, 0),
-        system.clock().now(),
-        system.storage().content(),
-    );
+    let report = system.prune_runs(&RetentionPolicy::pruning(1, 1, 0));
     assert!(report.dropped > 0, "old runs are pruned: {report:?}");
     assert!(system.ledger().run_count() < 5);
 
@@ -102,11 +96,7 @@ fn pruning_actually_frees_storage() {
         system.run_validation("hermes", image, &run_config).unwrap();
     }
     let before = system.storage().content().len();
-    let report = system.ledger().prune(
-        &RetentionPolicy::pruning(1, 1, 0),
-        system.clock().now(),
-        system.storage().content(),
-    );
+    let report = system.prune_runs(&RetentionPolicy::pruning(1, 1, 0));
     let after = system.storage().content().len();
     assert!(report.objects_removed > 0);
     assert_eq!(before - after, report.objects_removed);
