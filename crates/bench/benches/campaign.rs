@@ -6,9 +6,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::{desy_deployment, repro_run_config};
+use sp_core::fleet::{Coordinator, Worker};
 use sp_core::{
     Campaign, CampaignConfig, CampaignEngine, CampaignOptions, CampaignScheduler, SpSystem,
 };
+use sp_store::WorkQueue;
 
 fn bench_validation_runs(c: &mut Criterion) {
     let system = desy_deployment();
@@ -228,8 +230,72 @@ fn bench_campaign_sched(c: &mut Criterion) {
     std::fs::remove_dir_all(&checkpoint).ok();
 }
 
+/// Distributed-queue drain cost: the 3-experiment backlog (one campaign
+/// per experiment, all images) drained through the durable `sp_store::wq`
+/// queue by 1 vs 4 isolated workers — each with its own `SpSystem` and
+/// its own queue handle, sharing only the directory, exactly the sharing
+/// surface of separate OS processes (the process-spawn cost itself is
+/// measured by `repro-fleet`, not here).
+fn bench_fleet_drain(c: &mut Criterion) {
+    let experiments = ["zeus", "h1", "hermes"];
+    let config = |system: &SpSystem, name: &str| CampaignConfig {
+        experiments: vec![name.to_string()],
+        images: system.images().iter().map(|i| i.id).collect(),
+        repetitions: 1,
+        run: repro_run_config(0.05),
+        interval_secs: 86_400,
+        options: CampaignOptions::default(),
+    };
+    let mut group = c.benchmark_group("fleet_drain");
+    group.sample_size(10);
+    for fleet_size in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", fleet_size),
+            &fleet_size,
+            |b, &fleet_size| {
+                let dir = std::env::temp_dir().join(format!(
+                    "sp-bench-fleet-{}-{fleet_size}",
+                    std::process::id()
+                ));
+                b.iter(|| {
+                    std::fs::remove_dir_all(&dir).ok();
+                    let queue = WorkQueue::open(&dir, 3_600).expect("queue dir");
+                    let system = desy_deployment();
+                    let mut coordinator = Coordinator::new(&system, &queue);
+                    for name in &experiments {
+                        coordinator
+                            .submit(config(&system, name))
+                            .expect("disjoint backlog");
+                    }
+                    let drained: u64 = std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..fleet_size)
+                            .map(|w| {
+                                let dir = dir.clone();
+                                scope.spawn(move || {
+                                    let queue = WorkQueue::open(&dir, 3_600).expect("worker queue");
+                                    let local = desy_deployment();
+                                    Worker::new(&local, &queue, format!("w{w}"), 2)
+                                        .with_patience(400)
+                                        .drain()
+                                        .campaigns_drained
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).sum()
+                    });
+                    assert!(coordinator.drained(), "backlog must drain");
+                    drained
+                });
+                std::fs::remove_dir_all(&dir).ok();
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_fleet_drain,
     bench_campaign_sched,
     bench_campaign_engines,
     bench_campaign_memoized,

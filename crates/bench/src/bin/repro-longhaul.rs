@@ -25,18 +25,13 @@
 //!     [--scale 0.05] [--workers 4] [--reps 3]
 //! ```
 
-use sp_bench::{desy_deployment, repro_run_config, scale_from_args};
+use sp_bench::{arg_value, desy_deployment, repro_run_config, scale_from_args};
 use sp_core::{CampaignConfig, CampaignOptions, CampaignScheduler, SpSystem};
 use sp_env::timeline::{extended_timeline, year_to_unix, TimelineCursor};
 use sp_env::{catalog, VmImageId};
 use sp_report::render_scheduler_stats;
 use sp_report::summary::render_stats;
 use sp_store::RetentionPolicy;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
-}
 
 fn workers_from_args() -> usize {
     arg_value("--workers")

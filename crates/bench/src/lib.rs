@@ -81,12 +81,22 @@ pub fn repro_run_config(scale: f64) -> RunConfig {
     }
 }
 
+/// Reads the value following a `--name` flag from argv (shared by the
+/// `repro-*` binaries so flag-parsing fixes land in one place).
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+/// Whether a bare `--flag` is present in argv.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Reads a scale factor from argv (`--scale 0.5`), with a default.
 pub fn scale_from_args(default: f64) -> f64 {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--scale")
-        .and_then(|w| w[1].parse().ok())
+    arg_value("--scale")
+        .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
 

@@ -501,6 +501,12 @@ impl CampaignTicket {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds a ticket from a submission index — for collectors (the
+    /// fleet coordinator) that re-label reports by their own order.
+    pub(crate) fn from_index(index: usize) -> Self {
+        CampaignTicket(index)
+    }
 }
 
 /// Aggregated scheduling counters of one [`CampaignScheduler`].
@@ -525,6 +531,33 @@ pub struct ScheduleStats {
     pub lanes_local: u64,
     /// Lanes a pool worker stole from a peer.
     pub lanes_stolen: u64,
+}
+
+impl ScheduleStats {
+    /// Accumulates another scheduler's counters into this one. Every
+    /// field counts events owned by exactly one scheduler instance, so
+    /// summing the per-process snapshots of a worker fleet produces one
+    /// fleet digest without double counting (saturating adds, so a
+    /// corrupt snapshot cannot wrap the total).
+    pub fn merge(&mut self, other: &ScheduleStats) {
+        self.campaigns_submitted = self
+            .campaigns_submitted
+            .saturating_add(other.campaigns_submitted);
+        self.campaigns_admitted = self
+            .campaigns_admitted
+            .saturating_add(other.campaigns_admitted);
+        self.campaigns_completed = self
+            .campaigns_completed
+            .saturating_add(other.campaigns_completed);
+        self.campaigns_cancelled = self
+            .campaigns_cancelled
+            .saturating_add(other.campaigns_cancelled);
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.lanes_executed = self.lanes_executed.saturating_add(other.lanes_executed);
+        self.lanes_cancelled = self.lanes_cancelled.saturating_add(other.lanes_cancelled);
+        self.lanes_local = self.lanes_local.saturating_add(other.lanes_local);
+        self.lanes_stolen = self.lanes_stolen.saturating_add(other.lanes_stolen);
+    }
 }
 
 /// The collected result of one scheduled campaign.
@@ -601,6 +634,31 @@ impl<'a> CampaignScheduler<'a> {
 
     /// Submits an already-validated plan (the [`CampaignEngine`] path).
     pub fn submit_plan(&mut self, plan: CampaignPlan) -> Result<CampaignTicket, SystemError> {
+        self.check_disjoint(&plan)?;
+        let base = self.system.reserve_run_ids(plan.total_runs() as u64);
+        Ok(self.push_submission(plan, base))
+    }
+
+    /// Submits a plan whose run-id range was **already reserved
+    /// elsewhere** — the fleet path: ranges are pre-carved on the
+    /// coordinator at queue-submission time, and whichever worker leases
+    /// the plan executes it under exactly those ids. The local run-id
+    /// cursor is advanced past the range, so ad-hoc runs on this system
+    /// can never collide with the handed-off ids.
+    pub fn submit_reserved(
+        &mut self,
+        plan: CampaignPlan,
+        base: RunId,
+    ) -> Result<CampaignTicket, SystemError> {
+        self.check_disjoint(&plan)?;
+        self.system
+            .advance_run_ids_past(base.0 + plan.total_runs() as u64);
+        Ok(self.push_submission(plan, base))
+    }
+
+    /// Rejects a plan that overlaps an already-submitted campaign's
+    /// experiments (see [`SystemError::CampaignConflict`]).
+    fn check_disjoint(&self, plan: &CampaignPlan) -> Result<(), SystemError> {
         for submission in &self.submissions {
             for name in &plan.config().experiments {
                 if submission.plan.config().experiments.contains(name) {
@@ -608,7 +666,10 @@ impl<'a> CampaignScheduler<'a> {
                 }
             }
         }
-        let base = self.system.reserve_run_ids(plan.total_runs() as u64);
+        Ok(())
+    }
+
+    fn push_submission(&mut self, plan: CampaignPlan, base: RunId) -> CampaignTicket {
         let ticket = CampaignTicket(self.submissions.len());
         self.submissions.push(Submission {
             plan,
@@ -616,7 +677,7 @@ impl<'a> CampaignScheduler<'a> {
             token: CancellationToken::new(),
         });
         self.campaigns_submitted += 1;
-        Ok(ticket)
+        ticket
     }
 
     /// The run-id range `[first, last]` pre-reserved for a submission.
@@ -670,8 +731,19 @@ impl<'a> CampaignScheduler<'a> {
     /// campaigns never interleave inside a commit, and each campaign's
     /// ledger ids are exactly its pre-reserved range in ascending order.
     pub fn execute(&mut self) -> Result<Vec<CampaignReport>, SystemError> {
+        self.execute_from(self.system.clock().now())
+    }
+
+    /// [`execute`](Self::execute) with an explicit timeline origin.
+    ///
+    /// A fleet worker replays a campaign that was *submitted* elsewhere:
+    /// its timestamps must derive from the origin recorded at submission,
+    /// not from whatever this process's clock happens to read after
+    /// earlier leases moved it — otherwise the report would depend on
+    /// which worker drained the plan. The shared clock is still only ever
+    /// moved forward past completed barriers.
+    pub fn execute_from(&mut self, origin: u64) -> Result<Vec<CampaignReport>, SystemError> {
         let submissions = std::mem::take(&mut self.submissions);
-        let origin = self.system.clock().now();
         let ledger: &RunLedger = self.system.ledger();
 
         struct CampaignState<'p> {

@@ -1,0 +1,851 @@
+//! The distributed campaign fleet: many processes, one backlog.
+//!
+//! The paper's validation system was a *pull* deployment: a central server
+//! held the backlog of validation tasks, and many client machines leased
+//! work, executed it against their local software environment, and
+//! reported results back through the common storage (§3.1). This module
+//! is that deployment shape for campaigns:
+//!
+//! * [`Coordinator`] — plans and enqueues campaigns onto a durable
+//!   [`sp_store::WorkQueue`], pre-carving each campaign's run-id range and
+//!   recording its virtual-clock origin at submission, then collects the
+//!   published [`CampaignReport`]s;
+//! * [`Worker`] — the drain loop a worker process runs: lease the next
+//!   submission, re-plan it against the local [`SpSystem`] (definitions
+//!   are code; only state crosses processes), execute it through a
+//!   [`CampaignScheduler`] under the pre-reserved ids and recorded
+//!   origin, publish the report under the lease's fencing token, release,
+//!   repeat — with jittered backoff ([`sp_exec::PollLoop`]) while the
+//!   queue is empty and patience enough to outwait a crashed sibling's
+//!   lease expiry.
+//!
+//! ## Result semantics
+//!
+//! Nothing about distribution may change what a campaign reports. Three
+//! mechanisms carry that guarantee across process boundaries:
+//!
+//! 1. **pre-carved run-id ranges** — ids are allocated once, at
+//!    submission, and stored in the queue record; whichever worker drains
+//!    the plan executes under exactly those ids
+//!    ([`CampaignScheduler::submit_reserved`]);
+//! 2. **recorded origins** — timestamps derive from the origin recorded
+//!    at submission ([`CampaignScheduler::execute_from`]), not from the
+//!    executing worker's clock position;
+//! 3. **experiment-disjoint backlogs** — the coordinator enforces the
+//!    same disjointness rule as the in-process scheduler, so campaigns
+//!    cannot see each other's references no matter how they distribute.
+//!
+//! The equivalence property — every fleet-drained report is byte-identical
+//! to its solo single-process oracle, and each executing worker's ledger
+//! holds exactly the reserved ranges in order — is asserted by
+//! `crates/core/tests/fleet_equivalence.rs` for racing workers and for a
+//! worker that dies mid-campaign (its lease expires, the work re-leases,
+//! and the fencing token keeps any stale commit out).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use sp_exec::{Backoff, PollLoop, PollOutcome, PollStats};
+use sp_store::snapshot::wire::{self, Cursor};
+use sp_store::{QueueStats, WorkQueue, WqError};
+
+use crate::campaign::{
+    CampaignConfig, CampaignOptions, CampaignPlan, CampaignReport, CampaignScheduler,
+    CampaignSummary, CampaignTicket, CellStatus, RunRecord, ScheduleStats,
+};
+use crate::run::RunId;
+use crate::system::{RunConfig, SpSystem, SystemError};
+
+/// Errors from fleet operations.
+#[derive(Debug)]
+pub enum FleetError {
+    /// Planning or execution failed at the system layer.
+    System(SystemError),
+    /// The queue's lease protocol rejected an operation.
+    Queue(WqError),
+    /// Filesystem failure talking to the queue directory.
+    Io(std::io::Error),
+    /// A queue payload did not decode into the expected structure (the
+    /// digest validated, but the content is not a campaign record this
+    /// build understands).
+    Codec(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::System(e) => write!(f, "fleet system error: {e}"),
+            FleetError::Queue(e) => write!(f, "fleet queue error: {e}"),
+            FleetError::Io(e) => write!(f, "fleet I/O error: {e}"),
+            FleetError::Codec(what) => write!(f, "fleet payload undecodable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<SystemError> for FleetError {
+    fn from(e: SystemError) -> Self {
+        FleetError::System(e)
+    }
+}
+
+impl From<WqError> for FleetError {
+    fn from(e: WqError) -> Self {
+        FleetError::Queue(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}
+
+/// Handle to one campaign submitted to the fleet queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FleetTicket {
+    /// Position in this coordinator's submission order.
+    index: usize,
+    /// Queue sequence number of the submission.
+    seq: u64,
+}
+
+impl FleetTicket {
+    /// Position of the campaign in submission order.
+    pub fn index(self) -> usize {
+        self.index
+    }
+
+    /// The underlying queue sequence number.
+    pub fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
+struct SubmittedCampaign {
+    seq: u64,
+    experiments: Vec<String>,
+    base: RunId,
+    total: u64,
+}
+
+/// The submitting side of the fleet: enqueues campaign plans onto the
+/// shared queue and collects their reports.
+pub struct Coordinator<'a> {
+    system: &'a SpSystem,
+    queue: &'a WorkQueue,
+    submitted: Vec<SubmittedCampaign>,
+}
+
+impl<'a> Coordinator<'a> {
+    /// Creates a coordinator over a system (for validation and run-id
+    /// carving) and the shared queue.
+    pub fn new(system: &'a SpSystem, queue: &'a WorkQueue) -> Self {
+        Coordinator {
+            system,
+            queue,
+            submitted: Vec::new(),
+        }
+    }
+
+    /// Plans and enqueues a campaign: validates every experiment and
+    /// image up front, rejects overlap with this coordinator's other
+    /// submissions (the scheduler's disjointness rule, extended across
+    /// processes), pre-carves the contiguous run-id range, and records
+    /// the virtual-clock origin the campaign must execute at.
+    pub fn submit(&mut self, config: CampaignConfig) -> Result<FleetTicket, FleetError> {
+        let plan = CampaignPlan::new(self.system, config.clone())?;
+        for earlier in &self.submitted {
+            for name in &config.experiments {
+                if earlier.experiments.contains(name) {
+                    return Err(FleetError::System(SystemError::CampaignConflict(
+                        name.clone(),
+                    )));
+                }
+            }
+        }
+        let total = plan.total_runs() as u64;
+        let base = self.system.reserve_run_ids(total);
+        let origin = self.system.clock().now();
+        let payload = encode_campaign_config(&config);
+        let seq = self.queue.submit(&payload, base.0, total, origin)?;
+        let index = self.submitted.len();
+        self.submitted.push(SubmittedCampaign {
+            seq,
+            experiments: config.experiments,
+            base,
+            total,
+        });
+        Ok(FleetTicket { index, seq })
+    }
+
+    /// The run-id range `[first, last]` pre-carved for a submission.
+    pub fn reserved_run_ids(&self, ticket: FleetTicket) -> Option<(RunId, RunId)> {
+        let submission = self.submitted.get(ticket.index)?;
+        Some((
+            submission.base,
+            RunId(submission.base.0 + submission.total.saturating_sub(1)),
+        ))
+    }
+
+    /// Whether every submission of this coordinator has a trusted report.
+    pub fn drained(&self) -> bool {
+        self.submitted
+            .iter()
+            .all(|s| self.queue.report(s.seq).is_some())
+    }
+
+    /// Blocks (sleeping with jittered backoff) until the backlog is
+    /// drained or the poll budget runs out; returns whether it drained.
+    pub fn wait_drained(&self, mut poll: PollLoop) -> bool {
+        poll.run(
+            || {
+                if self.drained() {
+                    PollOutcome::Stop
+                } else {
+                    PollOutcome::Idle
+                }
+            },
+            std::thread::sleep,
+        );
+        self.drained()
+    }
+
+    /// Collects the published reports, in submission order. `None` slots
+    /// are campaigns whose report has not (or not trustably) appeared.
+    pub fn collect(&self) -> Vec<Option<CampaignReport>> {
+        self.submitted
+            .iter()
+            .enumerate()
+            .map(|(index, submission)| {
+                let payload = self.queue.report(submission.seq)?;
+                decode_campaign_report(&payload, CampaignTicket::from_index(index))
+            })
+            .collect()
+    }
+}
+
+/// Counters of one worker process's drain loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Campaigns leased, executed and published by this worker.
+    pub campaigns_drained: u64,
+    /// Validation runs those campaigns performed.
+    pub runs_executed: u64,
+    /// Leases abandoned because their payload would not decode or
+    /// execute (released for a sibling — or an operator — to inspect).
+    pub failures: u64,
+    /// Scheduling counters accumulated across the drained campaigns.
+    pub sched: ScheduleStats,
+    /// Poll-loop accounting (worked/idle/slept).
+    pub poll: PollStats,
+}
+
+impl WorkerStats {
+    /// Accumulates another worker's counters (same no-double-counting
+    /// argument as [`ScheduleStats::merge`]; sleep durations add).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.campaigns_drained = self
+            .campaigns_drained
+            .saturating_add(other.campaigns_drained);
+        self.runs_executed = self.runs_executed.saturating_add(other.runs_executed);
+        self.failures = self.failures.saturating_add(other.failures);
+        self.sched.merge(&other.sched);
+        self.poll.worked = self.poll.worked.saturating_add(other.poll.worked);
+        self.poll.idle = self.poll.idle.saturating_add(other.poll.idle);
+        self.poll.slept = self.poll.slept.saturating_add(other.poll.slept);
+    }
+}
+
+/// The draining side of the fleet: one per worker process.
+pub struct Worker<'a> {
+    system: &'a SpSystem,
+    queue: &'a WorkQueue,
+    name: String,
+    threads: usize,
+    max_idle_polls: u32,
+    poisoned: std::cell::RefCell<std::collections::BTreeSet<u64>>,
+    /// Submissions this worker has seen a trusted report for. A trusted
+    /// report is permanent, so caching saves re-reading reports (and the
+    /// submission payloads behind them) on every idle poll.
+    completed: std::cell::RefCell<std::collections::BTreeSet<u64>>,
+    /// Submissions whose record failed its digest. Queue records are
+    /// write-once (created exclusively), so corruption is permanent too.
+    invalid: std::cell::RefCell<std::collections::BTreeSet<u64>>,
+}
+
+impl<'a> Worker<'a> {
+    /// Creates a worker draining `queue` into `system` with a
+    /// `threads`-wide scheduler pool per campaign. The idle patience
+    /// defaults to comfortably more than one lease duration, so a worker
+    /// waiting on a crashed sibling's lease outlasts the expiry instead
+    /// of giving up just before the work becomes reclaimable.
+    pub fn new(
+        system: &'a SpSystem,
+        queue: &'a WorkQueue,
+        name: impl Into<String>,
+        threads: usize,
+    ) -> Self {
+        // Backoff caps at 500 ms; budget at least ~4x the lease duration
+        // of consecutive idle sleeps (and never fewer than 40 polls).
+        let max_idle_polls = (queue.lease_secs().saturating_mul(8)).clamp(40, 100_000) as u32;
+        Worker {
+            system,
+            queue,
+            name: name.into(),
+            threads: threads.max(1),
+            max_idle_polls,
+            poisoned: std::cell::RefCell::new(std::collections::BTreeSet::new()),
+            completed: std::cell::RefCell::new(std::collections::BTreeSet::new()),
+            invalid: std::cell::RefCell::new(std::collections::BTreeSet::new()),
+        }
+    }
+
+    /// Whether every submission on the queue is either completed (trusted
+    /// report) or permanently invalid (corrupt record) — the worker's
+    /// exit condition, evaluated against the per-worker caches so each
+    /// payload is read and digest-checked at most once per worker rather
+    /// than on every idle poll.
+    fn backlog_complete(&self) -> bool {
+        let mut complete = true;
+        for seq in self.queue.submission_seqs() {
+            if self.completed.borrow().contains(&seq) || self.invalid.borrow().contains(&seq) {
+                continue;
+            }
+            if self.queue.report(seq).is_some() {
+                self.completed.borrow_mut().insert(seq);
+            } else if self.queue.submission(seq).is_none() {
+                self.invalid.borrow_mut().insert(seq);
+            } else {
+                complete = false;
+            }
+        }
+        complete
+    }
+
+    /// Overrides how many consecutive empty polls the drain loop tolerates
+    /// before concluding the backlog is done (minimum 1).
+    pub fn with_patience(mut self, max_idle_polls: u32) -> Self {
+        self.max_idle_polls = max_idle_polls.max(1);
+        self
+    }
+
+    /// The worker's holder identity on the queue.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tries to lease and fully drain one submission. Returns the drained
+    /// sequence number, or `None` when nothing was claimable right now.
+    ///
+    /// Submissions this worker failed to decode or execute are released
+    /// and locally skipped (another worker — possibly with a richer local
+    /// environment — may still drain them); the failure is counted. A
+    /// publish fenced away by lease expiry mid-execution is also counted
+    /// as a failure but **not** poisoned — the work is intact and will be
+    /// re-leased (possibly by this same worker) under the next generation.
+    pub fn drain_one(&self, stats: &mut WorkerStats) -> Result<Option<u64>, FleetError> {
+        let poisoned = self.poisoned.borrow().clone();
+        // Scan sequence numbers only (a directory listing); the payload is
+        // read and digest-checked once, *after* winning the lease, rather
+        // than on every poll of every worker.
+        for seq in self.queue.submission_seqs() {
+            if poisoned.contains(&seq)
+                || self.completed.borrow().contains(&seq)
+                || self.invalid.borrow().contains(&seq)
+            {
+                continue;
+            }
+            let Some(lease) = self.queue.try_lease(seq, &self.name)? else {
+                continue;
+            };
+            let outcome = self
+                .queue
+                .submission(seq)
+                .ok_or_else(|| FleetError::Codec(format!("submission {seq}")))
+                .and_then(|submission| self.execute_leased(&submission));
+            match outcome {
+                Ok((report, sched)) => {
+                    match self
+                        .queue
+                        .publish_report(&lease, &encode_campaign_report(&report))
+                    {
+                        Ok(()) => {}
+                        Err(
+                            error @ (WqError::StaleLease { .. }
+                            | WqError::Expired { .. }
+                            | WqError::AlreadyReleased { .. }),
+                        ) => {
+                            // The lease ran out mid-execution and the
+                            // fencing token kept this commit from landing.
+                            // Nothing was drained: the work stays pending
+                            // and will be re-leased under the next
+                            // generation.
+                            stats.failures += 1;
+                            return Err(error.into());
+                        }
+                        Err(error) => return Err(error.into()),
+                    }
+                    stats.campaigns_drained += 1;
+                    stats.runs_executed += report.summary.total_runs() as u64;
+                    stats.sched.merge(&sched);
+                    match self.queue.release(&lease) {
+                        Ok(())
+                        // The report is already published and fenced; a
+                        // release lost to expiry or supersession does not
+                        // undo completed work.
+                        | Err(WqError::StaleLease { .. })
+                        | Err(WqError::Expired { .. })
+                        | Err(WqError::AlreadyReleased { .. }) => {}
+                        Err(error) => return Err(error.into()),
+                    }
+                    self.completed.borrow_mut().insert(seq);
+                    return Ok(Some(seq));
+                }
+                Err(error) => {
+                    stats.failures += 1;
+                    self.poisoned.borrow_mut().insert(seq);
+                    // Hand the lease back cleanly; if that fails too the
+                    // lease simply expires.
+                    let _ = self.queue.release(&lease);
+                    return Err(error);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Executes one leased submission on the local system: re-plan from
+    /// the serialised config (validating against *this* process's
+    /// registered images and experiments), then run it through a
+    /// single-campaign scheduler under the pre-reserved ids and the
+    /// origin recorded at submission.
+    fn execute_leased(
+        &self,
+        submission: &sp_store::QueueSubmission,
+    ) -> Result<(CampaignReport, ScheduleStats), FleetError> {
+        let config = decode_campaign_config(&submission.payload)
+            .ok_or_else(|| FleetError::Codec(format!("submission {}", submission.seq)))?;
+        let plan = CampaignPlan::new(self.system, config)?;
+        if plan.total_runs() as u64 != submission.total_runs {
+            return Err(FleetError::Codec(format!(
+                "submission {} plans {} runs but reserved {}",
+                submission.seq,
+                plan.total_runs(),
+                submission.total_runs
+            )));
+        }
+        let mut scheduler = CampaignScheduler::new(self.system, self.threads);
+        scheduler.submit_reserved(plan, RunId(submission.base_run_id))?;
+        let mut reports = scheduler.execute_from(submission.origin)?;
+        let report = reports.remove(0);
+        Ok((report, scheduler.stats()))
+    }
+
+    /// The worker main loop: drain until the backlog is complete (or the
+    /// idle budget runs out), then publish this worker's counters to the
+    /// queue so any process can merge them into a fleet digest.
+    pub fn drain(&self) -> WorkerStats {
+        let mut stats = WorkerStats::default();
+        let seed = sp_store::fnv64(&self.name);
+        let mut poll = PollLoop::new(Backoff::for_queue(seed), self.max_idle_polls);
+        let poll_stats = poll.run(
+            || {
+                // Try to work first; the exit check runs only on polls
+                // that found nothing claimable, and against the
+                // per-worker caches.
+                match self.drain_one(&mut stats) {
+                    Ok(Some(_)) => PollOutcome::Worked,
+                    Ok(None) | Err(_) => {
+                        if self.backlog_complete() {
+                            PollOutcome::Stop
+                        } else {
+                            PollOutcome::Idle
+                        }
+                    }
+                }
+            },
+            std::thread::sleep,
+        );
+        stats.poll = poll_stats;
+        let _ = self
+            .queue
+            .publish_worker_stats(&self.name, &encode_worker_stats(&stats));
+        stats
+    }
+}
+
+/// The merged cross-process digest of one fleet drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Queue-level accounting (submissions, completions, reclaims,
+    /// corruption drops) derived from the shared directory.
+    pub queue: QueueStats,
+    /// Worker processes that published counters.
+    pub workers: usize,
+    /// Sum of every worker's counters.
+    pub drained: WorkerStats,
+}
+
+/// Assembles the fleet digest from the queue directory: queue accounting
+/// plus every published worker-stats blob, merged. Any process with the
+/// storage mounted can compute this — no shared memory, no coordinator
+/// privileges.
+pub fn fleet_stats(queue: &WorkQueue) -> FleetStats {
+    let mut drained = WorkerStats::default();
+    let mut workers = 0;
+    for (_, payload) in queue.worker_stats() {
+        if let Some(stats) = decode_worker_stats(&payload) {
+            drained.merge(&stats);
+            workers += 1;
+        }
+    }
+    FleetStats {
+        queue: queue.stats(),
+        workers,
+        drained,
+    }
+}
+
+// ---- campaign-config codec -------------------------------------------
+
+/// Serialises a campaign config for the queue payload. The plan itself is
+/// *not* shipped: workers re-plan against their local system, which both
+/// revalidates the names and keeps the payload small and
+/// environment-independent.
+pub fn encode_campaign_config(config: &CampaignConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    wire::put_u32(&mut out, config.experiments.len() as u32);
+    for name in &config.experiments {
+        wire::put_str(&mut out, name);
+    }
+    wire::put_u32(&mut out, config.images.len() as u32);
+    for image in &config.images {
+        wire::put_u32(&mut out, image.0);
+    }
+    wire::put_u64(&mut out, config.repetitions as u64);
+    wire::put_u64(&mut out, config.run.seed);
+    wire::put_u64(&mut out, config.run.scale.to_bits());
+    wire::put_u64(&mut out, config.run.threads as u64);
+    wire::put_str(&mut out, &config.run.description);
+    out.push(config.run.memoize as u8);
+    wire::put_u64(&mut out, config.interval_secs);
+    out.push(config.options.memoize as u8);
+    out
+}
+
+/// Parses a config serialised by [`encode_campaign_config`]. `None` on
+/// any structural mismatch.
+pub fn decode_campaign_config(bytes: &[u8]) -> Option<CampaignConfig> {
+    let mut cursor = Cursor::new(bytes);
+    let experiment_count = cursor.take_u32()?;
+    let mut experiments = Vec::with_capacity(experiment_count as usize);
+    for _ in 0..experiment_count {
+        experiments.push(cursor.take_str()?);
+    }
+    let image_count = cursor.take_u32()?;
+    let mut images = Vec::with_capacity(image_count as usize);
+    for _ in 0..image_count {
+        images.push(sp_env::VmImageId(cursor.take_u32()?));
+    }
+    let repetitions = cursor.take_u64()? as usize;
+    let run = RunConfig {
+        seed: cursor.take_u64()?,
+        scale: f64::from_bits(cursor.take_u64()?),
+        threads: cursor.take_u64()? as usize,
+        description: cursor.take_str()?,
+        memoize: cursor.take(1)?[0] != 0,
+    };
+    let interval_secs = cursor.take_u64()?;
+    let options = CampaignOptions {
+        memoize: cursor.take(1)?[0] != 0,
+    };
+    cursor.finished().then_some(CampaignConfig {
+        experiments,
+        images,
+        repetitions,
+        run,
+        interval_secs,
+        options,
+    })
+}
+
+// ---- campaign-report codec -------------------------------------------
+
+fn put_cell_status(out: &mut Vec<u8>, status: CellStatus) {
+    out.push(match status {
+        CellStatus::Pass => 0,
+        CellStatus::Warnings => 1,
+        CellStatus::Fail => 2,
+        CellStatus::NotRun => 3,
+    });
+}
+
+fn take_cell_status(cursor: &mut Cursor<'_>) -> Option<CellStatus> {
+    Some(match cursor.take(1)?[0] {
+        0 => CellStatus::Pass,
+        1 => CellStatus::Warnings,
+        2 => CellStatus::Fail,
+        3 => CellStatus::NotRun,
+        _ => return None,
+    })
+}
+
+/// Serialises a campaign report for publication on the queue. The ticket
+/// is intentionally left out: it is meaningful only within one
+/// scheduler/coordinator instance, and the collector re-labels reports by
+/// its own submission order.
+pub fn encode_campaign_report(report: &CampaignReport) -> Vec<u8> {
+    let summary = &report.summary;
+    let mut out = Vec::with_capacity(summary.runs.len() * 96 + 64);
+    wire::put_u64(&mut out, report.completed_repetitions as u64);
+    out.push(report.cancelled as u8);
+    wire::put_u32(&mut out, summary.runs.len() as u32);
+    for run in &summary.runs {
+        wire::put_u64(&mut out, run.id.0);
+        wire::put_str(&mut out, &run.experiment);
+        wire::put_str(&mut out, &run.image_label);
+        wire::put_u64(&mut out, run.timestamp);
+        wire::put_u64(&mut out, run.passed as u64);
+        wire::put_u64(&mut out, run.failed as u64);
+        wire::put_u64(&mut out, run.skipped as u64);
+        out.push(run.successful as u8);
+    }
+    wire::put_u32(&mut out, summary.cells.len() as u32);
+    for ((experiment, group, image), status) in &summary.cells {
+        wire::put_str(&mut out, experiment);
+        wire::put_str(&mut out, group);
+        wire::put_str(&mut out, image);
+        put_cell_status(&mut out, *status);
+    }
+    wire::put_u32(&mut out, summary.image_labels.len() as u32);
+    for label in &summary.image_labels {
+        wire::put_str(&mut out, label);
+    }
+    out
+}
+
+/// Parses a report serialised by [`encode_campaign_report`], labelling it
+/// with the collector's ticket. `None` on any structural mismatch.
+pub fn decode_campaign_report(bytes: &[u8], ticket: CampaignTicket) -> Option<CampaignReport> {
+    let mut cursor = Cursor::new(bytes);
+    let completed_repetitions = cursor.take_u64()? as usize;
+    let cancelled = cursor.take(1)?[0] != 0;
+    let run_count = cursor.take_u32()?;
+    let mut runs = Vec::with_capacity(run_count as usize);
+    for _ in 0..run_count {
+        runs.push(RunRecord {
+            id: RunId(cursor.take_u64()?),
+            experiment: cursor.take_str()?,
+            image_label: cursor.take_str()?,
+            timestamp: cursor.take_u64()?,
+            passed: cursor.take_u64()? as usize,
+            failed: cursor.take_u64()? as usize,
+            skipped: cursor.take_u64()? as usize,
+            successful: cursor.take(1)?[0] != 0,
+        });
+    }
+    let cell_count = cursor.take_u32()?;
+    let mut cells = BTreeMap::new();
+    for _ in 0..cell_count {
+        let experiment = cursor.take_str()?;
+        let group = cursor.take_str()?;
+        let image = cursor.take_str()?;
+        let status = take_cell_status(&mut cursor)?;
+        cells.insert((experiment, group, image), status);
+    }
+    let label_count = cursor.take_u32()?;
+    let mut image_labels = Vec::with_capacity(label_count as usize);
+    for _ in 0..label_count {
+        image_labels.push(cursor.take_str()?);
+    }
+    cursor.finished().then_some(CampaignReport {
+        ticket,
+        summary: CampaignSummary {
+            runs,
+            cells,
+            image_labels,
+        },
+        completed_repetitions,
+        cancelled,
+    })
+}
+
+// ---- worker-stats codec ----------------------------------------------
+
+/// Serialises worker counters for the queue's `workers/` area.
+pub fn encode_worker_stats(stats: &WorkerStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    wire::put_u64(&mut out, stats.campaigns_drained);
+    wire::put_u64(&mut out, stats.runs_executed);
+    wire::put_u64(&mut out, stats.failures);
+    for value in [
+        stats.sched.campaigns_submitted as u64,
+        stats.sched.campaigns_admitted as u64,
+        stats.sched.campaigns_completed as u64,
+        stats.sched.campaigns_cancelled as u64,
+        stats.sched.rounds,
+        stats.sched.lanes_executed,
+        stats.sched.lanes_cancelled,
+        stats.sched.lanes_local,
+        stats.sched.lanes_stolen,
+    ] {
+        wire::put_u64(&mut out, value);
+    }
+    wire::put_u64(&mut out, stats.poll.worked);
+    wire::put_u64(&mut out, stats.poll.idle);
+    wire::put_u64(&mut out, stats.poll.slept.as_millis() as u64);
+    out
+}
+
+/// Parses counters serialised by [`encode_worker_stats`].
+pub fn decode_worker_stats(bytes: &[u8]) -> Option<WorkerStats> {
+    let mut cursor = Cursor::new(bytes);
+    let campaigns_drained = cursor.take_u64()?;
+    let runs_executed = cursor.take_u64()?;
+    let failures = cursor.take_u64()?;
+    let sched = ScheduleStats {
+        campaigns_submitted: cursor.take_u64()? as usize,
+        campaigns_admitted: cursor.take_u64()? as usize,
+        campaigns_completed: cursor.take_u64()? as usize,
+        campaigns_cancelled: cursor.take_u64()? as usize,
+        rounds: cursor.take_u64()?,
+        lanes_executed: cursor.take_u64()?,
+        lanes_cancelled: cursor.take_u64()?,
+        lanes_local: cursor.take_u64()?,
+        lanes_stolen: cursor.take_u64()?,
+    };
+    let poll = PollStats {
+        worked: cursor.take_u64()?,
+        idle: cursor.take_u64()?,
+        slept: Duration::from_millis(cursor.take_u64()?),
+    };
+    cursor.finished().then_some(WorkerStats {
+        campaigns_drained,
+        runs_executed,
+        failures,
+        sched,
+        poll,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_env::VmImageId;
+
+    fn sample_config() -> CampaignConfig {
+        CampaignConfig {
+            experiments: vec!["h1".into(), "zeus".into()],
+            images: vec![VmImageId(1), VmImageId(3)],
+            repetitions: 4,
+            run: RunConfig {
+                seed: 20131029,
+                scale: 0.25,
+                threads: 3,
+                description: "fleet".into(),
+                memoize: true,
+            },
+            interval_secs: 86_400,
+            options: CampaignOptions::memoized(),
+        }
+    }
+
+    #[test]
+    fn campaign_config_round_trip() {
+        let config = sample_config();
+        let bytes = encode_campaign_config(&config);
+        let decoded = decode_campaign_config(&bytes).expect("round trip");
+        assert_eq!(decoded.experiments, config.experiments);
+        assert_eq!(decoded.images, config.images);
+        assert_eq!(decoded.repetitions, config.repetitions);
+        assert_eq!(decoded.run.seed, config.run.seed);
+        assert_eq!(decoded.run.scale, config.run.scale);
+        assert_eq!(decoded.run.threads, config.run.threads);
+        assert_eq!(decoded.run.description, config.run.description);
+        assert_eq!(decoded.run.memoize, config.run.memoize);
+        assert_eq!(decoded.interval_secs, config.interval_secs);
+        assert_eq!(decoded.options, config.options);
+        assert!(decode_campaign_config(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_campaign_config(b"junk").is_none());
+    }
+
+    #[test]
+    fn campaign_report_round_trip() {
+        let mut cells = BTreeMap::new();
+        cells.insert(
+            (
+                "h1".to_string(),
+                "unit checks".to_string(),
+                "SL6".to_string(),
+            ),
+            CellStatus::Warnings,
+        );
+        cells.insert(
+            ("h1".to_string(), "MC chain".to_string(), "SL6".to_string()),
+            CellStatus::Fail,
+        );
+        let report = CampaignReport {
+            ticket: CampaignTicket::from_index(0),
+            summary: CampaignSummary {
+                runs: vec![RunRecord {
+                    id: RunId(42),
+                    experiment: "h1".into(),
+                    image_label: "SL6".into(),
+                    timestamp: 1_383_004_800,
+                    passed: 10,
+                    failed: 1,
+                    skipped: 2,
+                    successful: false,
+                }],
+                cells,
+                image_labels: vec!["SL6".into()],
+            },
+            completed_repetitions: 1,
+            cancelled: false,
+        };
+        let bytes = encode_campaign_report(&report);
+        let decoded =
+            decode_campaign_report(&bytes, CampaignTicket::from_index(7)).expect("round trip");
+        assert_eq!(decoded.ticket.index(), 7, "ticket is collector-assigned");
+        assert_eq!(decoded.summary, report.summary);
+        assert_eq!(decoded.completed_repetitions, 1);
+        assert!(!decoded.cancelled);
+        assert!(decode_campaign_report(&bytes[..bytes.len() - 1], report.ticket).is_none());
+    }
+
+    #[test]
+    fn worker_stats_round_trip_and_merge() {
+        let a = WorkerStats {
+            campaigns_drained: 2,
+            runs_executed: 10,
+            failures: 1,
+            sched: ScheduleStats {
+                campaigns_submitted: 2,
+                campaigns_admitted: 2,
+                campaigns_completed: 2,
+                campaigns_cancelled: 0,
+                rounds: 6,
+                lanes_executed: 12,
+                lanes_cancelled: 0,
+                lanes_local: 9,
+                lanes_stolen: 3,
+            },
+            poll: PollStats {
+                worked: 2,
+                idle: 5,
+                slept: Duration::from_millis(321),
+            },
+        };
+        let bytes = encode_worker_stats(&a);
+        assert_eq!(decode_worker_stats(&bytes), Some(a));
+        assert!(decode_worker_stats(&bytes[..bytes.len() - 1]).is_none());
+
+        let mut merged = a;
+        merged.merge(&a);
+        assert_eq!(merged.campaigns_drained, 4);
+        assert_eq!(merged.sched.lanes_executed, 24);
+        assert_eq!(merged.poll.slept, Duration::from_millis(642));
+    }
+}

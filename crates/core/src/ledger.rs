@@ -121,6 +121,44 @@ impl RunLedger {
         }
     }
 
+    /// Snapshot of the whole reference map — one `(experiment, test map)`
+    /// pair per experiment, in name order — for the warm-state exporter.
+    /// Together with [`absorb_references`](Self::absorb_references) this
+    /// is what lets a restarted system compare its first post-restore run
+    /// of each experiment against the pre-restart reference instead of
+    /// bootstrapping a new one.
+    pub fn export_references(&self) -> Vec<(String, BTreeMap<String, TestOutputs>)> {
+        self.references
+            .read()
+            .iter()
+            .map(|(experiment, tests)| (experiment.clone(), tests.clone()))
+            .collect()
+    }
+
+    /// Restores reference entries exported by
+    /// [`export_references`](Self::export_references). Entries merge
+    /// test-wise into the current map but **never overwrite** a reference
+    /// a live run has already promoted — on a restarted system the
+    /// snapshot only fills gaps, it cannot travel a reference back in
+    /// time. Returns how many test references were absorbed.
+    pub fn absorb_references(
+        &self,
+        entries: Vec<(String, BTreeMap<String, TestOutputs>)>,
+    ) -> usize {
+        let mut refs = self.references.write();
+        let mut absorbed = 0;
+        for (experiment, tests) in entries {
+            let entry = refs.entry(experiment).or_default();
+            for (test, outputs) in tests {
+                if let std::collections::btree_map::Entry::Vacant(slot) = entry.entry(test) {
+                    slot.insert(outputs);
+                    absorbed += 1;
+                }
+            }
+        }
+        absorbed
+    }
+
     /// Reference outputs for one test of an experiment, if any successful
     /// run has produced them.
     pub fn reference_outputs(&self, experiment: &str, test_id: &str) -> Option<TestOutputs> {
@@ -470,6 +508,33 @@ mod tests {
             ObjectId::for_bytes(b"out-1"),
             "restored to the captured state"
         );
+    }
+
+    #[test]
+    fn exported_references_absorb_without_clobbering_live_state() {
+        let ledger = RunLedger::new();
+        ledger.record(run(1, "h1", "SL5", true));
+        ledger.record(run(2, "zeus", "SL5", true));
+        let exported = ledger.export_references();
+        assert_eq!(exported.len(), 2);
+
+        // A cold ledger absorbs everything.
+        let restored = RunLedger::new();
+        assert_eq!(restored.absorb_references(exported.clone()), 2);
+        assert_eq!(
+            restored.reference_outputs("h1", "t1"),
+            ledger.reference_outputs("h1", "t1")
+        );
+        assert!(restored.has_reference("zeus"));
+
+        // A ledger that already promoted a *newer* reference keeps it:
+        // the snapshot fills gaps, it never travels references back.
+        let live = RunLedger::new();
+        live.record(run(9, "h1", "SL6", true));
+        let newer = live.reference_outputs("h1", "t1").unwrap();
+        assert_eq!(live.absorb_references(exported), 1, "only zeus is new");
+        assert_eq!(live.reference_outputs("h1", "t1").unwrap(), newer);
+        assert!(live.has_reference("zeus"));
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   into a planning phase ([`CampaignPlan`]) and two interchangeable
 //!   executors: the sequential [`Campaign`] oracle and the sharded,
 //!   work-stealing [`CampaignEngine`].
+//! * [`fleet`] — the distributed deployment shape of §3.1: a
+//!   [`Coordinator`] enqueues campaign plans onto the durable
+//!   [`sp_store::WorkQueue`] (pre-carved run-id ranges, recorded
+//!   origins), and [`Worker`] processes lease, execute and report them
+//!   back, with crash recovery via lease expiry and fencing tokens.
 //!
 //! ## Example
 //!
@@ -48,6 +53,7 @@ pub mod campaign;
 pub mod classify;
 pub mod compare;
 pub mod experiment;
+pub mod fleet;
 pub mod inputs;
 pub mod ledger;
 pub mod preservation;
@@ -67,6 +73,9 @@ pub use campaign::{
 pub use classify::{classify, Diagnosis};
 pub use compare::{Comparator, CompareOutcome, TestOutput};
 pub use experiment::ExperimentDef;
+pub use fleet::{
+    fleet_stats, Coordinator, FleetError, FleetStats, FleetTicket, Worker, WorkerStats,
+};
 pub use inputs::{Assignee, InputCategory};
 pub use ledger::{PruneReport, RunLedger};
 pub use preservation::PreservationLevel;

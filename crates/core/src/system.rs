@@ -318,6 +318,15 @@ impl SpSystem {
         RunId(self.run_ids.fetch_add(count, Ordering::SeqCst))
     }
 
+    /// Moves the run-id cursor forward so the next reservation starts at
+    /// `next` or later (never backwards). The fleet worker calls this
+    /// when executing a plan whose id range was pre-carved on the
+    /// coordinator, so local reservations cannot collide with handed-off
+    /// ranges.
+    pub fn advance_run_ids_past(&self, next: u64) {
+        self.run_ids.fetch_max(next, Ordering::SeqCst);
+    }
+
     /// Runs the full validation of one experiment on one image: the §3.1
     /// (ii) regular build plus all validation tests, with bookkeeping.
     pub fn run_validation(
@@ -1263,6 +1272,15 @@ impl SpSystem {
         }
         snapshot.sections.push(builds);
 
+        let mut references = SnapshotSection::new(warm::SECTION_LEDGER_REFS);
+        for (experiment, tests) in self.ledger.export_references() {
+            references.push(
+                experiment.into_bytes(),
+                warm::encode_reference_tests(&tests),
+            );
+        }
+        snapshot.sections.push(references);
+
         snapshot.encode()
     }
 
@@ -1361,6 +1379,27 @@ impl SpSystem {
                     }
                     _ => report.entries_rejected += 1,
                 }
+            }
+        }
+
+        if let Some(section) = snapshot.section(warm::SECTION_LEDGER_REFS) {
+            for (key, value) in &section.entries {
+                let experiment = String::from_utf8(key.clone()).ok();
+                let tests = warm::decode_reference_tests(value);
+                let (Some(experiment), Some(mut tests)) = (experiment, tests) else {
+                    report.entries_rejected += 1;
+                    continue;
+                };
+                // Per-test trust: a reference whose conserved outputs were
+                // pruned (or rotted) from the content store cannot be
+                // compared against — drop exactly those tests, keep the
+                // rest. Absorption never overwrites a reference a live
+                // run already promoted.
+                let before = tests.len();
+                tests.retain(|_, outputs| outputs.iter().all(|(_, oid)| content.contains(*oid)));
+                report.entries_rejected += before - tests.len();
+                report.ledger_reference_entries +=
+                    self.ledger.absorb_references(vec![(experiment, tests)]);
             }
         }
 
@@ -1474,6 +1513,9 @@ pub struct WarmRestoreReport {
     pub chain_memo_entries: usize,
     /// Build-memo entries restored (every artifact present).
     pub build_memo_entries: usize,
+    /// Ledger reference tests restored (every output present), so the
+    /// first post-restore run compares instead of bootstrapping.
+    pub ledger_reference_entries: usize,
     /// Entries that passed the container digest but failed decoding or
     /// referenced absent objects — dropped, never trusted.
     pub entries_rejected: usize,
@@ -1488,6 +1530,7 @@ impl WarmRestoreReport {
             + self.output_memo_entries
             + self.chain_memo_entries
             + self.build_memo_entries
+            + self.ledger_reference_entries
     }
 }
 
@@ -1981,6 +2024,59 @@ mod tests {
         assert!(
             replayed.id > first.id,
             "the restored run-id cursor never reuses ids"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restored_ledger_references_make_the_first_run_compare() {
+        // A system earns a reference, checkpoints, and restarts. The
+        // restored ledger must carry the reference map: the first
+        // post-restore run of the experiment reports comparisons against
+        // the pre-restart reference instead of bootstrapping a new one.
+        let original = SpSystem::new();
+        let image = original
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        original.register_experiment(tiny_experiment()).unwrap();
+        let first = original.run_validation("tiny", image, &config()).unwrap();
+        assert!(first.is_successful());
+        let dir = std::env::temp_dir().join(format!("sp-ledger-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        original.export_to_dir(&dir).unwrap();
+
+        let restarted = SpSystem::new();
+        let summary = restarted.import_from_dir(&dir).unwrap();
+        assert!(summary.warm_state_error.is_none(), "{summary:?}");
+        assert!(
+            summary.warm.ledger_reference_entries > 0,
+            "the reference map must restore: {summary:?}"
+        );
+        assert!(
+            restarted.ledger().has_reference("tiny"),
+            "references exist before any post-restore run"
+        );
+        let image = restarted
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        restarted.register_experiment(tiny_experiment()).unwrap();
+
+        let replayed = restarted.run_validation("tiny", image, &config()).unwrap();
+        let compared = replayed
+            .results
+            .iter()
+            .filter(|r| r.compare.is_some())
+            .count();
+        assert!(
+            compared > 0,
+            "the first post-restore run must compare, not bootstrap"
+        );
+        assert!(
+            replayed
+                .results
+                .iter()
+                .any(|r| matches!(r.compare, Some(CompareOutcome::Identical))),
+            "an unchanged platform reproduces the pre-restart reference bit-for-bit"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -31,6 +31,10 @@ pub(crate) const SECTION_OUTPUT_MEMO: &str = "output-memo";
 pub(crate) const SECTION_CHAIN_MEMO: &str = "chain-memo";
 /// Section holding build-memo entries (`RunKey → BuildReport`).
 pub(crate) const SECTION_BUILD_MEMO: &str = "build-memo";
+/// Section holding the run ledger's reference map (`experiment → per-test
+/// reference outputs`), so the first post-restore run of each experiment
+/// has something to compare against instead of bootstrapping.
+pub(crate) const SECTION_LEDGER_REFS: &str = "ledger-references";
 
 // ---- object ids ------------------------------------------------------
 
@@ -185,6 +189,47 @@ pub(crate) fn decode_chain(bytes: &[u8]) -> Option<MemoizedChain> {
     cursor.finished().then_some(MemoizedChain { stages })
 }
 
+// ---- ledger references -----------------------------------------------
+
+/// Serialises one experiment's reference map: `test id → named outputs`.
+pub(crate) fn encode_reference_tests(
+    tests: &BTreeMap<String, crate::ledger::TestOutputs>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(tests.len() * 96);
+    wire::put_u32(&mut out, tests.len() as u32);
+    for (test, outputs) in tests {
+        wire::put_str(&mut out, test);
+        wire::put_u32(&mut out, outputs.len() as u32);
+        for (name, oid) in outputs {
+            wire::put_str(&mut out, name);
+            put_object_id(&mut out, *oid);
+        }
+    }
+    out
+}
+
+/// Parses one experiment's reference map serialised by
+/// [`encode_reference_tests`]. `None` on any structural mismatch.
+pub(crate) fn decode_reference_tests(
+    bytes: &[u8],
+) -> Option<BTreeMap<String, crate::ledger::TestOutputs>> {
+    let mut cursor = Cursor::new(bytes);
+    let test_count = cursor.take_u32()?;
+    let mut tests = BTreeMap::new();
+    for _ in 0..test_count {
+        let test = cursor.take_str()?;
+        let output_count = cursor.take_u32()?;
+        let mut outputs = Vec::with_capacity(output_count as usize);
+        for _ in 0..output_count {
+            let name = cursor.take_str()?;
+            let oid = take_object_id(&mut cursor)?;
+            outputs.push((name, oid));
+        }
+        tests.insert(test, outputs);
+    }
+    cursor.finished().then_some(tests)
+}
+
 // ---- build memo ------------------------------------------------------
 
 fn put_build_status(out: &mut Vec<u8>, status: &BuildStatus) {
@@ -329,6 +374,26 @@ mod tests {
             assert_eq!(take_status(&mut cursor).as_ref(), Some(status));
             assert!(cursor.finished());
         }
+    }
+
+    #[test]
+    fn reference_map_round_trip() {
+        let mut tests: BTreeMap<String, crate::ledger::TestOutputs> = BTreeMap::new();
+        tests.insert(
+            "h1/unit/util-0".into(),
+            vec![("result".into(), ObjectId::for_bytes(b"r0"))],
+        );
+        tests.insert(
+            "h1/chain/nc/analysis".into(),
+            vec![
+                ("histograms".into(), ObjectId::for_bytes(b"h")),
+                ("events.dst".into(), ObjectId::for_bytes(b"d")),
+            ],
+        );
+        let bytes = encode_reference_tests(&tests);
+        assert_eq!(decode_reference_tests(&bytes), Some(tests));
+        assert!(decode_reference_tests(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_reference_tests(b"junk").is_none());
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Multi-process fleet equivalence.
+//!
+//! The contract of the distributed queue (`sp_store::wq` +
+//! `sp_core::fleet`): N independent workers — each with its **own**
+//! `SpSystem`, sharing nothing but the queue directory — drain one
+//! campaign backlog, and every campaign's report is byte-identical to the
+//! solo single-process oracle, with each executing worker's ledger holding
+//! exactly the campaign's pre-reserved run-id range in order. A worker
+//! that dies mid-campaign loses its lease at expiry, the work is
+//! re-leased under the next fencing generation, and the zombie can
+//! neither publish nor corrupt the collected results.
+//!
+//! Workers here are threads *with fully isolated systems and their own
+//! queue handles* — the same sharing surface as separate OS processes
+//! (the `repro-fleet` binary exercises the real `fork`/`exec` shape).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
+use sp_core::fleet::{self, Coordinator, Worker, WorkerStats};
+use sp_core::{
+    Campaign, CampaignConfig, CampaignOptions, ExperimentDef, PreservationLevel, RunConfig,
+    SpSystem, TestKind, TestSuite, ValidationTest,
+};
+use sp_env::{catalog, Arch, CodeTrait, Version, VmImageId};
+use sp_exec::ChainDef;
+use sp_store::{TimeSource, WorkQueue, WqError};
+
+/// A compact experiment (same construction as the campaign-equivalence
+/// suite): compile + unit + standalone + a tiny MC chain, optionally with
+/// a latent 64-bit bug so grids exercise comparison failures too.
+fn experiment(name: &str, buggy: bool) -> ExperimentDef {
+    let mut lib = Package::new("lib", Version::new(1, 2, 0), PackageKind::Library);
+    if buggy {
+        lib = lib.with_trait(CodeTrait::PointerSizeAssumption { shift_sigma: 6.0 });
+    }
+    let graph = DependencyGraph::from_packages([
+        lib,
+        Package::new("ana", Version::new(2, 0, 0), PackageKind::Analysis).dep("lib"),
+    ])
+    .unwrap();
+    let mut suite = TestSuite::new(name, PreservationLevel::FullSoftware);
+    for pkg in ["lib", "ana"] {
+        suite
+            .add(ValidationTest::new(
+                format!("{name}/compile/{pkg}"),
+                name,
+                "compilation",
+                TestKind::Compile {
+                    package: PackageId::new(pkg),
+                },
+            ))
+            .unwrap();
+    }
+    suite
+        .add(ValidationTest::new(
+            format!("{name}/unit/lib-0"),
+            name,
+            "unit checks",
+            TestKind::UnitCheck {
+                package: PackageId::new("lib"),
+                check_index: 0,
+            },
+        ))
+        .unwrap();
+    let stage_packages: BTreeMap<String, PackageId> = [
+        ("mcgen", "lib"),
+        ("sim", "lib"),
+        ("dst", "lib"),
+        ("microdst", "lib"),
+        ("analysis", "ana"),
+        ("validation", "ana"),
+    ]
+    .into_iter()
+    .map(|(stage, pkg)| (stage.to_string(), PackageId::new(pkg)))
+    .collect();
+    suite
+        .add(ValidationTest::new(
+            format!("{name}/chain/nc"),
+            name,
+            "MC chain",
+            TestKind::Chain {
+                chain: ChainDef::full_analysis_chain("nc"),
+                stage_packages,
+                events: 10,
+            },
+        ))
+        .unwrap();
+    ExperimentDef {
+        name: name.into(),
+        color: "blue",
+        graph,
+        suite,
+        entry_points: vec![PackageId::new("ana")],
+    }
+}
+
+const EXPERIMENTS: [(&str, bool); 3] = [("alpha", false), ("beta", true), ("gamma", false)];
+
+/// A fresh, identically prepared system — what every process of the fleet
+/// builds for itself from code (only *state* crosses processes).
+fn fresh_system() -> (SpSystem, Vec<VmImageId>) {
+    let system = SpSystem::new();
+    let images = vec![
+        system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap(),
+        system
+            .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+            .unwrap(),
+    ];
+    for (name, buggy) in EXPERIMENTS {
+        system.register_experiment(experiment(name, buggy)).unwrap();
+    }
+    (system, images)
+}
+
+fn subset<T: Clone>(pool: &[T], mask: usize) -> Vec<T> {
+    pool.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+fn config_for(
+    experiments: Vec<String>,
+    images: Vec<VmImageId>,
+    repetitions: usize,
+    memoize: bool,
+) -> CampaignConfig {
+    CampaignConfig {
+        experiments,
+        images,
+        repetitions,
+        run: RunConfig {
+            scale: 0.01,
+            threads: 2,
+            ..RunConfig::default()
+        },
+        interval_secs: 3_600,
+        options: CampaignOptions { memoize },
+    }
+}
+
+fn temp_queue_dir(tag: &str) -> std::path::PathBuf {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "sp-fleet-{tag}-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+proptest! {
+    /// The headline acceptance property: for random experiment
+    /// partitions, image subsets, repetition counts, fleet sizes and
+    /// memoization, N isolated workers racing on one queue produce, for
+    /// **every** campaign,
+    ///
+    /// * a report byte-identical to the solo sequential oracle, and
+    /// * a ledger (on whichever worker executed it) holding exactly the
+    ///   campaign's pre-reserved run-id range in ascending order,
+    ///
+    /// no matter how the leases interleave across workers.
+    #[test]
+    fn fleet_drained_reports_match_solo_oracles(
+        assignment in prop::collection::vec(0usize..3, 3),
+        img_masks in prop::collection::vec(1usize..4, 3),
+        repetitions in prop::collection::vec(1usize..=2, 3),
+        fleet_size in 1usize..=3,
+        memoize in prop::bool::ANY,
+    ) {
+        let experiment_pool: Vec<String> =
+            EXPERIMENTS.iter().map(|(n, _)| n.to_string()).collect();
+        let mut partitions: Vec<Vec<String>> = vec![Vec::new(); 3];
+        for (experiment, &slot) in experiment_pool.iter().zip(&assignment) {
+            partitions[slot].push(experiment.clone());
+        }
+        let campaigns: Vec<(Vec<String>, usize, usize)> = partitions
+            .into_iter()
+            .zip(img_masks)
+            .zip(repetitions)
+            .filter(|((experiments, _), _)| !experiments.is_empty())
+            .map(|((experiments, img_mask), reps)| (experiments, img_mask, reps))
+            .collect();
+        prop_assume!(!campaigns.is_empty());
+
+        let dir = temp_queue_dir("prop");
+        let queue = WorkQueue::open(&dir, 3_600).expect("queue dir");
+
+        // Coordinator: pre-carve ids, record origins, enqueue.
+        let (coordinator_system, coordinator_images) = fresh_system();
+        let origin = coordinator_system.clock().now();
+        let mut coordinator = Coordinator::new(&coordinator_system, &queue);
+        let mut submitted = Vec::new();
+        for (experiments, img_mask, reps) in &campaigns {
+            let images = subset(&coordinator_images, *img_mask);
+            let config = config_for(experiments.clone(), images, *reps, memoize);
+            let ticket = coordinator.submit(config).expect("disjoint submission");
+            let range = coordinator.reserved_run_ids(ticket).expect("carved range");
+            submitted.push((ticket, range));
+        }
+
+        // The fleet: isolated systems, own queue handles, racing drains.
+        let dir_for_workers = dir.clone();
+        let worker_ledgers: Vec<(WorkerStats, Vec<(u64, String)>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..fleet_size)
+                    .map(|w| {
+                        let dir = dir_for_workers.clone();
+                        scope.spawn(move || {
+                            let queue = WorkQueue::open(&dir, 3_600).expect("worker queue");
+                            let (system, _) = fresh_system();
+                            let worker =
+                                Worker::new(&system, &queue, format!("w{w}"), 2).with_patience(400);
+                            let stats = worker.drain();
+                            let ids = system
+                                .ledger()
+                                .runs()
+                                .iter()
+                                .map(|run| (run.id.0, run.experiment.clone()))
+                                .collect();
+                            (stats, ids)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+        prop_assert!(coordinator.drained(), "the backlog must fully drain");
+        let reports = coordinator.collect();
+        prop_assert_eq!(reports.len(), campaigns.len());
+
+        let drained_total: u64 = worker_ledgers
+            .iter()
+            .map(|(stats, _)| stats.campaigns_drained)
+            .sum();
+        prop_assert_eq!(drained_total as usize, campaigns.len());
+
+        for (((experiments, img_mask, reps), (ticket, (first, last))), report) in
+            campaigns.iter().zip(&submitted).zip(&reports)
+        {
+            let report = report.as_ref().expect("report published");
+            prop_assert_eq!(report.ticket.index(), ticket.index());
+            prop_assert!(!report.cancelled);
+            prop_assert_eq!(report.completed_repetitions, *reps);
+
+            // Solo oracle: fresh system, cursor pre-advanced to the
+            // reserved base, same origin, strictly sequential execution.
+            let (oracle_system, oracle_images) = fresh_system();
+            prop_assert_eq!(oracle_system.clock().now(), origin);
+            if first.0 > 1 {
+                oracle_system.reserve_run_ids(first.0 - 1);
+            }
+            let images = subset(&oracle_images, *img_mask);
+            let config = config_for(experiments.clone(), images, *reps, memoize);
+            let oracle = Campaign::new(&oracle_system, config)
+                .execute()
+                .expect("oracle campaign");
+            prop_assert_eq!(
+                &report.summary,
+                &oracle,
+                "fleet report must be byte-identical to the solo oracle"
+            );
+            // Byte-identical holds literally on the wire too.
+            prop_assert_eq!(
+                fleet::encode_campaign_report(report),
+                fleet::encode_campaign_report(&sp_core::CampaignReport {
+                    ticket: report.ticket,
+                    summary: oracle,
+                    completed_repetitions: *reps,
+                    cancelled: false,
+                })
+            );
+
+            // Exactly one worker executed the campaign, and its ledger
+            // holds exactly the reserved range in ascending order.
+            let expected: Vec<u64> = (first.0..=last.0).collect();
+            let holders: Vec<Vec<u64>> = worker_ledgers
+                .iter()
+                .map(|(_, ids)| {
+                    ids.iter()
+                        .filter(|(_, experiment)| experiments.contains(experiment))
+                        .map(|(id, _)| *id)
+                        .collect::<Vec<u64>>()
+                })
+                .filter(|ids| !ids.is_empty())
+                .collect();
+            prop_assert_eq!(holders.len(), 1, "one executor per campaign");
+            prop_assert_eq!(
+                &holders[0],
+                &expected,
+                "executor ledger must hold exactly the pre-reserved range in order"
+            );
+        }
+
+        // The published fleet digest agrees with the per-thread stats.
+        let digest = fleet::fleet_stats(&queue);
+        prop_assert_eq!(digest.queue.submissions, campaigns.len());
+        prop_assert_eq!(digest.queue.completed, campaigns.len());
+        prop_assert_eq!(digest.drained.campaigns_drained, drained_total);
+        prop_assert_eq!(digest.queue.corrupt_dropped, 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A settable clock shared by the queue handles of one test, standing in
+/// for the wall clock all processes of a real fleet share.
+struct SharedClock(AtomicU64);
+
+impl TimeSource for SharedClock {
+    fn now_secs(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Crash recovery: a worker leases a campaign and dies without ever
+/// publishing. After lease expiry a second worker re-leases the work
+/// under the next fencing generation and completes it; the report is
+/// byte-identical to the solo oracle, and the zombie's late commit is
+/// rejected by the fencing token.
+#[test]
+fn crashed_worker_is_reclaimed_and_fenced() {
+    let dir = temp_queue_dir("crash");
+    let clock = Arc::new(SharedClock(AtomicU64::new(10_000)));
+    let queue = WorkQueue::open_with_time(&dir, 60, clock.clone()).expect("queue dir");
+
+    let (coordinator_system, images) = fresh_system();
+    let origin = coordinator_system.clock().now();
+    let mut coordinator = Coordinator::new(&coordinator_system, &queue);
+    let config = config_for(
+        vec!["alpha".into(), "beta".into()],
+        images.clone(),
+        2,
+        false,
+    );
+    let ticket = coordinator.submit(config).expect("submission");
+    let (first, last) = coordinator.reserved_run_ids(ticket).unwrap();
+
+    // Worker 1 leases the campaign and crashes mid-flight: no heartbeat,
+    // no publish, no release.
+    let doomed_lease = queue
+        .try_lease(ticket.seq(), "doomed")
+        .expect("queue io")
+        .expect("claimable");
+    assert!(
+        queue.lease_next("survivor").expect("queue io").is_none(),
+        "a live lease blocks re-claiming"
+    );
+
+    // The lease runs out (boundary-inclusive: dead at exactly expires_at).
+    clock.0.fetch_add(60, Ordering::SeqCst);
+
+    // Worker 2 drains the backlog on its own isolated system.
+    let (survivor_system, _) = fresh_system();
+    let survivor = Worker::new(&survivor_system, &queue, "survivor", 2).with_patience(50);
+    let stats = survivor.drain();
+    assert_eq!(stats.campaigns_drained, 1);
+    assert!(queue.drained());
+    assert_eq!(queue.stats().reclaims, 1, "generation 2 re-leased the work");
+
+    // The zombie's stale commit bounces off the fencing token.
+    match queue.publish_report(&doomed_lease, b"stale") {
+        Err(WqError::StaleLease { held, current, .. }) => {
+            assert_eq!(held, 1);
+            assert_eq!(current, 2);
+        }
+        other => panic!("stale commit must be fenced, got {other:?}"),
+    }
+
+    // The collected report equals the solo oracle.
+    let report = coordinator.collect().remove(0).expect("report published");
+    assert!(!report.cancelled);
+    let (oracle_system, oracle_images) = fresh_system();
+    assert_eq!(oracle_system.clock().now(), origin);
+    oracle_system.reserve_run_ids(first.0 - 1);
+    let oracle = Campaign::new(
+        &oracle_system,
+        config_for(vec!["alpha".into(), "beta".into()], oracle_images, 2, false),
+    )
+    .execute()
+    .expect("oracle campaign");
+    assert_eq!(
+        report.summary, oracle,
+        "the re-leased campaign reports exactly what the oracle does"
+    );
+
+    // The survivor's ledger holds exactly the reserved range in order.
+    let ids: Vec<u64> = survivor_system
+        .ledger()
+        .runs()
+        .iter()
+        .map(|run| run.id.0)
+        .collect();
+    assert_eq!(ids, (first.0..=last.0).collect::<Vec<u64>>());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt queue file is dropped, never executed: flipping a byte of a
+/// submission makes it invisible to workers (and counted), while intact
+/// submissions still drain.
+#[test]
+fn corrupt_submission_is_never_leased() {
+    let dir = temp_queue_dir("corrupt");
+    let queue = WorkQueue::open(&dir, 3_600).expect("queue dir");
+
+    let (coordinator_system, images) = fresh_system();
+    let mut coordinator = Coordinator::new(&coordinator_system, &queue);
+    let victim = coordinator
+        .submit(config_for(vec!["alpha".into()], images.clone(), 1, false))
+        .expect("first submission");
+    let intact = coordinator
+        .submit(config_for(vec!["gamma".into()], images, 1, false))
+        .expect("second submission");
+
+    // Bit-rot on the shared medium hits the first submission.
+    let path = dir.join(format!("submissions/sub-{:08}.spwq", victim.seq()));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, bytes).unwrap();
+
+    let (worker_system, _) = fresh_system();
+    let worker = Worker::new(&worker_system, &queue, "w0", 2).with_patience(3);
+    let stats = worker.drain();
+    assert_eq!(
+        stats.campaigns_drained, 1,
+        "only the intact submission executes"
+    );
+    let reports = coordinator.collect();
+    assert!(reports[victim.index()].is_none(), "corrupt work never ran");
+    assert!(reports[intact.index()].is_some());
+    assert!(queue.stats().corrupt_dropped > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,6 +11,9 @@
 //! * [`cron`] — cron expressions and next-fire computation.
 //! * [`job`] — job specifications, unique job ids, job results.
 //! * [`client`] — client machines and the two joining requirements.
+//! * [`poll`] — pull-model polling primitives: jittered exponential
+//!   backoff and the idle-bounded poll loop fleet workers drain a shared
+//!   queue with.
 //! * [`pool`] — the generic work-stealing scheduler: per-worker deques,
 //!   oldest-first stealing, results in task-index order.
 //! * [`sched`] — fair-share lane dispatch over one shared pool:
@@ -40,6 +43,7 @@ pub mod client;
 pub mod clock;
 pub mod cron;
 pub mod job;
+pub mod poll;
 pub mod pool;
 pub mod queue;
 pub mod sched;
@@ -49,6 +53,7 @@ pub use client::{Client, ClientError, ClientKind};
 pub use clock::VirtualClock;
 pub use cron::{CronError, CronSchedule};
 pub use job::{JobId, JobIdGenerator, JobResult, JobSpec, JobStatus};
+pub use poll::{Backoff, PollLoop, PollOutcome, PollStats};
 pub use pool::{PoolStats, WorkStealingPool};
 pub use queue::JobPool;
 pub use sched::{CampaignId, CancellationToken, Lane, LaneScheduler, LaneSchedulerStats};

@@ -37,5 +37,5 @@ pub use diagram::figure1_diagram;
 pub use html::{matrix_page, run_index_page, run_page};
 pub use json::JsonValue;
 pub use matrix::render_matrix;
-pub use summary::{campaign_stats, render_scheduler_stats};
+pub use summary::{campaign_stats, render_fleet_stats, render_scheduler_stats};
 pub use table::TextTable;

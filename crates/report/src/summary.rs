@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use sp_core::{CampaignSummary, ScheduleStats};
+use sp_core::{CampaignSummary, FleetStats, ScheduleStats};
 use sp_store::DigestCacheStats;
 
 use crate::json::JsonValue;
@@ -119,6 +119,68 @@ pub fn render_scheduler_stats(
     table.render()
 }
 
+/// Renders the cross-process fleet digest: queue accounting from the
+/// shared directory plus every worker's published counters merged into
+/// one total (`ScheduleStats::merge` / `WorkerStats::merge`, so nothing
+/// is double counted however many processes contributed).
+pub fn render_fleet_stats(stats: &FleetStats) -> String {
+    let mut table = TextTable::new(&["fleet", "value"]).align(&[Align::Left, Align::Right]);
+    table.row_owned(vec![
+        "queue submissions".into(),
+        stats.queue.submissions.to_string(),
+    ]);
+    table.row_owned(vec![
+        "queue completed".into(),
+        stats.queue.completed.to_string(),
+    ]);
+    table.row_owned(vec![
+        "leases issued".into(),
+        stats.queue.leases_issued.to_string(),
+    ]);
+    table.row_owned(vec![
+        "crash reclaims".into(),
+        stats.queue.reclaims.to_string(),
+    ]);
+    table.row_owned(vec![
+        "corrupt records dropped".into(),
+        stats.queue.corrupt_dropped.to_string(),
+    ]);
+    table.row_owned(vec!["worker processes".into(), stats.workers.to_string()]);
+    table.row_owned(vec![
+        "campaigns drained".into(),
+        stats.drained.campaigns_drained.to_string(),
+    ]);
+    table.row_owned(vec![
+        "runs executed".into(),
+        stats.drained.runs_executed.to_string(),
+    ]);
+    table.row_owned(vec![
+        "drain failures".into(),
+        stats.drained.failures.to_string(),
+    ]);
+    table.row_owned(vec![
+        "scheduler rounds".into(),
+        stats.drained.sched.rounds.to_string(),
+    ]);
+    table.row_owned(vec![
+        "lanes executed".into(),
+        stats.drained.sched.lanes_executed.to_string(),
+    ]);
+    table.row_owned(vec![
+        "lane steals".into(),
+        stats.drained.sched.lanes_stolen.to_string(),
+    ]);
+    table.row_owned(vec![
+        "idle polls".into(),
+        stats.drained.poll.idle.to_string(),
+    ]);
+    table.row_owned(vec![
+        "time slept".into(),
+        format!("{} ms", stats.drained.poll.slept.as_millis()),
+    ]);
+    table.render()
+}
+
 /// Exports a campaign summary as JSON.
 pub fn campaign_json(summary: &CampaignSummary) -> JsonValue {
     let runs: Vec<JsonValue> = summary
@@ -228,6 +290,40 @@ mod tests {
         assert!(rendered.contains("lane steals"));
         assert!(rendered.contains("9 (75% of 12)"));
         assert!(rendered.contains("campaigns cancelled"));
+    }
+
+    #[test]
+    fn fleet_digest_renders_merged_counters() {
+        use sp_core::WorkerStats;
+        let mut drained = WorkerStats::default();
+        drained.merge(&WorkerStats {
+            campaigns_drained: 3,
+            runs_executed: 42,
+            failures: 1,
+            sched: ScheduleStats {
+                rounds: 9,
+                lanes_executed: 18,
+                lanes_stolen: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let stats = FleetStats {
+            queue: sp_store::QueueStats {
+                submissions: 4,
+                completed: 4,
+                leases_issued: 5,
+                reclaims: 1,
+                corrupt_dropped: 0,
+            },
+            workers: 2,
+            drained,
+        };
+        let rendered = render_fleet_stats(&stats);
+        assert!(rendered.contains("crash reclaims"));
+        assert!(rendered.contains("worker processes"));
+        assert!(rendered.contains("campaigns drained"));
+        assert!(rendered.contains("42"));
     }
 
     #[test]

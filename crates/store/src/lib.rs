@@ -33,6 +33,10 @@
 //!   memo and digest-cache entries conserved alongside the exported
 //!   storage, digest-guarded so a restarted system never trusts a
 //!   corrupted entry.
+//! * [`wq`] — the durable multi-process work queue over a storage
+//!   directory: digest-guarded submissions, lease generations with
+//!   heartbeat/expiry, and fencing tokens so a stalled worker whose lease
+//!   was re-issued can never commit stale results.
 //!
 //! ## Example
 //!
@@ -58,6 +62,7 @@ pub mod sha256;
 pub mod shared;
 pub mod snapshot;
 pub mod vault;
+pub mod wq;
 
 pub use archive::{Archive, ArchiveEntry};
 pub use content::ContentStore;
@@ -71,6 +76,7 @@ pub use sha256::HashingWriter;
 pub use shared::{ExportSummary, ImportSummary, SharedStorage, StorageArea};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotLoadReport, SnapshotSection};
 pub use vault::{FrozenImage, FrozenVault};
+pub use wq::{Lease, QueueStats, QueueSubmission, SystemTimeSource, WorkQueue, WqError};
 
 /// Errors produced by the storage substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

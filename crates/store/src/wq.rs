@@ -1,0 +1,934 @@
+//! The durable work queue over the common storage directory.
+//!
+//! The paper's deployment did not run on one machine: a central server held
+//! the backlog of validation work and many client machines *pulled* tasks,
+//! executed them against their local software environment and reported the
+//! results back through the common storage (§3.1). This module is that
+//! hand-off substrate: a queue of opaque submissions on disk that N
+//! independent OS processes drain concurrently, with crash recovery.
+//!
+//! ## Layout on disk
+//!
+//! ```text
+//! <root>/submissions/sub-<seq>.spwq        one enqueued unit of work
+//! <root>/leases/sub-<seq>.g<token>         lease generations (fencing)
+//! <root>/reports/sub-<seq>.g<token>.rep    published results, per token
+//! <root>/workers/<holder>.stats            per-worker counters (opaque)
+//! <root>/tmp/...                           staging for atomic renames
+//! ```
+//!
+//! ## Leases, heartbeats, fencing
+//!
+//! A submission is *claimed* by atomically creating the next lease
+//! **generation** file `sub-<seq>.g<token>` (staged bytes hard-linked into
+//! place, so creation is both exclusive and all-or-nothing); the
+//! link-if-absent semantics of the filesystem make each generation number
+//! a single-winner race, so two processes can never hold the same token. The holder renews the lease
+//! by [`heartbeat`](WorkQueue::heartbeat); a lease whose `expires_at` has
+//! been reached (`now >= expires_at` — expiry is inclusive at the
+//! boundary) is dead, and the submission becomes claimable again under the
+//! *next* generation.
+//!
+//! The generation number doubles as the **fencing token**: publishing a
+//! report records the token it was produced under, and a report is only
+//! ever trusted if its token equals the submission's *current highest*
+//! generation. A stalled worker whose lease expired and was re-issued can
+//! therefore never commit stale results — its
+//! [`publish_report`](WorkQueue::publish_report) is rejected with
+//! [`WqError::StaleLease`], and even a file it managed to write is ignored
+//! at collection time because a higher generation exists.
+//!
+//! ## Trust rules
+//!
+//! Same posture as the `SPWS` snapshots: every record on disk carries a
+//! SHA-256 digest over its bytes, and a record that fails validation —
+//! truncated, bit-flipped, wrong magic — is **dropped, never trusted**. A
+//! corrupt submission is never leased; a corrupt report reads as absent
+//! (the work is re-leased and re-executed); a corrupt lease is treated as
+//! expired (its generation number stays burned so fencing still holds).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::retention::TimeSource;
+use crate::sha256::Sha256;
+
+/// Record magic for submissions.
+const MAGIC_SUBMISSION: [u8; 4] = *b"SPWQ";
+/// Record magic for leases.
+const MAGIC_LEASE: [u8; 4] = *b"SPWL";
+/// Record magic for reports.
+const MAGIC_REPORT: [u8; 4] = *b"SPWR";
+/// Record magic for worker stats.
+const MAGIC_WORKER: [u8; 4] = *b"SPWT";
+
+/// Current wire version of all queue records.
+const WQ_VERSION: u32 = 1;
+
+/// Reads "now" from the operating-system clock — the time source a real
+/// multi-process fleet shares, since the virtual clock of one process is
+/// invisible to its siblings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemTimeSource;
+
+impl TimeSource for SystemTimeSource {
+    fn now_secs(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0)
+    }
+}
+
+/// Errors from lease-protocol operations (I/O failures are surfaced as
+/// [`WqError::Io`]; fencing violations get their own variants so callers
+/// can distinguish "retry elsewhere" from "broken disk").
+#[derive(Debug)]
+pub enum WqError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The operation's fencing token is no longer the submission's current
+    /// lease generation — the lease expired and the work was re-issued.
+    StaleLease {
+        /// Submission the operation addressed.
+        seq: u64,
+        /// Token the caller holds.
+        held: u64,
+        /// Current highest generation on disk.
+        current: u64,
+    },
+    /// The lease record on disk does not name the caller as holder (or is
+    /// corrupt), so the caller cannot operate on it.
+    NotHeld {
+        /// Submission the operation addressed.
+        seq: u64,
+        /// Token the caller claimed to hold.
+        token: u64,
+    },
+    /// The lease was already released; releasing (or renewing) it again is
+    /// a protocol error, not a no-op.
+    AlreadyReleased {
+        /// Submission the operation addressed.
+        seq: u64,
+        /// Token of the doubly-released lease.
+        token: u64,
+    },
+    /// The lease has expired (`now >= expires_at`): it can no longer be
+    /// renewed or used to publish.
+    Expired {
+        /// Submission the operation addressed.
+        seq: u64,
+        /// Token of the expired lease.
+        token: u64,
+    },
+}
+
+impl std::fmt::Display for WqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WqError::Io(e) => write!(f, "work-queue I/O failure: {e}"),
+            WqError::StaleLease { seq, held, current } => write!(
+                f,
+                "stale lease on submission {seq}: held token {held}, current generation {current}"
+            ),
+            WqError::NotHeld { seq, token } => {
+                write!(f, "lease {token} on submission {seq} is not held by caller")
+            }
+            WqError::AlreadyReleased { seq, token } => {
+                write!(f, "lease {token} on submission {seq} was already released")
+            }
+            WqError::Expired { seq, token } => {
+                write!(f, "lease {token} on submission {seq} has expired")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WqError {}
+
+impl From<std::io::Error> for WqError {
+    fn from(e: std::io::Error) -> Self {
+        WqError::Io(e)
+    }
+}
+
+/// One unit of queued work, as read back (digest-validated) from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSubmission {
+    /// Queue sequence number (submission order).
+    pub seq: u64,
+    /// First run id of the range pre-carved for this work at submission.
+    pub base_run_id: u64,
+    /// Length of the pre-carved run-id range.
+    pub total_runs: u64,
+    /// Virtual-clock origin the work must execute at, so its timestamps
+    /// are independent of which worker picks it up and when.
+    pub origin: u64,
+    /// Opaque payload (a serialised campaign plan, for `sp-core`).
+    pub payload: Vec<u8>,
+}
+
+/// A lease held by this process, as returned by
+/// [`lease_next`](WorkQueue::lease_next). Carries everything the holder
+/// needs to heartbeat, publish and release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The leased submission.
+    pub seq: u64,
+    /// The fencing token (lease generation) this holder owns.
+    pub token: u64,
+    /// Holder identity (worker name).
+    pub holder: String,
+    /// Expiry instant (seconds; the lease is dead once `now >= expires_at`).
+    pub expires_at: u64,
+}
+
+/// A lease record as read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LeaseRecord {
+    seq: u64,
+    token: u64,
+    holder: String,
+    acquired_at: u64,
+    expires_at: u64,
+    released: bool,
+}
+
+/// Aggregate queue accounting, derived entirely from the directory state —
+/// any process can compute it, which is how the fleet driver renders a
+/// cross-process digest without shared memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Valid submissions enqueued.
+    pub submissions: usize,
+    /// Submissions with a trusted (current-generation) report.
+    pub completed: usize,
+    /// Lease generations ever issued across all submissions.
+    pub leases_issued: usize,
+    /// Re-issues after expiry/crash (generations beyond the first).
+    pub reclaims: usize,
+    /// Records dropped because their digest or structure did not validate.
+    pub corrupt_dropped: usize,
+}
+
+/// The durable multi-process work queue rooted at one storage directory.
+pub struct WorkQueue {
+    root: PathBuf,
+    time: Arc<dyn TimeSource + Send + Sync>,
+    lease_secs: u64,
+}
+
+impl WorkQueue {
+    /// Opens (creating directories as needed) a queue on the OS clock.
+    pub fn open(root: impl Into<PathBuf>, lease_secs: u64) -> std::io::Result<Self> {
+        Self::open_with_time(root, lease_secs, Arc::new(SystemTimeSource))
+    }
+
+    /// Opens a queue on an explicit time source (tests drive lease expiry
+    /// deterministically through this; real fleets share the OS clock).
+    pub fn open_with_time(
+        root: impl Into<PathBuf>,
+        lease_secs: u64,
+        time: Arc<dyn TimeSource + Send + Sync>,
+    ) -> std::io::Result<Self> {
+        let root = root.into();
+        for sub in ["submissions", "leases", "reports", "workers", "tmp"] {
+            std::fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(WorkQueue {
+            root,
+            time,
+            lease_secs: lease_secs.max(1),
+        })
+    }
+
+    /// The queue's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Lease duration handed to new and renewed leases.
+    pub fn lease_secs(&self) -> u64 {
+        self.lease_secs
+    }
+
+    fn now(&self) -> u64 {
+        self.time.now_secs()
+    }
+
+    // ---- paths -------------------------------------------------------
+
+    fn submission_path(&self, seq: u64) -> PathBuf {
+        self.root.join(format!("submissions/sub-{seq:08}.spwq"))
+    }
+
+    fn lease_path(&self, seq: u64, token: u64) -> PathBuf {
+        self.root.join(format!("leases/sub-{seq:08}.g{token:04}"))
+    }
+
+    fn report_path(&self, seq: u64, token: u64) -> PathBuf {
+        self.root
+            .join(format!("reports/sub-{seq:08}.g{token:04}.rep"))
+    }
+
+    fn stage_path(&self) -> PathBuf {
+        // The counter is process-global, not per-queue-handle: in-process
+        // fleets (tests, benches) open several handles onto one
+        // directory, and per-handle counters would collide on the same
+        // staging name and corrupt each other's half-staged records.
+        static STAGED: AtomicU64 = AtomicU64::new(0);
+        self.root.join(format!(
+            "tmp/{}-{}",
+            std::process::id(),
+            STAGED.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// Writes `bytes` to a staging file and atomically renames it over
+    /// `target` (the readers-see-whole-records guarantee).
+    fn write_atomic(&self, target: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let stage = self.stage_path();
+        std::fs::write(&stage, bytes)?;
+        std::fs::rename(&stage, target)
+    }
+
+    /// Creates `target` exclusively with the **complete** record in one
+    /// atomic step: the bytes are staged first and hard-linked into
+    /// place, so a concurrent reader can never observe a half-written
+    /// record (which it would have to treat as corrupt — and a "corrupt"
+    /// lease reads as reclaimable, which must not happen for a lease
+    /// that is merely mid-write). `AlreadyExists` means another process
+    /// won the race for this name.
+    fn create_exclusive(&self, target: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let stage = self.stage_path();
+        std::fs::write(&stage, bytes)?;
+        let linked = std::fs::hard_link(&stage, target);
+        std::fs::remove_file(&stage).ok();
+        linked
+    }
+
+    // ---- submissions -------------------------------------------------
+
+    /// Enqueues one unit of work. The sequence number is allocated by
+    /// atomically creating the next free submission file, so concurrent
+    /// submitters never collide.
+    pub fn submit(
+        &self,
+        payload: &[u8],
+        base_run_id: u64,
+        total_runs: u64,
+        origin: u64,
+    ) -> std::io::Result<u64> {
+        let mut seq = self.max_submission_seq().map(|s| s + 1).unwrap_or(1);
+        loop {
+            let mut body = Vec::with_capacity(payload.len() + 64);
+            wire_put_u64(&mut body, seq);
+            wire_put_u64(&mut body, base_run_id);
+            wire_put_u64(&mut body, total_runs);
+            wire_put_u64(&mut body, origin);
+            wire_put_bytes(&mut body, payload);
+            let record = encode_record(&MAGIC_SUBMISSION, &body);
+            match self.create_exclusive(&self.submission_path(seq), &record) {
+                Ok(()) => return Ok(seq),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    seq += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn max_submission_seq(&self) -> Option<u64> {
+        self.scan("submissions")
+            .into_iter()
+            .filter_map(|name| parse_seq(&name, "sub-", ".spwq"))
+            .max()
+    }
+
+    /// Reads one submission back, digest-validated (`None` if absent or
+    /// corrupt — a corrupt submission is never leased, never executed).
+    pub fn submission(&self, seq: u64) -> Option<QueueSubmission> {
+        let bytes = std::fs::read(self.submission_path(seq)).ok()?;
+        let body = decode_record(&MAGIC_SUBMISSION, &bytes)?;
+        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+        let recorded_seq = cursor.take_u64()?;
+        let base_run_id = cursor.take_u64()?;
+        let total_runs = cursor.take_u64()?;
+        let origin = cursor.take_u64()?;
+        let payload = cursor.take_bytes()?;
+        (cursor.finished() && recorded_seq == seq).then_some(QueueSubmission {
+            seq,
+            base_run_id,
+            total_runs,
+            origin,
+            payload,
+        })
+    }
+
+    /// Sequence numbers of every submission file present, sorted. This is
+    /// a directory listing only — no payloads are read or digest-checked —
+    /// so pollers can walk the backlog cheaply and defer the (hashed)
+    /// payload read until after they hold a lease.
+    pub fn submission_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self
+            .scan("submissions")
+            .into_iter()
+            .filter_map(|name| parse_seq(&name, "sub-", ".spwq"))
+            .collect();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    /// All valid submissions, in sequence order.
+    pub fn submissions(&self) -> Vec<QueueSubmission> {
+        self.submission_seqs()
+            .into_iter()
+            .filter_map(|seq| self.submission(seq))
+            .collect()
+    }
+
+    // ---- leases ------------------------------------------------------
+
+    /// Lease generation numbers present on disk for `seq` (including
+    /// corrupt records: their numbers stay burned so fencing holds).
+    fn lease_tokens(&self, seq: u64) -> Vec<u64> {
+        let prefix = format!("sub-{seq:08}.g");
+        let mut tokens: Vec<u64> = self
+            .scan("leases")
+            .into_iter()
+            .filter_map(|name| parse_seq(&name, &prefix, ""))
+            .collect();
+        tokens.sort_unstable();
+        tokens
+    }
+
+    fn read_lease(&self, seq: u64, token: u64) -> Option<LeaseRecord> {
+        let bytes = std::fs::read(self.lease_path(seq, token)).ok()?;
+        let body = decode_record(&MAGIC_LEASE, &bytes)?;
+        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+        let record = LeaseRecord {
+            seq: cursor.take_u64()?,
+            token: cursor.take_u64()?,
+            holder: cursor.take_str()?,
+            acquired_at: cursor.take_u64()?,
+            expires_at: cursor.take_u64()?,
+            released: cursor.take(1)?[0] != 0,
+        };
+        (cursor.finished() && record.seq == seq && record.token == token).then_some(record)
+    }
+
+    fn encode_lease(&self, record: &LeaseRecord) -> Vec<u8> {
+        let mut body = Vec::with_capacity(record.holder.len() + 64);
+        wire_put_u64(&mut body, record.seq);
+        wire_put_u64(&mut body, record.token);
+        wire_put_str(&mut body, &record.holder);
+        wire_put_u64(&mut body, record.acquired_at);
+        wire_put_u64(&mut body, record.expires_at);
+        body.push(record.released as u8);
+        encode_record(&MAGIC_LEASE, &body)
+    }
+
+    /// Whether a lease record is live (held, unreleased, unexpired) at
+    /// `now`. Expiry is **inclusive at the boundary**: a lease whose
+    /// `expires_at` equals the current second is already dead — the
+    /// heartbeat must land strictly before it.
+    fn live(record: &LeaseRecord, now: u64) -> bool {
+        !record.released && now < record.expires_at
+    }
+
+    /// Claims the next available submission for `holder`: the lowest
+    /// sequence number that has no trusted report and whose current lease
+    /// generation (if any) is released, expired or corrupt. Returns `None`
+    /// when nothing is claimable right now (the backlog may still be
+    /// incomplete — other workers hold live leases).
+    pub fn lease_next(&self, holder: &str) -> std::io::Result<Option<Lease>> {
+        for submission in self.submissions() {
+            if let Some(lease) = self.try_lease(submission.seq, holder)? {
+                return Ok(Some(lease));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Attempts to claim one specific submission. `None` if it is
+    /// complete, currently held live, corrupt, or lost in a claim race.
+    pub fn try_lease(&self, seq: u64, holder: &str) -> std::io::Result<Option<Lease>> {
+        if self.report(seq).is_some() {
+            return Ok(None);
+        }
+        // A corrupt submission is never leased: claiming it would burn
+        // lease generations (inflating the reclaim accounting) on work
+        // that can never execute. The payload read is paid only on claim
+        // attempts, not on every poll.
+        if self.submission(seq).is_none() {
+            return Ok(None);
+        }
+        let tokens = self.lease_tokens(seq);
+        let now = self.now();
+        if let Some(&current) = tokens.last() {
+            match self.read_lease(seq, current) {
+                // Live lease held by someone: not claimable.
+                Some(record) if Self::live(&record, now) => return Ok(None),
+                // Released, expired, or corrupt: the generation is dead —
+                // claim the next one.
+                _ => {}
+            }
+        }
+        let token = tokens.last().copied().unwrap_or(0) + 1;
+        let record = LeaseRecord {
+            seq,
+            token,
+            holder: holder.to_string(),
+            acquired_at: now,
+            expires_at: now + self.lease_secs,
+            released: false,
+        };
+        match self.create_exclusive(&self.lease_path(seq, token), &self.encode_lease(&record)) {
+            Ok(()) => {
+                // Close the publish/release race: between the
+                // completeness check above and this claim, the previous
+                // holder may have published its report *and* released —
+                // making its generation look reclaimable while the work
+                // is in fact done. Released-generation reports stay
+                // trusted (see [`report`](Self::report)), so re-checking
+                // here catches it; the claimed generation is handed back
+                // released and the submission reads complete.
+                if self.report(seq).is_some() {
+                    let mut record = record;
+                    record.released = true;
+                    self.write_atomic(&self.lease_path(seq, token), &self.encode_lease(&record))?;
+                    return Ok(None);
+                }
+                Ok(Some(Lease {
+                    seq,
+                    token,
+                    holder: record.holder,
+                    expires_at: record.expires_at,
+                }))
+            }
+            // Lost the race for this generation: the winner holds it.
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Verifies `lease` is still the live, current generation held by its
+    /// holder. The common prelude of heartbeat/publish/release.
+    fn verify_held(&self, lease: &Lease) -> Result<LeaseRecord, WqError> {
+        let tokens = self.lease_tokens(lease.seq);
+        let current = tokens.last().copied().unwrap_or(0);
+        if current > lease.token {
+            return Err(WqError::StaleLease {
+                seq: lease.seq,
+                held: lease.token,
+                current,
+            });
+        }
+        let record = self
+            .read_lease(lease.seq, lease.token)
+            .ok_or(WqError::NotHeld {
+                seq: lease.seq,
+                token: lease.token,
+            })?;
+        if record.holder != lease.holder {
+            return Err(WqError::NotHeld {
+                seq: lease.seq,
+                token: lease.token,
+            });
+        }
+        if record.released {
+            return Err(WqError::AlreadyReleased {
+                seq: lease.seq,
+                token: lease.token,
+            });
+        }
+        if self.now() >= record.expires_at {
+            return Err(WqError::Expired {
+                seq: lease.seq,
+                token: lease.token,
+            });
+        }
+        Ok(record)
+    }
+
+    /// Renews the lease for another full duration, updating
+    /// `lease.expires_at`. Fails (and renews nothing) once the lease has
+    /// expired, was released, or was superseded by a newer generation.
+    pub fn heartbeat(&self, lease: &mut Lease) -> Result<(), WqError> {
+        let mut record = self.verify_held(lease)?;
+        record.expires_at = self.now() + self.lease_secs;
+        self.write_atomic(
+            &self.lease_path(lease.seq, lease.token),
+            &self.encode_lease(&record),
+        )?;
+        lease.expires_at = record.expires_at;
+        Ok(())
+    }
+
+    /// Publishes the result bytes for a leased submission, recording the
+    /// fencing token. Rejected with [`WqError::StaleLease`] /
+    /// [`WqError::Expired`] when the caller no longer holds the current
+    /// live generation — a stalled worker cannot commit stale results.
+    pub fn publish_report(&self, lease: &Lease, payload: &[u8]) -> Result<(), WqError> {
+        self.verify_held(lease)?;
+        let mut body = Vec::with_capacity(payload.len() + 32);
+        wire_put_u64(&mut body, lease.seq);
+        wire_put_u64(&mut body, lease.token);
+        wire_put_bytes(&mut body, payload);
+        let record = encode_record(&MAGIC_REPORT, &body);
+        self.write_atomic(&self.report_path(lease.seq, lease.token), &record)?;
+        Ok(())
+    }
+
+    /// Releases a lease after its work is done. Double release is a
+    /// protocol error ([`WqError::AlreadyReleased`]), as is releasing a
+    /// lease another generation has superseded.
+    pub fn release(&self, lease: &Lease) -> Result<(), WqError> {
+        let mut record = self.verify_held(lease)?;
+        record.released = true;
+        self.write_atomic(
+            &self.lease_path(lease.seq, lease.token),
+            &self.encode_lease(&record),
+        )?;
+        Ok(())
+    }
+
+    // ---- reports -----------------------------------------------------
+
+    /// The trusted report payload for a submission, if any. A report is
+    /// trusted when its fencing token is the submission's current highest
+    /// lease generation, **or** when the lease of its generation was
+    /// cleanly *released* — release is itself fenced (it succeeds only
+    /// while the lease is live and current), so a released generation
+    /// proves its holder completed the protocol before any re-lease.
+    /// Reports from superseded *unreleased* generations — a worker that
+    /// stalled, lost its lease and wrote anyway — are ignored, as is
+    /// anything whose digest fails.
+    pub fn report(&self, seq: u64) -> Option<Vec<u8>> {
+        let tokens = self.lease_tokens(seq);
+        let current = *tokens.last()?;
+        for &token in tokens.iter().rev() {
+            let Some(payload) = self.read_report(seq, token) else {
+                continue;
+            };
+            if token == current {
+                return Some(payload);
+            }
+            if let Some(record) = self.read_lease(seq, token) {
+                if record.released {
+                    return Some(payload);
+                }
+            }
+        }
+        None
+    }
+
+    /// Reads one generation's report record, digest-validated.
+    fn read_report(&self, seq: u64, token: u64) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.report_path(seq, token)).ok()?;
+        let body = decode_record(&MAGIC_REPORT, &bytes)?;
+        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+        let recorded_seq = cursor.take_u64()?;
+        let recorded_token = cursor.take_u64()?;
+        let payload = cursor.take_bytes()?;
+        (cursor.finished() && recorded_seq == seq && recorded_token == token).then_some(payload)
+    }
+
+    /// Whether every valid submission has a trusted report.
+    pub fn drained(&self) -> bool {
+        self.submissions()
+            .iter()
+            .all(|s| self.report(s.seq).is_some())
+    }
+
+    // ---- worker stats ------------------------------------------------
+
+    /// Publishes a worker's opaque counter blob (overwriting its previous
+    /// one), so the driver can merge per-process stats into a fleet
+    /// digest without shared memory.
+    pub fn publish_worker_stats(&self, holder: &str, payload: &[u8]) -> std::io::Result<()> {
+        let mut body = Vec::with_capacity(payload.len() + holder.len() + 16);
+        wire_put_str(&mut body, holder);
+        wire_put_bytes(&mut body, payload);
+        let record = encode_record(&MAGIC_WORKER, &body);
+        self.write_atomic(&self.root.join(format!("workers/{holder}.stats")), &record)
+    }
+
+    /// All valid worker-stats blobs, sorted by holder name.
+    pub fn worker_stats(&self) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = self
+            .scan("workers")
+            .into_iter()
+            .filter_map(|name| {
+                let bytes = std::fs::read(self.root.join("workers").join(&name)).ok()?;
+                let body = decode_record(&MAGIC_WORKER, &bytes)?;
+                let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+                let holder = cursor.take_str()?;
+                let payload = cursor.take_bytes()?;
+                cursor.finished().then_some((holder, payload))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    // ---- accounting --------------------------------------------------
+
+    /// Derives the queue digest from the directory state.
+    pub fn stats(&self) -> QueueStats {
+        let mut stats = QueueStats::default();
+        let mut seqs: Vec<u64> = Vec::new();
+        for name in self.scan("submissions") {
+            match parse_seq(&name, "sub-", ".spwq") {
+                Some(seq) if self.submission(seq).is_some() => {
+                    stats.submissions += 1;
+                    seqs.push(seq);
+                }
+                _ => stats.corrupt_dropped += 1,
+            }
+        }
+        for &seq in &seqs {
+            let tokens = self.lease_tokens(seq);
+            stats.leases_issued += tokens.len();
+            stats.reclaims += tokens.len().saturating_sub(1);
+            for &token in &tokens {
+                if self.read_lease(seq, token).is_none() {
+                    stats.corrupt_dropped += 1;
+                }
+            }
+            if self.report(seq).is_some() {
+                stats.completed += 1;
+            }
+        }
+        stats
+    }
+
+    /// File names (not paths) under one queue subdirectory.
+    fn scan(&self, sub: &str) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(self.root.join(sub)) else {
+            return Vec::new();
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect()
+    }
+}
+
+/// Parses `<prefix><number><suffix>` file names back to their number.
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Frames a record: magic, version, body, SHA-256 over all of it.
+fn encode_record(magic: &[u8; 4], body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 40);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&WQ_VERSION.to_le_bytes());
+    out.extend_from_slice(body);
+    let mut hasher = Sha256::new();
+    hasher.update(&out);
+    let digest = hasher.finalize();
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// Unframes a record: validates magic, version and digest, returning the
+/// body. `None` on any mismatch — the record is dropped, never trusted.
+fn decode_record(magic: &[u8; 4], bytes: &[u8]) -> Option<Vec<u8>> {
+    if bytes.len() < 40 || &bytes[..4] != magic {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != WQ_VERSION {
+        return None;
+    }
+    let (framed, digest) = bytes.split_at(bytes.len() - 32);
+    let mut hasher = Sha256::new();
+    hasher.update(framed);
+    if hasher.finalize() != digest {
+        return None;
+    }
+    Some(framed[8..].to_vec())
+}
+
+fn wire_put_u64(out: &mut Vec<u8>, v: u64) {
+    crate::snapshot::wire::put_u64(out, v);
+}
+
+fn wire_put_str(out: &mut Vec<u8>, s: &str) {
+    crate::snapshot::wire::put_str(out, s);
+}
+
+fn wire_put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    crate::snapshot::wire::put_bytes(out, b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A settable clock for deterministic lease-expiry tests.
+    pub(crate) struct TestClock(pub AtomicU64);
+
+    impl TimeSource for TestClock {
+        fn now_secs(&self) -> u64 {
+            self.0.load(Ordering::SeqCst)
+        }
+    }
+
+    fn queue(lease_secs: u64) -> (WorkQueue, Arc<TestClock>, PathBuf) {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "sp-wq-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        let clock = Arc::new(TestClock(AtomicU64::new(1_000)));
+        let q = WorkQueue::open_with_time(&dir, lease_secs, clock.clone()).unwrap();
+        (q, clock, dir)
+    }
+
+    #[test]
+    fn submit_roundtrip_and_ordering() {
+        let (q, _clock, dir) = queue(60);
+        let a = q.submit(b"plan-a", 100, 5, 7_000).unwrap();
+        let b = q.submit(b"plan-b", 105, 3, 7_000).unwrap();
+        assert!(a < b);
+        let subs = q.submissions();
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].payload, b"plan-a");
+        assert_eq!(subs[0].base_run_id, 100);
+        assert_eq!(subs[0].total_runs, 5);
+        assert_eq!(subs[1].origin, 7_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_publish_release_completes_work() {
+        let (q, _clock, dir) = queue(60);
+        let seq = q.submit(b"work", 1, 1, 0).unwrap();
+        let lease = q.lease_next("w1").unwrap().expect("claimable");
+        assert_eq!(lease.seq, seq);
+        assert_eq!(lease.token, 1);
+        // Held live: nobody else can claim it.
+        assert!(q.lease_next("w2").unwrap().is_none());
+        q.publish_report(&lease, b"result").unwrap();
+        q.release(&lease).unwrap();
+        assert_eq!(q.report(seq).unwrap(), b"result");
+        assert!(q.drained());
+        // Complete: not claimable again.
+        assert!(q.lease_next("w2").unwrap().is_none());
+        let stats = q.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.leases_issued, 1);
+        assert_eq!(stats.reclaims, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_under_next_generation() {
+        let (q, clock, dir) = queue(30);
+        let seq = q.submit(b"work", 1, 1, 0).unwrap();
+        let dead = q.lease_next("w1").unwrap().expect("claimable");
+        // w1 crashes; its lease runs out.
+        clock.0.fetch_add(31, Ordering::SeqCst);
+        let fresh = q.lease_next("w2").unwrap().expect("reclaimable");
+        assert_eq!(fresh.seq, seq);
+        assert_eq!(fresh.token, 2, "next fencing generation");
+        // The zombie cannot publish under its superseded token...
+        assert!(matches!(
+            q.publish_report(&dead, b"stale"),
+            Err(WqError::StaleLease {
+                held: 1,
+                current: 2,
+                ..
+            })
+        ));
+        // ...and the fresh holder completes normally.
+        q.publish_report(&fresh, b"good").unwrap();
+        q.release(&fresh).unwrap();
+        assert_eq!(q.report(seq).unwrap(), b"good");
+        assert_eq!(q.stats().reclaims, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn heartbeat_extends_a_live_lease() {
+        let (q, clock, dir) = queue(30);
+        q.submit(b"work", 1, 1, 0).unwrap();
+        let mut lease = q.lease_next("w1").unwrap().unwrap();
+        let first_expiry = lease.expires_at;
+        clock.0.fetch_add(20, Ordering::SeqCst);
+        q.heartbeat(&mut lease).unwrap();
+        assert!(lease.expires_at > first_expiry);
+        // Renewed: still not claimable 25 s later.
+        clock.0.fetch_add(25, Ordering::SeqCst);
+        assert!(q.lease_next("w2").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_report_from_superseded_generation_is_ignored() {
+        let (q, clock, dir) = queue(30);
+        let seq = q.submit(b"work", 1, 1, 0).unwrap();
+        let zombie = q.lease_next("w1").unwrap().unwrap();
+        clock.0.fetch_add(30, Ordering::SeqCst); // boundary: dead
+        let live = q.lease_next("w2").unwrap().unwrap();
+        // Force-write a report file under the zombie's token, bypassing
+        // the protocol (simulating a stale commit that raced through).
+        let mut body = Vec::new();
+        wire_put_u64(&mut body, seq);
+        wire_put_u64(&mut body, zombie.token);
+        wire_put_bytes(&mut body, b"stale");
+        std::fs::write(
+            q.report_path(seq, zombie.token),
+            encode_record(&MAGIC_REPORT, &body),
+        )
+        .unwrap();
+        // Fencing at read time: the zombie report is not the current
+        // generation, so the submission still reads as incomplete.
+        assert!(q.report(seq).is_none());
+        q.publish_report(&live, b"good").unwrap();
+        assert_eq!(q.report(seq).unwrap(), b"good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_stats_roundtrip() {
+        let (q, _clock, dir) = queue(60);
+        q.publish_worker_stats("w2", b"bbb").unwrap();
+        q.publish_worker_stats("w1", b"aaa").unwrap();
+        q.publish_worker_stats("w1", b"aaa2").unwrap(); // overwrite
+        let stats = q.worker_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0], ("w1".to_string(), b"aaa2".to_vec()));
+        assert_eq!(stats[1], ("w2".to_string(), b"bbb".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_framing_rejects_tampering() {
+        let record = encode_record(&MAGIC_SUBMISSION, b"body-bytes");
+        assert_eq!(
+            decode_record(&MAGIC_SUBMISSION, &record).unwrap(),
+            b"body-bytes"
+        );
+        // Wrong magic, truncation, bit flips: all dropped.
+        assert!(decode_record(&MAGIC_LEASE, &record).is_none());
+        assert!(decode_record(&MAGIC_SUBMISSION, &record[..record.len() - 1]).is_none());
+        for i in 0..record.len() {
+            let mut flipped = record.clone();
+            flipped[i] ^= 0x01;
+            assert!(
+                decode_record(&MAGIC_SUBMISSION, &flipped).is_none(),
+                "flip at {i} must invalidate"
+            );
+        }
+        assert!(decode_record(&MAGIC_SUBMISSION, b"").is_none());
+    }
+}
