@@ -14,17 +14,29 @@
 //!
 //! 1. **drain sweep** — the same backlog drained by 1 vs 2 vs 4 worker
 //!    processes (wall-clock timed, fleet digest rendered);
-//! 2. **crash recovery** — two workers, short leases; one worker is
-//!    killed mid-campaign. Its lease expires, the survivor re-leases the
+//! 2. **crash recovery** — two workers, short leases; one worker claims a
+//!    lease and *stalls* (execution and heartbeat both stop), and is
+//!    killed mid-stall. Its lease expires, the survivor re-leases the
 //!    work under the next fencing generation, and the reports still match
-//!    the oracles bit for bit.
+//!    the oracles bit for bit;
+//! 3. **slow worker** — leases **shorter than one campaign's wall time**,
+//!    workers slowed at every repetition barrier (`--slow-ms`, execution
+//!    slow but alive). Mid-flight renewal through the scheduler's
+//!    progress hook must carry each lease across the whole campaign:
+//!    zero reclaims, zero redone repetitions, byte-identical reports.
 //!
-//! Exit code is non-zero on any report divergence or missing report —
-//! which is what the `fleet-smoke` CI job gates on.
+//! The stall/slow distinction is the heart of the liveness contract: a
+//! stalled worker stops heartbeating and is rightly fenced away; a slow
+//! worker keeps heartbeating and is never fenced, however long it takes.
+//!
+//! Exit code is non-zero on any report divergence, missing report, or
+//! violated chaos expectation — which is what the `fleet-smoke` CI job
+//! gates on.
 //!
 //! ```text
 //! cargo run --release -p sp-bench --bin repro-fleet -- \
-//!     [--workers N] [--scale 0.05] [--reps 2] [--quick] [--no-crash]
+//!     [--workers N] [--scale 0.05] [--reps 2] [--quick] \
+//!     [--no-crash] [--no-slow] [--kill-after MS] [--slow-ms MS]
 //! ```
 
 use std::process::{Child, Command, Stdio};
@@ -61,6 +73,10 @@ fn campaign_config(
 /// without heartbeating — the stalled/crashed client of the recovery
 /// scenario. The parent kills it mid-stall; its lease expires and a
 /// sibling re-leases the work under the next fencing generation.
+///
+/// With `--slow-ms N` the worker drains normally but sleeps N ms at every
+/// repetition barrier: execution slower than the lease, heartbeat alive.
+/// The progress-hook renewal must keep its leases from ever expiring.
 fn worker_main() {
     let dir = arg_value("--dir").expect("--worker requires --dir");
     let name = arg_value("--name").unwrap_or_else(|| format!("worker-{}", std::process::id()));
@@ -88,21 +104,30 @@ fn worker_main() {
         return;
     }
     let system = desy_deployment();
-    let worker = Worker::new(&system, &queue, &name, threads);
+    let mut worker = Worker::new(&system, &queue, &name, threads);
+    if let Some(slow_ms) = arg_value("--slow-ms").and_then(|v| v.parse::<u64>().ok()) {
+        worker = worker.with_slowdown(Duration::from_millis(slow_ms));
+    }
     let stats = worker.drain();
     println!(
-        "[{name}] drained {} campaigns / {} runs ({} failures, {} idle polls)",
-        stats.campaigns_drained, stats.runs_executed, stats.failures, stats.poll.idle
+        "[{name}] drained {} campaigns / {} runs ({} failures, {} renewal(s), {} idle polls)",
+        stats.campaigns_drained,
+        stats.runs_executed,
+        stats.failures,
+        stats.renewals,
+        stats.poll.idle
     );
 }
 
 /// Spawns one worker child process against `dir`. `stall_ms` turns the
-/// child into the doomed lease-holder of the crash scenario.
+/// child into the doomed lease-holder of the crash scenario; `slow_ms`
+/// into the slow-but-alive worker of the renewal scenario.
 fn spawn_worker(
     dir: &std::path::Path,
     name: &str,
     lease_secs: u64,
     stall_ms: Option<u64>,
+    slow_ms: Option<u64>,
 ) -> Child {
     let mut args = vec![
         "--worker".to_string(),
@@ -115,6 +140,10 @@ fn spawn_worker(
     ];
     if let Some(ms) = stall_ms {
         args.push("--stall-ms".to_string());
+        args.push(ms.to_string());
+    }
+    if let Some(ms) = slow_ms {
+        args.push("--slow-ms".to_string());
         args.push(ms.to_string());
     }
     Command::new(std::env::current_exe().expect("self path"))
@@ -187,7 +216,10 @@ fn verify_against_oracles(
 }
 
 /// One drain scenario: fresh queue, fresh backlog, `workers` child
-/// processes racing. Returns divergence count.
+/// processes racing. `slow_ms` slows every worker at each repetition
+/// barrier and arms the liveness expectations: the renewal heartbeat must
+/// carry every lease (zero reclaims — no repetition is ever redone) and
+/// must actually have fired. Returns divergence count.
 #[allow(clippy::too_many_arguments)]
 fn run_scenario(
     label: &str,
@@ -196,6 +228,7 @@ fn run_scenario(
     scale: f64,
     lease_secs: u64,
     kill_one_after: Option<Duration>,
+    slow_ms: Option<u64>,
 ) -> usize {
     let dir = std::env::temp_dir().join(format!("sp-repro-fleet-{}-{label}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
@@ -217,12 +250,18 @@ fn run_scenario(
         // holding work hostage until its lease runs out.
         children.push((
             format!("{label}-doomed"),
-            spawn_worker(&dir, &format!("{label}-doomed"), lease_secs, Some(60_000)),
+            spawn_worker(
+                &dir,
+                &format!("{label}-doomed"),
+                lease_secs,
+                Some(60_000),
+                None,
+            ),
         ));
     }
     for w in 0..workers.saturating_sub(children.len()).max(1) {
         let name = format!("{label}-w{w}");
-        let child = spawn_worker(&dir, &name, lease_secs, None);
+        let child = spawn_worker(&dir, &name, lease_secs, None, slow_ms);
         children.push((name, child));
     }
 
@@ -249,10 +288,27 @@ fn run_scenario(
         eprintln!("  DIVERGENCE: the killed worker's lease was never reclaimed");
         divergent += 1;
     }
+    if slow_ms.is_some() {
+        // The liveness contract under test: slow-but-alive workers renew
+        // mid-flight, so no lease expires and no repetition is redone.
+        if digest.queue.reclaims != 0 {
+            eprintln!(
+                "  DIVERGENCE: {} lease(s) of a slow-but-alive worker were reclaimed \
+                 (repetitions were redone)",
+                digest.queue.reclaims
+            );
+            divergent += 1;
+        }
+        if digest.drained.renewals == 0 {
+            eprintln!("  DIVERGENCE: no mid-campaign lease renewal ever fired");
+            divergent += 1;
+        }
+    }
     println!(
-        "  drained in {:.2}s ({} reclaim(s) after crash)",
+        "  drained in {:.2}s ({} reclaim(s), {} renewal(s))",
         elapsed.as_secs_f64(),
-        digest.queue.reclaims
+        digest.queue.reclaims,
+        digest.drained.renewals
     );
     print!("{}", indent(&render_fleet_stats(&digest)));
     if !coordinator.drained() {
@@ -291,6 +347,13 @@ fn main() {
          (scale {scale}, {repetitions} repetition(s))"
     );
 
+    let kill_after_ms: u64 = arg_value("--kill-after")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    let slow_ms: u64 = arg_value("--slow-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+
     let mut divergent = 0;
     for workers in &sweep {
         divergent += run_scenario(
@@ -300,17 +363,16 @@ fn main() {
             scale,
             120,
             None,
+            None,
         );
     }
 
     // Crash recovery: two workers on short leases; the first claims a
-    // lease and stalls (no heartbeat), and is killed while holding it.
-    // The lease expires, the survivor re-leases under the next fencing
-    // generation, and the reports still match the oracles bit for bit.
-    // The lease must comfortably exceed one campaign's wall time (there
-    // is no mid-campaign heartbeat yet — see ROADMAP): quick-mode
-    // campaigns run in tens of milliseconds, so 5 s leaves plenty of
-    // headroom on a loaded CI runner while keeping the scenario short.
+    // lease and stalls — execution *and* heartbeat stop, so unlike the
+    // slow worker below it earns no renewals — and is killed while
+    // holding it. The lease expires, the survivor re-leases under the
+    // next fencing generation, and the reports still match the oracles
+    // bit for bit.
     if !has_flag("--no-crash") {
         divergent += run_scenario(
             "crash-recovery",
@@ -318,8 +380,20 @@ fn main() {
             repetitions,
             scale,
             5,
-            Some(Duration::from_millis(400)),
+            Some(Duration::from_millis(kill_after_ms)),
+            None,
         );
+    }
+
+    // Slow-worker liveness: the lease (2 s) is **shorter than one
+    // campaign's wall time** — every worker sleeps `slow_ms` at each of
+    // at least six repetition barriers — so only mid-campaign renewal
+    // through the scheduler's progress hook can carry a lease across a
+    // campaign. The scenario requires zero reclaims (no repetition ever
+    // redone) and at least one renewal, on top of byte-identical reports.
+    if !has_flag("--no-slow") {
+        let slow_reps = repetitions.max(6);
+        divergent += run_scenario("slow-worker", 2, slow_reps, scale, 2, None, Some(slow_ms));
     }
 
     if divergent > 0 {

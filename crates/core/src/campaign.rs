@@ -67,7 +67,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use sp_env::VmImageId;
-use sp_exec::{CampaignId, CancellationToken, Lane, LaneScheduler};
+use sp_exec::{CampaignId, CancellationToken, Lane, LaneScheduler, ProgressHook, ProgressPoint};
 
 use crate::ledger::RunLedger;
 use crate::run::{RunId, TestStatus, ValidationRun};
@@ -594,6 +594,7 @@ pub struct CampaignScheduler<'a> {
     system: &'a SpSystem,
     lanes: LaneScheduler,
     admission_limit: usize,
+    progress: Option<&'a dyn ProgressHook>,
     submissions: Vec<Submission>,
     campaigns_submitted: usize,
     campaigns_admitted: usize,
@@ -609,6 +610,7 @@ impl<'a> CampaignScheduler<'a> {
             system,
             lanes: LaneScheduler::new(workers),
             admission_limit: usize::MAX,
+            progress: None,
             submissions: Vec::new(),
             campaigns_submitted: 0,
             campaigns_admitted: 0,
@@ -621,6 +623,17 @@ impl<'a> CampaignScheduler<'a> {
     /// submissions wait in submission order until a slot frees up.
     pub fn with_admission_limit(mut self, limit: usize) -> Self {
         self.admission_limit = limit.max(1);
+        self
+    }
+
+    /// Attaches an in-flight liveness hook: it ticks from pool workers as
+    /// lanes start ([`ProgressPoint::Dispatch`]), after every task
+    /// completes ([`ProgressPoint::Task`]), and at every repetition
+    /// barrier ([`ProgressPoint::Barrier`]). A fleet worker hangs its
+    /// lease renewal off these ticks so a lease held by a live executor
+    /// never expires mid-campaign, however long the campaign runs.
+    pub fn with_progress(mut self, hook: &'a dyn ProgressHook) -> Self {
+        self.progress = Some(hook);
         self
     }
 
@@ -832,10 +845,12 @@ impl<'a> CampaignScheduler<'a> {
                 }
             }
             let bases: Vec<RunId> = states.iter().map(|s| s.base).collect();
+            let progress = self.progress;
 
-            let results = self
-                .lanes
-                .dispatch(round, |_, (index, plan, tasks, timestamp)| {
+            let results = self.lanes.dispatch_hooked(
+                round,
+                progress,
+                |_, (index, plan, tasks, timestamp)| {
                     let base = bases[index];
                     let mut completed: Vec<(&RunTask, ValidationRun)> =
                         Vec::with_capacity(tasks.len());
@@ -855,12 +870,16 @@ impl<'a> CampaignScheduler<'a> {
                                 // exactly this state.
                                 ledger.promote(&run);
                                 completed.push((task, run));
+                                if let Some(hook) = progress {
+                                    hook.tick(ProgressPoint::Task);
+                                }
                             }
                             Err(error) => return (index, Err(error)),
                         }
                     }
                     (index, Ok(completed))
-                });
+                },
+            );
 
             // Collect per campaign: group this round's lane results. A
             // `None` is a skipped lane of a cancelled campaign — the
@@ -904,6 +923,12 @@ impl<'a> CampaignScheduler<'a> {
                     self.system.clock().advance_to(
                         origin + state.next_repetition as u64 * state.plan.config().interval_secs,
                     );
+                    // Every repetition barrier is a liveness point: a
+                    // campaign of N repetitions proves it is alive at
+                    // least N times however long the repetitions take.
+                    if let Some(hook) = self.progress {
+                        hook.tick(ProgressPoint::Barrier);
+                    }
                     if state.next_repetition < state.plan.repetitions() {
                         still_active.push(index);
                     } else {

@@ -14,10 +14,12 @@
 //!   submission, re-plan it against the local [`SpSystem`] (definitions
 //!   are code; only state crosses processes), execute it through a
 //!   [`CampaignScheduler`] under the pre-reserved ids and recorded
-//!   origin, publish the report under the lease's fencing token, release,
-//!   repeat — with jittered backoff ([`sp_exec::PollLoop`]) while the
-//!   queue is empty and patience enough to outwait a crashed sibling's
-//!   lease expiry.
+//!   origin — renewing the lease from the scheduler's progress hook at
+//!   every dispatch, task and repetition barrier, so a lease held by a
+//!   live worker never expires however long the campaign runs — publish
+//!   the report under the lease's fencing token, release, repeat; with
+//!   jittered backoff ([`sp_exec::PollLoop`]) while the queue is empty
+//!   and patience enough to outwait a crashed sibling's lease expiry.
 //!
 //! ## Result semantics
 //!
@@ -43,11 +45,15 @@
 //! and the fencing token keeps any stale commit out).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use sp_exec::{Backoff, PollLoop, PollOutcome, PollStats};
+use parking_lot::Mutex;
+use sp_exec::{
+    Backoff, CancellationToken, PollLoop, PollOutcome, PollStats, ProgressHook, ProgressPoint,
+};
 use sp_store::snapshot::wire::{self, Cursor};
-use sp_store::{QueueStats, WorkQueue, WqError};
+use sp_store::{Lease, QueueStats, WorkQueue, WqError};
 
 use crate::campaign::{
     CampaignConfig, CampaignOptions, CampaignPlan, CampaignReport, CampaignScheduler,
@@ -231,11 +237,18 @@ impl<'a> Coordinator<'a> {
 pub struct WorkerStats {
     /// Campaigns leased, executed and published by this worker.
     pub campaigns_drained: u64,
-    /// Validation runs those campaigns performed.
+    /// Validation runs those campaigns performed **and published**: a
+    /// fenced-away execution contributes nothing here — its runs were
+    /// rolled back, and whoever re-leases the work (possibly this same
+    /// worker) counts them on publication. Each (submission, published
+    /// generation) is therefore counted at most once fleet-wide.
     pub runs_executed: u64,
     /// Leases abandoned because their payload would not decode or
-    /// execute (released for a sibling — or an operator — to inspect).
+    /// execute, plus executions fenced away by mid-flight lease loss.
     pub failures: u64,
+    /// Mid-campaign lease renewals driven by the executor's progress
+    /// hook (plus between-lease heartbeats, if the caller issues any).
+    pub renewals: u64,
     /// Scheduling counters accumulated across the drained campaigns.
     pub sched: ScheduleStats,
     /// Poll-loop accounting (worked/idle/slept).
@@ -251,10 +264,108 @@ impl WorkerStats {
             .saturating_add(other.campaigns_drained);
         self.runs_executed = self.runs_executed.saturating_add(other.runs_executed);
         self.failures = self.failures.saturating_add(other.failures);
+        self.renewals = self.renewals.saturating_add(other.renewals);
         self.sched.merge(&other.sched);
         self.poll.worked = self.poll.worked.saturating_add(other.poll.worked);
         self.poll.idle = self.poll.idle.saturating_add(other.poll.idle);
         self.poll.slept = self.poll.slept.saturating_add(other.poll.slept);
+    }
+}
+
+/// The in-flight liveness bridge between one held [`Lease`] and the
+/// executor's [`ProgressHook`] ticks.
+///
+/// The executor raises a tick at every lane dispatch, task completion and
+/// repetition barrier; the renewer turns those into lease renewals with a
+/// cadence derived from the queue's `lease_secs` — it renews once the
+/// remaining lifetime has fallen to half the lease duration, so ticks
+/// arriving every few milliseconds cost one clock read, not one disk
+/// write each. Renewal is fenced: the first renewal rejected by the
+/// queue's lease protocol records the error, cancels the campaign (via
+/// the token installed by [`Worker::drain_one`]) and stops renewing —
+/// execution winds down promptly instead of burning a full campaign
+/// whose publish is already doomed.
+struct LeaseRenewer<'a> {
+    queue: &'a WorkQueue,
+    lease: Mutex<Lease>,
+    cancel: Mutex<Option<CancellationToken>>,
+    fenced: Mutex<Option<WqError>>,
+    renewals: AtomicU64,
+    /// Chaos injection for the `repro-fleet` harness: sleep this long at
+    /// every repetition barrier, making execution slower than
+    /// `lease_secs` while the heartbeat stays live.
+    slowdown: Option<Duration>,
+}
+
+impl<'a> LeaseRenewer<'a> {
+    fn new(queue: &'a WorkQueue, lease: Lease, slowdown: Option<Duration>) -> Self {
+        LeaseRenewer {
+            queue,
+            lease: Mutex::new(lease),
+            cancel: Mutex::new(None),
+            fenced: Mutex::new(None),
+            renewals: AtomicU64::new(0),
+            slowdown,
+        }
+    }
+
+    /// Installs the campaign's cancellation token, tripped on the first
+    /// fenced renewal.
+    fn set_cancel(&self, token: CancellationToken) {
+        *self.cancel.lock() = Some(token);
+    }
+
+    /// Snapshot of the held lease (with whatever expiry renewals reached).
+    fn lease(&self) -> Lease {
+        self.lease.lock().clone()
+    }
+
+    /// Renewals performed so far.
+    fn renewals(&self) -> u64 {
+        self.renewals.load(Ordering::Relaxed)
+    }
+
+    /// Takes the first fencing error a renewal hit, if any.
+    fn take_fenced(&self) -> Option<WqError> {
+        self.fenced.lock().take()
+    }
+
+    fn fenced_mid_flight(&self) -> bool {
+        self.fenced.lock().is_some()
+    }
+}
+
+impl ProgressHook for LeaseRenewer<'_> {
+    fn tick(&self, point: ProgressPoint) {
+        if let Some(slow) = self.slowdown {
+            if point == ProgressPoint::Barrier {
+                std::thread::sleep(slow);
+            }
+        }
+        if self.fenced_mid_flight() {
+            return;
+        }
+        let mut lease = self.lease.lock();
+        // Renew at half-life: late enough to keep renewal I/O off the
+        // hot path, early enough that one missed tick cannot cross the
+        // expiry boundary.
+        let remaining = lease.expires_at.saturating_sub(self.queue.now_secs());
+        if remaining.saturating_mul(2) > self.queue.lease_secs() {
+            return;
+        }
+        match self.queue.renew(&mut lease) {
+            Ok(_) => {
+                self.renewals.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(error) => {
+                // Fenced (or the queue broke): record the error once and
+                // stop the campaign — its publish can no longer land.
+                *self.fenced.lock() = Some(error);
+                if let Some(token) = self.cancel.lock().as_ref() {
+                    token.cancel();
+                }
+            }
+        }
     }
 }
 
@@ -265,6 +376,9 @@ pub struct Worker<'a> {
     name: String,
     threads: usize,
     max_idle_polls: u32,
+    /// Chaos injection: per-barrier sleep handed to the [`LeaseRenewer`]
+    /// (see [`with_slowdown`](Self::with_slowdown)).
+    slowdown: Option<Duration>,
     poisoned: std::cell::RefCell<std::collections::BTreeSet<u64>>,
     /// Submissions this worker has seen a trusted report for. A trusted
     /// report is permanent, so caching saves re-reading reports (and the
@@ -296,17 +410,19 @@ impl<'a> Worker<'a> {
             name: name.into(),
             threads: threads.max(1),
             max_idle_polls,
+            slowdown: None,
             poisoned: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             completed: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             invalid: std::cell::RefCell::new(std::collections::BTreeSet::new()),
         }
     }
 
-    /// Whether every submission on the queue is either completed (trusted
-    /// report) or permanently invalid (corrupt record) — the worker's
-    /// exit condition, evaluated against the per-worker caches so each
-    /// payload is read and digest-checked at most once per worker rather
-    /// than on every idle poll.
+    /// Whether every submission on the queue has reached a terminal state
+    /// — completed (trusted report), permanently invalid (corrupt
+    /// record), or durably poisoned — the worker's exit condition,
+    /// evaluated against the per-worker caches so each payload is read
+    /// and digest-checked at most once per worker rather than on every
+    /// idle poll.
     fn backlog_complete(&self) -> bool {
         let mut complete = true;
         for seq in self.queue.submission_seqs() {
@@ -315,7 +431,7 @@ impl<'a> Worker<'a> {
             }
             if self.queue.report(seq).is_some() {
                 self.completed.borrow_mut().insert(seq);
-            } else if self.queue.submission(seq).is_none() {
+            } else if self.queue.submission(seq).is_none() || self.queue.is_poisoned(seq) {
                 self.invalid.borrow_mut().insert(seq);
             } else {
                 complete = false;
@@ -331,6 +447,17 @@ impl<'a> Worker<'a> {
         self
     }
 
+    /// Chaos injection for the `repro-fleet` harness: sleep this long at
+    /// every repetition barrier, so a campaign's wall time exceeds
+    /// `lease_secs` while the progress-hook renewal keeps the lease
+    /// alive. This is the "slow worker" scenario — distinct from a
+    /// *stalled* worker, whose execution (and therefore its heartbeat)
+    /// stops entirely and whose lease is rightly fenced away.
+    pub fn with_slowdown(mut self, per_barrier: Duration) -> Self {
+        self.slowdown = (!per_barrier.is_zero()).then_some(per_barrier);
+        self
+    }
+
     /// The worker's holder identity on the queue.
     pub fn name(&self) -> &str {
         &self.name
@@ -339,12 +466,21 @@ impl<'a> Worker<'a> {
     /// Tries to lease and fully drain one submission. Returns the drained
     /// sequence number, or `None` when nothing was claimable right now.
     ///
-    /// Submissions this worker failed to decode or execute are released
-    /// and locally skipped (another worker — possibly with a richer local
-    /// environment — may still drain them); the failure is counted. A
-    /// publish fenced away by lease expiry mid-execution is also counted
-    /// as a failure but **not** poisoned — the work is intact and will be
-    /// re-leased (possibly by this same worker) under the next generation.
+    /// Failure handling is tiered by what the failure proves:
+    ///
+    /// * **undecodable payload** — the digest validated but no build of
+    ///   this code can interpret the bytes, on this machine or any other:
+    ///   the submission is durably poisoned on the queue so siblings and
+    ///   restarted workers never re-lease it;
+    /// * **local plan/execution failure** — this worker's environment
+    ///   cannot run it (missing experiment, missing image): released and
+    ///   locally skipped; a sibling with a richer environment may drain;
+    /// * **fenced mid-flight** — the lease expired (or was superseded)
+    ///   while executing, caught either by a renewal or at publish: the
+    ///   locally absorbed runs and reference promotions are **rolled
+    ///   back**, nothing is counted as executed, and the work stays
+    ///   pending — re-leasing it (possibly by this very worker) is
+    ///   indistinguishable from leasing a stranger's.
     pub fn drain_one(&self, stats: &mut WorkerStats) -> Result<Option<u64>, FleetError> {
         let poisoned = self.poisoned.borrow().clone();
         // Scan sequence numbers only (a directory listing); the payload is
@@ -360,13 +496,49 @@ impl<'a> Worker<'a> {
             let Some(lease) = self.queue.try_lease(seq, &self.name)? else {
                 continue;
             };
-            let outcome = self
+            let decoded = self
                 .queue
                 .submission(seq)
                 .ok_or_else(|| FleetError::Codec(format!("submission {seq}")))
-                .and_then(|submission| self.execute_leased(&submission));
+                .and_then(|submission| {
+                    decode_campaign_config(&submission.payload)
+                        .map(|config| (submission, config))
+                        .ok_or_else(|| FleetError::Codec(format!("submission {seq}")))
+                });
+            let (submission, config) = match decoded {
+                Ok(pair) => pair,
+                Err(error) => {
+                    // Undecodable anywhere, forever: poison durably so no
+                    // process — this one restarted, or a sibling that
+                    // never saw this failure — burns leases on it again.
+                    stats.failures += 1;
+                    let _ = self
+                        .queue
+                        .mark_poisoned(seq, &self.name, &error.to_string());
+                    self.invalid.borrow_mut().insert(seq);
+                    let _ = self.queue.release(&lease);
+                    return Err(error);
+                }
+            };
+
+            // Checkpoint what a fenced-away execution must roll back: the
+            // campaign's reference maps as they stand before any of its
+            // lanes promote into them. (The run log needs no checkpoint —
+            // the pre-reserved id range identifies exactly the entries to
+            // retract.)
+            let ledger = self.system.ledger();
+            let checkpoint: Vec<(String, crate::ledger::ReferenceState)> = config
+                .experiments
+                .iter()
+                .map(|name| (name.clone(), ledger.reference_state(name)))
+                .collect();
+
+            let renewer = LeaseRenewer::new(self.queue, lease, self.slowdown);
+            let outcome = self.execute_leased(&submission, config, &renewer);
+            stats.renewals += renewer.renewals();
             match outcome {
-                Ok((report, sched)) => {
+                Ok((report, sched)) if !renewer.fenced_mid_flight() => {
+                    let lease = renewer.lease();
                     match self
                         .queue
                         .publish_report(&lease, &encode_campaign_report(&report))
@@ -377,11 +549,13 @@ impl<'a> Worker<'a> {
                             | WqError::Expired { .. }
                             | WqError::AlreadyReleased { .. }),
                         ) => {
-                            // The lease ran out mid-execution and the
-                            // fencing token kept this commit from landing.
-                            // Nothing was drained: the work stays pending
-                            // and will be re-leased under the next
+                            // The lease ran out between the last renewal
+                            // point and the publish, and the fencing token
+                            // kept this commit from landing. Nothing was
+                            // drained: roll the local absorption back and
+                            // leave the work pending for the next
                             // generation.
+                            self.roll_back_fenced(&submission, checkpoint);
                             stats.failures += 1;
                             return Err(error.into());
                         }
@@ -403,12 +577,27 @@ impl<'a> Worker<'a> {
                     self.completed.borrow_mut().insert(seq);
                     return Ok(Some(seq));
                 }
+                Ok(_) => {
+                    // A renewal hit the fencing error mid-flight and
+                    // cancelled the campaign: whatever partial execution
+                    // was absorbed locally never officially happened.
+                    self.roll_back_fenced(&submission, checkpoint);
+                    stats.failures += 1;
+                    let error = renewer
+                        .take_fenced()
+                        .expect("fenced_mid_flight implies a recorded error");
+                    return Err(error.into());
+                }
                 Err(error) => {
+                    // Plan or execution failure in *this* environment:
+                    // roll back any partial absorption, hand the lease
+                    // back cleanly (if that fails too, it simply
+                    // expires), and skip locally — a richer sibling may
+                    // still drain it.
+                    self.roll_back_fenced(&submission, checkpoint);
                     stats.failures += 1;
                     self.poisoned.borrow_mut().insert(seq);
-                    // Hand the lease back cleanly; if that fails too the
-                    // lease simply expires.
-                    let _ = self.queue.release(&lease);
+                    let _ = self.queue.release(&renewer.lease());
                     return Err(error);
                 }
             }
@@ -416,17 +605,37 @@ impl<'a> Worker<'a> {
         Ok(None)
     }
 
+    /// Retracts a fenced-away (or failed) execution's local absorption:
+    /// every logged run in the submission's pre-reserved id range, and
+    /// the campaign's reference promotions, restored to the checkpoint
+    /// captured before execution. Memoised cells and content-addressed
+    /// outputs are left alone — they are deterministic byproducts, and
+    /// re-executing against them reproduces byte-identical results.
+    fn roll_back_fenced(
+        &self,
+        submission: &sp_store::QueueSubmission,
+        checkpoint: Vec<(String, crate::ledger::ReferenceState)>,
+    ) {
+        let ledger = self.system.ledger();
+        ledger.retract_range(RunId(submission.base_run_id), submission.total_runs);
+        for (experiment, state) in checkpoint {
+            ledger.restore_reference_state(&experiment, state);
+        }
+    }
+
     /// Executes one leased submission on the local system: re-plan from
-    /// the serialised config (validating against *this* process's
-    /// registered images and experiments), then run it through a
-    /// single-campaign scheduler under the pre-reserved ids and the
-    /// origin recorded at submission.
+    /// the decoded config (validating against *this* process's registered
+    /// images and experiments), then run it through a single-campaign
+    /// scheduler under the pre-reserved ids and the origin recorded at
+    /// submission — with the lease renewer installed as the scheduler's
+    /// progress hook, so the lease is renewed from inside the repetition
+    /// loop however long the campaign runs.
     fn execute_leased(
         &self,
         submission: &sp_store::QueueSubmission,
+        config: CampaignConfig,
+        renewer: &LeaseRenewer<'_>,
     ) -> Result<(CampaignReport, ScheduleStats), FleetError> {
-        let config = decode_campaign_config(&submission.payload)
-            .ok_or_else(|| FleetError::Codec(format!("submission {}", submission.seq)))?;
         let plan = CampaignPlan::new(self.system, config)?;
         if plan.total_runs() as u64 != submission.total_runs {
             return Err(FleetError::Codec(format!(
@@ -436,8 +645,12 @@ impl<'a> Worker<'a> {
                 submission.total_runs
             )));
         }
-        let mut scheduler = CampaignScheduler::new(self.system, self.threads);
-        scheduler.submit_reserved(plan, RunId(submission.base_run_id))?;
+        let mut scheduler =
+            CampaignScheduler::new(self.system, self.threads).with_progress(renewer);
+        let ticket = scheduler.submit_reserved(plan, RunId(submission.base_run_id))?;
+        if let Some(token) = scheduler.cancellation_token(ticket) {
+            renewer.set_cancel(token);
+        }
         let mut reports = scheduler.execute_from(submission.origin)?;
         let report = reports.remove(0);
         Ok((report, scheduler.stats()))
@@ -680,6 +893,7 @@ pub fn encode_worker_stats(stats: &WorkerStats) -> Vec<u8> {
     wire::put_u64(&mut out, stats.campaigns_drained);
     wire::put_u64(&mut out, stats.runs_executed);
     wire::put_u64(&mut out, stats.failures);
+    wire::put_u64(&mut out, stats.renewals);
     for value in [
         stats.sched.campaigns_submitted as u64,
         stats.sched.campaigns_admitted as u64,
@@ -705,6 +919,7 @@ pub fn decode_worker_stats(bytes: &[u8]) -> Option<WorkerStats> {
     let campaigns_drained = cursor.take_u64()?;
     let runs_executed = cursor.take_u64()?;
     let failures = cursor.take_u64()?;
+    let renewals = cursor.take_u64()?;
     let sched = ScheduleStats {
         campaigns_submitted: cursor.take_u64()? as usize,
         campaigns_admitted: cursor.take_u64()? as usize,
@@ -725,6 +940,7 @@ pub fn decode_worker_stats(bytes: &[u8]) -> Option<WorkerStats> {
         campaigns_drained,
         runs_executed,
         failures,
+        renewals,
         sched,
         poll,
     })
@@ -821,6 +1037,7 @@ mod tests {
             campaigns_drained: 2,
             runs_executed: 10,
             failures: 1,
+            renewals: 7,
             sched: ScheduleStats {
                 campaigns_submitted: 2,
                 campaigns_admitted: 2,
@@ -845,6 +1062,7 @@ mod tests {
         let mut merged = a;
         merged.merge(&a);
         assert_eq!(merged.campaigns_drained, 4);
+        assert_eq!(merged.renewals, 14);
         assert_eq!(merged.sched.lanes_executed, 24);
         assert_eq!(merged.poll.slept, Duration::from_millis(642));
     }

@@ -97,6 +97,28 @@ impl RunLedger {
         self.runs.write().extend(runs);
     }
 
+    /// Removes every logged run whose id falls in `[first, first+count)`,
+    /// returning how many were retracted.
+    ///
+    /// This is the fencing-rollback primitive of the fleet worker: a
+    /// campaign executed under a lease that was fenced away mid-flight
+    /// has already logged its repetitions locally, but as far as the
+    /// queue is concerned those runs never happened — another worker owns
+    /// (and will re-log) the same pre-reserved id range. Retracting them
+    /// keeps the local invariant that each reserved range appears in the
+    /// ledger exactly once, so re-leasing your own fenced-away campaign
+    /// is indistinguishable from leasing a stranger's.
+    pub fn retract_range(&self, first: RunId, count: u64) -> usize {
+        if count == 0 {
+            return 0;
+        }
+        let end = first.0.saturating_add(count);
+        let mut runs = self.runs.write();
+        let before = runs.len();
+        runs.retain(|run| run.id.0 < first.0 || run.id.0 >= end);
+        before - runs.len()
+    }
+
     /// Captures one experiment's current reference map. The campaign
     /// scheduler snapshots this before dispatching a repetition: lanes
     /// promote references *as they run* (the next run of the same
@@ -535,6 +557,24 @@ mod tests {
         assert_eq!(live.absorb_references(exported), 1, "only zeus is new");
         assert_eq!(live.reference_outputs("h1", "t1").unwrap(), newer);
         assert!(live.has_reference("zeus"));
+    }
+
+    #[test]
+    fn retract_range_removes_exactly_the_fenced_ids() {
+        let ledger = RunLedger::new();
+        ledger.log_batch(vec![
+            run(10, "h1", "SL5", true),
+            run(11, "h1", "SL6", true),
+            run(12, "zeus", "SL5", true),
+            run(13, "zeus", "SL6", true),
+        ]);
+        assert_eq!(ledger.retract_range(RunId(11), 2), 2);
+        let remaining: Vec<u64> = ledger.runs().iter().map(|r| r.id.0).collect();
+        assert_eq!(remaining, vec![10, 13]);
+        // Empty and non-overlapping ranges retract nothing.
+        assert_eq!(ledger.retract_range(RunId(11), 0), 0);
+        assert_eq!(ledger.retract_range(RunId(500), 10), 0);
+        assert_eq!(ledger.run_count(), 2);
     }
 
     #[test]

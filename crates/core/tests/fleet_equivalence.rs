@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
 use sp_build::{DependencyGraph, Package, PackageId, PackageKind};
@@ -398,6 +399,267 @@ fn crashed_worker_is_reclaimed_and_fenced() {
         .map(|run| run.id.0)
         .collect();
     assert_eq!(ids, (first.0..=last.0).collect::<Vec<u64>>());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A clock that advances itself by `step` seconds on **every read** — a
+/// deterministic stand-in for wall time passing while a worker executes,
+/// without the test having to race a background thread against the drain.
+struct AutoClock {
+    value: AtomicU64,
+    step: AtomicU64,
+}
+
+impl AutoClock {
+    fn frozen(start: u64) -> Arc<Self> {
+        Arc::new(AutoClock {
+            value: AtomicU64::new(start),
+            step: AtomicU64::new(0),
+        })
+    }
+
+    fn set_step(&self, step: u64) {
+        self.step.store(step, Ordering::SeqCst);
+    }
+}
+
+impl TimeSource for AutoClock {
+    fn now_secs(&self) -> u64 {
+        self.value
+            .fetch_add(self.step.load(Ordering::SeqCst), Ordering::SeqCst)
+    }
+}
+
+/// The double-count regression: a worker fenced out mid-campaign rolls
+/// its local absorption back and counts **nothing**; when the *same*
+/// worker re-leases its own fenced submission under the next generation
+/// and completes it, the ledger holds the reserved range exactly once and
+/// `runs_executed` equals the campaign total exactly — each (submission,
+/// published generation) is counted at most once.
+#[test]
+fn fenced_mid_flight_execution_rolls_back_and_re_lease_counts_once() {
+    let dir = temp_queue_dir("fence");
+    let clock = AutoClock::frozen(10_000);
+    let queue = WorkQueue::open_with_time(&dir, 60, clock.clone()).expect("queue dir");
+
+    let (coordinator_system, images) = fresh_system();
+    let origin = coordinator_system.clock().now();
+    let mut coordinator = Coordinator::new(&coordinator_system, &queue);
+    let config = config_for(vec!["alpha".into(), "gamma".into()], images, 2, false);
+    let ticket = coordinator.submit(config).expect("submission");
+    let (first, last) = coordinator.reserved_run_ids(ticket).unwrap();
+
+    let (system, _) = fresh_system();
+    let worker = Worker::new(&system, &queue, "w0", 2).with_patience(50);
+    let mut stats = WorkerStats::default();
+
+    // Wall time leaps past the whole lease on every clock read: the first
+    // renewal attempt finds the lease expired, records the fencing error,
+    // cancels the campaign, and `drain_one` rolls the absorption back.
+    clock.set_step(61);
+    let fenced = worker.drain_one(&mut stats);
+    assert!(
+        fenced.is_err(),
+        "mid-flight expiry must surface as an error"
+    );
+    assert_eq!(stats.failures, 1);
+    assert_eq!(stats.campaigns_drained, 0);
+    assert_eq!(
+        stats.runs_executed, 0,
+        "fenced-away runs are rolled back, never counted"
+    );
+    assert!(
+        system.ledger().runs().is_empty(),
+        "rollback leaves no trace in the local ledger"
+    );
+    assert!(coordinator.collect()[0].is_none(), "nothing was published");
+
+    // Time freezes again; the same worker re-leases its own fenced
+    // submission — indistinguishable from leasing a stranger's — and
+    // completes it under generation 2.
+    clock.set_step(0);
+    let drained = worker
+        .drain_one(&mut stats)
+        .expect("second attempt drains cleanly");
+    assert_eq!(drained, Some(ticket.seq()));
+    assert_eq!(stats.campaigns_drained, 1);
+    assert_eq!(stats.failures, 1, "only the fenced attempt failed");
+    assert_eq!(
+        queue.stats().reclaims,
+        1,
+        "generation 2 re-leased the fenced work"
+    );
+
+    let report = coordinator.collect().remove(0).expect("report published");
+    assert!(!report.cancelled);
+    assert_eq!(
+        stats.runs_executed,
+        report.summary.total_runs() as u64,
+        "each (submission, published generation) counts exactly once"
+    );
+
+    // The ledger holds the reserved range exactly once, in order.
+    let ids: Vec<u64> = system.ledger().runs().iter().map(|run| run.id.0).collect();
+    assert_eq!(ids, (first.0..=last.0).collect::<Vec<u64>>());
+
+    // And the published report is byte-identical to the solo oracle.
+    let (oracle_system, oracle_images) = fresh_system();
+    assert_eq!(oracle_system.clock().now(), origin);
+    if first.0 > 1 {
+        oracle_system.reserve_run_ids(first.0 - 1);
+    }
+    let oracle = Campaign::new(
+        &oracle_system,
+        config_for(
+            vec!["alpha".into(), "gamma".into()],
+            oracle_images,
+            2,
+            false,
+        ),
+    )
+    .execute()
+    .expect("oracle campaign");
+    assert_eq!(
+        report.summary, oracle,
+        "a fenced-then-redone campaign reports exactly what the oracle does"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The slow-worker liveness property: a campaign whose wall time dwarfs
+/// `lease_secs` completes on the first lease because the progress hook
+/// renews it mid-flight — no expiry, no reclaim, no redone repetitions,
+/// and the report is still byte-identical to the solo oracle.
+#[test]
+fn slow_worker_renews_through_the_barrier_and_is_never_reclaimed() {
+    let dir = temp_queue_dir("slow");
+    // Every clock read moves wall time 100 s; the lease lasts 1 000 s.
+    // A campaign ticks the hook dozens of times, so its wall time spans
+    // many lease durations — only the half-life renewal cadence (renew
+    // once remaining <= 500 s, i.e. every ~5 reads) keeps it alive.
+    let clock = AutoClock::frozen(50_000);
+    clock.set_step(100);
+    let queue = WorkQueue::open_with_time(&dir, 1_000, clock).expect("queue dir");
+
+    let (coordinator_system, images) = fresh_system();
+    let origin = coordinator_system.clock().now();
+    let mut coordinator = Coordinator::new(&coordinator_system, &queue);
+    let config = config_for(vec!["alpha".into(), "beta".into()], images, 2, false);
+    let ticket = coordinator.submit(config).expect("submission");
+    let (first, last) = coordinator.reserved_run_ids(ticket).unwrap();
+
+    let (system, _) = fresh_system();
+    let worker = Worker::new(&system, &queue, "w0", 2)
+        .with_patience(50)
+        .with_slowdown(Duration::from_millis(1));
+    let stats = worker.drain();
+
+    assert_eq!(stats.campaigns_drained, 1);
+    assert_eq!(stats.failures, 0);
+    assert!(
+        stats.renewals > 0,
+        "the progress hook must have renewed mid-campaign"
+    );
+    let queue_stats = queue.stats();
+    assert_eq!(queue_stats.reclaims, 0, "the lease never expired");
+    assert_eq!(
+        queue_stats.leases_issued, 1,
+        "one lease carried the whole campaign — zero redone repetitions"
+    );
+
+    let report = coordinator.collect().remove(0).expect("report published");
+    assert!(!report.cancelled);
+    assert_eq!(stats.runs_executed, report.summary.total_runs() as u64);
+    let ids: Vec<u64> = system.ledger().runs().iter().map(|run| run.id.0).collect();
+    assert_eq!(ids, (first.0..=last.0).collect::<Vec<u64>>());
+
+    let (oracle_system, oracle_images) = fresh_system();
+    assert_eq!(oracle_system.clock().now(), origin);
+    if first.0 > 1 {
+        oracle_system.reserve_run_ids(first.0 - 1);
+    }
+    let oracle = Campaign::new(
+        &oracle_system,
+        config_for(vec!["alpha".into(), "beta".into()], oracle_images, 2, false),
+    )
+    .execute()
+    .expect("oracle campaign");
+    assert_eq!(
+        report.summary, oracle,
+        "renewal must not perturb what the campaign reports"
+    );
+
+    // The published fleet digest carries the renewal count.
+    let digest = fleet::fleet_stats(&queue);
+    assert_eq!(digest.drained.renewals, stats.renewals);
+    assert_eq!(digest.queue.poisoned, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Poison persistence: an undecodable (digest-valid, structurally
+/// garbage) submission is poisoned **on the queue** by the first worker
+/// that leases it, so a restarted worker — fresh process, no in-memory
+/// caches — never burns a lease on it, and the backlog still terminates.
+#[test]
+fn undecodable_submission_is_poisoned_durably_across_restarts() {
+    let dir = temp_queue_dir("poison");
+    let queue = WorkQueue::open(&dir, 3_600).expect("queue dir");
+
+    let (coordinator_system, images) = fresh_system();
+    let mut coordinator = Coordinator::new(&coordinator_system, &queue);
+    // A garbage payload behind a valid digest: the record reads back
+    // fine, but no build of this code can decode it into a campaign.
+    let garbage_seq = queue
+        .submit(b"not a campaign config", 900, 4, 0)
+        .expect("garbage submission");
+    let intact = coordinator
+        .submit(config_for(vec!["gamma".into()], images, 1, false))
+        .expect("intact submission");
+
+    let (first_system, _) = fresh_system();
+    let first = Worker::new(&first_system, &queue, "w0", 2).with_patience(3);
+    let stats = first.drain();
+    assert_eq!(stats.campaigns_drained, 1, "the intact submission drains");
+    assert!(stats.failures >= 1);
+    assert!(
+        queue.is_poisoned(garbage_seq),
+        "the undecodable submission is poisoned on the queue, not just in memory"
+    );
+    let mark = queue.poison_mark(garbage_seq).expect("durable poison mark");
+    assert_eq!(mark.seq, garbage_seq);
+    assert_eq!(mark.holder, "w0");
+    assert!(mark.reason.contains("undecodable"));
+    assert_eq!(queue.stats().poisoned, 1);
+    let leases_before = queue.stats().leases_issued;
+
+    // A restarted worker: new queue handle, new system, empty caches —
+    // the shape of a worker process rebooting. It must honour the poison
+    // mark before leasing, drain nothing, and still terminate.
+    let reopened = WorkQueue::open(&dir, 3_600).expect("reopen queue");
+    let (second_system, _) = fresh_system();
+    let second = Worker::new(&second_system, &reopened, "w1", 2).with_patience(3);
+    let restarted = second.drain();
+    assert_eq!(restarted.campaigns_drained, 0);
+    assert_eq!(
+        restarted.failures, 0,
+        "poison is honoured before leasing, not re-diagnosed"
+    );
+    assert_eq!(
+        queue.stats().leases_issued,
+        leases_before,
+        "no lease was ever burned on the poisoned submission again"
+    );
+    assert!(second_system.ledger().runs().is_empty());
+
+    // Poison is terminal: the queue considers the backlog drained, and
+    // the fleet digest makes the poisoned count operator-visible.
+    assert!(queue.drained(), "poisoned work must not wedge the backlog");
+    let digest = fleet::fleet_stats(&queue);
+    assert_eq!(digest.queue.poisoned, 1);
+    assert!(coordinator.collect()[intact.index()].is_some());
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -56,4 +56,7 @@ pub use job::{JobId, JobIdGenerator, JobResult, JobSpec, JobStatus};
 pub use poll::{Backoff, PollLoop, PollOutcome, PollStats};
 pub use pool::{PoolStats, WorkStealingPool};
 pub use queue::JobPool;
-pub use sched::{CampaignId, CancellationToken, Lane, LaneScheduler, LaneSchedulerStats};
+pub use sched::{
+    CampaignId, CancellationToken, Lane, LaneScheduler, LaneSchedulerStats, ProgressHook,
+    ProgressPoint,
+};

@@ -64,6 +64,35 @@ impl CancellationToken {
     }
 }
 
+/// Where in the execution a [`ProgressHook`] tick was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressPoint {
+    /// A lane is about to execute on a pool worker.
+    Dispatch,
+    /// One task within a lane finished executing.
+    Task,
+    /// A repetition barrier completed: every lane of the round joined
+    /// and the round's results were committed.
+    Barrier,
+}
+
+/// In-flight liveness signal from the executor to whoever owns the work.
+///
+/// Long campaigns execute for arbitrary wall time inside one
+/// [`LaneScheduler::dispatch`]-driven loop; anything that leases work
+/// (the fleet worker) must prove it is still alive *during* that loop,
+/// not just between work items. The scheduler raises
+/// [`ProgressPoint::Dispatch`] ticks from pool workers as lanes start;
+/// the loop above it raises [`ProgressPoint::Task`] and
+/// [`ProgressPoint::Barrier`] as tasks and repetition barriers complete.
+/// Implementations are called from multiple threads concurrently and
+/// must be cheap — a tick is an opportunity to renew a lease, not an
+/// obligation to do work.
+pub trait ProgressHook: Sync {
+    /// Signals that execution reached `point` and the caller is alive.
+    fn tick(&self, point: ProgressPoint);
+}
+
 /// One schedulable lane: a campaign tag, the campaign's cancellation
 /// token, and an opaque payload (the task sequence, for `sp-core`).
 #[derive(Debug)]
@@ -149,6 +178,25 @@ impl LaneScheduler {
         R: Send,
         F: Fn(CampaignId, T) -> R + Sync,
     {
+        self.dispatch_hooked(lanes, None, f)
+    }
+
+    /// [`dispatch`](Self::dispatch) with an optional [`ProgressHook`]:
+    /// the hook receives a [`ProgressPoint::Dispatch`] tick from the pool
+    /// worker as each live lane starts, so a lease holder renews its
+    /// liveness even while every thread is busy executing. Cancelled
+    /// lanes do not tick — skipping work is not progress.
+    pub fn dispatch_hooked<T, R, F>(
+        &self,
+        lanes: Vec<Lane<T>>,
+        hook: Option<&dyn ProgressHook>,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(CampaignId, T) -> R + Sync,
+    {
         if lanes.is_empty() {
             return Vec::new();
         }
@@ -169,6 +217,9 @@ impl LaneScheduler {
             if lane.token.is_cancelled() {
                 self.lanes_cancelled.fetch_add(1, Ordering::Relaxed);
                 return (original, None);
+            }
+            if let Some(hook) = hook {
+                hook.tick(ProgressPoint::Dispatch);
             }
             self.lanes_executed.fetch_add(1, Ordering::Relaxed);
             (original, Some(f(lane.campaign, lane.payload)))
@@ -323,6 +374,32 @@ mod tests {
         let before = merged;
         merged.merge(&LaneSchedulerStats::default());
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn progress_hook_ticks_once_per_executed_lane() {
+        struct Counter(AtomicU64);
+        impl ProgressHook for Counter {
+            fn tick(&self, point: ProgressPoint) {
+                assert_eq!(point, ProgressPoint::Dispatch);
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let sched = LaneScheduler::new(3);
+        let live = CancellationToken::new();
+        let doomed = CancellationToken::new();
+        doomed.cancel();
+        let lanes = vec![
+            lane(1, &live, 1),
+            lane(2, &doomed, 2),
+            lane(1, &live, 3),
+            lane(1, &live, 4),
+        ];
+        let counter = Counter(AtomicU64::new(0));
+        let results = sched.dispatch_hooked(lanes, Some(&counter), |_, p| p);
+        assert_eq!(results, vec![Some(1), None, Some(3), Some(4)]);
+        // Cancelled lanes are skipped work, not progress: no tick.
+        assert_eq!(counter.0.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -145,6 +145,10 @@ pub fn render_fleet_stats(stats: &FleetStats) -> String {
         "corrupt records dropped".into(),
         stats.queue.corrupt_dropped.to_string(),
     ]);
+    table.row_owned(vec![
+        "poisoned submissions".into(),
+        stats.queue.poisoned.to_string(),
+    ]);
     table.row_owned(vec!["worker processes".into(), stats.workers.to_string()]);
     table.row_owned(vec![
         "campaigns drained".into(),
@@ -157,6 +161,10 @@ pub fn render_fleet_stats(stats: &FleetStats) -> String {
     table.row_owned(vec![
         "drain failures".into(),
         stats.drained.failures.to_string(),
+    ]);
+    table.row_owned(vec![
+        "lease renewals".into(),
+        stats.drained.renewals.to_string(),
     ]);
     table.row_owned(vec![
         "scheduler rounds".into(),
@@ -300,6 +308,7 @@ mod tests {
             campaigns_drained: 3,
             runs_executed: 42,
             failures: 1,
+            renewals: 6,
             sched: ScheduleStats {
                 rounds: 9,
                 lanes_executed: 18,
@@ -315,6 +324,7 @@ mod tests {
                 leases_issued: 5,
                 reclaims: 1,
                 corrupt_dropped: 0,
+                poisoned: 1,
             },
             workers: 2,
             drained,
@@ -323,6 +333,8 @@ mod tests {
         assert!(rendered.contains("crash reclaims"));
         assert!(rendered.contains("worker processes"));
         assert!(rendered.contains("campaigns drained"));
+        assert!(rendered.contains("poisoned submissions"));
+        assert!(rendered.contains("lease renewals"));
         assert!(rendered.contains("42"));
     }
 

@@ -76,7 +76,9 @@ pub use sha256::HashingWriter;
 pub use shared::{ExportSummary, ImportSummary, SharedStorage, StorageArea};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotLoadReport, SnapshotSection};
 pub use vault::{FrozenImage, FrozenVault};
-pub use wq::{Lease, QueueStats, QueueSubmission, SystemTimeSource, WorkQueue, WqError};
+pub use wq::{
+    Lease, PoisonMark, QueueStats, QueueSubmission, SystemTimeSource, WorkQueue, WqError,
+};
 
 /// Errors produced by the storage substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]

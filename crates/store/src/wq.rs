@@ -14,6 +14,7 @@
 //! <root>/leases/sub-<seq>.g<token>         lease generations (fencing)
 //! <root>/reports/sub-<seq>.g<token>.rep    published results, per token
 //! <root>/workers/<holder>.stats            per-worker counters (opaque)
+//! <root>/poison/sub-<seq>.spwp             permanent poison marks
 //! <root>/tmp/...                           staging for atomic renames
 //! ```
 //!
@@ -37,6 +38,22 @@
 //! [`publish_report`](WorkQueue::publish_report) is rejected with
 //! [`WqError::StaleLease`], and even a file it managed to write is ignored
 //! at collection time because a higher generation exists.
+//!
+//! A holder mid-execution renews through [`renew`](WorkQueue::renew)
+//! (of which `heartbeat` is the between-leases alias): renewal is
+//! generation-checked through the same `verify_held` prelude as publish
+//! and release, so a renewal attempted after fencing returns the fencing
+//! error — it can never resurrect a reclaimed lease.
+//!
+//! ## Poison marks
+//!
+//! A submission whose payload is undecodable on *every* machine (it
+//! validates its digest but no worker can interpret it) can be marked
+//! **poisoned**: a durable `SPWP` record that makes every process —
+//! including restarted ones and siblings that never saw the failure —
+//! refuse to lease it again. Poison is reserved for
+//! environment-independent failures; transient errors are simply
+//! released for another worker to retry.
 //!
 //! ## Trust rules
 //!
@@ -62,6 +79,8 @@ const MAGIC_LEASE: [u8; 4] = *b"SPWL";
 const MAGIC_REPORT: [u8; 4] = *b"SPWR";
 /// Record magic for worker stats.
 const MAGIC_WORKER: [u8; 4] = *b"SPWT";
+/// Record magic for poison marks.
+const MAGIC_POISON: [u8; 4] = *b"SPWP";
 
 /// Current wire version of all queue records.
 const WQ_VERSION: u32 = 1;
@@ -184,6 +203,19 @@ pub struct Lease {
     pub expires_at: u64,
 }
 
+/// A durable poison mark: the submission is permanently skipped by every
+/// worker, current and future. Written once (first marker wins) and never
+/// removed by the queue itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonMark {
+    /// The poisoned submission.
+    pub seq: u64,
+    /// Worker that diagnosed the failure.
+    pub holder: String,
+    /// Human-readable diagnosis (shown in operator digests).
+    pub reason: String,
+}
+
 /// A lease record as read back from disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct LeaseRecord {
@@ -210,6 +242,9 @@ pub struct QueueStats {
     pub reclaims: usize,
     /// Records dropped because their digest or structure did not validate.
     pub corrupt_dropped: usize,
+    /// Submissions permanently poisoned (undecodable payloads no worker
+    /// will ever lease again).
+    pub poisoned: usize,
 }
 
 /// The durable multi-process work queue rooted at one storage directory.
@@ -233,7 +268,14 @@ impl WorkQueue {
         time: Arc<dyn TimeSource + Send + Sync>,
     ) -> std::io::Result<Self> {
         let root = root.into();
-        for sub in ["submissions", "leases", "reports", "workers", "tmp"] {
+        for sub in [
+            "submissions",
+            "leases",
+            "reports",
+            "workers",
+            "poison",
+            "tmp",
+        ] {
             std::fs::create_dir_all(root.join(sub))?;
         }
         Ok(WorkQueue {
@@ -257,6 +299,14 @@ impl WorkQueue {
         self.time.now_secs()
     }
 
+    /// The queue's notion of "now" (seconds on its shared time source).
+    /// Exposed so lease holders can derive a renewal cadence from
+    /// `expires_at - now_secs()` without guessing at the clock the queue
+    /// itself will judge expiry by.
+    pub fn now_secs(&self) -> u64 {
+        self.now()
+    }
+
     // ---- paths -------------------------------------------------------
 
     fn submission_path(&self, seq: u64) -> PathBuf {
@@ -270,6 +320,10 @@ impl WorkQueue {
     fn report_path(&self, seq: u64, token: u64) -> PathBuf {
         self.root
             .join(format!("reports/sub-{seq:08}.g{token:04}.rep"))
+    }
+
+    fn poison_path(&self, seq: u64) -> PathBuf {
+        self.root.join(format!("poison/sub-{seq:08}.spwp"))
     }
 
     fn stage_path(&self) -> PathBuf {
@@ -457,6 +511,12 @@ impl WorkQueue {
         if self.report(seq).is_some() {
             return Ok(None);
         }
+        // A poisoned submission is permanently dead: leasing it would
+        // re-run a failure some worker already diagnosed as
+        // machine-independent.
+        if self.is_poisoned(seq) {
+            return Ok(None);
+        }
         // A corrupt submission is never leased: claiming it would burn
         // lease generations (inflating the reclaim accounting) on work
         // that can never execute. The payload read is paid only on claim
@@ -553,9 +613,13 @@ impl WorkQueue {
     }
 
     /// Renews the lease for another full duration, updating
-    /// `lease.expires_at`. Fails (and renews nothing) once the lease has
-    /// expired, was released, or was superseded by a newer generation.
-    pub fn heartbeat(&self, lease: &mut Lease) -> Result<(), WqError> {
+    /// `lease.expires_at` and returning the new expiry instant. Renewal
+    /// is generation-checked: it fails (and renews nothing) once the
+    /// lease has expired, was released, or was superseded by a newer
+    /// generation — a fenced-away holder gets the fencing error back,
+    /// never a resurrected lease. This is the in-flight liveness signal
+    /// the executor's progress hook drives at every repetition barrier.
+    pub fn renew(&self, lease: &mut Lease) -> Result<u64, WqError> {
         let mut record = self.verify_held(lease)?;
         record.expires_at = self.now() + self.lease_secs;
         self.write_atomic(
@@ -563,7 +627,13 @@ impl WorkQueue {
             &self.encode_lease(&record),
         )?;
         lease.expires_at = record.expires_at;
-        Ok(())
+        Ok(record.expires_at)
+    }
+
+    /// Between-leases alias of [`renew`](Self::renew), kept for callers
+    /// that heartbeat from their polling loop rather than mid-execution.
+    pub fn heartbeat(&self, lease: &mut Lease) -> Result<(), WqError> {
+        self.renew(lease).map(|_| ())
     }
 
     /// Publishes the result bytes for a leased submission, recording the
@@ -635,11 +705,70 @@ impl WorkQueue {
         (cursor.finished() && recorded_seq == seq && recorded_token == token).then_some(payload)
     }
 
-    /// Whether every valid submission has a trusted report.
+    /// Whether every valid submission has reached a terminal state: a
+    /// trusted report, or a poison mark (poisoned work will never
+    /// complete, so waiting on it would hang the fleet forever).
     pub fn drained(&self) -> bool {
         self.submissions()
             .iter()
-            .all(|s| self.report(s.seq).is_some())
+            .all(|s| self.report(s.seq).is_some() || self.is_poisoned(s.seq))
+    }
+
+    // ---- poison marks ------------------------------------------------
+
+    /// Durably marks a submission as poisoned so no process — including
+    /// restarted workers and siblings that never saw the failure — ever
+    /// leases it again. First marker wins (the mark is created
+    /// exclusively); returns `true` if this call wrote the mark, `false`
+    /// if one already existed. Reserved for failures that are provably
+    /// machine-independent (an undecodable payload); transient failures
+    /// should release the lease instead so another worker can retry.
+    pub fn mark_poisoned(&self, seq: u64, holder: &str, reason: &str) -> std::io::Result<bool> {
+        let mut body = Vec::with_capacity(holder.len() + reason.len() + 24);
+        wire_put_u64(&mut body, seq);
+        wire_put_str(&mut body, holder);
+        wire_put_str(&mut body, reason);
+        let record = encode_record(&MAGIC_POISON, &body);
+        match self.create_exclusive(&self.poison_path(seq), &record) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads one submission's poison mark, digest-validated (`None` if
+    /// absent or corrupt — a corrupt mark is dropped, and the submission
+    /// becomes leasable again, which is safe: the worst case is
+    /// re-diagnosing and re-marking the same failure).
+    pub fn poison_mark(&self, seq: u64) -> Option<PoisonMark> {
+        let bytes = std::fs::read(self.poison_path(seq)).ok()?;
+        let body = decode_record(&MAGIC_POISON, &bytes)?;
+        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+        let recorded_seq = cursor.take_u64()?;
+        let holder = cursor.take_str()?;
+        let reason = cursor.take_str()?;
+        (cursor.finished() && recorded_seq == seq).then_some(PoisonMark {
+            seq,
+            holder,
+            reason,
+        })
+    }
+
+    /// Whether a valid poison mark exists for `seq`.
+    pub fn is_poisoned(&self, seq: u64) -> bool {
+        self.poison_mark(seq).is_some()
+    }
+
+    /// Sequence numbers of every validly poisoned submission, sorted.
+    pub fn poisoned_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self
+            .scan("poison")
+            .into_iter()
+            .filter_map(|name| parse_seq(&name, "sub-", ".spwp"))
+            .filter(|&seq| self.is_poisoned(seq))
+            .collect();
+        seqs.sort_unstable();
+        seqs
     }
 
     // ---- worker stats ------------------------------------------------
@@ -699,6 +828,9 @@ impl WorkQueue {
             }
             if self.report(seq).is_some() {
                 stats.completed += 1;
+            }
+            if self.is_poisoned(seq) {
+                stats.poisoned += 1;
             }
         }
         stats
@@ -895,6 +1027,58 @@ mod tests {
         assert!(q.report(seq).is_none());
         q.publish_report(&live, b"good").unwrap();
         assert_eq!(q.report(seq).unwrap(), b"good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renew_extends_and_reports_the_new_expiry() {
+        let (q, clock, dir) = queue(30);
+        q.submit(b"work", 1, 1, 0).unwrap();
+        let mut lease = q.lease_next("w1").unwrap().unwrap();
+        clock.0.fetch_add(10, Ordering::SeqCst);
+        let expiry = q.renew(&mut lease).unwrap();
+        assert_eq!(expiry, 1_010 + 30);
+        assert_eq!(lease.expires_at, expiry);
+        // now_secs is the same clock the queue judges expiry by.
+        assert_eq!(q.now_secs(), 1_010);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poison_mark_roundtrip_and_lease_refusal() {
+        let (q, _clock, dir) = queue(60);
+        let seq = q.submit(b"undecodable", 1, 1, 0).unwrap();
+        assert!(!q.is_poisoned(seq));
+        assert!(q.mark_poisoned(seq, "w1", "payload undecodable").unwrap());
+        // First marker wins; re-marking is a no-op, not an error.
+        assert!(!q.mark_poisoned(seq, "w2", "same diagnosis").unwrap());
+        let mark = q.poison_mark(seq).unwrap();
+        assert_eq!(mark.holder, "w1");
+        assert_eq!(mark.reason, "payload undecodable");
+        assert_eq!(q.poisoned_seqs(), vec![seq]);
+        // Poisoned work is never leased again, and the backlog still
+        // reads as drained (poison is terminal).
+        assert!(q.lease_next("w3").unwrap().is_none());
+        assert!(q.drained());
+        assert_eq!(q.stats().poisoned, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_poison_mark_is_dropped_and_work_re_leasable() {
+        let (q, _clock, dir) = queue(60);
+        let seq = q.submit(b"work", 1, 1, 0).unwrap();
+        q.mark_poisoned(seq, "w1", "bad").unwrap();
+        let path = q.poison_path(seq);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        // The corrupt mark is never trusted: the submission reads
+        // unpoisoned and can be leased (worst case: re-diagnosed).
+        assert!(!q.is_poisoned(seq));
+        assert!(q.poisoned_seqs().is_empty());
+        assert!(q.lease_next("w2").unwrap().is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use sp_store::{TimeSource, WorkQueue, WqError};
+use sp_store::{Lease, TimeSource, WorkQueue, WqError};
 
 /// A settable clock standing in for the wall clock a real fleet shares.
 struct TestClock(AtomicU64);
@@ -145,6 +145,95 @@ fn releasing_a_lease_someone_else_reclaimed_is_rejected() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Renewal at the exact expiry boundary is one second too late: expiry
+/// is inclusive, so `now == expires_at` means dead — renewal must fail
+/// and must not extend the lease.
+#[test]
+fn renew_at_the_exact_expiry_boundary_fails() {
+    let (q, clock, dir) = queue(30, "renew-boundary");
+    q.submit(b"work", 1, 1, 0).unwrap();
+    let mut lease = q.lease_next("w1").unwrap().unwrap();
+    let boundary = lease.expires_at;
+    clock.0.store(boundary, Ordering::SeqCst);
+    assert!(matches!(
+        q.renew(&mut lease),
+        Err(WqError::Expired { token: 1, .. })
+    ));
+    // The failed renewal extended nothing: the caller's lease still
+    // carries the old expiry, and the work is reclaimable right now.
+    assert_eq!(lease.expires_at, boundary);
+    assert!(q.lease_next("w2").unwrap().is_some());
+    // One second earlier it renews, and the renewal reports the new
+    // expiry the queue will actually judge by.
+    let (q2, clock2, dir2) = queue(30, "renew-boundary-live");
+    q2.submit(b"work", 1, 1, 0).unwrap();
+    let mut live = q2.lease_next("w1").unwrap().unwrap();
+    clock2.0.store(live.expires_at - 1, Ordering::SeqCst);
+    let renewed_to = q2.renew(&mut live).unwrap();
+    assert_eq!(renewed_to, live.expires_at);
+    assert_eq!(renewed_to, clock2.0.load(Ordering::SeqCst) + 30);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+/// Renewal after fencing returns the fencing error — it can never
+/// resurrect a lease whose work was re-issued to someone else.
+#[test]
+fn renew_after_fencing_returns_the_fencing_error() {
+    let (q, clock, dir) = queue(30, "renew-fenced");
+    q.submit(b"work", 1, 1, 0).unwrap();
+    let mut zombie = q.lease_next("w1").unwrap().unwrap();
+    clock.0.fetch_add(30, Ordering::SeqCst);
+    let fresh = q.lease_next("w2").unwrap().unwrap();
+    assert_eq!(fresh.token, 2);
+    // The zombie's renewal is rejected with the fencing error naming
+    // both tokens, and the live holder's lease is untouched by it.
+    match q.renew(&mut zombie) {
+        Err(WqError::StaleLease { held, current, .. }) => {
+            assert_eq!((held, current), (1, 2));
+        }
+        other => panic!("expected StaleLease, got {other:?}"),
+    }
+    q.publish_report(&fresh, b"good").unwrap();
+    q.release(&fresh).unwrap();
+    assert_eq!(q.report(fresh.seq).unwrap(), b"good");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Renewal racing reclamation: whichever lands first, exactly one party
+/// ends up holding the work. If the renewal lands before the claim, the
+/// claimant finds a live lease and gets nothing; if the claim lands
+/// first, the renewal is fenced.
+#[test]
+fn renewal_racing_reclamation_leaves_one_holder() {
+    // Renewal first: the lease is alive again, the claim finds nothing.
+    let (q, clock, dir) = queue(30, "renew-race-a");
+    q.submit(b"work", 1, 1, 0).unwrap();
+    let mut lease = q.lease_next("w1").unwrap().unwrap();
+    clock.0.store(lease.expires_at - 1, Ordering::SeqCst);
+    q.renew(&mut lease).unwrap();
+    clock.0.fetch_add(15, Ordering::SeqCst); // past the *old* expiry
+    assert!(q.lease_next("w2").unwrap().is_none(), "renewal won");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Claim first: the old holder's renewal is fenced, not honoured.
+    let (q, clock, dir) = queue(30, "renew-race-b");
+    q.submit(b"work", 1, 1, 0).unwrap();
+    let mut old = q.lease_next("w1").unwrap().unwrap();
+    clock.0.store(old.expires_at, Ordering::SeqCst);
+    let claimed = q.lease_next("w2").unwrap().expect("claim won");
+    assert!(matches!(
+        q.renew(&mut old),
+        Err(WqError::StaleLease {
+            held: 1,
+            current: 2,
+            ..
+        })
+    ));
+    q.release(&claimed).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// An abandoned-but-unexpired release makes the work immediately
 /// reclaimable: releasing without a report is the polite "I can't do
 /// this" hand-back, and the next claimant gets the next generation.
@@ -161,6 +250,59 @@ fn release_without_report_requeues_the_work() {
 }
 
 proptest! {
+    /// However renew, heartbeat, release, claims and clock advances
+    /// interleave, one submission never ends up with two live holders:
+    /// with the clock frozen, at most one of every lease ever handed out
+    /// can still commit a report (commit = the operational definition of
+    /// "live holder" — it requires being the current, unreleased,
+    /// unexpired generation).
+    #[test]
+    fn interleaved_renew_heartbeat_release_never_two_live_holders(
+        ops in prop::collection::vec((0u8..5, any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let (q, clock, dir) = queue(20, "prop-renew");
+        let seq = q.submit(b"work", 1, 1, 0).unwrap();
+        let mut handles: Vec<Lease> = Vec::new();
+        let mut next_holder = 0u32;
+        for (op, pick, advance) in ops {
+            match op {
+                0 => {
+                    clock.0.fetch_add((advance % 25) as u64, Ordering::SeqCst);
+                }
+                1 => {
+                    next_holder += 1;
+                    if let Ok(Some(lease)) = q.try_lease(seq, &format!("w{next_holder}")) {
+                        handles.push(lease);
+                    }
+                }
+                2 => {
+                    if !handles.is_empty() {
+                        let i = pick as usize % handles.len();
+                        let _ = q.renew(&mut handles[i]);
+                    }
+                }
+                3 => {
+                    if !handles.is_empty() {
+                        let i = pick as usize % handles.len();
+                        let _ = q.heartbeat(&mut handles[i]);
+                    }
+                }
+                _ => {
+                    if !handles.is_empty() {
+                        let i = pick as usize % handles.len();
+                        let _ = q.release(&handles[i]);
+                    }
+                }
+            }
+        }
+        let committed = handles
+            .iter()
+            .filter(|lease| q.publish_report(lease, b"x").is_ok())
+            .count();
+        prop_assert!(committed <= 1, "{committed} live holders of one seq");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// The `SPWS` posture, extended to every queue record: flip any
     /// single byte (or truncate) any file under the queue directory and
     /// the affected record is dropped — submissions cannot be fabricated,
