@@ -18,7 +18,7 @@ use sp_build::{BuildEngine, BuildReport, BuildStatus, GraphError, ParallelBuilde
 use sp_env::{check_runtime, EnvironmentSpec, ImageError, RuntimeOutcome, VmImage, VmImageId};
 use sp_exec::{
     Client, ClientError, ClientKind, CronSchedule, JobId, JobIdGenerator, JobPool, JobResult,
-    JobSpec, JobStatus, StageStatus, VirtualClock,
+    JobSpec, JobStatus, StageStatus, VirtualClock, WorkStealingPool,
 };
 use sp_hep::{
     hist_io, reconstruct, Analysis, DetectorSim, Event, EventGenerator, GeneratorConfig,
@@ -1238,12 +1238,11 @@ impl SpSystem {
         let mut snapshot = Snapshot::new();
 
         let mut system = SnapshotSection::new(warm::SECTION_SYSTEM);
-        let mut run_ids = Vec::new();
-        sp_store::snapshot::wire::put_u64(&mut run_ids, self.run_ids.load(Ordering::SeqCst));
-        system.push(b"run-ids".to_vec(), run_ids);
-        let mut clock = Vec::new();
-        sp_store::snapshot::wire::put_u64(&mut clock, self.clock.now());
-        system.push(b"clock".to_vec(), clock);
+        system.push(
+            b"run-ids".to_vec(),
+            warm::encode_u64_value(self.run_ids.load(Ordering::SeqCst)),
+        );
+        system.push(b"clock".to_vec(), warm::encode_u64_value(self.clock.now()));
         snapshot.sections.push(system);
 
         let mut digests = SnapshotSection::new(warm::SECTION_DIGEST_CACHE);
@@ -1281,7 +1280,10 @@ impl SpSystem {
         }
         snapshot.sections.push(references);
 
-        snapshot.encode()
+        // The per-entry guard digests are independent SHA-256 passes —
+        // batch them across a transient pool so a big warm state (weeks of
+        // memoized cells) exports at multi-core speed.
+        snapshot.encode_with(&digest_pool())
     }
 
     /// Restores warm state exported by [`export_warm_state`]
@@ -1299,7 +1301,7 @@ impl SpSystem {
     /// The run-id cursor and the clock only ever move forward (a snapshot
     /// can never make a live system reuse ids or travel back in time).
     pub fn import_warm_state(&self, bytes: &[u8]) -> Result<WarmRestoreReport, SnapshotError> {
-        let (snapshot, load) = Snapshot::decode(bytes)?;
+        let (snapshot, load) = Snapshot::decode_with(bytes, &digest_pool())?;
         let mut report = WarmRestoreReport {
             snapshot: load,
             ..WarmRestoreReport::default()
@@ -1308,8 +1310,7 @@ impl SpSystem {
 
         if let Some(section) = snapshot.section(warm::SECTION_SYSTEM) {
             for (key, value) in &section.entries {
-                let mut cursor = sp_store::snapshot::wire::Cursor::new(value);
-                let Some(value) = cursor.take_u64() else {
+                let Some(value) = warm::decode_u64_value(value) else {
                     report.entries_rejected += 1;
                     continue;
                 };
@@ -1427,7 +1428,7 @@ impl SpSystem {
     /// `warm_state.spws` degrades to a cold restart — the storage import
     /// still stands, and the reason is reported, not swallowed.
     pub fn import_from_dir(&self, dir: &std::path::Path) -> std::io::Result<SystemImportSummary> {
-        let storage = self.storage.import_from_dir(dir)?;
+        let storage = self.storage.import_from_dir_with(dir, &digest_pool())?;
         let (warm, warm_state_error) = match std::fs::read(dir.join(WARM_STATE_FILE)) {
             Ok(bytes) => match self.import_warm_state(&bytes) {
                 Ok(report) => (report, None),
@@ -1479,6 +1480,17 @@ impl SpSystem {
 
 /// File name of the warm-state snapshot inside an exported directory.
 pub const WARM_STATE_FILE: &str = "warm_state.spws";
+
+/// A transient pool sized to the machine for batch-hashing independent
+/// objects during export/import. Construction is free (the pool spawns
+/// scoped threads per batch, none up front), so call sites just make one.
+fn digest_pool() -> WorkStealingPool {
+    WorkStealingPool::new(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+}
 
 /// Sorts exported memo entries by key for a deterministic snapshot
 /// encoding (the memos iterate a hash map).
@@ -2026,6 +2038,51 @@ mod tests {
             "the restored run-id cursor never reuses ids"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_codec_generation_warm_entries_are_dropped_cleanly() {
+        // A snapshot written by the previous codec generation: the
+        // container is valid (header + per-entry digests check out), but
+        // the section values lack the [VALUE_TAG, VALUE_VERSION] header —
+        // raw 32-byte object ids, raw little-endian counters. Import must
+        // reject every such entry (never misread one) and leave the
+        // restored system cold but consistent.
+        let oid = ObjectId::for_bytes(b"old-generation-output");
+        let key = RunKey::new("tiny::tiny/unit/util-0", 7, "SL5", 1.0);
+
+        let mut snapshot = sp_store::Snapshot::new();
+        let mut system = SnapshotSection::new("system");
+        system.push(b"run-ids".to_vec(), 500u64.to_le_bytes().to_vec());
+        snapshot.sections.push(system);
+        let mut outputs = SnapshotSection::new("output-memo");
+        outputs.push(encode_run_key(&key), oid.0.to_vec());
+        snapshot.sections.push(outputs);
+        let mut digests = SnapshotSection::new("digest-cache");
+        digests.push(b"pkg@1.0@SL5".to_vec(), oid.0.to_vec());
+        snapshot.sections.push(digests);
+        let bytes = snapshot.encode();
+
+        let restarted = SpSystem::new();
+        // The referenced object exists, so presence checks cannot be what
+        // rejects the entries — the codec version is.
+        restarted
+            .storage()
+            .content()
+            .put(&b"old-generation-output"[..]);
+        let before = restarted.run_ids.load(Ordering::SeqCst);
+        let report = restarted.import_warm_state(&bytes).unwrap();
+        assert_eq!(report.snapshot.entries_dropped, 0, "container is intact");
+        assert_eq!(report.entries_rejected, 3, "all v1 values rejected");
+        assert_eq!(report.output_memo_entries, 0);
+        assert_eq!(report.digest_cache_entries, 0);
+        assert_eq!(
+            restarted.run_ids.load(Ordering::SeqCst),
+            before,
+            "an unversioned counter must not move the run-id cursor"
+        );
+        assert_eq!(restarted.output_memo_stats().entries, 0);
+        assert_eq!(restarted.storage().digest_cache().peek("pkg@1.0@SL5"), None);
     }
 
     #[test]

@@ -9,6 +9,20 @@
 //!
 //! Decoders are total: any structural mismatch yields `None` and the
 //! importer drops the entry (counted as rejected) instead of guessing.
+//!
+//! ## Value versioning
+//!
+//! Every section *value* starts with the two-byte header
+//! `[VALUE_TAG, VALUE_VERSION]`. Version 2 re-keyed the in-memory memos on
+//! fast hashes; the on-disk values still carry full keys and SHA-256
+//! addresses, but the header lets a build drop (never misread) entries
+//! written by a different codec generation. The tag byte `0xF7` cannot
+//! begin any realistic v1 value — v1 values started with a raw digest
+//! byte, a stage/test count (≥ 247 stages would be required) or a string
+//! length — and the decoders additionally fail on the length mismatch the
+//! two extra bytes induce, so v1 entries are rejected deterministically.
+//! The snapshot *container* version is unchanged (its layout is
+//! identical); this header versions only what the values mean.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -36,14 +50,50 @@ pub(crate) const SECTION_BUILD_MEMO: &str = "build-memo";
 /// has something to compare against instead of bootstrapping.
 pub(crate) const SECTION_LEDGER_REFS: &str = "ledger-references";
 
+/// First byte of every versioned section value.
+pub(crate) const VALUE_TAG: u8 = 0xF7;
+/// Current value codec version.
+pub(crate) const VALUE_VERSION: u8 = 2;
+
+fn put_value_header(out: &mut Vec<u8>) {
+    out.push(VALUE_TAG);
+    out.push(VALUE_VERSION);
+}
+
+fn take_value_header(cursor: &mut Cursor<'_>) -> Option<()> {
+    (cursor.take(2)? == [VALUE_TAG, VALUE_VERSION]).then_some(())
+}
+
+// ---- plain u64 values (system counters) ------------------------------
+
+pub(crate) fn encode_u64_value(v: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    put_value_header(&mut out);
+    wire::put_u64(&mut out, v);
+    out
+}
+
+pub(crate) fn decode_u64_value(bytes: &[u8]) -> Option<u64> {
+    let mut cursor = Cursor::new(bytes);
+    take_value_header(&mut cursor)?;
+    let v = cursor.take_u64()?;
+    cursor.finished().then_some(v)
+}
+
 // ---- object ids ------------------------------------------------------
 
 pub(crate) fn encode_object_id(id: ObjectId) -> Vec<u8> {
-    id.0.to_vec()
+    let mut out = Vec::with_capacity(34);
+    put_value_header(&mut out);
+    out.extend_from_slice(&id.0);
+    out
 }
 
 pub(crate) fn decode_object_id(bytes: &[u8]) -> Option<ObjectId> {
-    bytes.try_into().ok().map(ObjectId)
+    let mut cursor = Cursor::new(bytes);
+    take_value_header(&mut cursor)?;
+    let id = take_object_id(&mut cursor)?;
+    cursor.finished().then_some(id)
 }
 
 fn put_object_id(out: &mut Vec<u8>, id: ObjectId) {
@@ -51,7 +101,9 @@ fn put_object_id(out: &mut Vec<u8>, id: ObjectId) {
 }
 
 fn take_object_id(cursor: &mut Cursor<'_>) -> Option<ObjectId> {
-    cursor.take(32).and_then(decode_object_id)
+    cursor
+        .take(32)
+        .and_then(|raw| raw.try_into().ok().map(ObjectId))
 }
 
 // ---- test statuses ---------------------------------------------------
@@ -146,7 +198,8 @@ fn take_category(cursor: &mut Cursor<'_>) -> Option<TestCategory> {
 // ---- chain memo ------------------------------------------------------
 
 pub(crate) fn encode_chain(chain: &MemoizedChain) -> Vec<u8> {
-    let mut out = Vec::with_capacity(chain.stages.len() * 96);
+    let mut out = Vec::with_capacity(2 + chain.stages.len() * 96);
+    put_value_header(&mut out);
     wire::put_u32(&mut out, chain.stages.len() as u32);
     for stage in &chain.stages {
         wire::put_str(&mut out, &stage.stage);
@@ -164,6 +217,7 @@ pub(crate) fn encode_chain(chain: &MemoizedChain) -> Vec<u8> {
 
 pub(crate) fn decode_chain(bytes: &[u8]) -> Option<MemoizedChain> {
     let mut cursor = Cursor::new(bytes);
+    take_value_header(&mut cursor)?;
     let stage_count = cursor.take_u32()?;
     let mut stages = Vec::with_capacity(stage_count as usize);
     for _ in 0..stage_count {
@@ -195,7 +249,8 @@ pub(crate) fn decode_chain(bytes: &[u8]) -> Option<MemoizedChain> {
 pub(crate) fn encode_reference_tests(
     tests: &BTreeMap<String, crate::ledger::TestOutputs>,
 ) -> Vec<u8> {
-    let mut out = Vec::with_capacity(tests.len() * 96);
+    let mut out = Vec::with_capacity(2 + tests.len() * 96);
+    put_value_header(&mut out);
     wire::put_u32(&mut out, tests.len() as u32);
     for (test, outputs) in tests {
         wire::put_str(&mut out, test);
@@ -214,6 +269,7 @@ pub(crate) fn decode_reference_tests(
     bytes: &[u8],
 ) -> Option<BTreeMap<String, crate::ledger::TestOutputs>> {
     let mut cursor = Cursor::new(bytes);
+    take_value_header(&mut cursor)?;
     let test_count = cursor.take_u32()?;
     let mut tests = BTreeMap::new();
     for _ in 0..test_count {
@@ -258,7 +314,8 @@ fn take_build_status(cursor: &mut Cursor<'_>) -> Option<BuildStatus> {
 }
 
 pub(crate) fn encode_build_report(report: &BuildReport) -> Vec<u8> {
-    let mut out = Vec::with_capacity(report.records.len() * 128);
+    let mut out = Vec::with_capacity(2 + report.records.len() * 128);
+    put_value_header(&mut out);
     wire::put_str(&mut out, &report.env_label);
     wire::put_u32(&mut out, report.order.len() as u32);
     for package in &report.order {
@@ -282,6 +339,7 @@ pub(crate) fn encode_build_report(report: &BuildReport) -> Vec<u8> {
 
 pub(crate) fn decode_build_report(bytes: &[u8]) -> Option<Arc<BuildReport>> {
     let mut cursor = Cursor::new(bytes);
+    take_value_header(&mut cursor)?;
     let env_label = cursor.take_str()?;
     let order_count = cursor.take_u32()?;
     let mut order = Vec::with_capacity(order_count as usize);
@@ -321,6 +379,56 @@ pub(crate) fn decode_build_report(bytes: &[u8]) -> Option<Arc<BuildReport>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_header_guards_every_codec() {
+        // Every encoder leads with the versioned header...
+        let id = ObjectId::for_bytes(b"artifact");
+        let chain = MemoizedChain { stages: vec![] };
+        let refs: BTreeMap<String, crate::ledger::TestOutputs> = BTreeMap::new();
+        let report = BuildReport {
+            env_label: "SL6".into(),
+            order: vec![],
+            records: BTreeMap::new(),
+        };
+        for bytes in [
+            encode_u64_value(42),
+            encode_object_id(id),
+            encode_chain(&chain),
+            encode_reference_tests(&refs),
+            encode_build_report(&report),
+        ] {
+            assert_eq!(&bytes[..2], &[VALUE_TAG, VALUE_VERSION]);
+        }
+        // ...and every decoder rejects v1-shaped values (no header): a raw
+        // 32-byte digest, a raw little-endian counter, raw count-prefixed
+        // aggregates. Rejection, not misreads.
+        assert_eq!(decode_object_id(&id.0), None);
+        assert_eq!(decode_u64_value(&42u64.to_le_bytes()), None);
+        let mut v1_chain = Vec::new();
+        wire::put_u32(&mut v1_chain, 0);
+        assert!(decode_chain(&v1_chain).is_none());
+        assert!(decode_reference_tests(&v1_chain).is_none());
+        let mut v1_report = Vec::new();
+        wire::put_str(&mut v1_report, "SL6");
+        wire::put_u32(&mut v1_report, 0);
+        wire::put_u32(&mut v1_report, 0);
+        assert!(decode_build_report(&v1_report).is_none());
+        // A future version bump is likewise dropped, not guessed at.
+        let mut future = encode_object_id(id);
+        future[1] = VALUE_VERSION + 1;
+        assert_eq!(decode_object_id(&future), None);
+    }
+
+    #[test]
+    fn u64_value_round_trip() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(decode_u64_value(&encode_u64_value(v)), Some(v));
+        }
+        let bytes = encode_u64_value(7);
+        assert_eq!(decode_u64_value(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_u64_value(b""), None);
+    }
 
     #[test]
     fn chain_round_trip() {

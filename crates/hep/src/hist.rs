@@ -275,8 +275,16 @@ impl Histogram1D {
     /// distributions (the ROOT `TH1::KolmogorovTest` approach).
     pub fn ks_test(&self, other: &Histogram1D) -> Result<KsResult, BinningMismatch> {
         self.check_binning(other)?;
-        let sum_a = self.integral();
-        let sum_b = other.integral();
+        // One fused sweep gathers both integrals and both Σw² totals —
+        // the naive formulation walks the bin arrays four times before
+        // the CDF loop even starts.
+        let (mut sum_a, mut sum_b, mut w2_a, mut w2_b) = (0.0, 0.0, 0.0, 0.0);
+        for i in 0..self.nbins() {
+            sum_a += self.counts[i];
+            sum_b += other.counts[i];
+            w2_a += self.sumw2[i];
+            w2_b += other.sumw2[i];
+        }
         if sum_a <= 0.0 || sum_b <= 0.0 {
             // Two empty histograms are trivially compatible; one empty and
             // one filled are maximally incompatible.
@@ -286,34 +294,36 @@ impl Histogram1D {
                 p_value: if d == 0.0 { 1.0 } else { 0.0 },
             });
         }
-        let mut cdf_a = 0.0;
-        let mut cdf_b = 0.0;
+        // Accumulate the *unnormalised* cumulative sums and scale each by
+        // a precomputed reciprocal: no per-bin division, and the two
+        // running sums are bit-identical across self-comparison (so a
+        // histogram against itself still yields exactly D = 0).
+        let (inv_a, inv_b) = (1.0 / sum_a, 1.0 / sum_b);
+        let mut cum_a = 0.0;
+        let mut cum_b = 0.0;
         let mut d: f64 = 0.0;
         for i in 0..self.nbins() {
-            cdf_a += self.counts[i] / sum_a;
-            cdf_b += other.counts[i] / sum_b;
-            d = d.max((cdf_a - cdf_b).abs());
+            cum_a += self.counts[i];
+            cum_b += other.counts[i];
+            d = d.max((cum_a * inv_a - cum_b * inv_b).abs());
         }
-        // Effective sample sizes from the weighted sums.
-        let n_a = effective_entries(sum_a, &self.sumw2);
-        let n_b = effective_entries(sum_b, &other.sumw2);
+        // Effective sample sizes from the weighted sums: `(Σw)² / Σw²`.
+        let n_a = if w2_a <= 0.0 {
+            0.0
+        } else {
+            sum_a * sum_a / w2_a
+        };
+        let n_b = if w2_b <= 0.0 {
+            0.0
+        } else {
+            sum_b * sum_b / w2_b
+        };
         let n_eff = (n_a * n_b / (n_a + n_b)).sqrt();
         let lambda = (n_eff + 0.12 + 0.11 / n_eff) * d;
         Ok(KsResult {
             statistic: d,
             p_value: kolmogorov_q(lambda),
         })
-    }
-}
-
-/// Effective number of entries for weighted histograms:
-/// `(Σw)² / Σw²`.
-fn effective_entries(sum_w: f64, sumw2: &[f64]) -> f64 {
-    let total_w2: f64 = sumw2.iter().sum();
-    if total_w2 <= 0.0 {
-        0.0
-    } else {
-        sum_w * sum_w / total_w2
     }
 }
 

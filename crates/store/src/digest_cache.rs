@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
+use crate::fasthash::{hash128, FastKeyState};
 use crate::ObjectId;
 
 /// Counters for cache effectiveness.
@@ -45,9 +46,16 @@ impl DigestCacheStats {
 }
 
 /// A concurrent `revision → content address` memo.
+///
+/// Keyed internally on the 128-bit [`crate::fasthash`] digest of the
+/// revision string (identity [`FastKeyState`], so the map never re-hashes
+/// the key); each entry retains the full revision and reads verify it, so
+/// a colliding digest can only miss or displace — never serve an address
+/// under the wrong revision. Process-local only: the warm-state snapshot
+/// exports `(revision, ObjectId)` pairs, not fast keys.
 #[derive(Debug, Default)]
 pub struct DigestCache {
-    entries: RwLock<HashMap<String, ObjectId>>,
+    entries: RwLock<HashMap<u128, (String, ObjectId), FastKeyState>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -60,18 +68,32 @@ impl DigestCache {
 
     /// Looks up the content address cached for `revision` (no counters).
     pub fn peek(&self, revision: &str) -> Option<ObjectId> {
-        self.entries.read().get(revision).copied()
+        self.entries
+            .read()
+            .get(&hash128(revision.as_bytes()).0)
+            .filter(|(cached, _)| cached == revision)
+            .map(|(_, id)| *id)
     }
 
     /// Records that `revision` hashes to `id`.
     pub fn insert(&self, revision: &str, id: ObjectId) {
-        self.entries.write().insert(revision.to_string(), id);
+        self.entries
+            .write()
+            .insert(hash128(revision.as_bytes()).0, (revision.to_string(), id));
     }
 
     /// Drops one revision (e.g. after its object was pruned). Returns
     /// whether it was cached.
     pub fn invalidate(&self, revision: &str) -> bool {
-        self.entries.write().remove(revision).is_some()
+        let fast = hash128(revision.as_bytes()).0;
+        let mut entries = self.entries.write();
+        match entries.get(&fast) {
+            Some((cached, _)) if cached == revision => {
+                entries.remove(&fast);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Records a lookup answered from cache.
@@ -100,7 +122,7 @@ impl DigestCache {
     pub fn export_entries(&self) -> Vec<(String, ObjectId)> {
         self.entries
             .read()
-            .iter()
+            .values()
             .map(|(revision, id)| (revision.clone(), *id))
             .collect()
     }

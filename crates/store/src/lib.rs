@@ -10,7 +10,12 @@
 //!
 //! * [`sha256`] — a self-contained SHA-256 implementation used for content
 //!   addressing (kept in-crate to avoid a cryptography dependency; verified
-//!   against the NIST test vectors).
+//!   against the NIST test vectors), including a 4-lane interleaved batch
+//!   path ([`sha256::digest_batch`]) for hashing independent objects.
+//! * [`fasthash`] — the non-cryptographic half of the dual-digest posture:
+//!   a 128-bit xxHash-style hash keying process-local lookups ([`RunMemo`],
+//!   [`DigestCache`], digest-first compares). Never persisted; SHA-256
+//!   remains the only digest written to disk.
 //! * [`object`] — [`ObjectId`] content addresses.
 //! * [`content`] — [`ContentStore`], an integrity-checked object store.
 //! * [`digest_cache`] — revision-keyed digest memoisation, so unchanged
@@ -53,6 +58,7 @@
 pub mod archive;
 pub mod content;
 pub mod digest_cache;
+pub mod fasthash;
 pub mod fnv;
 pub mod meta;
 pub mod object;
@@ -67,6 +73,7 @@ pub mod wq;
 pub use archive::{Archive, ArchiveEntry};
 pub use content::ContentStore;
 pub use digest_cache::{DigestCache, DigestCacheStats};
+pub use fasthash::{FastDigest, FastHasher};
 pub use fnv::fnv64;
 pub use meta::MetaStore;
 pub use object::ObjectId;

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 
 use crate::digest_cache::DigestCacheStats;
+use crate::fasthash::{FastHasher, FastKeyState};
 
 /// The determinants of one validation cell's production.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -78,20 +79,51 @@ impl RunKey {
     pub fn scale(&self) -> f64 {
         f64::from_bits(self.scale_bits)
     }
+
+    /// The 128-bit fast hash the memo map is keyed on. Strings are
+    /// length-prefixed so `("ab", "c")` and `("a", "bc")` cannot collide
+    /// structurally. Process-local only — never persisted (the warm-state
+    /// serialisers export the full [`RunKey`], not this).
+    fn fast_key(&self) -> u128 {
+        let mut h = FastHasher::new();
+        h.update(&(self.test.len() as u64).to_le_bytes());
+        h.update(self.test.as_bytes());
+        h.update(&self.seed.to_le_bytes());
+        h.update(&(self.env_revision.len() as u64).to_le_bytes());
+        h.update(self.env_revision.as_bytes());
+        h.update(&self.scale_bits.to_le_bytes());
+        h.finish().0
+    }
 }
 
-/// A memoised production together with the generation it was inserted at.
+/// A memoised production together with the generation it was inserted at
+/// and the full key it belongs to (the map itself is keyed on the key's
+/// fast hash; the stored key is what makes a probe exact).
 #[derive(Debug, Clone)]
 struct Slot<V> {
+    key: RunKey,
     value: V,
     generation: u64,
 }
 
 /// A concurrent `cell determinants → memoised production` map with
 /// hit/miss accounting, generic in what a "production" is.
+///
+/// ## Fast keying
+///
+/// The map is keyed on [`RunKey::fast_key`] — a 128-bit
+/// [`crate::fasthash`] digest — under an identity [`FastKeyState`], so a
+/// probe costs one fast hash of the determinants instead of a SipHash
+/// pass over two heap strings, and bucket comparisons are `u128 == u128`
+/// instead of struct-deep string equality. Every slot retains its full
+/// [`RunKey`]; reads verify it, so even a colliding 128-bit digest can
+/// only miss (or, on insert, displace the collidee) — the memo can never
+/// serve a value under the wrong determinants. This is cache posture: a
+/// lost entry costs one re-execution, a wrong entry would cost
+/// correctness.
 #[derive(Debug)]
 pub struct RunMemo<V> {
-    entries: RwLock<HashMap<RunKey, Slot<V>>>,
+    entries: RwLock<HashMap<u128, Slot<V>, FastKeyState>>,
     generations: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -100,7 +132,7 @@ pub struct RunMemo<V> {
 impl<V> Default for RunMemo<V> {
     fn default() -> Self {
         RunMemo {
-            entries: RwLock::new(HashMap::new()),
+            entries: RwLock::new(HashMap::with_hasher(FastKeyState)),
             generations: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -117,7 +149,11 @@ impl<V: Clone> RunMemo<V> {
     /// Looks up the production memoised for `key` (no counters — callers
     /// validate the entry first and then note a hit or miss).
     pub fn peek(&self, key: &RunKey) -> Option<V> {
-        self.entries.read().get(key).map(|slot| slot.value.clone())
+        self.entries
+            .read()
+            .get(&key.fast_key())
+            .filter(|slot| slot.key == *key)
+            .map(|slot| slot.value.clone())
     }
 
     /// Looks up the production memoised for `key` together with its
@@ -126,14 +162,23 @@ impl<V: Clone> RunMemo<V> {
     pub fn entry(&self, key: &RunKey) -> Option<(V, u64)> {
         self.entries
             .read()
-            .get(key)
+            .get(&key.fast_key())
+            .filter(|slot| slot.key == *key)
             .map(|slot| (slot.value.clone(), slot.generation))
     }
 
     /// Records the production of `key` under a fresh generation.
     pub fn insert(&self, key: RunKey, value: V) {
         let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
-        self.entries.write().insert(key, Slot { value, generation });
+        let fast = key.fast_key();
+        self.entries.write().insert(
+            fast,
+            Slot {
+                key,
+                value,
+                generation,
+            },
+        );
     }
 
     /// Drops one entry unconditionally (e.g. the whole determinant became
@@ -142,7 +187,14 @@ impl<V: Clone> RunMemo<V> {
     /// [`invalidate_generation`](Self::invalidate_generation) instead,
     /// which cannot drop an entry it never examined.
     pub fn invalidate(&self, key: &RunKey) -> bool {
-        self.entries.write().remove(key).is_some()
+        let mut entries = self.entries.write();
+        match entries.get(&key.fast_key()) {
+            Some(slot) if slot.key == *key => {
+                entries.remove(&key.fast_key());
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Drops the entry under `key` only if it still carries `generation`
@@ -152,10 +204,11 @@ impl<V: Clone> RunMemo<V> {
     /// is a no-op — one campaign's prune can never drop another in-flight
     /// campaign's valid entry.
     pub fn invalidate_generation(&self, key: &RunKey, generation: u64) -> bool {
+        let fast = key.fast_key();
         let mut entries = self.entries.write();
-        match entries.get(key) {
-            Some(slot) if slot.generation == generation => {
-                entries.remove(key);
+        match entries.get(&fast) {
+            Some(slot) if slot.key == *key && slot.generation == generation => {
+                entries.remove(&fast);
                 true
             }
             _ => false,
@@ -169,7 +222,7 @@ impl<V: Clone> RunMemo<V> {
     pub fn invalidate_matching(&self, predicate: impl Fn(&RunKey) -> bool) -> usize {
         let mut entries = self.entries.write();
         let before = entries.len();
-        entries.retain(|key, _| !predicate(key));
+        entries.retain(|_, slot| !predicate(&slot.key));
         before - entries.len()
     }
 
@@ -182,8 +235,8 @@ impl<V: Clone> RunMemo<V> {
     pub fn export_entries(&self) -> Vec<(RunKey, V)> {
         self.entries
             .read()
-            .iter()
-            .map(|(key, slot)| (key.clone(), slot.value.clone()))
+            .values()
+            .map(|slot| (slot.key.clone(), slot.value.clone()))
             .collect()
     }
 
@@ -235,6 +288,21 @@ mod tests {
             RunKey::new("h1/chain/nc", 7, "SL6/64bit gcc4.4 root5.34", 1.0)
         );
         assert_eq!(base.scale(), 0.5);
+    }
+
+    #[test]
+    fn fast_keys_respect_field_boundaries() {
+        // Length-prefixing: moving bytes between the test name and the
+        // env revision must never produce the same fast key.
+        assert_ne!(
+            RunKey::new("ab", 0, "c", 1.0).fast_key(),
+            RunKey::new("a", 0, "bc", 1.0).fast_key()
+        );
+        // And the key is a pure function of the determinants.
+        assert_eq!(
+            RunKey::new("t", 7, "env", 0.5).fast_key(),
+            RunKey::new("t", 7, "env", 0.5).fast_key()
+        );
     }
 
     #[test]

@@ -16,7 +16,16 @@
 //!   (the incremental [`finalize`](Sha256::finalize) also builds its padding
 //!   directly instead of feeding bytes one at a time);
 //! * [`HashingWriter`] lets callers digest *while* serialising, so content
-//!   addressing needs no second pass over a materialised buffer.
+//!   addressing needs no second pass over a materialised buffer;
+//! * [`digest4`]/[`digest_batch`] hash **four independent messages per
+//!   pass** through a 4-way interleaved message schedule (portable
+//!   `[u32; 4]` lane arrays, no arch intrinsics — the same shim discipline
+//!   as `crates/compat`), which is how batch re-hashing sites (store
+//!   verification, snapshot entry guards, filesystem import) beat the
+//!   single-message dependency chain;
+//! * [`BatchDigester`] abstracts "hash many independent inputs", so
+//!   higher layers can substitute a pool-parallel implementation
+//!   (`sp_exec::WorkStealingPool`) without this crate depending on one.
 //!
 //! Correctness is pinned by the NIST short- and long-message vectors plus an
 //! incremental-equals-oneshot property test over random chunkings.
@@ -110,8 +119,7 @@ impl Sha256 {
             self.buf_len += take;
             rest = &rest[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress_block(&mut self.state, &self.buf);
                 self.buf_len = 0;
             } else {
                 // Data fit entirely in the pending block; nothing to chunk.
@@ -142,13 +150,11 @@ impl Sha256 {
             self.buf[len + 1..56].fill(0);
         } else {
             self.buf[len + 1..].fill(0);
-            let block = self.buf;
-            self.compress(&block);
+            compress_block(&mut self.state, &self.buf);
             self.buf[..56].fill(0);
         }
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
+        compress_block(&mut self.state, &self.buf);
         self.output()
     }
 
@@ -161,72 +167,254 @@ impl Sha256 {
         out
     }
 
+    #[inline]
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
+        compress_block(&mut self.state, block);
+    }
+}
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+/// Compresses one 64-byte block into `state`. A free function (rather than a
+/// method) so callers holding `&mut self` can compress the pending block
+/// buffer in place — `compress_block(&mut self.state, &self.buf)` borrows the
+/// two fields disjointly, where a method call would force a 64-byte stack
+/// copy of the buffer first.
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte word"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
 
-        /// One round with explicitly named working variables; successive
-        /// invocations rotate the names instead of shuffling eight registers.
-        macro_rules! round {
-            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {
-                let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
-                let ch = ($e & $f) ^ (!$e & $g);
-                let t1 = $h
-                    .wrapping_add(s1)
-                    .wrapping_add(ch)
-                    .wrapping_add(K[$i])
-                    .wrapping_add(w[$i]);
-                let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
-                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
-                $d = $d.wrapping_add(t1);
-                $h = t1.wrapping_add(s0.wrapping_add(maj));
-            };
-        }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
 
-        /// Eight rounds from a literal base index, so every `K`/`w` access
-        /// is a compile-time constant and bounds checks fold away.
-        macro_rules! round8 {
-            ($base:literal) => {
-                round!(a, b, c, d, e, f, g, h, $base);
-                round!(h, a, b, c, d, e, f, g, $base + 1);
-                round!(g, h, a, b, c, d, e, f, $base + 2);
-                round!(f, g, h, a, b, c, d, e, $base + 3);
-                round!(e, f, g, h, a, b, c, d, $base + 4);
-                round!(d, e, f, g, h, a, b, c, $base + 5);
-                round!(c, d, e, f, g, h, a, b, $base + 6);
-                round!(b, c, d, e, f, g, h, a, $base + 7);
-            };
-        }
+    /// One round with explicitly named working variables; successive
+    /// invocations rotate the names instead of shuffling eight registers.
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[$i])
+                .wrapping_add(w[$i]);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        };
+    }
 
-        round8!(0);
-        round8!(8);
-        round8!(16);
-        round8!(24);
-        round8!(32);
-        round8!(40);
-        round8!(48);
-        round8!(56);
+    /// Eight rounds from a literal base index, so every `K`/`w` access
+    /// is a compile-time constant and bounds checks fold away.
+    macro_rules! round8 {
+        ($base:literal) => {
+            round!(a, b, c, d, e, f, g, h, $base);
+            round!(h, a, b, c, d, e, f, g, $base + 1);
+            round!(g, h, a, b, c, d, e, f, $base + 2);
+            round!(f, g, h, a, b, c, d, e, $base + 3);
+            round!(e, f, g, h, a, b, c, d, $base + 4);
+            round!(d, e, f, g, h, a, b, c, $base + 5);
+            round!(c, d, e, f, g, h, a, b, $base + 6);
+            round!(b, c, d, e, f, g, h, a, $base + 7);
+        };
+    }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+    round8!(0);
+    round8!(8);
+    round8!(16);
+    round8!(24);
+    round8!(32);
+    round8!(40);
+    round8!(48);
+    round8!(56);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-lane SHA-256: four independent messages per pass.
+// ---------------------------------------------------------------------------
+//
+// SHA-256 over a single message is a serial dependency chain — each round
+// needs the previous round's working variables, so a lone hash cannot use
+// the machine's SIMD width. Hashing four *independent* messages in lockstep
+// sidesteps the chain: every round operates on a `[u32; 4]` lane array
+// (lane `l` = message `l`) and the compiler is free to lower each lane op to
+// one 128-bit vector instruction. No arch intrinsics, no `unsafe` — the same
+// portability discipline as the `crates/compat` shims.
+
+/// One word across the four interleaved messages.
+type Lanes = [u32; 4];
+
+#[inline(always)]
+fn ladd(a: Lanes, b: Lanes) -> Lanes {
+    std::array::from_fn(|l| a[l].wrapping_add(b[l]))
+}
+
+#[inline(always)]
+fn lrotr(a: Lanes, n: u32) -> Lanes {
+    std::array::from_fn(|l| a[l].rotate_right(n))
+}
+
+#[inline(always)]
+fn lshr(a: Lanes, n: u32) -> Lanes {
+    std::array::from_fn(|l| a[l] >> n)
+}
+
+#[inline(always)]
+fn lxor3(a: Lanes, b: Lanes, c: Lanes) -> Lanes {
+    std::array::from_fn(|l| a[l] ^ b[l] ^ c[l])
+}
+
+/// `ch(e, f, g)` per lane.
+#[inline(always)]
+fn lch(e: Lanes, f: Lanes, g: Lanes) -> Lanes {
+    std::array::from_fn(|l| (e[l] & f[l]) ^ (!e[l] & g[l]))
+}
+
+/// `maj(a, b, c)` per lane.
+#[inline(always)]
+fn lmaj(a: Lanes, b: Lanes, c: Lanes) -> Lanes {
+    std::array::from_fn(|l| (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]))
+}
+
+/// Compresses one 64-byte block from each of four messages in lockstep.
+fn compress4(state: &mut [Lanes; 8], blocks: [&[u8; 64]; 4]) {
+    // Interleaved message schedule: w[i] holds word i of all four blocks.
+    let mut w = [[0u32; 4]; 64];
+    for (i, wi) in w.iter_mut().take(16).enumerate() {
+        *wi = std::array::from_fn(|l| {
+            u32::from_be_bytes(blocks[l][i * 4..i * 4 + 4].try_into().expect("4-byte word"))
+        });
+    }
+    for i in 16..64 {
+        let s0 = lxor3(
+            lrotr(w[i - 15], 7),
+            lrotr(w[i - 15], 18),
+            lshr(w[i - 15], 3),
+        );
+        let s1 = lxor3(lrotr(w[i - 2], 17), lrotr(w[i - 2], 19), lshr(w[i - 2], 10));
+        w[i] = ladd(ladd(w[i - 16], s0), ladd(w[i - 7], s1));
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {
+            let s1 = lxor3(lrotr($e, 6), lrotr($e, 11), lrotr($e, 25));
+            let t1 = ladd(ladd($h, s1), ladd(lch($e, $f, $g), ladd([K[$i]; 4], w[$i])));
+            let s0 = lxor3(lrotr($a, 2), lrotr($a, 13), lrotr($a, 22));
+            $d = ladd($d, t1);
+            $h = ladd(t1, ladd(s0, lmaj($a, $b, $c)));
+        };
+    }
+
+    macro_rules! round8 {
+        ($base:literal) => {
+            round!(a, b, c, d, e, f, g, h, $base);
+            round!(h, a, b, c, d, e, f, g, $base + 1);
+            round!(g, h, a, b, c, d, e, f, $base + 2);
+            round!(f, g, h, a, b, c, d, e, $base + 3);
+            round!(e, f, g, h, a, b, c, d, $base + 4);
+            round!(d, e, f, g, h, a, b, c, $base + 5);
+            round!(c, d, e, f, g, h, a, b, $base + 6);
+            round!(b, c, d, e, f, g, h, a, $base + 7);
+        };
+    }
+
+    round8!(0);
+    round8!(8);
+    round8!(16);
+    round8!(24);
+    round8!(32);
+    round8!(40);
+    round8!(48);
+    round8!(56);
+
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = ladd(*s, v);
+    }
+}
+
+/// Hashes four independent messages through the interleaved 4-lane
+/// compressor. Produces exactly the digests [`Sha256::digest_of`] would —
+/// the lanes run in lockstep while all four messages still have full
+/// 64-byte blocks, then each lane's state is handed to the scalar path to
+/// absorb its remaining tail and padding.
+pub fn digest4(msgs: [&[u8]; 4]) -> [[u8; 32]; 4] {
+    let mut state: [Lanes; 8] = std::array::from_fn(|i| [H0[i]; 4]);
+    let lockstep = msgs
+        .iter()
+        .map(|m| m.len() / 64)
+        .min()
+        .expect("four messages");
+    for b in 0..lockstep {
+        let blocks: [&[u8; 64]; 4] = std::array::from_fn(|l| {
+            msgs[l][b * 64..(b + 1) * 64]
+                .try_into()
+                .expect("64-byte block")
+        });
+        compress4(&mut state, blocks);
+    }
+    std::array::from_fn(|l| {
+        let mut h = Sha256 {
+            state: std::array::from_fn(|i| state[i][l]),
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: (lockstep * 64) as u64,
+        };
+        h.update(&msgs[l][lockstep * 64..]);
+        h.finalize()
+    })
+}
+
+/// Hashes every input independently, four at a time through [`digest4`],
+/// with a scalar pass over the remainder. Digest `i` addresses input `i`.
+pub fn digest_batch(inputs: &[&[u8]]) -> Vec<[u8; 32]> {
+    let mut out = Vec::with_capacity(inputs.len());
+    let mut quads = inputs.chunks_exact(4);
+    for quad in &mut quads {
+        out.extend_from_slice(&digest4([quad[0], quad[1], quad[2], quad[3]]));
+    }
+    for tail in quads.remainder() {
+        out.push(Sha256::digest_of(tail));
+    }
+    out
+}
+
+/// Hashes many independent inputs, returning one digest per input in order.
+///
+/// The default implementation is the in-thread [`MultilaneDigester`];
+/// `sp_exec::WorkStealingPool` provides a pool-parallel one, letting import
+/// and snapshot paths fan batch hashing out over workers without `sp_store`
+/// depending on an executor.
+pub trait BatchDigester: Sync {
+    /// Digests every input; `result[i]` addresses `inputs[i]`.
+    fn digest_all(&self, inputs: &[&[u8]]) -> Vec<[u8; 32]>;
+}
+
+/// In-thread [`BatchDigester`] backed by the 4-lane [`digest_batch`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MultilaneDigester;
+
+impl BatchDigester for MultilaneDigester {
+    fn digest_all(&self, inputs: &[&[u8]]) -> Vec<[u8; 32]> {
+        digest_batch(inputs)
     }
 }
 
@@ -374,6 +562,62 @@ mod tests {
             h.update(std::slice::from_ref(b));
         }
         assert_eq!(h.finalize(), digest(data));
+    }
+
+    #[test]
+    fn digest4_matches_scalar_across_length_regimes() {
+        // Lane lengths straddling every lockstep/tail boundary: empty lanes,
+        // sub-block lanes, exact multiples, and unequal lengths that force an
+        // early lockstep exit with long scalar tails.
+        let data: Vec<u8> = (0..=255u8).cycle().take(5000).collect();
+        let cases: [[usize; 4]; 6] = [
+            [0, 0, 0, 0],
+            [1, 63, 64, 65],
+            [64, 64, 64, 64],
+            [128, 128, 128, 128],
+            [0, 4096, 200, 64],
+            [5000, 1, 4999, 321],
+        ];
+        for lens in cases {
+            let msgs: [&[u8]; 4] = std::array::from_fn(|l| &data[..lens[l]]);
+            let got = digest4(msgs);
+            for l in 0..4 {
+                assert_eq!(got[l], Sha256::digest_of(msgs[l]), "lens {lens:?} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn digest4_lanes_are_independent() {
+        // Flipping one byte in one lane must change only that lane's digest.
+        let base: Vec<u8> = (0..200u8).collect();
+        let mut tweaked = base.clone();
+        tweaked[100] ^= 0xff;
+        let before = digest4([&base, &base, &base, &base]);
+        let after = digest4([&base, &tweaked, &base, &base]);
+        assert_eq!(before[0], after[0]);
+        assert_ne!(before[1], after[1]);
+        assert_eq!(before[2], after[2]);
+        assert_eq!(before[3], after[3]);
+    }
+
+    #[test]
+    fn digest_batch_matches_scalar_for_every_remainder() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(700).collect();
+        let inputs: Vec<&[u8]> = (0..11).map(|i| &data[..i * 63]).collect();
+        for n in 0..=inputs.len() {
+            let got = digest_batch(&inputs[..n]);
+            assert_eq!(got.len(), n);
+            for (i, d) in got.iter().enumerate() {
+                assert_eq!(*d, Sha256::digest_of(inputs[i]), "batch {n} input {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multilane_digester_is_the_batch_path() {
+        let inputs: [&[u8]; 3] = [b"a", b"bb", b"ccc"];
+        assert_eq!(MultilaneDigester.digest_all(&inputs), digest_batch(&inputs));
     }
 
     #[test]

@@ -130,9 +130,12 @@ impl SharedStorage {
         true
     }
 
-    /// Stores an archive (tar-ball) under `area/key`.
+    /// Stores an archive (tar-ball) under `area/key`. The content address
+    /// falls out of packing ([`Archive::pack_with_id`]), so the bytes are
+    /// hashed once, not once for the trailer and again for the address.
     pub fn put_archive(&self, area: StorageArea, key: &str, archive: &Archive) -> ObjectId {
-        self.put_named(area, key, archive.pack())
+        let (packed, id) = archive.pack_with_id();
+        self.put_named_prehashed(area, key, id, packed)
     }
 
     /// Stores the bytes `produce` would yield under `area/key`, memoised by
@@ -241,9 +244,25 @@ impl SharedStorage {
     /// then the `<area>.index` listings restore the name → address
     /// mappings whose objects survived.
     pub fn import_from_dir(&self, dir: &std::path::Path) -> std::io::Result<ImportSummary> {
+        self.import_from_dir_with(dir, &crate::sha256::MultilaneDigester)
+    }
+
+    /// [`import_from_dir`](Self::import_from_dir) with a caller-supplied
+    /// [`BatchDigester`](crate::sha256::BatchDigester) for the admission
+    /// re-hashes — the objects are independent, so a pool-backed digester
+    /// (e.g. `sp_exec::WorkStealingPool`) verifies them in parallel.
+    pub fn import_from_dir_with(
+        &self,
+        dir: &std::path::Path,
+        digester: &dyn crate::sha256::BatchDigester,
+    ) -> std::io::Result<ImportSummary> {
         let objects_dir = dir.join("objects");
         let mut summary = ImportSummary::default();
         if objects_dir.is_dir() {
+            // Read everything first, then re-hash the whole batch: each
+            // object is admitted only if its bytes still address to its
+            // file name (silent bit-rot is rejected, not imported).
+            let mut candidates: Vec<(ObjectId, Vec<u8>)> = Vec::new();
             for entry in std::fs::read_dir(&objects_dir)? {
                 let entry = entry?;
                 let name = entry.file_name();
@@ -251,8 +270,12 @@ impl SharedStorage {
                     summary.objects_rejected += 1;
                     continue;
                 };
-                let bytes = std::fs::read(entry.path())?;
-                if ObjectId::for_bytes(&bytes) != id {
+                candidates.push((id, std::fs::read(entry.path())?));
+            }
+            let inputs: Vec<&[u8]> = candidates.iter().map(|(_, b)| b.as_slice()).collect();
+            let digests = digester.digest_all(&inputs);
+            for ((id, bytes), digest) in candidates.into_iter().zip(digests) {
+                if ObjectId(digest) != id {
                     summary.objects_rejected += 1;
                     continue;
                 }

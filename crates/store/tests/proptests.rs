@@ -57,6 +57,47 @@ proptest! {
         prop_assert_eq!(buf, data);
     }
 
+    /// Streaming the fast hash over any random chunking equals the
+    /// one-shot `hash128`, including splits that straddle the 32-byte
+    /// stripe buffer in every possible phase.
+    #[test]
+    fn fasthash_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        split_fracs in prop::collection::vec(0.0f64..1.0, 0..6),
+    ) {
+        let mut splits: Vec<usize> = split_fracs
+            .iter()
+            .map(|f| (f * data.len() as f64) as usize)
+            .collect();
+        splits.sort_unstable();
+        splits.dedup();
+        splits.push(data.len());
+
+        let oneshot = sp_store::fasthash::hash128(&data);
+        let mut hasher = sp_store::FastHasher::new();
+        let mut prev = 0usize;
+        for &s in &splits {
+            hasher.update(&data[prev..s]);
+            prev = s;
+        }
+        prop_assert_eq!(hasher.finish(), oneshot);
+    }
+
+    /// The interleaved four-lane batch path produces exactly the scalar
+    /// SHA-256 digests for every batch size and length mix (full-lane
+    /// quads plus a scalar remainder).
+    #[test]
+    fn digest_batch_equals_scalar(
+        inputs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 0..9),
+    ) {
+        let views: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        let batch = sha256::digest_batch(&views);
+        prop_assert_eq!(batch.len(), inputs.len());
+        for (digest, input) in batch.iter().zip(&inputs) {
+            prop_assert_eq!(*digest, sha256::Sha256::digest_of(input));
+        }
+    }
+
     /// `put_prehashed` with an id computed while serialising behaves
     /// exactly like `put`: same address, deduplicated storage.
     #[test]
