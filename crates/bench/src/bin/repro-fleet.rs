@@ -23,7 +23,16 @@
 //!    workers slowed at every repetition barrier (`--slow-ms`, execution
 //!    slow but alive). Mid-flight renewal through the scheduler's
 //!    progress hook must carry each lease across the whole campaign:
-//!    zero reclaims, zero redone repetitions, byte-identical reports.
+//!    zero reclaims, zero redone repetitions, byte-identical reports;
+//! 4. **io-fault** — every worker's queue I/O runs through a seeded
+//!    `sp_store::FaultFs` injecting transient faults at `--io-fault-rate`
+//!    (a flaky disk on every client machine). The drain must degrade to
+//!    bounded retries: reports byte-identical to the oracles, zero
+//!    poisoned submissions, zero quarantined records;
+//! 5. **crash-point sweep** — `sp_store::vfs::standard_crash_sweep`:
+//!    power loss replayed at *every* filesystem operation of a
+//!    queue+snapshot workload, recovery verified to observe only
+//!    committed-before or never-happened states.
 //!
 //! The stall/slow distinction is the heart of the liveness contract: a
 //! stalled worker stops heartbeating and is rightly fenced away; a slow
@@ -36,17 +45,20 @@
 //! ```text
 //! cargo run --release -p sp-bench --bin repro-fleet -- \
 //!     [--workers N] [--scale 0.05] [--reps 2] [--quick] \
-//!     [--no-crash] [--no-slow] [--kill-after MS] [--slow-ms MS]
+//!     [--no-crash] [--no-slow] [--no-sweep] [--kill-after MS] [--slow-ms MS] \
+//!     [--io-fault-rate R] [--fault-seed S]
 //! ```
 
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use sp_bench::{arg_value, desy_deployment, has_flag, repro_run_config, scale_from_args};
 use sp_core::fleet::{fleet_stats, Coordinator, Worker};
 use sp_core::{Campaign, CampaignConfig, CampaignOptions, FleetTicket, SpSystem};
 use sp_report::render_fleet_stats;
-use sp_store::WorkQueue;
+use sp_store::{FaultConfig, FaultFs, StoreFs, SystemTimeSource, WorkQueue};
 
 const EXPERIMENTS: [&str; 3] = ["zeus", "h1", "hermes"];
 
@@ -77,6 +89,13 @@ fn campaign_config(
 /// With `--slow-ms N` the worker drains normally but sleeps N ms at every
 /// repetition barrier: execution slower than the lease, heartbeat alive.
 /// The progress-hook renewal must keep its leases from ever expiring.
+///
+/// With `--io-fault-rate R` every filesystem operation of the queue runs
+/// through a seeded [`FaultFs`] that injects transient faults with
+/// probability R — a flaky disk on this client machine. The worker's
+/// retry policy must absorb the faults; the parent asserts the drain
+/// stayed lossless (zero poisoned, zero quarantined, oracle-identical
+/// reports).
 fn worker_main() {
     let dir = arg_value("--dir").expect("--worker requires --dir");
     let name = arg_value("--name").unwrap_or_else(|| format!("worker-{}", std::process::id()));
@@ -86,7 +105,40 @@ fn worker_main() {
     let threads: usize = arg_value("--threads")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
-    let queue = WorkQueue::open(&dir, lease_secs).expect("worker opens queue dir");
+    let io_fault_rate: f64 = arg_value("--io-fault-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let queue = if io_fault_rate > 0.0 {
+        // Each worker gets its own deterministic fault stream: the shared
+        // scenario seed xor'd with the worker name, so runs are
+        // reproducible yet the workers' faults are uncorrelated.
+        let seed = arg_value("--fault-seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5053_5953)
+            ^ sp_store::fnv64(&name);
+        let fault_fs: Arc<dyn StoreFs> = Arc::new(FaultFs::over_os(FaultConfig {
+            seed,
+            io_fault_rate,
+            crash_at: None,
+        }));
+        // Opening performs recovery (staging sweep, quarantine scan) and
+        // can itself hit injected faults; a real deployment's supervisor
+        // would restart the client, so retry the open a bounded number of
+        // times before giving up.
+        (0..1_000)
+            .find_map(|_| {
+                WorkQueue::open_with(
+                    &dir,
+                    lease_secs,
+                    Arc::new(SystemTimeSource),
+                    fault_fs.clone(),
+                )
+                .ok()
+            })
+            .expect("queue open survives bounded injected-fault retries")
+    } else {
+        WorkQueue::open(&dir, lease_secs).expect("worker opens queue dir")
+    };
     if let Some(stall_ms) = arg_value("--stall-ms").and_then(|v| v.parse::<u64>().ok()) {
         match queue.lease_next(&name).expect("queue io") {
             Some(lease) => {
@@ -110,24 +162,28 @@ fn worker_main() {
     }
     let stats = worker.drain();
     println!(
-        "[{name}] drained {} campaigns / {} runs ({} failures, {} renewal(s), {} idle polls)",
+        "[{name}] drained {} campaigns / {} runs ({} failures, {} renewal(s), {} io retrie(s), \
+         {} idle polls)",
         stats.campaigns_drained,
         stats.runs_executed,
         stats.failures,
         stats.renewals,
+        stats.io_retries,
         stats.poll.idle
     );
 }
 
 /// Spawns one worker child process against `dir`. `stall_ms` turns the
 /// child into the doomed lease-holder of the crash scenario; `slow_ms`
-/// into the slow-but-alive worker of the renewal scenario.
+/// into the slow-but-alive worker of the renewal scenario; `io_fault`
+/// `(rate, seed)` puts the child's queue I/O behind a seeded fault layer.
 fn spawn_worker(
     dir: &std::path::Path,
     name: &str,
     lease_secs: u64,
     stall_ms: Option<u64>,
     slow_ms: Option<u64>,
+    io_fault: Option<(f64, u64)>,
 ) -> Child {
     let mut args = vec![
         "--worker".to_string(),
@@ -145,6 +201,12 @@ fn spawn_worker(
     if let Some(ms) = slow_ms {
         args.push("--slow-ms".to_string());
         args.push(ms.to_string());
+    }
+    if let Some((rate, seed)) = io_fault {
+        args.push("--io-fault-rate".to_string());
+        args.push(rate.to_string());
+        args.push("--fault-seed".to_string());
+        args.push(seed.to_string());
     }
     Command::new(std::env::current_exe().expect("self path"))
         .args(&args)
@@ -219,7 +281,10 @@ fn verify_against_oracles(
 /// processes racing. `slow_ms` slows every worker at each repetition
 /// barrier and arms the liveness expectations: the renewal heartbeat must
 /// carry every lease (zero reclaims — no repetition is ever redone) and
-/// must actually have fired. Returns divergence count.
+/// must actually have fired. `io_fault` puts every worker's queue I/O
+/// behind a seeded fault layer and arms the lossless-degradation
+/// expectations: zero poisoned submissions and zero quarantined records —
+/// a flaky disk must cost retries, never work. Returns divergence count.
 #[allow(clippy::too_many_arguments)]
 fn run_scenario(
     label: &str,
@@ -229,6 +294,7 @@ fn run_scenario(
     lease_secs: u64,
     kill_one_after: Option<Duration>,
     slow_ms: Option<u64>,
+    io_fault: Option<(f64, u64)>,
 ) -> usize {
     let dir = std::env::temp_dir().join(format!("sp-repro-fleet-{}-{label}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
@@ -256,12 +322,13 @@ fn run_scenario(
                 lease_secs,
                 Some(60_000),
                 None,
+                None,
             ),
         ));
     }
     for w in 0..workers.saturating_sub(children.len()).max(1) {
         let name = format!("{label}-w{w}");
-        let child = spawn_worker(&dir, &name, lease_secs, None, slow_ms);
+        let child = spawn_worker(&dir, &name, lease_secs, None, slow_ms, io_fault);
         children.push((name, child));
     }
 
@@ -303,6 +370,30 @@ fn run_scenario(
             eprintln!("  DIVERGENCE: no mid-campaign lease renewal ever fired");
             divergent += 1;
         }
+    }
+    if io_fault.is_some() {
+        // The degradation contract under test: injected transient faults
+        // must be absorbed as retries — never escalated to a poisoned
+        // submission or a quarantined record, both of which would mean
+        // losing committed work to a merely flaky disk.
+        if digest.queue.poisoned != 0 {
+            eprintln!(
+                "  DIVERGENCE: {} submission(s) poisoned under injected transient faults",
+                digest.queue.poisoned
+            );
+            divergent += 1;
+        }
+        if digest.queue.quarantined != 0 {
+            eprintln!(
+                "  DIVERGENCE: {} record(s) quarantined under injected transient faults",
+                digest.queue.quarantined
+            );
+            divergent += 1;
+        }
+        println!(
+            "  flaky disk absorbed: {} io retr(ies), 0 poisoned, 0 quarantined",
+            digest.drained.io_retries
+        );
     }
     println!(
         "  drained in {:.2}s ({} reclaim(s), {} renewal(s))",
@@ -354,6 +445,13 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
 
+    let io_fault_rate: f64 = arg_value("--io-fault-rate")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let fault_seed: u64 = arg_value("--fault-seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_131_029);
+
     let mut divergent = 0;
     for workers in &sweep {
         divergent += run_scenario(
@@ -362,6 +460,7 @@ fn main() {
             repetitions,
             scale,
             120,
+            None,
             None,
             None,
         );
@@ -382,6 +481,7 @@ fn main() {
             5,
             Some(Duration::from_millis(kill_after_ms)),
             None,
+            None,
         );
     }
 
@@ -393,7 +493,55 @@ fn main() {
     // redone) and at least one renewal, on top of byte-identical reports.
     if !has_flag("--no-slow") {
         let slow_reps = repetitions.max(6);
-        divergent += run_scenario("slow-worker", 2, slow_reps, scale, 2, None, Some(slow_ms));
+        divergent += run_scenario(
+            "slow-worker",
+            2,
+            slow_reps,
+            scale,
+            2,
+            None,
+            Some(slow_ms),
+            None,
+        );
+    }
+
+    // IO-fault degradation: every worker's queue I/O behind a seeded
+    // fault layer injecting transient faults at `io_fault_rate`. The
+    // retry policy must absorb the flaky disk: reports byte-identical to
+    // the oracles, zero poisoned submissions, zero quarantined records.
+    // Long leases keep fault-induced retries from racing expiry.
+    if !has_flag("--no-io-fault") && io_fault_rate > 0.0 {
+        divergent += run_scenario(
+            "io-fault",
+            2,
+            repetitions,
+            scale,
+            120,
+            None,
+            None,
+            Some((io_fault_rate, fault_seed)),
+        );
+    }
+
+    // Crash-point sweep: replay power loss at every filesystem operation
+    // of a queue+snapshot workload and verify recovery observes only
+    // committed-before or never-happened states — the strongest
+    // durability statement this driver makes, and cheap enough to gate CI.
+    if !has_flag("--no-sweep") {
+        let base =
+            std::env::temp_dir().join(format!("sp-repro-fleet-{}-sweep", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let outcome = sp_store::standard_crash_sweep(&base);
+        std::fs::remove_dir_all(&base).ok();
+        println!(
+            "\n[crash-sweep] {} crash point(s) replayed, {} invariant failure(s)",
+            outcome.crash_points,
+            outcome.failures.len()
+        );
+        for failure in &outcome.failures {
+            eprintln!("  DIVERGENCE: {failure}");
+        }
+        divergent += outcome.failures.len();
     }
 
     if divergent > 0 {

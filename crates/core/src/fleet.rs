@@ -51,6 +51,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use sp_exec::{
     Backoff, CancellationToken, PollLoop, PollOutcome, PollStats, ProgressHook, ProgressPoint,
+    RetryPolicy,
 };
 use sp_store::snapshot::wire::{self, Cursor};
 use sp_store::{Lease, QueueStats, WorkQueue, WqError};
@@ -249,6 +250,10 @@ pub struct WorkerStats {
     /// Mid-campaign lease renewals driven by the executor's progress
     /// hook (plus between-lease heartbeats, if the caller issues any).
     pub renewals: u64,
+    /// Queue operations that hit a transient I/O fault and were retried
+    /// under the worker's bounded backoff policy. A flaky disk shows up
+    /// here as retries, not as fenced campaigns or poisoned work.
+    pub io_retries: u64,
     /// Scheduling counters accumulated across the drained campaigns.
     pub sched: ScheduleStats,
     /// Poll-loop accounting (worked/idle/slept).
@@ -265,6 +270,7 @@ impl WorkerStats {
         self.runs_executed = self.runs_executed.saturating_add(other.runs_executed);
         self.failures = self.failures.saturating_add(other.failures);
         self.renewals = self.renewals.saturating_add(other.renewals);
+        self.io_retries = self.io_retries.saturating_add(other.io_retries);
         self.sched.merge(&other.sched);
         self.poll.worked = self.poll.worked.saturating_add(other.poll.worked);
         self.poll.idle = self.poll.idle.saturating_add(other.poll.idle);
@@ -357,9 +363,21 @@ impl ProgressHook for LeaseRenewer<'_> {
             Ok(_) => {
                 self.renewals.fetch_add(1, Ordering::Relaxed);
             }
+            Err(WqError::Io(_)) => {
+                // A disk hiccup is not a fence: the token is still ours,
+                // and ticks arrive far more often than the half-life
+                // cadence, so the next one retries with expiry still
+                // comfortably distant. If the disk stays broken long
+                // enough for the lease to actually lapse, the *protocol*
+                // says so on a later renewal (or at publish) and the
+                // fenced path below takes over. Cancelling a live
+                // campaign on a transient error would turn one flaky
+                // read into a wasted execution.
+            }
             Err(error) => {
-                // Fenced (or the queue broke): record the error once and
-                // stop the campaign — its publish can no longer land.
+                // Fenced: the lease protocol itself rejected the renewal.
+                // Record the error once and stop the campaign — its
+                // publish can no longer land.
                 *self.fenced.lock() = Some(error);
                 if let Some(token) = self.cancel.lock().as_ref() {
                     token.cancel();
@@ -387,6 +405,10 @@ pub struct Worker<'a> {
     /// Submissions whose record failed its digest. Queue records are
     /// write-once (created exclusively), so corruption is permanent too.
     invalid: std::cell::RefCell<std::collections::BTreeSet<u64>>,
+    /// Bounded transient-fault retry for queue I/O: EINTR-class errors
+    /// are re-attempted with jittered backoff before they surface, so a
+    /// flaky disk degrades to retries instead of fenced campaigns.
+    retry: std::cell::RefCell<RetryPolicy>,
 }
 
 impl<'a> Worker<'a> {
@@ -404,16 +426,46 @@ impl<'a> Worker<'a> {
         // Backoff caps at 500 ms; budget at least ~4x the lease duration
         // of consecutive idle sleeps (and never fewer than 40 polls).
         let max_idle_polls = (queue.lease_secs().saturating_mul(8)).clamp(40, 100_000) as u32;
+        let name = name.into();
+        let retry = RetryPolicy::for_disk(sp_store::fnv64(&name));
         Worker {
             system,
             queue,
-            name: name.into(),
+            name,
             threads: threads.max(1),
             max_idle_polls,
             slowdown: None,
             poisoned: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             completed: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             invalid: std::cell::RefCell::new(std::collections::BTreeSet::new()),
+            retry: std::cell::RefCell::new(retry),
+        }
+    }
+
+    /// Runs a queue operation under the worker's transient-retry policy.
+    fn retry_io<T>(&self, op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        self.retry.borrow_mut().run(op)
+    }
+
+    /// Like [`retry_io`](Self::retry_io) for operations speaking the
+    /// lease protocol: only the [`WqError::Io`] variant is retryable —
+    /// a protocol rejection (stale, expired, released) is a *verdict*,
+    /// not a fault, and surfaces immediately.
+    fn retry_wq<T>(&self, mut op: impl FnMut() -> Result<T, WqError>) -> Result<T, WqError> {
+        let mut protocol = None;
+        let result = self.retry.borrow_mut().run(|| match op() {
+            Ok(value) => Ok(value),
+            Err(WqError::Io(error)) => Err(error),
+            Err(verdict) => {
+                protocol = Some(verdict);
+                // Non-transient by construction, so the policy surfaces
+                // it on this very attempt; the placeholder never escapes.
+                Err(std::io::Error::other("lease protocol verdict"))
+            }
+        });
+        match result {
+            Ok(value) => Ok(value),
+            Err(error) => Err(protocol.map_or(WqError::Io(error), |verdict| verdict)),
         }
     }
 
@@ -424,17 +476,32 @@ impl<'a> Worker<'a> {
     /// and digest-checked at most once per worker rather than on every
     /// idle poll.
     fn backlog_complete(&self) -> bool {
+        // A failed listing is *not* an empty backlog: concluding
+        // "complete" off a disk hiccup would make the worker exit with
+        // work still pending. Stay incomplete and let the next poll look
+        // again.
+        let Ok(seqs) = self.queue.submission_seqs_checked() else {
+            return false;
+        };
         let mut complete = true;
-        for seq in self.queue.submission_seqs() {
+        for seq in seqs {
             if self.completed.borrow().contains(&seq) || self.invalid.borrow().contains(&seq) {
                 continue;
             }
             if self.queue.report(seq).is_some() {
                 self.completed.borrow_mut().insert(seq);
-            } else if self.queue.submission(seq).is_none() || self.queue.is_poisoned(seq) {
+            } else if self.queue.is_poisoned(seq) {
                 self.invalid.borrow_mut().insert(seq);
             } else {
-                complete = false;
+                // Only a *successful* read proving the record absent or
+                // corrupt may mark it terminally invalid; a read error
+                // proves nothing and must keep the backlog open.
+                match self.queue.submission_checked(seq) {
+                    Ok(None) => {
+                        self.invalid.borrow_mut().insert(seq);
+                    }
+                    Ok(Some(_)) | Err(_) => complete = false,
+                }
             }
         }
         complete
@@ -480,45 +547,73 @@ impl<'a> Worker<'a> {
     ///   locally absorbed runs and reference promotions are **rolled
     ///   back**, nothing is counted as executed, and the work stays
     ///   pending — re-leasing it (possibly by this very worker) is
-    ///   indistinguishable from leasing a stranger's.
+    ///   indistinguishable from leasing a stranger's;
+    /// * **transient queue I/O fault** — retried under bounded backoff
+    ///   before any of the above verdicts is reached; retries that
+    ///   exhaust surface as [`FleetError::Io`] with the lease handed
+    ///   back, leaving the work pending rather than poisoned.
     pub fn drain_one(&self, stats: &mut WorkerStats) -> Result<Option<u64>, FleetError> {
+        let before = self.retry.borrow().retries();
+        let result = self.drain_one_inner(stats);
+        stats.io_retries = stats
+            .io_retries
+            .saturating_add(self.retry.borrow().retries().saturating_sub(before));
+        result
+    }
+
+    fn drain_one_inner(&self, stats: &mut WorkerStats) -> Result<Option<u64>, FleetError> {
         let poisoned = self.poisoned.borrow().clone();
         // Scan sequence numbers only (a directory listing); the payload is
         // read and digest-checked once, *after* winning the lease, rather
         // than on every poll of every worker.
-        for seq in self.queue.submission_seqs() {
+        for seq in self.retry_io(|| self.queue.submission_seqs_checked())? {
             if poisoned.contains(&seq)
                 || self.completed.borrow().contains(&seq)
                 || self.invalid.borrow().contains(&seq)
             {
                 continue;
             }
-            let Some(lease) = self.queue.try_lease(seq, &self.name)? else {
+            let Some(lease) = self.retry_io(|| self.queue.try_lease(seq, &self.name))? else {
                 continue;
             };
-            let decoded = self
-                .queue
-                .submission(seq)
-                .ok_or_else(|| FleetError::Codec(format!("submission {seq}")))
-                .and_then(|submission| {
-                    decode_campaign_config(&submission.payload)
-                        .map(|config| (submission, config))
-                        .ok_or_else(|| FleetError::Codec(format!("submission {seq}")))
-                });
-            let (submission, config) = match decoded {
-                Ok(pair) => pair,
-                Err(error) => {
-                    // Undecodable anywhere, forever: poison durably so no
-                    // process — this one restarted, or a sibling that
-                    // never saw this failure — burns leases on it again.
+            // Distinguish *can't read* from *read garbage*: a transient
+            // I/O failure is retried and, if it persists, surfaces with
+            // the lease released and the work still pending — it proves
+            // nothing about the record. Only a digest failure on bytes we
+            // actually read (`Ok(None)` below, after the queue quarantines
+            // the file) or an undecodable validated payload is terminal.
+            let submission = match self.retry_io(|| self.queue.submission_checked(seq)) {
+                Ok(Some(submission)) => submission,
+                Ok(None) => {
+                    // Vanished or corrupt (already moved to quarantine by
+                    // the read): permanently undrainable, but not this
+                    // worker's fault and nothing to poison — the record
+                    // is gone.
                     stats.failures += 1;
-                    let _ = self
-                        .queue
-                        .mark_poisoned(seq, &self.name, &error.to_string());
                     self.invalid.borrow_mut().insert(seq);
                     let _ = self.queue.release(&lease);
-                    return Err(error);
+                    return Ok(None);
                 }
+                Err(error) => {
+                    stats.failures += 1;
+                    let _ = self.queue.release(&lease);
+                    return Err(error.into());
+                }
+            };
+            let Some(config) = decode_campaign_config(&submission.payload) else {
+                // The digest validated but no build of this code can
+                // interpret the bytes — undecodable anywhere, forever:
+                // poison durably so no process — this one restarted, or
+                // a sibling that never saw this failure — burns leases
+                // on it again.
+                let error = FleetError::Codec(format!("submission {seq}"));
+                stats.failures += 1;
+                let _ = self
+                    .queue
+                    .mark_poisoned(seq, &self.name, &error.to_string());
+                self.invalid.borrow_mut().insert(seq);
+                let _ = self.queue.release(&lease);
+                return Err(error);
             };
 
             // Checkpoint what a fenced-away execution must roll back: the
@@ -539,10 +634,8 @@ impl<'a> Worker<'a> {
             match outcome {
                 Ok((report, sched)) if !renewer.fenced_mid_flight() => {
                     let lease = renewer.lease();
-                    match self
-                        .queue
-                        .publish_report(&lease, &encode_campaign_report(&report))
-                    {
+                    let payload = encode_campaign_report(&report);
+                    match self.retry_wq(|| self.queue.publish_report(&lease, &payload)) {
                         Ok(()) => {}
                         Err(
                             error @ (WqError::StaleLease { .. }
@@ -559,12 +652,24 @@ impl<'a> Worker<'a> {
                             stats.failures += 1;
                             return Err(error.into());
                         }
-                        Err(error) => return Err(error.into()),
+                        Err(error) => {
+                            // Hard I/O failure that outlasted the retry
+                            // budget: no trusted report landed, so the
+                            // execution never officially happened. Roll
+                            // back, hand the lease back (best effort —
+                            // expiry reclaims it otherwise) and surface;
+                            // the work stays pending for a healthier
+                            // sibling or a later retry.
+                            self.roll_back_fenced(&submission, checkpoint);
+                            stats.failures += 1;
+                            let _ = self.queue.release(&lease);
+                            return Err(error.into());
+                        }
                     }
                     stats.campaigns_drained += 1;
                     stats.runs_executed += report.summary.total_runs() as u64;
                     stats.sched.merge(&sched);
-                    match self.queue.release(&lease) {
+                    match self.retry_wq(|| self.queue.release(&lease)) {
                         Ok(())
                         // The report is already published and fenced; a
                         // release lost to expiry or supersession does not
@@ -682,9 +787,8 @@ impl<'a> Worker<'a> {
             std::thread::sleep,
         );
         stats.poll = poll_stats;
-        let _ = self
-            .queue
-            .publish_worker_stats(&self.name, &encode_worker_stats(&stats));
+        let payload = encode_worker_stats(&stats);
+        let _ = self.retry_io(|| self.queue.publish_worker_stats(&self.name, &payload));
         stats
     }
 }
@@ -910,6 +1014,7 @@ pub fn encode_worker_stats(stats: &WorkerStats) -> Vec<u8> {
     wire::put_u64(&mut out, stats.poll.worked);
     wire::put_u64(&mut out, stats.poll.idle);
     wire::put_u64(&mut out, stats.poll.slept.as_millis() as u64);
+    wire::put_u64(&mut out, stats.io_retries);
     out
 }
 
@@ -936,11 +1041,13 @@ pub fn decode_worker_stats(bytes: &[u8]) -> Option<WorkerStats> {
         idle: cursor.take_u64()?,
         slept: Duration::from_millis(cursor.take_u64()?),
     };
+    let io_retries = cursor.take_u64()?;
     cursor.finished().then_some(WorkerStats {
         campaigns_drained,
         runs_executed,
         failures,
         renewals,
+        io_retries,
         sched,
         poll,
     })
@@ -1038,6 +1145,7 @@ mod tests {
             runs_executed: 10,
             failures: 1,
             renewals: 7,
+            io_retries: 3,
             sched: ScheduleStats {
                 campaigns_submitted: 2,
                 campaigns_admitted: 2,
@@ -1063,6 +1171,7 @@ mod tests {
         merged.merge(&a);
         assert_eq!(merged.campaigns_drained, 4);
         assert_eq!(merged.renewals, 14);
+        assert_eq!(merged.io_retries, 6);
         assert_eq!(merged.sched.lanes_executed, 24);
         assert_eq!(merged.poll.slept, Duration::from_millis(642));
     }

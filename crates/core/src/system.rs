@@ -1412,10 +1412,32 @@ impl SpSystem {
     /// [`SharedStorage::export_to_dir`]) plus the warm state as
     /// `warm_state.spws` next to it.
     pub fn export_to_dir(&self, dir: &std::path::Path) -> std::io::Result<SystemExportSummary> {
-        let storage = self.storage.export_to_dir(dir)?;
+        self.export_to_dir_fs(dir, &sp_store::vfs::OsFs)
+    }
+
+    /// [`export_to_dir`](Self::export_to_dir) over an injectable
+    /// filesystem. The warm-state snapshot is written with the full
+    /// stage → `fsync` → rename → directory-sync discipline
+    /// ([`sp_store::vfs::write_durable_atomic`]), so a crash mid-export
+    /// leaves either the previous snapshot or the new one — never a torn
+    /// file that would silently cold-start the next restart.
+    pub fn export_to_dir_fs(
+        &self,
+        dir: &std::path::Path,
+        fs: &dyn sp_store::vfs::StoreFs,
+    ) -> std::io::Result<SystemExportSummary> {
+        let storage = self.storage.export_to_dir_fs(dir, fs)?;
         let warm_state = self.export_warm_state();
         let warm_state_bytes = warm_state.len();
-        std::fs::write(dir.join(WARM_STATE_FILE), warm_state)?;
+        let target = dir.join(WARM_STATE_FILE);
+        let mut stage = target.as_os_str().to_os_string();
+        stage.push(".stage");
+        sp_store::vfs::write_durable_atomic(
+            fs,
+            std::path::Path::new(&stage),
+            &target,
+            &warm_state,
+        )?;
         Ok(SystemExportSummary {
             storage,
             warm_state_bytes,
@@ -1428,8 +1450,19 @@ impl SpSystem {
     /// `warm_state.spws` degrades to a cold restart — the storage import
     /// still stands, and the reason is reported, not swallowed.
     pub fn import_from_dir(&self, dir: &std::path::Path) -> std::io::Result<SystemImportSummary> {
-        let storage = self.storage.import_from_dir_with(dir, &digest_pool())?;
-        let (warm, warm_state_error) = match std::fs::read(dir.join(WARM_STATE_FILE)) {
+        self.import_from_dir_fs(dir, &sp_store::vfs::OsFs)
+    }
+
+    /// [`import_from_dir`](Self::import_from_dir) over an injectable
+    /// filesystem, so restart/restore paths run under the same fault layer
+    /// as the export paths in chaos tests.
+    pub fn import_from_dir_fs(
+        &self,
+        dir: &std::path::Path,
+        fs: &dyn sp_store::vfs::StoreFs,
+    ) -> std::io::Result<SystemImportSummary> {
+        let storage = self.storage.import_from_dir_fs(dir, &digest_pool(), fs)?;
+        let (warm, warm_state_error) = match fs.read(&dir.join(WARM_STATE_FILE)) {
             Ok(bytes) => match self.import_warm_state(&bytes) {
                 Ok(report) => (report, None),
                 Err(error) => (WarmRestoreReport::default(), Some(error.to_string())),

@@ -53,7 +53,7 @@ pub use client::{Client, ClientError, ClientKind};
 pub use clock::VirtualClock;
 pub use cron::{CronError, CronSchedule};
 pub use job::{JobId, JobIdGenerator, JobResult, JobSpec, JobStatus};
-pub use poll::{Backoff, PollLoop, PollOutcome, PollStats};
+pub use poll::{Backoff, PollLoop, PollOutcome, PollStats, RetryPolicy};
 pub use pool::{PoolStats, WorkStealingPool};
 pub use queue::JobPool;
 pub use sched::{

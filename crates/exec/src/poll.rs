@@ -86,6 +86,89 @@ impl Backoff {
     }
 }
 
+/// Bounded retry for transient I/O faults, reusing [`Backoff`] for the
+/// inter-attempt delays.
+///
+/// A preservation fleet lives on imperfect disks: an `EINTR`/`EAGAIN`-class
+/// hiccup on a queue read must degrade to a short retry, not to a fenced
+/// campaign or — worse — a durable poison mark on valid work. This policy
+/// classifies errors ([`is_transient`](Self::is_transient)), retries the
+/// transient ones a bounded number of times with backoff, and surfaces
+/// everything else (and exhausted retries) to the caller untouched.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    backoff: Backoff,
+    max_attempts: u32,
+    retries: u64,
+}
+
+impl RetryPolicy {
+    /// Creates a policy performing at most `max_attempts` attempts per
+    /// operation (minimum 1; retries = attempts − 1).
+    pub fn new(backoff: Backoff, max_attempts: u32) -> Self {
+        RetryPolicy {
+            backoff,
+            max_attempts: max_attempts.max(1),
+            retries: 0,
+        }
+    }
+
+    /// A policy suited to on-disk queue operations: 1 ms base delay,
+    /// 50 ms ceiling, 8 attempts. `seed` individualises the jitter.
+    pub fn for_disk(seed: u64) -> Self {
+        RetryPolicy::new(
+            Backoff::new(Duration::from_millis(1), Duration::from_millis(50), seed),
+            8,
+        )
+    }
+
+    /// Whether an I/O error is transient — worth retrying in place.
+    /// `Interrupted` (EINTR), `WouldBlock` (EAGAIN) and `TimedOut` are;
+    /// hard faults (ENOSPC, EIO, corruption observed as decode failure)
+    /// are not.
+    pub fn is_transient(error: &std::io::Error) -> bool {
+        matches!(
+            error.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Total retries performed over this policy's lifetime (for fleet
+    /// accounting).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Runs `op`, retrying transient failures with backoff, sleeping
+    /// through `sleep` (injected so tests retry without a wall clock).
+    pub fn run_with_sleep<T>(
+        &mut self,
+        mut op: impl FnMut() -> std::io::Result<T>,
+        mut sleep: impl FnMut(Duration),
+    ) -> std::io::Result<T> {
+        self.backoff.reset();
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(error) if Self::is_transient(&error) && attempt < self.max_attempts => {
+                    attempt += 1;
+                    self.retries += 1;
+                    sleep(self.backoff.next_delay());
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// [`run_with_sleep`](Self::run_with_sleep) sleeping on the OS clock.
+    pub fn run<T>(&mut self, op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        self.run_with_sleep(op, std::thread::sleep)
+    }
+}
+
 /// What one poll step observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PollOutcome {
@@ -211,6 +294,65 @@ mod tests {
         assert_eq!(stats.idle, 4, "stops at the third consecutive idle");
         assert_eq!(slept.len(), 3, "no sleep after the terminal idle");
         assert!(stats.slept > Duration::ZERO);
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_then_succeeds() {
+        let mut policy = RetryPolicy::for_disk(11);
+        let mut attempts = 0;
+        let mut slept = Vec::new();
+        let result = policy.run_with_sleep(
+            || {
+                attempts += 1;
+                if attempts < 4 {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "EINTR",
+                    ))
+                } else {
+                    Ok(attempts)
+                }
+            },
+            |d| slept.push(d),
+        );
+        assert_eq!(result.unwrap(), 4);
+        assert_eq!(policy.retries(), 3);
+        assert_eq!(slept.len(), 3, "one sleep per retry");
+    }
+
+    #[test]
+    fn retry_policy_surfaces_hard_faults_immediately() {
+        let mut policy = RetryPolicy::for_disk(11);
+        let mut attempts = 0;
+        let result: std::io::Result<()> = policy.run_with_sleep(
+            || {
+                attempts += 1;
+                Err(std::io::Error::from_raw_os_error(28)) // ENOSPC
+            },
+            |_| {},
+        );
+        assert_eq!(result.unwrap_err().raw_os_error(), Some(28));
+        assert_eq!(attempts, 1, "hard faults are not retried");
+        assert_eq!(policy.retries(), 0);
+    }
+
+    #[test]
+    fn retry_policy_bounds_attempts() {
+        let mut policy = RetryPolicy::new(Backoff::for_queue(5), 3);
+        let mut attempts = 0;
+        let result: std::io::Result<()> = policy.run_with_sleep(
+            || {
+                attempts += 1;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "EAGAIN",
+                ))
+            },
+            |_| {},
+        );
+        assert!(RetryPolicy::is_transient(&result.unwrap_err()));
+        assert_eq!(attempts, 3, "bounded attempts, then surfaced");
+        assert_eq!(policy.retries(), 2);
     }
 
     #[test]

@@ -149,6 +149,10 @@ pub fn render_fleet_stats(stats: &FleetStats) -> String {
         "poisoned submissions".into(),
         stats.queue.poisoned.to_string(),
     ]);
+    table.row_owned(vec![
+        "quarantined records".into(),
+        stats.queue.quarantined.to_string(),
+    ]);
     table.row_owned(vec!["worker processes".into(), stats.workers.to_string()]);
     table.row_owned(vec![
         "campaigns drained".into(),
@@ -165,6 +169,10 @@ pub fn render_fleet_stats(stats: &FleetStats) -> String {
     table.row_owned(vec![
         "lease renewals".into(),
         stats.drained.renewals.to_string(),
+    ]);
+    table.row_owned(vec![
+        "io retries".into(),
+        stats.drained.io_retries.to_string(),
     ]);
     table.row_owned(vec![
         "scheduler rounds".into(),
@@ -325,6 +333,7 @@ mod tests {
                 reclaims: 1,
                 corrupt_dropped: 0,
                 poisoned: 1,
+                quarantined: 1,
             },
             workers: 2,
             drained,
@@ -334,7 +343,9 @@ mod tests {
         assert!(rendered.contains("worker processes"));
         assert!(rendered.contains("campaigns drained"));
         assert!(rendered.contains("poisoned submissions"));
+        assert!(rendered.contains("quarantined records"));
         assert!(rendered.contains("lease renewals"));
+        assert!(rendered.contains("io retries"));
         assert!(rendered.contains("42"));
     }
 

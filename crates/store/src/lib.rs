@@ -38,6 +38,10 @@
 //!   memo and digest-cache entries conserved alongside the exported
 //!   storage, digest-guarded so a restarted system never trusts a
 //!   corrupted entry.
+//! * [`vfs`] — the injectable filesystem under every durable path:
+//!   [`StoreFs`] with the production [`OsFs`] (full fsync discipline) and
+//!   the deterministic fault-injecting [`FaultFs`] (EIO/ENOSPC, torn
+//!   writes, enumerated crash points) plus the crash-point sweep harness.
 //! * [`wq`] — the durable multi-process work queue over a storage
 //!   directory: digest-guarded submissions, lease generations with
 //!   heartbeat/expiry, and fencing tokens so a stalled worker whose lease
@@ -68,6 +72,7 @@ pub mod sha256;
 pub mod shared;
 pub mod snapshot;
 pub mod vault;
+pub mod vfs;
 pub mod wq;
 
 pub use archive::{Archive, ArchiveEntry};
@@ -83,6 +88,10 @@ pub use sha256::HashingWriter;
 pub use shared::{ExportSummary, ImportSummary, SharedStorage, StorageArea};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotLoadReport, SnapshotSection};
 pub use vault::{FrozenImage, FrozenVault};
+pub use vfs::{
+    standard_crash_sweep, write_durable_atomic, CommittedHistory, CrashSweepOutcome, FaultConfig,
+    FaultFs, FixedClock, ForcedFault, OsFs, StoreFs,
+};
 pub use wq::{
     Lease, PoisonMark, QueueStats, QueueSubmission, SystemTimeSource, WorkQueue, WqError,
 };

@@ -205,8 +205,21 @@ impl SharedStorage {
     /// listing per storage area. This is how a conserved sp-system site
     /// (HTML pages + outputs) becomes browsable outside the process.
     pub fn export_to_dir(&self, dir: &std::path::Path) -> std::io::Result<ExportSummary> {
+        self.export_to_dir_fs(dir, &crate::vfs::OsFs)
+    }
+
+    /// [`export_to_dir`](Self::export_to_dir) over an injectable
+    /// filesystem. Objects and indexes are `fsync`ed and the directories
+    /// synced before success is reported — an acknowledged export survives
+    /// power loss whole (the preservation medium this archive is written
+    /// to is exactly the place a torn write would go unnoticed for years).
+    pub fn export_to_dir_fs(
+        &self,
+        dir: &std::path::Path,
+        fs: &dyn crate::vfs::StoreFs,
+    ) -> std::io::Result<ExportSummary> {
         let objects_dir = dir.join("objects");
-        std::fs::create_dir_all(&objects_dir)?;
+        fs.create_dir_all(&objects_dir)?;
         let mut objects_written = 0usize;
         let mut seen = std::collections::BTreeSet::new();
         for area in StorageArea::all() {
@@ -225,12 +238,18 @@ impl SharedStorage {
                         .content
                         .get(oid)
                         .map_err(|e| std::io::Error::other(e.to_string()))?;
-                    std::fs::write(objects_dir.join(oid.to_hex()), &bytes)?;
+                    let path = objects_dir.join(oid.to_hex());
+                    fs.write(&path, &bytes)?;
+                    fs.sync_file(&path)?;
                     objects_written += 1;
                 }
             }
-            std::fs::write(dir.join(format!("{}.index", area.namespace())), index)?;
+            let index_path = dir.join(format!("{}.index", area.namespace()));
+            fs.write(&index_path, index.as_bytes())?;
+            fs.sync_file(&index_path)?;
         }
+        fs.sync_dir(&objects_dir)?;
+        fs.sync_dir(dir)?;
         Ok(ExportSummary {
             objects_written,
             areas_indexed: StorageArea::all().len(),
@@ -256,21 +275,31 @@ impl SharedStorage {
         dir: &std::path::Path,
         digester: &dyn crate::sha256::BatchDigester,
     ) -> std::io::Result<ImportSummary> {
+        self.import_from_dir_fs(dir, digester, &crate::vfs::OsFs)
+    }
+
+    /// [`import_from_dir_with`](Self::import_from_dir_with) over an
+    /// injectable filesystem, so restore paths run under the same fault
+    /// layer as the write paths in chaos tests.
+    pub fn import_from_dir_fs(
+        &self,
+        dir: &std::path::Path,
+        digester: &dyn crate::sha256::BatchDigester,
+        fs: &dyn crate::vfs::StoreFs,
+    ) -> std::io::Result<ImportSummary> {
         let objects_dir = dir.join("objects");
         let mut summary = ImportSummary::default();
-        if objects_dir.is_dir() {
+        if fs.exists(&objects_dir) {
             // Read everything first, then re-hash the whole batch: each
             // object is admitted only if its bytes still address to its
             // file name (silent bit-rot is rejected, not imported).
             let mut candidates: Vec<(ObjectId, Vec<u8>)> = Vec::new();
-            for entry in std::fs::read_dir(&objects_dir)? {
-                let entry = entry?;
-                let name = entry.file_name();
-                let Some(id) = name.to_str().and_then(ObjectId::from_hex) else {
+            for name in fs.read_dir_names(&objects_dir)? {
+                let Some(id) = ObjectId::from_hex(&name) else {
                     summary.objects_rejected += 1;
                     continue;
                 };
-                candidates.push((id, std::fs::read(entry.path())?));
+                candidates.push((id, fs.read(&objects_dir.join(&name))?));
             }
             let inputs: Vec<&[u8]> = candidates.iter().map(|(_, b)| b.as_slice()).collect();
             let digests = digester.digest_all(&inputs);
@@ -285,7 +314,10 @@ impl SharedStorage {
         }
         for area in StorageArea::all() {
             let index_path = dir.join(format!("{}.index", area.namespace()));
-            let Ok(index) = std::fs::read_to_string(&index_path) else {
+            let Ok(index) = fs
+                .read(&index_path)
+                .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+            else {
                 continue;
             };
             for line in index.lines() {

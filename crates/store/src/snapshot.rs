@@ -169,6 +169,23 @@ impl Snapshot {
         out
     }
 
+    /// Writes the encoded snapshot durably and atomically to `path`: the
+    /// bytes are staged beside the target, `fsync`ed, renamed into place
+    /// and the parent directory synced — only then is the snapshot
+    /// committed against power loss. The stage name derives from the
+    /// target, so concurrent writers of *different* snapshots never
+    /// collide (concurrent writers of the same snapshot last-write-win,
+    /// which is the same contract the rename itself gives).
+    pub fn write_durable(
+        &self,
+        fs: &dyn crate::vfs::StoreFs,
+        path: &std::path::Path,
+    ) -> std::io::Result<()> {
+        let mut stage = path.as_os_str().to_os_string();
+        stage.push(".stage");
+        crate::vfs::write_durable_atomic(fs, std::path::Path::new(&stage), path, &self.encode())
+    }
+
     /// Parses a snapshot, validating every entry's digest. Entries that
     /// fail validation are dropped (and counted); structural corruption —
     /// bad magic, unknown version, truncation — aborts with an error and

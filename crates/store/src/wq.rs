@@ -15,8 +15,22 @@
 //! <root>/reports/sub-<seq>.g<token>.rep    published results, per token
 //! <root>/workers/<holder>.stats            per-worker counters (opaque)
 //! <root>/poison/sub-<seq>.spwp             permanent poison marks
+//! <root>/quarantine/...                    records that failed decode
 //! <root>/tmp/...                           staging for atomic renames
 //! ```
+//!
+//! ## Durability
+//!
+//! Every record reaches its final name through the full fsync discipline
+//! ([`crate::vfs::write_durable_atomic`]): staged bytes are `fsync`ed
+//! before the rename/link, and the parent directory is synced before the
+//! operation is considered committed — so a record that was ever
+//! acknowledged survives power loss whole, and a crash mid-write leaves
+//! only staging garbage in `tmp/` (swept on the next
+//! [`open`](WorkQueue::open): staging names carry the writer's pid, and
+//! files whose pid is no longer alive are removed). All filesystem access
+//! goes through an injectable [`StoreFs`], so the same paths run over the
+//! deterministic fault layer in tests and chaos harnesses.
 //!
 //! ## Leases, heartbeats, fencing
 //!
@@ -63,6 +77,13 @@
 //! corrupt submission is never leased; a corrupt report reads as absent
 //! (the work is re-leased and re-executed); a corrupt lease is treated as
 //! expired (its generation number stays burned so fencing still holds).
+//!
+//! Dropping is additionally *graceful, not aborting*: a corrupt
+//! submission, report or poison mark is moved into `<root>/quarantine/`
+//! (at claim time or by the open-time sweep) where an operator can inspect
+//! it, and counted in [`QueueStats::quarantined`]. Lease records are the
+//! one exception — their generation numbers are fencing tokens parsed
+//! from the file *name*, so a corrupt lease file stays in place, burned.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +91,7 @@ use std::sync::Arc;
 
 use crate::retention::TimeSource;
 use crate::sha256::Sha256;
+use crate::vfs::{OsFs, StoreFs};
 
 /// Record magic for submissions.
 const MAGIC_SUBMISSION: [u8; 4] = *b"SPWQ";
@@ -245,6 +267,9 @@ pub struct QueueStats {
     /// Submissions permanently poisoned (undecodable payloads no worker
     /// will ever lease again).
     pub poisoned: usize,
+    /// Records moved to `<root>/quarantine/` because they failed decode
+    /// (graceful degradation: inspectable, never trusted, never aborting).
+    pub quarantined: usize,
 }
 
 /// The durable multi-process work queue rooted at one storage directory.
@@ -252,6 +277,7 @@ pub struct WorkQueue {
     root: PathBuf,
     time: Arc<dyn TimeSource + Send + Sync>,
     lease_secs: u64,
+    fs: Arc<dyn StoreFs>,
 }
 
 impl WorkQueue {
@@ -267,6 +293,20 @@ impl WorkQueue {
         lease_secs: u64,
         time: Arc<dyn TimeSource + Send + Sync>,
     ) -> std::io::Result<Self> {
+        Self::open_with(root, lease_secs, time, Arc::new(OsFs))
+    }
+
+    /// Opens a queue on an explicit time source **and** filesystem — the
+    /// injection point for the deterministic fault layer
+    /// ([`crate::vfs::FaultFs`]). Opening also recovers the directory:
+    /// staging files leaked by dead processes are swept from `tmp/`, and
+    /// records that fail decode are quarantined.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        lease_secs: u64,
+        time: Arc<dyn TimeSource + Send + Sync>,
+        fs: Arc<dyn StoreFs>,
+    ) -> std::io::Result<Self> {
         let root = root.into();
         for sub in [
             "submissions",
@@ -274,15 +314,101 @@ impl WorkQueue {
             "reports",
             "workers",
             "poison",
+            "quarantine",
             "tmp",
         ] {
-            std::fs::create_dir_all(root.join(sub))?;
+            fs.create_dir_all(&root.join(sub))?;
         }
-        Ok(WorkQueue {
+        let queue = WorkQueue {
             root,
             time,
             lease_secs: lease_secs.max(1),
-        })
+            fs,
+        };
+        queue.sweep_stale_staging();
+        queue.sweep_corrupt();
+        Ok(queue)
+    }
+
+    /// Sweeps `tmp/` staging files whose writing process is dead. Staging
+    /// names are `<pid>-<counter>`; a file whose pid is still alive may be
+    /// a sibling's in-flight stage and is left alone, everything else —
+    /// dead pids, unparseable names — is a leak from a crashed or faulted
+    /// writer (e.g. ENOSPC mid-stage) and is removed. Best-effort: sweep
+    /// failures never fail the open.
+    fn sweep_stale_staging(&self) {
+        for name in self.scan("tmp") {
+            let writer_alive = name
+                .split('-')
+                .next()
+                .and_then(|pid| pid.parse::<u32>().ok())
+                .map(pid_alive)
+                .unwrap_or(false);
+            if !writer_alive {
+                let _ = self.fs.remove_file(&self.root.join("tmp").join(&name));
+            }
+        }
+    }
+
+    /// Quarantines every record that fails decode (see the module-level
+    /// trust rules; lease files are exempt — their names carry burned
+    /// fencing generations). Best-effort, returns how many were moved.
+    ///
+    /// Corruption is only ever diagnosed from bytes that were *read
+    /// successfully*: a failed read proves nothing about the record — on
+    /// a flaky disk it may be perfectly intact — so the entry stays in
+    /// place for a later sweep to re-examine. Quarantining on a read
+    /// error would lose committed work to a transient fault.
+    pub fn sweep_corrupt(&self) -> usize {
+        let mut moved = 0;
+        for name in self.scan("submissions") {
+            moved += match parse_seq(&name, "sub-", ".spwq") {
+                Some(seq) => self.sweep_entry("submissions", &name, |bytes| {
+                    decode_submission(seq, bytes).is_some()
+                }),
+                // An unparseable *name* needs no byte evidence.
+                None => self.quarantine_record("submissions", &name),
+            } as usize;
+        }
+        for name in self.scan("reports") {
+            moved += match parse_report_name(&name) {
+                Some((seq, token)) => self.sweep_entry("reports", &name, |bytes| {
+                    decode_report_bytes(seq, token, bytes).is_some()
+                }),
+                None => self.quarantine_record("reports", &name),
+            } as usize;
+        }
+        for name in self.scan("poison") {
+            moved += match parse_seq(&name, "sub-", ".spwp") {
+                Some(seq) => self.sweep_entry("poison", &name, |bytes| {
+                    decode_poison_bytes(seq, bytes).is_some()
+                }),
+                None => self.quarantine_record("poison", &name),
+            } as usize;
+        }
+        moved
+    }
+
+    /// One sweep step: quarantine `sub/name` only if its bytes read fine
+    /// and fail `decodes`. Returns whether the record was moved.
+    fn sweep_entry(&self, sub: &str, name: &str, decodes: impl FnOnce(&[u8]) -> bool) -> bool {
+        match self.fs.read(&self.root.join(sub).join(name)) {
+            Ok(bytes) => !decodes(&bytes) && self.quarantine_record(sub, name),
+            Err(_) => false,
+        }
+    }
+
+    /// Moves one record into `quarantine/` (prefixed with its source
+    /// directory), syncing both directories. Best-effort.
+    fn quarantine_record(&self, sub: &str, name: &str) -> bool {
+        let from = self.root.join(sub).join(name);
+        let to = self.root.join("quarantine").join(format!("{sub}-{name}"));
+        if self.fs.rename(&from, &to).is_err() {
+            return false;
+        }
+        let _ = self.fs.sync_dir(&self.root.join("quarantine"));
+        let _ = self.fs.sync_dir(&self.root.join(sub));
+        true
     }
 
     /// The queue's root directory.
@@ -340,25 +466,37 @@ impl WorkQueue {
     }
 
     /// Writes `bytes` to a staging file and atomically renames it over
-    /// `target` (the readers-see-whole-records guarantee).
+    /// `target` (the readers-see-whole-records guarantee), with the full
+    /// durability discipline: the staged bytes are `fsync`ed before the
+    /// rename and the target's parent directory is synced after it — only
+    /// then is the record committed against power loss. Without the data
+    /// sync, a journal that commits the rename before the data blocks can
+    /// surface an empty or torn "committed" record after a crash.
     fn write_atomic(&self, target: &Path, bytes: &[u8]) -> std::io::Result<()> {
         let stage = self.stage_path();
-        std::fs::write(&stage, bytes)?;
-        std::fs::rename(&stage, target)
+        crate::vfs::write_durable_atomic(self.fs.as_ref(), &stage, target, bytes)
     }
 
     /// Creates `target` exclusively with the **complete** record in one
-    /// atomic step: the bytes are staged first and hard-linked into
+    /// atomic step: the bytes are staged first (and `fsync`ed — link
+    /// semantics share the rename hazard above) and hard-linked into
     /// place, so a concurrent reader can never observe a half-written
     /// record (which it would have to treat as corrupt — and a "corrupt"
     /// lease reads as reclaimable, which must not happen for a lease
     /// that is merely mid-write). `AlreadyExists` means another process
-    /// won the race for this name.
+    /// won the race for this name. The parent directory is synced before
+    /// success is reported, completing the durability contract.
     fn create_exclusive(&self, target: &Path, bytes: &[u8]) -> std::io::Result<()> {
         let stage = self.stage_path();
-        std::fs::write(&stage, bytes)?;
-        let linked = std::fs::hard_link(&stage, target);
-        std::fs::remove_file(&stage).ok();
+        self.fs.write(&stage, bytes)?;
+        self.fs.sync_file(&stage)?;
+        let linked = self.fs.hard_link(&stage, target);
+        if linked.is_ok() {
+            if let Some(parent) = target.parent() {
+                self.fs.sync_dir(parent)?;
+            }
+        }
+        self.fs.remove_file(&stage).ok();
         linked
     }
 
@@ -403,21 +541,33 @@ impl WorkQueue {
     /// Reads one submission back, digest-validated (`None` if absent or
     /// corrupt — a corrupt submission is never leased, never executed).
     pub fn submission(&self, seq: u64) -> Option<QueueSubmission> {
-        let bytes = std::fs::read(self.submission_path(seq)).ok()?;
-        let body = decode_record(&MAGIC_SUBMISSION, &bytes)?;
-        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
-        let recorded_seq = cursor.take_u64()?;
-        let base_run_id = cursor.take_u64()?;
-        let total_runs = cursor.take_u64()?;
-        let origin = cursor.take_u64()?;
-        let payload = cursor.take_bytes()?;
-        (cursor.finished() && recorded_seq == seq).then_some(QueueSubmission {
-            seq,
-            base_run_id,
-            total_runs,
-            origin,
-            payload,
-        })
+        self.submission_checked(seq).ok().flatten()
+    }
+
+    /// [`submission`](Self::submission) with the I/O outcome surfaced:
+    /// `Err` means the *read itself* failed (possibly transient — callers
+    /// with a retry policy should retry rather than conclude anything
+    /// about the record), `Ok(None)` means the record is genuinely absent
+    /// or failed decode. The distinction matters because a caller that
+    /// conflates a transient `EIO` with corruption would durably poison
+    /// valid work. A record whose bytes read fine but fail decode is
+    /// quarantined as a side effect.
+    pub fn submission_checked(&self, seq: u64) -> std::io::Result<Option<QueueSubmission>> {
+        let path = self.submission_path(seq);
+        let bytes = match self.fs.read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match decode_submission(seq, &bytes) {
+            Some(submission) => Ok(Some(submission)),
+            None => {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    self.quarantine_record("submissions", name);
+                }
+                Ok(None)
+            }
+        }
     }
 
     /// Sequence numbers of every submission file present, sorted. This is
@@ -425,13 +575,23 @@ impl WorkQueue {
     /// so pollers can walk the backlog cheaply and defer the (hashed)
     /// payload read until after they hold a lease.
     pub fn submission_seqs(&self) -> Vec<u64> {
+        self.submission_seqs_checked().unwrap_or_default()
+    }
+
+    /// [`submission_seqs`](Self::submission_seqs) with the I/O outcome
+    /// surfaced: a failed directory listing is `Err`, not an empty
+    /// backlog. Exit conditions must use this form — conflating "the
+    /// disk hiccupped" with "no work exists" makes a worker give up on a
+    /// backlog it merely failed to list.
+    pub fn submission_seqs_checked(&self) -> std::io::Result<Vec<u64>> {
         let mut seqs: Vec<u64> = self
-            .scan("submissions")
+            .fs
+            .read_dir_names(&self.root.join("submissions"))?
             .into_iter()
             .filter_map(|name| parse_seq(&name, "sub-", ".spwq"))
             .collect();
         seqs.sort_unstable();
-        seqs
+        Ok(seqs)
     }
 
     /// All valid submissions, in sequence order.
@@ -458,7 +618,7 @@ impl WorkQueue {
     }
 
     fn read_lease(&self, seq: u64, token: u64) -> Option<LeaseRecord> {
-        let bytes = std::fs::read(self.lease_path(seq, token)).ok()?;
+        let bytes = self.fs.read(&self.lease_path(seq, token)).ok()?;
         let body = decode_record(&MAGIC_LEASE, &bytes)?;
         let mut cursor = crate::snapshot::wire::Cursor::new(&body);
         let record = LeaseRecord {
@@ -519,9 +679,10 @@ impl WorkQueue {
         }
         // A corrupt submission is never leased: claiming it would burn
         // lease generations (inflating the reclaim accounting) on work
-        // that can never execute. The payload read is paid only on claim
-        // attempts, not on every poll.
-        if self.submission(seq).is_none() {
+        // that can never execute; it is quarantined instead. The payload
+        // read is paid only on claim attempts, not on every poll — and a
+        // *failed* read surfaces as `Err` (retryable), never as corrupt.
+        if self.submission_checked(seq)?.is_none() {
             return Ok(None);
         }
         let tokens = self.lease_tokens(seq);
@@ -696,13 +857,8 @@ impl WorkQueue {
 
     /// Reads one generation's report record, digest-validated.
     fn read_report(&self, seq: u64, token: u64) -> Option<Vec<u8>> {
-        let bytes = std::fs::read(self.report_path(seq, token)).ok()?;
-        let body = decode_record(&MAGIC_REPORT, &bytes)?;
-        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
-        let recorded_seq = cursor.take_u64()?;
-        let recorded_token = cursor.take_u64()?;
-        let payload = cursor.take_bytes()?;
-        (cursor.finished() && recorded_seq == seq && recorded_token == token).then_some(payload)
+        let bytes = self.fs.read(&self.report_path(seq, token)).ok()?;
+        decode_report_bytes(seq, token, &bytes)
     }
 
     /// Whether every valid submission has reached a terminal state: a
@@ -741,17 +897,8 @@ impl WorkQueue {
     /// becomes leasable again, which is safe: the worst case is
     /// re-diagnosing and re-marking the same failure).
     pub fn poison_mark(&self, seq: u64) -> Option<PoisonMark> {
-        let bytes = std::fs::read(self.poison_path(seq)).ok()?;
-        let body = decode_record(&MAGIC_POISON, &bytes)?;
-        let mut cursor = crate::snapshot::wire::Cursor::new(&body);
-        let recorded_seq = cursor.take_u64()?;
-        let holder = cursor.take_str()?;
-        let reason = cursor.take_str()?;
-        (cursor.finished() && recorded_seq == seq).then_some(PoisonMark {
-            seq,
-            holder,
-            reason,
-        })
+        let bytes = self.fs.read(&self.poison_path(seq)).ok()?;
+        decode_poison_bytes(seq, &bytes)
     }
 
     /// Whether a valid poison mark exists for `seq`.
@@ -790,7 +937,7 @@ impl WorkQueue {
             .scan("workers")
             .into_iter()
             .filter_map(|name| {
-                let bytes = std::fs::read(self.root.join("workers").join(&name)).ok()?;
+                let bytes = self.fs.read(&self.root.join("workers").join(&name)).ok()?;
                 let body = decode_record(&MAGIC_WORKER, &bytes)?;
                 let mut cursor = crate::snapshot::wire::Cursor::new(&body);
                 let holder = cursor.take_str()?;
@@ -833,19 +980,79 @@ impl WorkQueue {
                 stats.poisoned += 1;
             }
         }
+        stats.quarantined = self.scan("quarantine").len();
+        // A quarantined record *is* a corrupt drop — relocation for
+        // inspection doesn't un-drop it, so the counter that operators
+        // alarm on keeps seeing it after the move.
+        stats.corrupt_dropped += stats.quarantined;
         stats
     }
 
-    /// File names (not paths) under one queue subdirectory.
+    /// File names (not paths) under one queue subdirectory, sorted.
     fn scan(&self, sub: &str) -> Vec<String> {
-        let Ok(entries) = std::fs::read_dir(self.root.join(sub)) else {
-            return Vec::new();
-        };
-        entries
-            .filter_map(|e| e.ok())
-            .filter_map(|e| e.file_name().into_string().ok())
-            .collect()
+        self.fs
+            .read_dir_names(&self.root.join(sub))
+            .unwrap_or_default()
     }
+}
+
+/// Whether a process with this pid is currently alive. Uses `/proc` where
+/// it exists; without a liveness oracle every staging file is presumed
+/// live (leaking a file beats deleting a sibling's in-flight stage).
+fn pid_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        proc_root.join(pid.to_string()).is_dir()
+    } else {
+        true
+    }
+}
+
+/// Decodes (digest-validating) one submission record's bytes.
+fn decode_report_bytes(seq: u64, token: u64, bytes: &[u8]) -> Option<Vec<u8>> {
+    let body = decode_record(&MAGIC_REPORT, bytes)?;
+    let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+    let recorded_seq = cursor.take_u64()?;
+    let recorded_token = cursor.take_u64()?;
+    let payload = cursor.take_bytes()?;
+    (cursor.finished() && recorded_seq == seq && recorded_token == token).then_some(payload)
+}
+
+fn decode_poison_bytes(seq: u64, bytes: &[u8]) -> Option<PoisonMark> {
+    let body = decode_record(&MAGIC_POISON, bytes)?;
+    let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+    let recorded_seq = cursor.take_u64()?;
+    let holder = cursor.take_str()?;
+    let reason = cursor.take_str()?;
+    (cursor.finished() && recorded_seq == seq).then_some(PoisonMark {
+        seq,
+        holder,
+        reason,
+    })
+}
+
+fn decode_submission(seq: u64, bytes: &[u8]) -> Option<QueueSubmission> {
+    let body = decode_record(&MAGIC_SUBMISSION, bytes)?;
+    let mut cursor = crate::snapshot::wire::Cursor::new(&body);
+    let recorded_seq = cursor.take_u64()?;
+    let base_run_id = cursor.take_u64()?;
+    let total_runs = cursor.take_u64()?;
+    let origin = cursor.take_u64()?;
+    let payload = cursor.take_bytes()?;
+    (cursor.finished() && recorded_seq == seq).then_some(QueueSubmission {
+        seq,
+        base_run_id,
+        total_runs,
+        origin,
+        payload,
+    })
+}
+
+/// Parses `sub-<seq>.g<token>.rep` report file names.
+fn parse_report_name(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("sub-")?.strip_suffix(".rep")?;
+    let (seq, token) = rest.split_once(".g")?;
+    Some((seq.parse().ok()?, token.parse().ok()?))
 }
 
 /// Parses `<prefix><number><suffix>` file names back to their number.

@@ -249,6 +249,86 @@ fn release_without_report_requeues_the_work() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A torn (half-written) report record reads as absent — never as a
+/// trusted report — and the work it covered is simply re-leasable under
+/// the next fencing generation, which can publish a fresh report.
+#[test]
+fn torn_report_reads_absent_and_the_work_re_leases() {
+    let (q, clock, dir) = queue(30, "torn-report");
+    let seq = q.submit(b"work", 1, 1, 0).unwrap();
+    let lease = q.lease_next("w1").unwrap().unwrap();
+    q.publish_report(&lease, b"the-report").unwrap();
+    q.release(&lease).unwrap();
+    assert_eq!(q.report(seq).as_deref(), Some(b"the-report".as_slice()));
+
+    // The crash model's worst leftover: the record torn to a prefix.
+    let reports = std::fs::read_dir(dir.join("reports"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .collect::<Vec<_>>();
+    assert_eq!(reports.len(), 1);
+    let bytes = std::fs::read(&reports[0]).unwrap();
+    std::fs::write(&reports[0], &bytes[..bytes.len() / 2]).unwrap();
+
+    // Detection, not trust; degradation, not abort.
+    assert!(q.report(seq).is_none(), "a torn report must not be trusted");
+    assert!(!q.drained(), "work without a trusted report is not drained");
+    clock.0.fetch_add(31, Ordering::SeqCst);
+    let recovery = q.lease_next("w2").unwrap().expect("re-leasable");
+    assert_eq!(recovery.seq, seq);
+    assert!(recovery.token > lease.token, "old generation stays burned");
+    q.publish_report(&recovery, b"the-report").unwrap();
+    q.release(&recovery).unwrap();
+    assert_eq!(q.report(seq).as_deref(), Some(b"the-report".as_slice()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Transient I/O faults surface as [`WqError::Io`] with a retryable kind
+/// — never disguised as a lease-protocol verdict — so a retry policy can
+/// tell "the disk hiccupped" from "the lease is gone" and the same
+/// operation succeeds on the next attempt.
+#[test]
+fn transient_faults_surface_as_io_not_protocol_verdicts() {
+    use sp_store::{FaultConfig, FaultFs, StoreFs, TimeSource};
+
+    struct FixedTime;
+    impl TimeSource for FixedTime {
+        fn now_secs(&self) -> u64 {
+            50_000
+        }
+    }
+
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sp-wq-lease-transient-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let fault = Arc::new(FaultFs::over_os(FaultConfig::default()));
+    let fault_fs: Arc<dyn StoreFs> = fault.clone();
+    let q = WorkQueue::open_with(&dir, 60, Arc::new(FixedTime), fault_fs).unwrap();
+    q.submit(b"work", 1, 1, 0).unwrap();
+    let mut lease = q.lease_next("w1").unwrap().unwrap();
+
+    // Arm one transient fault: the renew fails as Io(Interrupted)…
+    fault.fail_next_write(sp_store::ForcedFault::Transient);
+    match q.renew(&mut lease) {
+        Err(WqError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+        }
+        other => panic!("transient fault must surface as WqError::Io, got {other:?}"),
+    }
+    // …and the very next attempt succeeds with the same token: the
+    // fault proved nothing about the lease.
+    q.renew(&mut lease).expect("retry succeeds");
+    q.publish_report(&lease, b"done").unwrap();
+    q.release(&lease).unwrap();
+    assert!(q.drained());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     /// However renew, heartbeat, release, claims and clock advances
     /// interleave, one submission never ends up with two live holders:

@@ -118,3 +118,125 @@ fn dst_files_reject_tampering() {
     tampered[mid] ^= 0x01;
     assert!(read_dst(&tampered).is_err());
 }
+
+/// A half-written warm-state snapshot — the residue of a crash without
+/// fsync — degrades a system import to a cold restart: the storage import
+/// still stands, the truncation is reported (not swallowed), and nothing
+/// panics or half-restores.
+#[test]
+fn torn_warm_state_degrades_to_cold_restart() {
+    use sp_system::core::WARM_STATE_FILE;
+
+    let system = SpSystem::new();
+    let image = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+    system
+        .run_validation(
+            "hermes",
+            image,
+            &RunConfig {
+                scale: 0.1,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("sp-torn-warm-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let exported = system.export_to_dir(&dir).unwrap();
+    assert!(exported.warm_state_bytes > 0);
+
+    // The crash model's worst case: the snapshot torn to a prefix.
+    let warm = dir.join(WARM_STATE_FILE);
+    let bytes = std::fs::read(&warm).unwrap();
+    std::fs::write(&warm, &bytes[..bytes.len() / 2]).unwrap();
+
+    let restarted = SpSystem::new();
+    let summary = restarted.import_from_dir(&dir).unwrap();
+    assert!(
+        summary.warm_state_error.is_some(),
+        "the torn snapshot must be reported, not swallowed"
+    );
+    assert_eq!(
+        summary.warm,
+        Default::default(),
+        "no partial warm restore: cold restart or nothing"
+    );
+    assert_eq!(
+        summary.storage.objects_rejected, 0,
+        "the storage import stands on its own"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The system warm-state export commits with full fsync discipline: crash
+/// the export at each of the final snapshot-write operations and the
+/// exported directory holds either the complete snapshot or none at all.
+#[test]
+fn warm_state_export_has_no_third_outcome() {
+    use sp_system::core::WARM_STATE_FILE;
+    use sp_system::store::{FaultConfig, FaultFs};
+
+    let system = SpSystem::new();
+    let image = system
+        .register_image(catalog::sl6_gcc44(Version::two(5, 34)))
+        .unwrap();
+    system
+        .register_experiment(sp_system::experiments::hermes_experiment())
+        .unwrap();
+    system
+        .run_validation(
+            "hermes",
+            image,
+            &RunConfig {
+                scale: 0.1,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Reference pass: count the export's operations and capture the
+    // intact snapshot bytes.
+    let base = std::env::temp_dir().join(format!("sp-export-crash-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let reference = base.join("reference");
+    let probe = FaultFs::over_os(FaultConfig::default());
+    system.export_to_dir_fs(&reference, &probe).unwrap();
+    assert!(
+        probe.violations().is_empty(),
+        "export must sync before rename"
+    );
+    let total_ops = probe.op_count();
+    let intact = std::fs::read(reference.join(WARM_STATE_FILE)).unwrap();
+
+    // Crash the final stretch — the warm-state stage/sync/rename/sync
+    // tail plus slack into the storage export before it.
+    let first = total_ops.saturating_sub(8);
+    for crash_at in first..total_ops {
+        let dir = base.join(format!("crash-{crash_at}"));
+        let fs = FaultFs::over_os(FaultConfig {
+            seed: crash_at,
+            io_fault_rate: 0.0,
+            crash_at: Some(crash_at),
+        });
+        assert!(
+            system.export_to_dir_fs(&dir, &fs).is_err(),
+            "crash point {crash_at} must abort the export"
+        );
+        fs.apply_crash();
+        assert!(fs.violations().is_empty());
+        // An absent file (read fails) is equally acceptable: the export
+        // never happened.
+        if let Ok(bytes) = std::fs::read(dir.join(WARM_STATE_FILE)) {
+            assert_eq!(
+                bytes, intact,
+                "crash at {crash_at}: surviving snapshot must be whole"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
