@@ -68,22 +68,26 @@ fn bench_stack_build(c: &mut Criterion) {
 
 /// The full 3-experiment × 5-image grid, one nightly pass: sequential
 /// oracle vs the sharded engine. Each iteration runs on a fresh system so
-/// neither path inherits the other's references or digest cache.
+/// neither path inherits the other's references or digest cache. The
+/// parallel benches run with `image_parallel`: per-experiment lanes cap
+/// this grid at 3 stealable units, so worker counts beyond 3 only measure
+/// scheduler overhead — the image axis is where the spare cores go (15
+/// cell lanes per repetition on this grid).
 fn bench_campaign_engines(c: &mut Criterion) {
-    let grid = |system: &SpSystem| CampaignConfig {
+    let grid = |system: &SpSystem, options: CampaignOptions| CampaignConfig {
         experiments: vec!["zeus".into(), "h1".into(), "hermes".into()],
         images: system.images().iter().map(|i| i.id).collect(),
         repetitions: 1,
         run: repro_run_config(0.05),
         interval_secs: 86_400,
-        options: CampaignOptions::default(),
+        options,
     };
     let mut group = c.benchmark_group("campaign_grid");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
         b.iter(|| {
             let system = desy_deployment();
-            let config = grid(&system);
+            let config = grid(&system, CampaignOptions::default());
             Campaign::new(&system, config)
                 .execute()
                 .expect("oracle campaign")
@@ -97,7 +101,7 @@ fn bench_campaign_engines(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     let system = desy_deployment();
-                    let config = grid(&system);
+                    let config = grid(&system, CampaignOptions::image_parallel());
                     CampaignEngine::plan(&system, config, workers)
                         .expect("planned grid")
                         .execute()
@@ -123,7 +127,10 @@ fn bench_campaign_memoized(c: &mut Criterion) {
         repetitions: 5,
         run: repro_run_config(0.05),
         interval_secs: 86_400,
-        options: CampaignOptions { memoize },
+        options: CampaignOptions {
+            memoize,
+            ..CampaignOptions::default()
+        },
     };
     let mut group = c.benchmark_group("campaign_grid");
     group.sample_size(10);

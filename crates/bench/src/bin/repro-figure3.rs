@@ -86,7 +86,10 @@ fn main() {
         repetitions,
         run: repro_run_config(scale),
         interval_secs: 86_400,
-        options: CampaignOptions { memoize },
+        options: CampaignOptions {
+            memoize,
+            ..CampaignOptions::default()
+        },
     };
     let config = grid(paper_image_ids.clone(), 21, memoize);
     let planned = config.total_runs();

@@ -29,7 +29,16 @@
 //!    (a flaky disk on every client machine). The drain must degrade to
 //!    bounded retries: reports byte-identical to the oracles, zero
 //!    poisoned submissions, zero quarantined records;
-//! 5. **crash-point sweep** — `sp_store::vfs::standard_crash_sweep`:
+//! 5. **image-parallel drain** — the same backlog submitted with
+//!    [`CampaignOptions::image_parallel`]: every (experiment, image) cell
+//!    its own stealable lane, reference promotion deferred to the
+//!    repetition barrier. The flag rides the wire through the queue, so
+//!    this proves the whole fleet path (encode → lease → execute →
+//!    publish) honours it. The oracle is the **solo flag-on engine** —
+//!    flag-on output is deterministic for any worker count, but differs
+//!    at byte level from the sequential flag-off oracle on fresh systems
+//!    (repetition-1 cells compare against the bootstrap reference);
+//! 6. **crash-point sweep** — `sp_store::vfs::standard_crash_sweep`:
 //!    power loss replayed at *every* filesystem operation of a
 //!    queue+snapshot workload, recovery verified to observe only
 //!    committed-before or never-happened states.
@@ -45,7 +54,8 @@
 //! ```text
 //! cargo run --release -p sp-bench --bin repro-fleet -- \
 //!     [--workers N] [--scale 0.05] [--reps 2] [--quick] \
-//!     [--no-crash] [--no-slow] [--no-sweep] [--kill-after MS] [--slow-ms MS] \
+//!     [--no-crash] [--no-slow] [--no-sweep] [--no-image-parallel] \
+//!     [--kill-after MS] [--slow-ms MS] \
 //!     [--io-fault-rate R] [--fault-seed S]
 //! ```
 
@@ -56,7 +66,7 @@ use std::sync::Arc;
 
 use sp_bench::{arg_value, desy_deployment, has_flag, repro_run_config, scale_from_args};
 use sp_core::fleet::{fleet_stats, Coordinator, Worker};
-use sp_core::{Campaign, CampaignConfig, CampaignOptions, FleetTicket, SpSystem};
+use sp_core::{Campaign, CampaignConfig, CampaignEngine, CampaignOptions, FleetTicket, SpSystem};
 use sp_report::render_fleet_stats;
 use sp_store::{FaultConfig, FaultFs, StoreFs, SystemTimeSource, WorkQueue};
 
@@ -67,6 +77,7 @@ fn campaign_config(
     experiment: &str,
     repetitions: usize,
     scale: f64,
+    options: CampaignOptions,
 ) -> CampaignConfig {
     CampaignConfig {
         experiments: vec![experiment.to_string()],
@@ -74,7 +85,7 @@ fn campaign_config(
         repetitions,
         run: repro_run_config(scale),
         interval_secs: 86_400,
-        options: CampaignOptions::memoized(),
+        options,
     }
 }
 
@@ -222,24 +233,40 @@ fn submit_backlog<'a>(
     system: &SpSystem,
     repetitions: usize,
     scale: f64,
+    options: CampaignOptions,
 ) -> Vec<FleetTicket> {
     EXPERIMENTS
         .iter()
         .map(|experiment| {
             coordinator
-                .submit(campaign_config(system, experiment, repetitions, scale))
+                .submit(campaign_config(
+                    system,
+                    experiment,
+                    repetitions,
+                    scale,
+                    options,
+                ))
                 .expect("experiment-disjoint backlog")
         })
         .collect()
 }
 
-/// Verifies every collected report against its solo sequential oracle.
-/// Returns the number of divergent or missing reports.
+/// Verifies every collected report against its solo oracle. Returns the
+/// number of divergent or missing reports.
+///
+/// The oracle is the sequential `Campaign` — except under
+/// `image_parallel`, where flag-on output legitimately differs from the
+/// sequential oracle at byte level on a fresh system (repetition-1 cells
+/// compare against the bootstrap reference instead of chasing in-lane
+/// promotions). There the oracle is the **solo flag-on engine**, whose
+/// output is deterministic for any worker count — so the fleet-drained
+/// report must still match it bit for bit.
 fn verify_against_oracles(
     coordinator: &Coordinator<'_>,
     tickets: &[FleetTicket],
     repetitions: usize,
     scale: f64,
+    options: CampaignOptions,
 ) -> usize {
     let reports = coordinator.collect();
     let mut divergent = 0;
@@ -256,12 +283,18 @@ fn verify_against_oracles(
         if first.0 > 1 {
             oracle_system.reserve_run_ids(first.0 - 1);
         }
-        let oracle = Campaign::new(
-            &oracle_system,
-            campaign_config(&oracle_system, experiment, repetitions, scale),
-        )
-        .execute()
-        .expect("oracle campaign");
+        let oracle_config =
+            campaign_config(&oracle_system, experiment, repetitions, scale, options);
+        let oracle = if options.image_parallel {
+            CampaignEngine::plan(&oracle_system, oracle_config, 1)
+                .expect("planned oracle grid")
+                .execute()
+                .expect("oracle campaign")
+        } else {
+            Campaign::new(&oracle_system, oracle_config)
+                .execute()
+                .expect("oracle campaign")
+        };
         if report.summary == oracle {
             println!(
                 "  {experiment:<7} report == solo oracle ({} runs, ids {}..={})",
@@ -295,13 +328,14 @@ fn run_scenario(
     kill_one_after: Option<Duration>,
     slow_ms: Option<u64>,
     io_fault: Option<(f64, u64)>,
+    options: CampaignOptions,
 ) -> usize {
     let dir = std::env::temp_dir().join(format!("sp-repro-fleet-{}-{label}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     let queue = WorkQueue::open(&dir, lease_secs).expect("queue dir");
     let system = desy_deployment();
     let mut coordinator = Coordinator::new(&system, &queue);
-    let tickets = submit_backlog(&mut coordinator, &system, repetitions, scale);
+    let tickets = submit_backlog(&mut coordinator, &system, repetitions, scale, options);
     println!(
         "\n[{label}] {} campaigns queued, {} worker process(es), lease {lease_secs}s",
         tickets.len(),
@@ -349,7 +383,7 @@ fn run_scenario(
     }
     let elapsed = started.elapsed();
 
-    let mut divergent = verify_against_oracles(&coordinator, &tickets, repetitions, scale);
+    let mut divergent = verify_against_oracles(&coordinator, &tickets, repetitions, scale, options);
     let digest = fleet_stats(&queue);
     if kill_one_after.is_some() && digest.queue.reclaims == 0 {
         eprintln!("  DIVERGENCE: the killed worker's lease was never reclaimed");
@@ -463,6 +497,7 @@ fn main() {
             None,
             None,
             None,
+            CampaignOptions::memoized(),
         );
     }
 
@@ -482,6 +517,7 @@ fn main() {
             Some(Duration::from_millis(kill_after_ms)),
             None,
             None,
+            CampaignOptions::memoized(),
         );
     }
 
@@ -502,6 +538,7 @@ fn main() {
             None,
             Some(slow_ms),
             None,
+            CampaignOptions::memoized(),
         );
     }
 
@@ -520,6 +557,31 @@ fn main() {
             None,
             None,
             Some((io_fault_rate, fault_seed)),
+            CampaignOptions::memoized(),
+        );
+    }
+
+    // Image-parallel drain: the same backlog with `image_parallel` set —
+    // every (experiment, image) cell its own stealable lane, reference
+    // promotion deferred to the repetition barrier. The flag crosses the
+    // wire with the campaign config, so this exercises the whole fleet
+    // path honouring it; the oracle is the solo flag-on engine (flag-on
+    // is deterministic for any worker count), and the drained reports
+    // must match it bit for bit.
+    if !has_flag("--no-image-parallel") {
+        divergent += run_scenario(
+            "image-parallel",
+            2,
+            repetitions,
+            scale,
+            120,
+            None,
+            None,
+            None,
+            CampaignOptions {
+                memoize: true,
+                image_parallel: true,
+            },
         );
     }
 

@@ -63,6 +63,20 @@
 //! clock ticks. The result: a [`CampaignSummary`] byte-identical to the
 //! sequential oracle for any worker count, which
 //! `crates/core/tests/campaign_equivalence.rs` asserts property-wise.
+//!
+//! ## Saturating the grid: `image_parallel`
+//!
+//! Per-experiment lanes cap parallelism at the experiment count: a grid
+//! of 3 experiments × 8 images yields 3 stealable units per repetition,
+//! each serialised by in-lane promotion. [`CampaignOptions::image_parallel`]
+//! trades that in-repetition reference chasing for throughput: every
+//! (experiment, image) cell becomes its own lane, **all** cells of a
+//! repetition compare against the reference state frozen at the previous
+//! barrier, and the repetition's promotions are applied at the barrier in
+//! task order (so the *post-barrier* state is byte-identical to the
+//! sequential engine's). The flagged-off path is untouched and remains
+//! the byte-identity oracle; the flagged-on path agrees at report level
+//! on conserved workloads — both pinned by proptest.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -85,12 +99,42 @@ pub struct CampaignOptions {
     /// [`CampaignSummary`] is byte-identical to the uncached path (the
     /// memoized-vs-uncached property test asserts exactly this).
     pub memoize: bool,
+    /// Parallelise the **image axis**: instead of one lane per experiment
+    /// (each lane walking its images in order and promoting references as
+    /// it goes), every (experiment, image) cell becomes its own stealable
+    /// lane, and reference promotion is deferred to the repetition
+    /// barrier (in task order, so the post-barrier reference state is
+    /// identical to the sequential engine's).
+    ///
+    /// The tradeoff: within a repetition every cell compares against the
+    /// reference state **frozen at the previous barrier** rather than
+    /// chasing in-lane promotions, so image `k` of repetition `r` no
+    /// longer sees image `k-1`'s just-promoted outputs — in particular,
+    /// repetition 1 cells compare against the bootstrap reference (or
+    /// run referenceless on a fresh system). On conserved workloads the
+    /// snapshot and the chased state carry identical bytes from the
+    /// first promotion on, and the report-level equivalence proptest in
+    /// `campaign_equivalence.rs` pins that agreement. Default **off**:
+    /// the flagged-off path is byte-identical to the sequential oracle.
+    pub image_parallel: bool,
 }
 
 impl CampaignOptions {
     /// Options with memoisation enabled.
     pub fn memoized() -> Self {
-        CampaignOptions { memoize: true }
+        CampaignOptions {
+            memoize: true,
+            ..CampaignOptions::default()
+        }
+    }
+
+    /// Options with image-axis parallelism enabled (see
+    /// [`image_parallel`](Self::image_parallel) for the tradeoff).
+    pub fn image_parallel() -> Self {
+        CampaignOptions {
+            image_parallel: true,
+            ..CampaignOptions::default()
+        }
     }
 }
 
@@ -108,7 +152,7 @@ pub struct CampaignConfig {
     /// Seconds the clock advances between repetitions (one nightly cron
     /// interval by default).
     pub interval_secs: u64,
-    /// Execution options (memoisation).
+    /// Execution options (memoisation, image-axis parallelism).
     pub options: CampaignOptions,
 }
 
@@ -340,9 +384,24 @@ impl CampaignPlan {
         &self.image_labels
     }
 
-    /// Groups one repetition's tasks into per-experiment lanes (the
-    /// engine's stealable unit), preserving task order within each lane.
+    /// Groups one repetition's tasks into lanes — the engine's stealable
+    /// unit.
+    ///
+    /// Default: one lane per **experiment**, preserving task order within
+    /// each lane (in-lane reference promotion requires an experiment's
+    /// images to run in order). With
+    /// [`CampaignOptions::image_parallel`] every (experiment, image)
+    /// cell is its own single-task lane: promotion is deferred to the
+    /// barrier, so nothing orders cells against each other and the whole
+    /// grid row becomes stealable at once.
     fn lanes(&self, repetition: usize) -> Vec<Vec<&RunTask>> {
+        if self.config.options.image_parallel {
+            return self
+                .repetition_tasks(repetition)
+                .iter()
+                .map(|task| vec![task])
+                .collect();
+        }
         let mut order: Vec<&str> = Vec::new();
         let mut lanes: BTreeMap<&str, Vec<&RunTask>> = BTreeMap::new();
         for task in self.repetition_tasks(repetition) {
@@ -867,8 +926,15 @@ impl<'a> CampaignScheduler<'a> {
                             Ok(run) => {
                                 // In-lane reference promotion: the next run
                                 // of the same experiment compares against
-                                // exactly this state.
-                                ledger.promote(&run);
+                                // exactly this state. Under `image_parallel`
+                                // promotion moves to the repetition barrier
+                                // instead — cells of one repetition all
+                                // compare against the state frozen at the
+                                // previous barrier, which is what lets them
+                                // run in any order.
+                                if !plan.config().options.image_parallel {
+                                    ledger.promote(&run);
+                                }
                                 completed.push((task, run));
                                 if let Some(hook) = progress {
                                     hook.tick(ProgressPoint::Task);
@@ -917,6 +983,16 @@ impl<'a> CampaignScheduler<'a> {
                     repetition_runs.sort_by_key(|(task, _)| task.index);
                     for (task, run) in &repetition_runs {
                         state.aggregator.record(task, run);
+                    }
+                    if state.plan.config().options.image_parallel {
+                        // Deferred promotion: applying the repetition's
+                        // promotions here in task order reproduces exactly
+                        // the reference state sequential execution leaves
+                        // at this barrier — the snapshot the *next*
+                        // repetition's cells will all compare against.
+                        for (_, run) in &repetition_runs {
+                            ledger.promote(run);
+                        }
                     }
                     ledger.log_batch(repetition_runs.into_iter().map(|(_, run)| run).collect());
                     state.next_repetition += 1;

@@ -254,6 +254,10 @@ pub struct WorkerStats {
     /// under the worker's bounded backoff policy. A flaky disk shows up
     /// here as retries, not as fenced campaigns or poisoned work.
     pub io_retries: u64,
+    /// Multi-submission batches flushed through the queue's batched
+    /// publish+release path (one reports-dir and one leases-dir fsync
+    /// each, however many campaigns the batch carried).
+    pub publish_batches: u64,
     /// Scheduling counters accumulated across the drained campaigns.
     pub sched: ScheduleStats,
     /// Poll-loop accounting (worked/idle/slept).
@@ -271,6 +275,7 @@ impl WorkerStats {
         self.failures = self.failures.saturating_add(other.failures);
         self.renewals = self.renewals.saturating_add(other.renewals);
         self.io_retries = self.io_retries.saturating_add(other.io_retries);
+        self.publish_batches = self.publish_batches.saturating_add(other.publish_batches);
         self.sched.merge(&other.sched);
         self.poll.worked = self.poll.worked.saturating_add(other.poll.worked);
         self.poll.idle = self.poll.idle.saturating_add(other.poll.idle);
@@ -294,6 +299,17 @@ impl WorkerStats {
 struct LeaseRenewer<'a> {
     queue: &'a WorkQueue,
     lease: Mutex<Lease>,
+    /// Other leases this worker holds while the active one executes (the
+    /// rest of a multi-lease batch: claimed-but-not-yet-executed plus
+    /// executed-but-not-yet-published). They are renewed at the same
+    /// half-life cadence from the same ticks, so a long campaign cannot
+    /// silently expire its batch-mates; a sibling the protocol fences is
+    /// dropped into `lost_siblings` (its work re-leases elsewhere)
+    /// without cancelling the *active* campaign.
+    siblings: Mutex<Vec<Lease>>,
+    /// Siblings fenced away while idle, each with the protocol verdict
+    /// its renewal hit.
+    lost_siblings: Mutex<Vec<(Lease, WqError)>>,
     cancel: Mutex<Option<CancellationToken>>,
     fenced: Mutex<Option<WqError>>,
     renewals: AtomicU64,
@@ -308,11 +324,30 @@ impl<'a> LeaseRenewer<'a> {
         LeaseRenewer {
             queue,
             lease: Mutex::new(lease),
+            siblings: Mutex::new(Vec::new()),
+            lost_siblings: Mutex::new(Vec::new()),
             cancel: Mutex::new(None),
             fenced: Mutex::new(None),
             renewals: AtomicU64::new(0),
             slowdown,
         }
+    }
+
+    /// Installs the batch-mates to keep warm while the active lease's
+    /// campaign executes.
+    fn with_siblings(self, siblings: Vec<Lease>) -> Self {
+        *self.siblings.lock() = siblings;
+        self
+    }
+
+    /// Hands back the sibling leases (with whatever expiry renewals
+    /// reached) and any fenced away mid-flight, each with the verdict
+    /// its renewal hit.
+    fn take_siblings(&self) -> (Vec<Lease>, Vec<(Lease, WqError)>) {
+        (
+            std::mem::take(&mut self.siblings.lock()),
+            std::mem::take(&mut self.lost_siblings.lock()),
+        )
     }
 
     /// Installs the campaign's cancellation token, tripped on the first
@@ -382,6 +417,37 @@ impl ProgressHook for LeaseRenewer<'_> {
                 if let Some(token) = self.cancel.lock().as_ref() {
                     token.cancel();
                 }
+                return;
+            }
+        }
+        drop(lease);
+        // Keep the rest of the batch warm at the same cadence. A fenced
+        // *sibling* is not a fenced *campaign*: the idle lease's work
+        // simply re-leases elsewhere, so we drop it from the batch and
+        // keep executing.
+        let mut siblings = self.siblings.lock();
+        let mut idx = 0;
+        while idx < siblings.len() {
+            let remaining = siblings[idx]
+                .expires_at
+                .saturating_sub(self.queue.now_secs());
+            if remaining.saturating_mul(2) > self.queue.lease_secs() {
+                idx += 1;
+                continue;
+            }
+            match self.queue.renew(&mut siblings[idx]) {
+                Ok(_) => {
+                    self.renewals.fetch_add(1, Ordering::Relaxed);
+                    idx += 1;
+                }
+                Err(WqError::Io(_)) => {
+                    // Same tolerance as the active lease: retry next tick.
+                    idx += 1;
+                }
+                Err(error) => {
+                    let lost = siblings.remove(idx);
+                    self.lost_siblings.lock().push((lost, error));
+                }
             }
         }
     }
@@ -394,6 +460,9 @@ pub struct Worker<'a> {
     name: String,
     threads: usize,
     max_idle_polls: u32,
+    /// How many submissions one poll may claim and drain as a batch
+    /// (see [`with_lease_batch`](Self::with_lease_batch)).
+    lease_batch: usize,
     /// Chaos injection: per-barrier sleep handed to the [`LeaseRenewer`]
     /// (see [`with_slowdown`](Self::with_slowdown)).
     slowdown: Option<Duration>,
@@ -434,6 +503,7 @@ impl<'a> Worker<'a> {
             name,
             threads: threads.max(1),
             max_idle_polls,
+            lease_batch: 4,
             slowdown: None,
             poisoned: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             completed: std::cell::RefCell::new(std::collections::BTreeSet::new()),
@@ -511,6 +581,17 @@ impl<'a> Worker<'a> {
     /// before concluding the backlog is done (minimum 1).
     pub fn with_patience(mut self, max_idle_polls: u32) -> Self {
         self.max_idle_polls = max_idle_polls.max(1);
+        self
+    }
+
+    /// Overrides how many submissions one poll may claim and drain as a
+    /// batch (minimum 1; the default is 4). Batching amortises the
+    /// queue's durable-publish cost — one parent-directory sync per
+    /// flushed batch instead of one per report — at the price of holding
+    /// the batch-mates' leases for the whole batch (renewed from the
+    /// active campaign's progress ticks, so they cannot silently lapse).
+    pub fn with_lease_batch(mut self, max: usize) -> Self {
+        self.lease_batch = max.max(1);
         self
     }
 
@@ -761,9 +842,319 @@ impl<'a> Worker<'a> {
         Ok((report, scheduler.stats()))
     }
 
+    /// Tries to lease up to the batch width of submissions in one claim
+    /// and drain them together: payloads are read and decoded up front,
+    /// the campaigns execute sequentially (each batch-mate's lease
+    /// renewed from the active campaign's progress ticks, so idle leases
+    /// cannot silently lapse under a long campaign), and every report is
+    /// flushed through the queue's batched publish+release path — one
+    /// parent-directory sync per batch instead of one per report.
+    ///
+    /// Per-item failure handling is exactly [`drain_one`](Self::drain_one)'s
+    /// tiers; a failed item is dropped from the batch (poisoned, released
+    /// or rolled back per its tier) without abandoning its batch-mates.
+    /// Per-item reference rollback is sound because the coordinator
+    /// rejects experiment overlap across submissions
+    /// ([`Coordinator::submit`]), so two batched campaigns never promote
+    /// into the same experiment's reference map.
+    ///
+    /// Returns the drained sequence numbers (empty when nothing was
+    /// claimable). When nothing drained but an item failed, the first
+    /// failure surfaces as the error.
+    pub fn drain_batch(&self, stats: &mut WorkerStats) -> Result<Vec<u64>, FleetError> {
+        let before = self.retry.borrow().retries();
+        let result = self.drain_batch_inner(stats);
+        stats.io_retries = stats
+            .io_retries
+            .saturating_add(self.retry.borrow().retries().saturating_sub(before));
+        result
+    }
+
+    fn drain_batch_inner(&self, stats: &mut WorkerStats) -> Result<Vec<u64>, FleetError> {
+        struct PendingPublish {
+            seq: u64,
+            submission: sp_store::QueueSubmission,
+            checkpoint: Vec<(String, crate::ledger::ReferenceState)>,
+            payload: Vec<u8>,
+            total_runs: u64,
+            sched: ScheduleStats,
+        }
+
+        let mut first_error: Option<FleetError> = None;
+        let record_error = |error: FleetError, first: &mut Option<FleetError>| {
+            if first.is_none() {
+                *first = Some(error);
+            }
+        };
+
+        // Phase 1 — claim. One scan, up to `lease_batch` exclusive-create
+        // lease claims, one leases-directory sync for the whole batch.
+        let skip: std::collections::BTreeSet<u64> = {
+            let poisoned = self.poisoned.borrow();
+            let completed = self.completed.borrow();
+            let invalid = self.invalid.borrow();
+            poisoned
+                .iter()
+                .chain(completed.iter())
+                .chain(invalid.iter())
+                .copied()
+                .collect()
+        };
+        let leases = self.retry_io(|| {
+            self.queue
+                .try_lease_batch(&self.name, self.lease_batch, |seq| !skip.contains(&seq))
+        })?;
+        if leases.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut held: std::collections::BTreeMap<u64, Lease> =
+            leases.into_iter().map(|lease| (lease.seq, lease)).collect();
+
+        // Phase 2 — read and decode every claimed payload, applying the
+        // same failure tiers as `drain_one`: a dropped item releases its
+        // lease (or poisons durably) without abandoning its batch-mates.
+        let mut decoded: Vec<(u64, sp_store::QueueSubmission, CampaignConfig)> = Vec::new();
+        for seq in held.keys().copied().collect::<Vec<_>>() {
+            let submission = match self.retry_io(|| self.queue.submission_checked(seq)) {
+                Ok(Some(submission)) => submission,
+                Ok(None) => {
+                    stats.failures += 1;
+                    self.invalid.borrow_mut().insert(seq);
+                    if let Some(lease) = held.remove(&seq) {
+                        let _ = self.queue.release(&lease);
+                    }
+                    continue;
+                }
+                Err(error) => {
+                    stats.failures += 1;
+                    if let Some(lease) = held.remove(&seq) {
+                        let _ = self.queue.release(&lease);
+                    }
+                    record_error(error.into(), &mut first_error);
+                    continue;
+                }
+            };
+            let Some(config) = decode_campaign_config(&submission.payload) else {
+                let error = FleetError::Codec(format!("submission {seq}"));
+                stats.failures += 1;
+                let _ = self
+                    .queue
+                    .mark_poisoned(seq, &self.name, &error.to_string());
+                self.invalid.borrow_mut().insert(seq);
+                if let Some(lease) = held.remove(&seq) {
+                    let _ = self.queue.release(&lease);
+                }
+                record_error(error, &mut first_error);
+                continue;
+            };
+            decoded.push((seq, submission, config));
+        }
+
+        // Phase 3 — execute sequentially. The active campaign's renewer
+        // carries every other held lease (not-yet-executed batch-mates
+        // plus executed-but-unpublished ones) as siblings, renewing them
+        // at the same half-life cadence; a sibling the protocol fences is
+        // dropped from the batch without cancelling the active campaign.
+        let mut lost: std::collections::BTreeMap<u64, (Lease, WqError)> =
+            std::collections::BTreeMap::new();
+        // A lost sibling's verdict may be a *misread* of a live record on
+        // a faulty disk (`NotHeld`), not only a genuine supersession:
+        // hand such leases back best-effort (release is verify-guarded,
+        // so a truly fenced lease shrugs it off) so the work re-leases
+        // now instead of after a full expiry.
+        let hand_back_lost = |lease: &Lease, error: &WqError| {
+            if !matches!(
+                error,
+                WqError::StaleLease { .. }
+                    | WqError::Expired { .. }
+                    | WqError::AlreadyReleased { .. }
+            ) {
+                let _ = self.queue.release(lease);
+            }
+        };
+        let mut pending: Vec<PendingPublish> = Vec::new();
+        for (seq, submission, config) in decoded {
+            if let Some((lease, error)) = lost.remove(&seq) {
+                // Fenced away while idle: never executed here, nothing to
+                // roll back — the work re-leases elsewhere.
+                hand_back_lost(&lease, &error);
+                stats.failures += 1;
+                record_error(error.into(), &mut first_error);
+                continue;
+            }
+            let Some(lease) = held.remove(&seq) else {
+                continue;
+            };
+            let ledger = self.system.ledger();
+            let checkpoint: Vec<(String, crate::ledger::ReferenceState)> = config
+                .experiments
+                .iter()
+                .map(|name| (name.clone(), ledger.reference_state(name)))
+                .collect();
+            let siblings: Vec<Lease> = std::mem::take(&mut held).into_values().collect();
+            let renewer =
+                LeaseRenewer::new(self.queue, lease, self.slowdown).with_siblings(siblings);
+            let outcome = self.execute_leased(&submission, config, &renewer);
+            stats.renewals += renewer.renewals();
+            let (returned, lost_now) = renewer.take_siblings();
+            for sibling in returned {
+                held.insert(sibling.seq, sibling);
+            }
+            lost.extend(
+                lost_now
+                    .into_iter()
+                    .map(|(lease, error)| (lease.seq, (lease, error))),
+            );
+            // A pending-publish batch-mate fenced while idle can no
+            // longer land its report: roll its absorption back now.
+            let mut kept = Vec::with_capacity(pending.len());
+            for item in pending {
+                if let Some((lease, error)) = lost.remove(&item.seq) {
+                    self.roll_back_fenced(&item.submission, item.checkpoint);
+                    hand_back_lost(&lease, &error);
+                    stats.failures += 1;
+                    record_error(error.into(), &mut first_error);
+                } else {
+                    kept.push(item);
+                }
+            }
+            pending = kept;
+            match outcome {
+                Ok((report, sched)) if !renewer.fenced_mid_flight() => {
+                    held.insert(seq, renewer.lease());
+                    pending.push(PendingPublish {
+                        seq,
+                        submission,
+                        checkpoint,
+                        payload: encode_campaign_report(&report),
+                        total_runs: report.summary.total_runs() as u64,
+                        sched,
+                    });
+                }
+                Ok(_) => {
+                    self.roll_back_fenced(&submission, checkpoint);
+                    stats.failures += 1;
+                    let error = renewer
+                        .take_fenced()
+                        .expect("fenced_mid_flight implies a recorded error");
+                    record_error(error.into(), &mut first_error);
+                }
+                Err(error) => {
+                    self.roll_back_fenced(&submission, checkpoint);
+                    stats.failures += 1;
+                    self.poisoned.borrow_mut().insert(seq);
+                    let _ = self.queue.release(&renewer.lease());
+                    record_error(error, &mut first_error);
+                }
+            }
+        }
+
+        // Phase 4 — flush every surviving report through the batched
+        // publish+release path: one reports-directory sync commits the
+        // whole batch, then one leases-directory sync releases it.
+        let mut drained: Vec<u64> = Vec::new();
+        if !pending.is_empty() {
+            let batch_leases: Vec<Lease> = pending
+                .iter()
+                .map(|item| {
+                    held.remove(&item.seq)
+                        .expect("pending item's lease is held")
+                })
+                .collect();
+            let items: Vec<(&Lease, &[u8])> = batch_leases
+                .iter()
+                .zip(pending.iter())
+                .map(|(lease, item)| (lease, item.payload.as_slice()))
+                .collect();
+            let verdicts = self.queue.publish_and_release_batch(&items);
+            stats.publish_batches += 1;
+            for ((item, lease), verdict) in
+                pending.into_iter().zip(batch_leases.iter()).zip(verdicts)
+            {
+                match verdict {
+                    Ok(()) => {}
+                    Err(WqError::Io(_)) => {
+                        // The batched flush failed on I/O: fall back to
+                        // the per-report durable publish under the
+                        // bounded retry policy (byte-identical bytes, so
+                        // a torn batch attempt is harmless).
+                        match self.retry_wq(|| self.queue.publish_report(lease, &item.payload)) {
+                            Ok(()) => match self.retry_wq(|| self.queue.release(lease)) {
+                                Ok(())
+                                | Err(WqError::StaleLease { .. })
+                                | Err(WqError::Expired { .. })
+                                | Err(WqError::AlreadyReleased { .. }) => {}
+                                Err(error) => {
+                                    record_error(error.into(), &mut first_error);
+                                }
+                            },
+                            Err(
+                                error @ (WqError::StaleLease { .. }
+                                | WqError::Expired { .. }
+                                | WqError::AlreadyReleased { .. }),
+                            ) => {
+                                self.roll_back_fenced(&item.submission, item.checkpoint);
+                                stats.failures += 1;
+                                record_error(error.into(), &mut first_error);
+                                continue;
+                            }
+                            Err(error) => {
+                                self.roll_back_fenced(&item.submission, item.checkpoint);
+                                stats.failures += 1;
+                                let _ = self.queue.release(lease);
+                                record_error(error.into(), &mut first_error);
+                                continue;
+                            }
+                        }
+                    }
+                    Err(
+                        error @ (WqError::StaleLease { .. }
+                        | WqError::Expired { .. }
+                        | WqError::AlreadyReleased { .. }),
+                    ) => {
+                        // Genuine fence: the lease lapsed between the
+                        // last renewal and the flush, and the fencing
+                        // token kept the commit from landing.
+                        self.roll_back_fenced(&item.submission, item.checkpoint);
+                        stats.failures += 1;
+                        record_error(error.into(), &mut first_error);
+                        continue;
+                    }
+                    Err(error) => {
+                        // `NotHeld` can be a *misread* of a live lease
+                        // record on a faulty disk, not only a genuine
+                        // supersession: hand the lease back best-effort
+                        // (release is verify-guarded, so a truly fenced
+                        // lease shrugs it off) so the work re-leases now
+                        // instead of after a full expiry.
+                        self.roll_back_fenced(&item.submission, item.checkpoint);
+                        stats.failures += 1;
+                        let _ = self.queue.release(lease);
+                        record_error(error.into(), &mut first_error);
+                        continue;
+                    }
+                }
+                stats.campaigns_drained += 1;
+                stats.runs_executed += item.total_runs;
+                stats.sched.merge(&item.sched);
+                self.completed.borrow_mut().insert(item.seq);
+                drained.push(item.seq);
+            }
+        }
+
+        if drained.is_empty() {
+            if let Some(error) = first_error {
+                return Err(error);
+            }
+        }
+        Ok(drained)
+    }
+
     /// The worker main loop: drain until the backlog is complete (or the
     /// idle budget runs out), then publish this worker's counters to the
-    /// queue so any process can merge them into a fleet digest.
+    /// queue so any process can merge them into a fleet digest. Each poll
+    /// claims and drains up to a [`with_lease_batch`](Self::with_lease_batch)
+    /// of submissions through the batched publish+release path.
     pub fn drain(&self) -> WorkerStats {
         let mut stats = WorkerStats::default();
         let seed = sp_store::fnv64(&self.name);
@@ -773,9 +1164,9 @@ impl<'a> Worker<'a> {
                 // Try to work first; the exit check runs only on polls
                 // that found nothing claimable, and against the
                 // per-worker caches.
-                match self.drain_one(&mut stats) {
-                    Ok(Some(_)) => PollOutcome::Worked,
-                    Ok(None) | Err(_) => {
+                match self.drain_batch(&mut stats) {
+                    Ok(seqs) if !seqs.is_empty() => PollOutcome::Worked,
+                    Ok(_) | Err(_) => {
                         if self.backlog_complete() {
                             PollOutcome::Stop
                         } else {
@@ -849,6 +1240,7 @@ pub fn encode_campaign_config(config: &CampaignConfig) -> Vec<u8> {
     out.push(config.run.memoize as u8);
     wire::put_u64(&mut out, config.interval_secs);
     out.push(config.options.memoize as u8);
+    out.push(config.options.image_parallel as u8);
     out
 }
 
@@ -877,6 +1269,7 @@ pub fn decode_campaign_config(bytes: &[u8]) -> Option<CampaignConfig> {
     let interval_secs = cursor.take_u64()?;
     let options = CampaignOptions {
         memoize: cursor.take(1)?[0] != 0,
+        image_parallel: cursor.take(1)?[0] != 0,
     };
     cursor.finished().then_some(CampaignConfig {
         experiments,
@@ -1015,6 +1408,7 @@ pub fn encode_worker_stats(stats: &WorkerStats) -> Vec<u8> {
     wire::put_u64(&mut out, stats.poll.idle);
     wire::put_u64(&mut out, stats.poll.slept.as_millis() as u64);
     wire::put_u64(&mut out, stats.io_retries);
+    wire::put_u64(&mut out, stats.publish_batches);
     out
 }
 
@@ -1042,12 +1436,14 @@ pub fn decode_worker_stats(bytes: &[u8]) -> Option<WorkerStats> {
         slept: Duration::from_millis(cursor.take_u64()?),
     };
     let io_retries = cursor.take_u64()?;
+    let publish_batches = cursor.take_u64()?;
     cursor.finished().then_some(WorkerStats {
         campaigns_drained,
         runs_executed,
         failures,
         renewals,
         io_retries,
+        publish_batches,
         sched,
         poll,
     })
@@ -1071,7 +1467,10 @@ mod tests {
                 memoize: true,
             },
             interval_secs: 86_400,
-            options: CampaignOptions::memoized(),
+            options: CampaignOptions {
+                memoize: true,
+                image_parallel: true,
+            },
         }
     }
 
@@ -1146,6 +1545,7 @@ mod tests {
             failures: 1,
             renewals: 7,
             io_retries: 3,
+            publish_batches: 2,
             sched: ScheduleStats {
                 campaigns_submitted: 2,
                 campaigns_admitted: 2,
@@ -1172,6 +1572,7 @@ mod tests {
         assert_eq!(merged.campaigns_drained, 4);
         assert_eq!(merged.renewals, 14);
         assert_eq!(merged.io_retries, 6);
+        assert_eq!(merged.publish_batches, 4);
         assert_eq!(merged.sched.lanes_executed, 24);
         assert_eq!(merged.poll.slept, Duration::from_millis(642));
     }

@@ -83,8 +83,8 @@ pub use regress::{RegressionReport, Transition};
 pub use run::{RunId, TestResult, TestStatus, ValidationRun};
 pub use suite::{SuiteBreakdown, TestSuite};
 pub use system::{
-    ProductionRecipe, RunConfig, SpSystem, SystemExportSummary, SystemImportSummary,
-    WarmRestoreReport, WARM_STATE_FILE,
+    ProductionRecipe, RunConfig, SpSystem, StorageVerification, SystemExportSummary,
+    SystemImportSummary, WarmRestoreReport, WARM_STATE_FILE,
 };
 pub use test::{FailureKind, TestCategory, TestId, TestKind, ValidationTest};
 pub use workflow::{MigrationManager, Phase};

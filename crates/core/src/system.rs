@@ -1479,6 +1479,23 @@ impl SpSystem {
         })
     }
 
+    /// The "fsck" pass over the common storage: re-hashes every conserved
+    /// object and unpack-verifies every artifact tar-ball, fanning both
+    /// digest sweeps over the machine-sized worker pool the export/import
+    /// paths already use. Returns what failed — content addresses that no
+    /// longer re-hash, and artifact keys whose archives no longer decode —
+    /// so the host IT department's nightly integrity job has one call to
+    /// make.
+    pub fn verify_storage(&self) -> StorageVerification {
+        let pool = digest_pool();
+        StorageVerification {
+            corrupt_objects: self.storage.content().verify_all_with(&pool),
+            bad_archives: self
+                .storage
+                .verify_archives_with(StorageArea::Artifacts, "", &pool),
+        }
+    }
+
     /// Exports the "successfully validated recipe of the latest
     /// configuration" (§3.1): the environment recipe of the image the last
     /// successful run executed on, plus the content addresses of every
@@ -1508,6 +1525,22 @@ impl SpSystem {
             environment: image.spec.recipe(),
             artifacts,
         })
+    }
+}
+
+/// What [`SpSystem::verify_storage`] found wrong with the common storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageVerification {
+    /// Content addresses whose stored bytes no longer re-hash to them.
+    pub corrupt_objects: Vec<ObjectId>,
+    /// Artifact keys whose registered archives fail to unpack-verify.
+    pub bad_archives: Vec<String>,
+}
+
+impl StorageVerification {
+    /// Whether the storage verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_objects.is_empty() && self.bad_archives.is_empty()
     }
 }
 
@@ -2014,6 +2047,34 @@ mod tests {
             (0, 2),
             "a stale entry must not count as a hit"
         );
+    }
+
+    #[test]
+    fn verify_storage_flags_rot_in_objects_and_tarballs() {
+        let system = SpSystem::new();
+        let image = system
+            .register_image(catalog::sl5_gcc41(Arch::I686, Version::two(5, 34)))
+            .unwrap();
+        system.register_experiment(tiny_experiment()).unwrap();
+        system.run_validation("tiny", image, &config()).unwrap();
+        assert!(
+            system.verify_storage().is_clean(),
+            "a fresh validation run conserves clean storage"
+        );
+
+        // Rot one conserved artifact tar-ball: the object sweep and the
+        // archive sweep must both name it.
+        let (key, oid) = system
+            .storage()
+            .list(StorageArea::Artifacts, "")
+            .into_iter()
+            .next()
+            .expect("a validation run conserves artifacts");
+        assert!(system.storage().content().corrupt_for_test(oid));
+        let verification = system.verify_storage();
+        assert!(verification.corrupt_objects.contains(&oid));
+        assert!(verification.bad_archives.contains(&key));
+        assert!(!verification.is_clean());
     }
 
     #[test]

@@ -143,7 +143,10 @@ fn config_for(
             ..RunConfig::default()
         },
         interval_secs: 3_600,
-        options: CampaignOptions { memoize },
+        options: CampaignOptions {
+            memoize,
+            ..CampaignOptions::default()
+        },
     }
 }
 

@@ -175,6 +175,10 @@ pub fn render_fleet_stats(stats: &FleetStats) -> String {
         stats.drained.io_retries.to_string(),
     ]);
     table.row_owned(vec![
+        "publish batches".into(),
+        stats.drained.publish_batches.to_string(),
+    ]);
+    table.row_owned(vec![
         "scheduler rounds".into(),
         stats.drained.sched.rounds.to_string(),
     ]);
@@ -346,6 +350,7 @@ mod tests {
         assert!(rendered.contains("quarantined records"));
         assert!(rendered.contains("lease renewals"));
         assert!(rendered.contains("io retries"));
+        assert!(rendered.contains("publish batches"));
         assert!(rendered.contains("42"));
     }
 

@@ -151,7 +151,53 @@ impl Archive {
         if sha256::digest(body) != *<&[u8; 32]>::try_from(digest).expect("32-byte slice") {
             return Err(bad("checksum mismatch"));
         }
+        Self::decode_verified_body(body)
+    }
 
+    /// Decodes several `SPAR` archives at once, verifying all their
+    /// checksums through one [`BatchDigester`](sha256::BatchDigester)
+    /// pass — the independent whole-archive re-hashes run four to a lane
+    /// (or across an executor pool) instead of one after another, which
+    /// is where unpack verification spends its time on conserved
+    /// tar-balls. `result[i]` corresponds to `payloads[i]` and matches
+    /// what [`unpack`](Self::unpack) would return for it.
+    pub fn unpack_batch(
+        payloads: &[&[u8]],
+        digester: &dyn sha256::BatchDigester,
+    ) -> Vec<Result<Self>> {
+        let bad = |msg: &str| StoreError::BadArchive(msg.to_string());
+        // Split every payload that is long enough; short ones keep their
+        // error slot without contributing a hash input.
+        let split: Vec<Option<(&[u8], &[u8])>> = payloads
+            .iter()
+            .map(|data| {
+                (data.len() >= MAGIC.len() + 2 + 4 + 32).then(|| data.split_at(data.len() - 32))
+            })
+            .collect();
+        let bodies: Vec<&[u8]> = split
+            .iter()
+            .filter_map(|s| s.map(|(body, _)| body))
+            .collect();
+        let mut digests = digester.digest_all(&bodies).into_iter();
+        split
+            .into_iter()
+            .map(|entry| {
+                let Some((body, digest)) = entry else {
+                    return Err(bad("truncated header"));
+                };
+                let actual = digests.next().expect("one digest per hashed body");
+                if actual != *<&[u8; 32]>::try_from(digest).expect("32-byte slice") {
+                    return Err(bad("checksum mismatch"));
+                }
+                Self::decode_verified_body(body)
+            })
+            .collect()
+    }
+
+    /// Decodes an archive body whose trailing checksum has already been
+    /// verified (magic and version are still checked here).
+    fn decode_verified_body(body: &[u8]) -> Result<Self> {
+        let bad = |msg: &str| StoreError::BadArchive(msg.to_string());
         let mut cur = body;
         let mut magic = [0u8; 4];
         cur.copy_to_slice(&mut magic);
@@ -262,6 +308,27 @@ mod tests {
                 "flip at {idx} went undetected"
             );
         }
+    }
+
+    #[test]
+    fn unpack_batch_matches_unpack_per_payload() {
+        let good = sample().pack();
+        let mut flipped = good.to_vec();
+        flipped[good.len() / 2] ^= 0x01;
+        let empty = Archive::new().pack();
+        let short = &good[..10];
+        let payloads: Vec<&[u8]> = vec![&good, &flipped, &empty, short, &good];
+        let verdicts = Archive::unpack_batch(&payloads, &crate::sha256::MultilaneDigester);
+        assert_eq!(verdicts.len(), payloads.len());
+        for (verdict, payload) in verdicts.iter().zip(&payloads) {
+            assert_eq!(
+                verdict.is_ok(),
+                Archive::unpack(payload).is_ok(),
+                "batch verdict diverges from unpack"
+            );
+        }
+        assert_eq!(verdicts[0].as_ref().unwrap(), &sample());
+        assert!(verdicts[2].as_ref().unwrap().is_empty());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use crate::sha256::BatchDigester;
 use crate::{ObjectId, Result, StoreError};
 
 /// An in-memory content-addressed store.
@@ -124,14 +125,23 @@ impl ContentStore {
     /// Verifies every stored object, returning the ids that fail to re-hash.
     ///
     /// This is the "fsck" the host IT department would run over the common
-    /// storage; it underpins the failure-injection tests.
+    /// storage; it underpins the failure-injection tests. Uses the in-thread
+    /// 4-lane digester; callers holding an executor hand its pool-parallel
+    /// [`BatchDigester`] to [`verify_all_with`](Self::verify_all_with)
+    /// instead.
     pub fn verify_all(&self) -> Vec<ObjectId> {
+        self.verify_all_with(&crate::sha256::MultilaneDigester)
+    }
+
+    /// [`verify_all`](Self::verify_all) with a caller-provided
+    /// [`BatchDigester`], so a full-store fsck can fan its re-hashes out
+    /// over an executor pool rather than one thread's interleaved lanes.
+    pub fn verify_all_with(&self, digester: &dyn BatchDigester) -> Vec<ObjectId> {
         let objects = self.objects.read();
         let entries: Vec<(&ObjectId, &Bytes)> = objects.iter().collect();
         let inputs: Vec<&[u8]> = entries.iter().map(|(_, data)| data.as_ref()).collect();
-        // Independent objects: four re-hashes per pass through the
-        // interleaved lanes instead of one.
-        crate::sha256::digest_batch(&inputs)
+        digester
+            .digest_all(&inputs)
             .into_iter()
             .zip(&entries)
             .filter(|(digest, (id, _))| ObjectId(*digest) != **id)

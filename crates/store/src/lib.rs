@@ -89,8 +89,9 @@ pub use shared::{ExportSummary, ImportSummary, SharedStorage, StorageArea};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotLoadReport, SnapshotSection};
 pub use vault::{FrozenImage, FrozenVault};
 pub use vfs::{
-    standard_crash_sweep, write_durable_atomic, CommittedHistory, CrashSweepOutcome, FaultConfig,
-    FaultFs, FixedClock, ForcedFault, OsFs, StoreFs,
+    batched_crash_sweep, standard_crash_sweep, write_durable_atomic, write_durable_atomic_batch,
+    CommittedHistory, CrashSweepOutcome, FaultConfig, FaultFs, FixedClock, ForcedFault, OsFs,
+    StoreFs,
 };
 pub use wq::{
     Lease, PoisonMark, QueueStats, QueueSubmission, SystemTimeSource, WorkQueue, WqError,

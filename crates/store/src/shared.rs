@@ -191,6 +191,41 @@ impl SharedStorage {
             .map(|bytes| bytes.and_then(|b| Archive::unpack(&b)))
     }
 
+    /// Unpack-verifies every archive registered under `area` whose key
+    /// starts with `prefix`, returning the keys that fail (dangling name,
+    /// corrupt object, or bytes that no longer decode as an archive). The
+    /// whole-archive checksum re-hashes — where this verification spends
+    /// its time on conserved tar-balls — run through `digester` in one
+    /// batch ([`Archive::unpack_batch`]), so callers holding an executor
+    /// can fan them out over its pool; pass
+    /// [`MultilaneDigester`](crate::sha256::MultilaneDigester) otherwise.
+    pub fn verify_archives_with(
+        &self,
+        area: StorageArea,
+        prefix: &str,
+        digester: &dyn crate::sha256::BatchDigester,
+    ) -> Vec<String> {
+        let mut failed = Vec::new();
+        let mut readable: Vec<(String, Bytes)> = Vec::new();
+        for (key, id) in self.list(area, prefix) {
+            match self.content.get(id) {
+                Ok(bytes) => readable.push((key, bytes)),
+                Err(_) => failed.push(key),
+            }
+        }
+        let payloads: Vec<&[u8]> = readable.iter().map(|(_, bytes)| bytes.as_ref()).collect();
+        for (verdict, (key, _)) in Archive::unpack_batch(&payloads, digester)
+            .into_iter()
+            .zip(&readable)
+        {
+            if verdict.is_err() {
+                failed.push(key.clone());
+            }
+        }
+        failed.sort();
+        failed
+    }
+
     /// Lists `(key, object-id)` pairs under `area` with the given prefix.
     pub fn list(&self, area: StorageArea, prefix: &str) -> Vec<(String, ObjectId)> {
         self.meta
@@ -408,6 +443,48 @@ impl ShellEnv {
 mod tests {
     use super::*;
     use crate::ArchiveEntry;
+
+    #[test]
+    fn verify_archives_flags_corruption_and_non_archives() {
+        let storage = SharedStorage::new();
+        let mut good = Archive::new();
+        good.add(ArchiveEntry::file("bin/ok", &b"fine"[..]))
+            .unwrap();
+        storage.put_archive(StorageArea::Artifacts, "pkg/good", &good);
+
+        let mut doomed = Archive::new();
+        doomed
+            .add(ArchiveEntry::file("bin/doomed", &b"rot"[..]))
+            .unwrap();
+        let doomed_id = storage.put_archive(StorageArea::Artifacts, "pkg/doomed", &doomed);
+        storage.content().corrupt_for_test(doomed_id);
+
+        // A name registered over raw, non-archive bytes fails unpack.
+        storage.put_named(
+            StorageArea::Artifacts,
+            "pkg/not-an-archive",
+            &b"just bytes"[..],
+        );
+        // Other areas are out of scope for the artifact sweep.
+        storage.put_named(StorageArea::Tests, "t/script", &b"#!/bin/sh"[..]);
+
+        let failed = storage.verify_archives_with(
+            StorageArea::Artifacts,
+            "",
+            &crate::sha256::MultilaneDigester,
+        );
+        assert_eq!(
+            failed,
+            vec!["pkg/doomed".to_string(), "pkg/not-an-archive".to_string()]
+        );
+        assert!(storage
+            .verify_archives_with(
+                StorageArea::Artifacts,
+                "pkg/good",
+                &crate::sha256::MultilaneDigester
+            )
+            .is_empty());
+    }
 
     #[test]
     fn named_put_lookup_get() {

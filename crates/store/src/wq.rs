@@ -32,6 +32,18 @@
 //! goes through an injectable [`StoreFs`], so the same paths run over the
 //! deterministic fault layer in tests and chaos harnesses.
 //!
+//! The **batched** variants
+//! ([`try_lease_batch`](WorkQueue::try_lease_batch),
+//! [`publish_and_release_batch`](WorkQueue::publish_and_release_batch))
+//! amortise the parent-directory fsync — the dominant cost of
+//! small-record storms — across a whole batch while leaving per-record
+//! durability untouched: every record's bytes are still `fsync`ed before
+//! its rename/link, so a crash mid-batch tears the batch only at record
+//! granularity (a committed prefix of whole records, never a torn one),
+//! and nothing is acknowledged to the caller before the batch's
+//! directory sync lands. [`batched_crash_sweep`](crate::vfs::batched_crash_sweep)
+//! replays power loss at every operation of this path.
+//!
 //! ## Leases, heartbeats, fencing
 //!
 //! A submission is *claimed* by atomically creating the next lease
@@ -487,11 +499,27 @@ impl WorkQueue {
     /// won the race for this name. The parent directory is synced before
     /// success is reported, completing the durability contract.
     fn create_exclusive(&self, target: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.create_exclusive_opts(target, bytes, true)
+    }
+
+    /// [`create_exclusive`](Self::create_exclusive) with the parent-dir
+    /// sync optionally deferred. Batched claimers pass `sync_parent:
+    /// false` and issue **one** directory sync for the whole batch: the
+    /// hard link alone already arbitrates the exclusivity race (the link
+    /// either succeeds or `AlreadyExists`), the deferred sync only
+    /// postpones *durability* of the entry — callers must not act on the
+    /// record until their batch sync lands.
+    fn create_exclusive_opts(
+        &self,
+        target: &Path,
+        bytes: &[u8],
+        sync_parent: bool,
+    ) -> std::io::Result<()> {
         let stage = self.stage_path();
         self.fs.write(&stage, bytes)?;
         self.fs.sync_file(&stage)?;
         let linked = self.fs.hard_link(&stage, target);
-        if linked.is_ok() {
+        if linked.is_ok() && sync_parent {
             if let Some(parent) = target.parent() {
                 self.fs.sync_dir(parent)?;
             }
@@ -668,6 +696,18 @@ impl WorkQueue {
     /// Attempts to claim one specific submission. `None` if it is
     /// complete, currently held live, corrupt, or lost in a claim race.
     pub fn try_lease(&self, seq: u64, holder: &str) -> std::io::Result<Option<Lease>> {
+        self.try_lease_opts(seq, holder, true)
+    }
+
+    /// [`try_lease`](Self::try_lease) with the claim entry's directory
+    /// sync optionally deferred (see
+    /// [`try_lease_batch`](Self::try_lease_batch)).
+    fn try_lease_opts(
+        &self,
+        seq: u64,
+        holder: &str,
+        sync_parent: bool,
+    ) -> std::io::Result<Option<Lease>> {
         if self.report(seq).is_some() {
             return Ok(None);
         }
@@ -705,7 +745,11 @@ impl WorkQueue {
             expires_at: now + self.lease_secs,
             released: false,
         };
-        match self.create_exclusive(&self.lease_path(seq, token), &self.encode_lease(&record)) {
+        match self.create_exclusive_opts(
+            &self.lease_path(seq, token),
+            &self.encode_lease(&record),
+            sync_parent,
+        ) {
             Ok(()) => {
                 // Close the publish/release race: between the
                 // completeness check above and this claim, the previous
@@ -823,6 +867,140 @@ impl WorkQueue {
             &self.encode_lease(&record),
         )?;
         Ok(())
+    }
+
+    // ---- batched leasing and publication -----------------------------
+
+    /// Claims up to `max` submissions for `holder` in one scan, skipping
+    /// any sequence number `want` declines (workers pass their
+    /// poisoned/completed caches as the filter without re-reading
+    /// anything). The claim entries' directory sync is amortised: each
+    /// claim's bytes are still individually `fsync`ed before linking —
+    /// only entry durability is batched into a single `leases/` sync at
+    /// the end, which is safe because nothing depends on a claim until
+    /// this call returns (an entry lost with the power before its batch
+    /// sync was never executed against, and the work simply re-leases).
+    /// A transient fault partway through the scan merely *truncates* the
+    /// batch: the claims already won are synced and returned rather than
+    /// handed back (releasing them would itself ride the faulty disk, and
+    /// an orphaned release strands the work for a whole lease duration) —
+    /// the error surfaces only when nothing was claimed. The final
+    /// directory sync is the one step that must succeed before any claim
+    /// may be acted on; if it fails the claims are handed back
+    /// best-effort (expiry reclaims any the release itself fails on).
+    pub fn try_lease_batch(
+        &self,
+        holder: &str,
+        max: usize,
+        mut want: impl FnMut(u64) -> bool,
+    ) -> std::io::Result<Vec<Lease>> {
+        let mut leases: Vec<Lease> = Vec::new();
+        if max == 0 {
+            return Ok(leases);
+        }
+        for seq in self.submission_seqs_checked()? {
+            if leases.len() >= max {
+                break;
+            }
+            if !want(seq) {
+                continue;
+            }
+            match self.try_lease_opts(seq, holder, false) {
+                Ok(Some(lease)) => leases.push(lease),
+                Ok(None) => {}
+                Err(e) if leases.is_empty() => return Err(e),
+                Err(_) => break,
+            }
+        }
+        if !leases.is_empty() {
+            if let Err(e) = self.fs.sync_dir(&self.root.join("leases")) {
+                for lease in &leases {
+                    let _ = self.release(lease);
+                }
+                return Err(e);
+            }
+        }
+        Ok(leases)
+    }
+
+    /// [`try_lease_batch`](Self::try_lease_batch) without a filter.
+    pub fn lease_batch(&self, holder: &str, max: usize) -> std::io::Result<Vec<Lease>> {
+        self.try_lease_batch(holder, max, |_| true)
+    }
+
+    /// Publishes and releases several held leases as one batch: every
+    /// report (and release record) is staged and `fsync`ed individually,
+    /// then renamed into place, then the `reports/` directory is synced
+    /// **once** for the whole batch (and `leases/` once for the
+    /// releases) — one parent-dir fsync per batch instead of one per
+    /// record, the dominant cost of the fleet publish path.
+    ///
+    /// Returns one verdict per item, index-aligned with `items`. An `Ok`
+    /// verdict is an acknowledgment that the item's report is durable; a
+    /// crash mid-batch therefore degrades to "some records committed
+    /// whole, the rest never happened" (the batched crash-point sweep
+    /// replays power loss at every operation of this path). Reports
+    /// commit strictly before releases, matching the single-record
+    /// publish-then-release protocol; a release that fails after its
+    /// report committed is tolerated — the report is what matters, an
+    /// unreleased lease simply expires. On a batch-level I/O failure the
+    /// verified-but-unacknowledged items all report [`WqError::Io`]:
+    /// callers retry those individually through
+    /// [`publish_report`](Self::publish_report).
+    pub fn publish_and_release_batch(&self, items: &[(&Lease, &[u8])]) -> Vec<Result<(), WqError>> {
+        let mut out: Vec<Result<(), WqError>> = Vec::with_capacity(items.len());
+        let mut reports: Vec<(PathBuf, PathBuf, Vec<u8>)> = Vec::new();
+        let mut releases: Vec<(PathBuf, PathBuf, Vec<u8>)> = Vec::new();
+        let mut verified: Vec<usize> = Vec::new();
+        for (index, (lease, payload)) in items.iter().enumerate() {
+            match self.verify_held(lease) {
+                Ok(mut record) => {
+                    let mut body = Vec::with_capacity(payload.len() + 32);
+                    wire_put_u64(&mut body, lease.seq);
+                    wire_put_u64(&mut body, lease.token);
+                    wire_put_bytes(&mut body, payload);
+                    reports.push((
+                        self.stage_path(),
+                        self.report_path(lease.seq, lease.token),
+                        encode_record(&MAGIC_REPORT, &body),
+                    ));
+                    record.released = true;
+                    releases.push((
+                        self.stage_path(),
+                        self.lease_path(lease.seq, lease.token),
+                        self.encode_lease(&record),
+                    ));
+                    verified.push(index);
+                    out.push(Ok(()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        if verified.is_empty() {
+            return out;
+        }
+        if let Err(e) = crate::vfs::write_durable_atomic_batch(self.fs.as_ref(), &reports) {
+            // Nothing in this batch is acknowledged: the caller retries
+            // each item individually (re-publishing a record that did
+            // reach the disk rewrites byte-identical bytes).
+            let kind = e.kind();
+            let message = format!("batched report publish failed: {e}");
+            for &index in &verified {
+                out[index] = Err(WqError::Io(std::io::Error::new(kind, message.clone())));
+            }
+            for (stage, _, _) in reports.iter().chain(releases.iter()) {
+                let _ = self.fs.remove_file(stage);
+            }
+            return out;
+        }
+        // The reports are durable — every verified item is acknowledged
+        // regardless of how the releases fare below.
+        if crate::vfs::write_durable_atomic_batch(self.fs.as_ref(), &releases).is_err() {
+            for (stage, _, _) in &releases {
+                let _ = self.fs.remove_file(stage);
+            }
+        }
+        out
     }
 
     // ---- reports -----------------------------------------------------

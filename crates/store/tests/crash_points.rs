@@ -52,6 +52,32 @@ fn standard_crash_sweep_recovers_every_crash_point() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// The same gate over the *batched* publish path: a workload that claims
+/// a multi-lease batch and flushes its reports through
+/// `publish_and_release_batch` (one reports-dir sync, one leases-dir sync
+/// for the whole batch). Power loss inside the batch must degrade to "a
+/// committed prefix of whole records, or nothing" — an acknowledged
+/// report survives byte-identical, a torn batch never leaves a
+/// half-written record under a final name.
+#[test]
+fn batched_publish_crash_sweep_commits_prefix_or_nothing() {
+    let base = temp_dir("sweep-batch");
+    let outcome = sp_store::batched_crash_sweep(&base);
+    assert!(
+        outcome.crash_points > 20,
+        "the batched workload must enumerate a real operation sequence, got {}",
+        outcome.crash_points
+    );
+    assert!(
+        outcome.passed(),
+        "batched crash-point sweep failed at {} of {} points:\n{}",
+        outcome.failures.len(),
+        outcome.crash_points,
+        outcome.failures.join("\n")
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// Crash *between* stage and publication (the `hard_link` that gives the
 /// record its final name): the record must simply not exist — no
 /// half-staged file is ever visible under the record's final name, and

@@ -329,6 +329,132 @@ fn transient_faults_surface_as_io_not_protocol_verdicts() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn lease_batch_claims_up_to_max_and_respects_the_filter() {
+    let (q, _clock, dir) = queue(60, "batch-claim");
+    let seqs: Vec<u64> = (0..5)
+        .map(|i| {
+            q.submit(format!("work-{i}").as_bytes(), 1 + i * 10, 1, 0)
+                .unwrap()
+        })
+        .collect();
+
+    // The filter models a worker's poisoned/completed caches.
+    let skipped = seqs[1];
+    let batch = q
+        .try_lease_batch("w1", 3, |seq| seq != skipped)
+        .expect("batch claim");
+    let claimed: Vec<u64> = batch.iter().map(|l| l.seq).collect();
+    assert_eq!(
+        claimed,
+        vec![seqs[0], seqs[2], seqs[3]],
+        "max honoured, filter applied"
+    );
+
+    // Claimed work is invisible to a sibling; the remainder is not.
+    let sibling = q.lease_batch("w2", 5).expect("sibling claim");
+    let sibling_seqs: Vec<u64> = sibling.iter().map(|l| l.seq).collect();
+    assert_eq!(sibling_seqs, vec![seqs[1], seqs[4]]);
+
+    // Every batch-claimed lease speaks the full single-lease protocol.
+    for lease in batch.iter().chain(sibling.iter()) {
+        q.publish_report(lease, b"done").unwrap();
+        q.release(lease).unwrap();
+    }
+    assert!(q.drained());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn expired_batch_is_fenced_per_item_and_reclaims_whole() {
+    let (q, clock, dir) = queue(30, "batch-fence");
+    let seqs: Vec<u64> = (0..3)
+        .map(|i| {
+            q.submit(format!("work-{i}").as_bytes(), 1 + i * 10, 1, 0)
+                .unwrap()
+        })
+        .collect();
+    let stale = q.lease_batch("w-slow", 3).expect("first claim");
+    assert_eq!(stale.len(), 3);
+
+    // The whole batch expires; a healthy sibling reclaims every item at
+    // the next generation.
+    clock.0.fetch_add(30, Ordering::SeqCst);
+    let fresh = q.lease_batch("w-fresh", 3).expect("reclaim");
+    assert_eq!(fresh.len(), 3);
+    for (old, new) in stale.iter().zip(&fresh) {
+        assert_eq!(old.seq, new.seq);
+        assert!(new.token > old.token, "reclaim burns a new generation");
+    }
+
+    // The stale holder's batched flush is rejected item by item — the
+    // fencing token keeps every one of its commits out, and the verdicts
+    // stay index-aligned with the items.
+    let payloads: Vec<(&Lease, &[u8])> = stale.iter().map(|l| (l, b"stale".as_slice())).collect();
+    let verdicts = q.publish_and_release_batch(&payloads);
+    assert_eq!(verdicts.len(), stale.len());
+    for verdict in &verdicts {
+        assert!(
+            matches!(verdict, Err(WqError::StaleLease { .. })),
+            "stale batch item must be fenced, got {verdict:?}"
+        );
+    }
+    for seq in &seqs {
+        assert!(q.report(*seq).is_none(), "no stale report may be trusted");
+    }
+
+    // The fresh holder's batch lands whole.
+    let payloads: Vec<(&Lease, &[u8])> = fresh.iter().map(|l| (l, b"fresh".as_slice())).collect();
+    for verdict in q.publish_and_release_batch(&payloads) {
+        verdict.expect("current generation publishes");
+    }
+    for seq in &seqs {
+        assert_eq!(q.report(*seq).as_deref(), Some(b"fresh".as_slice()));
+    }
+    assert!(q.drained());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partially_fenced_batch_commits_only_the_live_items() {
+    let (q, clock, dir) = queue(30, "batch-partial");
+    let a = q.submit(b"work-a", 1, 1, 0).unwrap();
+    let b = q.submit(b"work-b", 11, 1, 0).unwrap();
+    let batch = q.lease_batch("w1", 2).expect("claim both");
+    let mut keep = batch[0].clone();
+
+    // Renew only the first lease past the expiry horizon, then let the
+    // second lapse and be re-leased by a sibling.
+    clock.0.fetch_add(29, Ordering::SeqCst);
+    q.renew(&mut keep).expect("still live");
+    clock.0.fetch_add(1, Ordering::SeqCst);
+    let reclaimed = q
+        .try_lease(b, "w2")
+        .expect("reclaim io")
+        .expect("expired item reclaims");
+    assert_eq!(reclaimed.seq, b);
+
+    // The original batch flush: the renewed item commits, the superseded
+    // one is fenced — one batch, two verdicts.
+    let items: Vec<(&Lease, &[u8])> = vec![(&keep, b"kept"), (&batch[1], b"stale")];
+    let verdicts = q.publish_and_release_batch(&items);
+    assert!(verdicts[0].is_ok(), "live item commits: {:?}", verdicts[0]);
+    assert!(
+        matches!(verdicts[1], Err(WqError::StaleLease { .. })),
+        "superseded item is fenced: {:?}",
+        verdicts[1]
+    );
+    assert_eq!(q.report(a).as_deref(), Some(b"kept".as_slice()));
+    assert!(q.report(b).is_none());
+
+    // The reclaimer finishes the fenced item's work.
+    q.publish_report(&reclaimed, b"redone").unwrap();
+    q.release(&reclaimed).unwrap();
+    assert_eq!(q.report(b).as_deref(), Some(b"redone".as_slice()));
+    assert!(q.drained());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 proptest! {
     /// However renew, heartbeat, release, claims and clock advances
     /// interleave, one submission never ends up with two live holders:
