@@ -47,6 +47,12 @@
 //! stalled worker stops heartbeating and is rightly fenced away; a slow
 //! worker keeps heartbeating and is never fenced, however long it takes.
 //!
+//! Every worker also appends each executed cell to the shared durable
+//! SPRL run log (`<dir>/runlog/`) *before* publishing its campaign
+//! report; after every scenario the parent replays the log and proves it
+//! equal to the collected reports. The chaos scenarios (kill, io-fault)
+//! additionally dump each worker's metrics snapshot on exit.
+//!
 //! Exit code is non-zero on any report divergence, missing report, or
 //! violated chaos expectation — which is what the `fleet-smoke` CI job
 //! gates on.
@@ -65,10 +71,10 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use sp_bench::{arg_value, desy_deployment, has_flag, repro_run_config, scale_from_args};
-use sp_core::fleet::{fleet_stats, Coordinator, Worker};
+use sp_core::fleet::{fleet_stats, run_log_cells, Coordinator, Worker};
 use sp_core::{Campaign, CampaignConfig, CampaignEngine, CampaignOptions, FleetTicket, SpSystem};
 use sp_report::render_fleet_stats;
-use sp_store::{FaultConfig, FaultFs, StoreFs, SystemTimeSource, WorkQueue};
+use sp_store::{FaultConfig, FaultFs, RunLog, StoreFs, SystemTimeSource, WorkQueue};
 
 const EXPERIMENTS: [&str; 3] = ["zeus", "h1", "hermes"];
 
@@ -119,36 +125,40 @@ fn worker_main() {
     let io_fault_rate: f64 = arg_value("--io-fault-rate")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.0);
-    let queue = if io_fault_rate > 0.0 {
-        // Each worker gets its own deterministic fault stream: the shared
-        // scenario seed xor'd with the worker name, so runs are
-        // reproducible yet the workers' faults are uncorrelated.
+    // Each worker gets its own deterministic fault stream: the shared
+    // scenario seed xor'd with the worker name, so runs are
+    // reproducible yet the workers' faults are uncorrelated.
+    let fault_fs: Option<Arc<dyn StoreFs>> = (io_fault_rate > 0.0).then(|| {
         let seed = arg_value("--fault-seed")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0x5053_5953)
             ^ sp_store::fnv64(&name);
-        let fault_fs: Arc<dyn StoreFs> = Arc::new(FaultFs::over_os(FaultConfig {
+        let fs: Arc<dyn StoreFs> = Arc::new(FaultFs::over_os(FaultConfig {
             seed,
             io_fault_rate,
             crash_at: None,
         }));
-        // Opening performs recovery (staging sweep, quarantine scan) and
-        // can itself hit injected faults; a real deployment's supervisor
-        // would restart the client, so retry the open a bounded number of
-        // times before giving up.
-        (0..1_000)
-            .find_map(|_| {
-                WorkQueue::open_with(
-                    &dir,
-                    lease_secs,
-                    Arc::new(SystemTimeSource),
-                    fault_fs.clone(),
-                )
-                .ok()
-            })
-            .expect("queue open survives bounded injected-fault retries")
-    } else {
-        WorkQueue::open(&dir, lease_secs).expect("worker opens queue dir")
+        fs
+    });
+    let queue = match &fault_fs {
+        Some(fault_fs) => {
+            // Opening performs recovery (staging sweep, quarantine scan) and
+            // can itself hit injected faults; a real deployment's supervisor
+            // would restart the client, so retry the open a bounded number of
+            // times before giving up.
+            (0..1_000)
+                .find_map(|_| {
+                    WorkQueue::open_with(
+                        &dir,
+                        lease_secs,
+                        Arc::new(SystemTimeSource),
+                        fault_fs.clone(),
+                    )
+                    .ok()
+                })
+                .expect("queue open survives bounded injected-fault retries")
+        }
+        None => WorkQueue::open(&dir, lease_secs).expect("worker opens queue dir"),
     };
     if let Some(stall_ms) = arg_value("--stall-ms").and_then(|v| v.parse::<u64>().ok()) {
         match queue.lease_next(&name).expect("queue io") {
@@ -168,6 +178,18 @@ fn worker_main() {
     }
     let system = desy_deployment();
     let mut worker = Worker::new(&system, &queue, &name, threads);
+    // Every worker keeps the durable run history next to the queue: each
+    // executed cell is appended to the shared SPRL log *before* its
+    // campaign report publishes, so a trusted report always implies
+    // logged history the parent can replay.
+    let log_dir = std::path::Path::new(&dir).join(sp_store::run_log::RUN_LOG_DIR);
+    let run_log = match &fault_fs {
+        Some(fault_fs) => (0..1_000)
+            .find_map(|_| RunLog::open_with(&log_dir, fault_fs.clone()).ok())
+            .expect("run log open survives bounded injected-fault retries"),
+        None => RunLog::open(&log_dir).expect("worker opens run log"),
+    };
+    worker = worker.with_run_log(run_log);
     if let Some(slow_ms) = arg_value("--slow-ms").and_then(|v| v.parse::<u64>().ok()) {
         worker = worker.with_slowdown(Duration::from_millis(slow_ms));
     }
@@ -182,6 +204,10 @@ fn worker_main() {
         stats.io_retries,
         stats.poll.idle
     );
+    if has_flag("--dump-metrics") {
+        println!("[{name}] metrics snapshot:");
+        print!("{}", indent(&sp_obs::global().snapshot().render_text()));
+    }
 }
 
 /// Spawns one worker child process against `dir`. `stall_ms` turns the
@@ -195,6 +221,7 @@ fn spawn_worker(
     stall_ms: Option<u64>,
     slow_ms: Option<u64>,
     io_fault: Option<(f64, u64)>,
+    dump_metrics: bool,
 ) -> Child {
     let mut args = vec![
         "--worker".to_string(),
@@ -205,6 +232,9 @@ fn spawn_worker(
         "--lease".to_string(),
         lease_secs.to_string(),
     ];
+    if dump_metrics {
+        args.push("--dump-metrics".to_string());
+    }
     if let Some(ms) = stall_ms {
         args.push("--stall-ms".to_string());
         args.push(ms.to_string());
@@ -310,6 +340,96 @@ fn verify_against_oracles(
     divergent
 }
 
+/// Verifies the durable SPRL run log replays to the collected reports:
+/// every cell of every trusted campaign report must appear in the
+/// restored history with the same status, counts and virtual timestamp —
+/// workers append to the log *before* publishing, so a trusted report
+/// with missing or divergent history is a durability bug. Returns the
+/// divergence count.
+fn verify_run_log(
+    coordinator: &Coordinator<'_>,
+    tickets: &[FleetTicket],
+    dir: &std::path::Path,
+) -> usize {
+    let log = match RunLog::open(&dir.join(sp_store::run_log::RUN_LOG_DIR)) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("  DIVERGENCE: run log unreadable after drain ({e})");
+            return 1;
+        }
+    };
+    let history = sp_obs::RunHistory::rebuild(&log);
+    let logged: std::collections::BTreeMap<(u64, u64), &sp_store::CellRecord> = history
+        .records()
+        .iter()
+        .map(|(_, record)| ((record.campaign, record.run_id), record))
+        .collect();
+    let reports = coordinator.collect();
+    let mut divergent = 0;
+    let mut expected_total = 0;
+    for ticket in tickets {
+        let Some(report) = &reports[ticket.index()] else {
+            continue; // missing reports are charged by verify_against_oracles
+        };
+        // Worker name and lease token are attribution, not content: derive
+        // the content-bearing fields from the trusted report and compare.
+        let expected = run_log_cells(ticket.seq(), report, "", 0);
+        expected_total += expected.len();
+        for cell in &expected {
+            match logged.get(&(cell.campaign, cell.run_id)) {
+                None => {
+                    eprintln!(
+                        "  DIVERGENCE: run {} of campaign {} missing from the run log",
+                        cell.run_id, cell.campaign
+                    );
+                    divergent += 1;
+                }
+                Some(record) => {
+                    let content_matches = record.experiment == cell.experiment
+                        && record.image_label == cell.image_label
+                        && record.repetition == cell.repetition
+                        && record.status == cell.status
+                        && record.passed == cell.passed
+                        && record.failed == cell.failed
+                        && record.skipped == cell.skipped
+                        && record.timestamp == cell.timestamp;
+                    if !content_matches {
+                        eprintln!(
+                            "  DIVERGENCE: run {} of campaign {} logged with divergent content",
+                            cell.run_id, cell.campaign
+                        );
+                        divergent += 1;
+                    }
+                    if record.worker.is_empty() {
+                        eprintln!(
+                            "  DIVERGENCE: run {} of campaign {} logged without worker attribution",
+                            cell.run_id, cell.campaign
+                        );
+                        divergent += 1;
+                    }
+                }
+            }
+        }
+    }
+    let summary = history.summary();
+    if summary.corrupt_dropped != 0 {
+        eprintln!(
+            "  DIVERGENCE: {} corrupt run-log record(s) dropped on replay",
+            summary.corrupt_dropped
+        );
+        divergent += 1;
+    }
+    if divergent == 0 {
+        println!(
+            "  run log replays {} cell(s) == {} report cell(s) across {} worker(s)",
+            history.records().len(),
+            expected_total,
+            summary.workers
+        );
+    }
+    divergent
+}
+
 /// One drain scenario: fresh queue, fresh backlog, `workers` child
 /// processes racing. `slow_ms` slows every worker at each repetition
 /// barrier and arms the liveness expectations: the renewal heartbeat must
@@ -343,6 +463,9 @@ fn run_scenario(
     );
 
     let started = Instant::now();
+    // Chaos scenarios (kill, io-fault) dump a per-worker metrics snapshot
+    // on exit — the observable telemetry the fleet-smoke CI job archives.
+    let dump_metrics = kill_one_after.is_some() || io_fault.is_some();
     let mut children: Vec<(String, Child)> = Vec::new();
     if kill_one_after.is_some() {
         // The doomed worker: claims a lease, then hangs without
@@ -357,12 +480,21 @@ fn run_scenario(
                 Some(60_000),
                 None,
                 None,
+                false,
             ),
         ));
     }
     for w in 0..workers.saturating_sub(children.len()).max(1) {
         let name = format!("{label}-w{w}");
-        let child = spawn_worker(&dir, &name, lease_secs, None, slow_ms, io_fault);
+        let child = spawn_worker(
+            &dir,
+            &name,
+            lease_secs,
+            None,
+            slow_ms,
+            io_fault,
+            dump_metrics,
+        );
         children.push((name, child));
     }
 
@@ -384,6 +516,7 @@ fn run_scenario(
     let elapsed = started.elapsed();
 
     let mut divergent = verify_against_oracles(&coordinator, &tickets, repetitions, scale, options);
+    divergent += verify_run_log(&coordinator, &tickets, &dir);
     let digest = fleet_stats(&queue);
     if kill_one_after.is_some() && digest.queue.reclaims == 0 {
         eprintln!("  DIVERGENCE: the killed worker's lease was never reclaimed");

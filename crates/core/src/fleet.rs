@@ -177,6 +177,10 @@ impl<'a> Coordinator<'a> {
         let origin = self.system.clock().now();
         let payload = encode_campaign_config(&config);
         let seq = self.queue.submit(&payload, base.0, total, origin)?;
+        sp_obs::global().counter("fleet.submissions").incr();
+        sp_obs::trace::emit_with("coordinator", "submit", || {
+            format!("seq={seq} runs={total}")
+        });
         let index = self.submitted.len();
         self.submitted.push(SubmittedCampaign {
             seq,
@@ -466,6 +470,11 @@ pub struct Worker<'a> {
     /// Chaos injection: per-barrier sleep handed to the [`LeaseRenewer`]
     /// (see [`with_slowdown`](Self::with_slowdown)).
     slowdown: Option<Duration>,
+    /// Durable run-history log (see [`with_run_log`](Self::with_run_log)):
+    /// when present, every published campaign's cell outcomes are appended
+    /// as `SPRL` records *before* the report publish, so a trusted report
+    /// always has its history on disk.
+    run_log: Option<sp_store::RunLog>,
     poisoned: std::cell::RefCell<std::collections::BTreeSet<u64>>,
     /// Submissions this worker has seen a trusted report for. A trusted
     /// report is permanent, so caching saves re-reading reports (and the
@@ -505,6 +514,7 @@ impl<'a> Worker<'a> {
             max_idle_polls,
             lease_batch: 4,
             slowdown: None,
+            run_log: None,
             poisoned: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             completed: std::cell::RefCell::new(std::collections::BTreeSet::new()),
             invalid: std::cell::RefCell::new(std::collections::BTreeSet::new()),
@@ -606,6 +616,20 @@ impl<'a> Worker<'a> {
         self
     }
 
+    /// Attaches a durable run log: every campaign this worker publishes
+    /// also appends one `SPRL` record per executed run — (campaign,
+    /// experiment, image, repetition, status, virtual timing, worker,
+    /// lease generation) — with the append ordered strictly *before* the
+    /// report publish, so a trusted report implies a logged history.
+    /// Record content derives deterministically from the submission
+    /// (pre-reserved ids, recorded origin), so a fenced-away appender's
+    /// records are byte-equal to the eventual winner's and read-side
+    /// dedup by (campaign, run id) collapses them.
+    pub fn with_run_log(mut self, log: sp_store::RunLog) -> Self {
+        self.run_log = Some(log);
+        self
+    }
+
     /// The worker's holder identity on the queue.
     pub fn name(&self) -> &str {
         &self.name
@@ -694,6 +718,8 @@ impl<'a> Worker<'a> {
                     .mark_poisoned(seq, &self.name, &error.to_string());
                 self.invalid.borrow_mut().insert(seq);
                 let _ = self.queue.release(&lease);
+                sp_obs::global().counter("fleet.poison_marks").incr();
+                sp_obs::trace::emit_with("worker", "poison", || format!("seq={seq}"));
                 return Err(error);
             };
 
@@ -715,9 +741,30 @@ impl<'a> Worker<'a> {
             match outcome {
                 Ok((report, sched)) if !renewer.fenced_mid_flight() => {
                     let lease = renewer.lease();
+                    if let Some(log) = &self.run_log {
+                        let cells = run_log_cells(seq, &report, &self.name, lease.token);
+                        if let Err(error) = self.retry_io(|| log.append_batch(&cells)) {
+                            // The history could not be committed, so the
+                            // report must not publish (log-before-publish
+                            // invariant): roll back, hand the lease back,
+                            // surface — the work stays pending.
+                            self.roll_back_fenced(&submission, checkpoint);
+                            stats.failures += 1;
+                            let _ = self.queue.release(&lease);
+                            return Err(error.into());
+                        }
+                        sp_obs::global()
+                            .counter("fleet.cells_logged")
+                            .add(cells.len() as u64);
+                    }
                     let payload = encode_campaign_report(&report);
                     match self.retry_wq(|| self.queue.publish_report(&lease, &payload)) {
-                        Ok(()) => {}
+                        Ok(()) => {
+                            sp_obs::global().counter("fleet.publishes").incr();
+                            sp_obs::trace::emit_with("worker", "publish", || {
+                                format!("seq={seq} token={}", lease.token)
+                            });
+                        }
                         Err(
                             error @ (WqError::StaleLease { .. }
                             | WqError::Expired { .. }
@@ -769,6 +816,8 @@ impl<'a> Worker<'a> {
                     // was absorbed locally never officially happened.
                     self.roll_back_fenced(&submission, checkpoint);
                     stats.failures += 1;
+                    sp_obs::global().counter("fleet.fenced").incr();
+                    sp_obs::trace::emit_with("worker", "fenced", || format!("seq={seq}"));
                     let error = renewer
                         .take_fenced()
                         .expect("fenced_mid_flight implies a recorded error");
@@ -878,6 +927,9 @@ impl<'a> Worker<'a> {
             payload: Vec<u8>,
             total_runs: u64,
             sched: ScheduleStats,
+            /// `SPRL` records to append before the batch flush (empty when
+            /// the worker carries no run log).
+            cells: Vec<sp_store::CellRecord>,
         }
 
         let mut first_error: Option<FleetError> = None;
@@ -1021,7 +1073,13 @@ impl<'a> Worker<'a> {
             pending = kept;
             match outcome {
                 Ok((report, sched)) if !renewer.fenced_mid_flight() => {
-                    held.insert(seq, renewer.lease());
+                    let lease = renewer.lease();
+                    let cells = self
+                        .run_log
+                        .as_ref()
+                        .map(|_| run_log_cells(seq, &report, &self.name, lease.token))
+                        .unwrap_or_default();
+                    held.insert(seq, lease);
                     pending.push(PendingPublish {
                         seq,
                         submission,
@@ -1029,6 +1087,7 @@ impl<'a> Worker<'a> {
                         payload: encode_campaign_report(&report),
                         total_runs: report.summary.total_runs() as u64,
                         sched,
+                        cells,
                     });
                 }
                 Ok(_) => {
@@ -1049,9 +1108,36 @@ impl<'a> Worker<'a> {
             }
         }
 
-        // Phase 4 — flush every surviving report through the batched
-        // publish+release path: one reports-directory sync commits the
-        // whole batch, then one leases-directory sync releases it.
+        // Phase 4 — append every surviving item's run history (one
+        // batched `SPRL` append, one cells-directory sync), then flush
+        // the reports through the batched publish+release path: one
+        // reports-directory sync commits the whole batch, then one
+        // leases-directory sync releases it. The history append comes
+        // strictly first so a trusted report always implies logged cells;
+        // an item whose history cannot commit is dropped from the flush
+        // (rolled back, lease handed back) without abandoning its mates.
+        if let Some(log) = &self.run_log {
+            let mut kept = Vec::with_capacity(pending.len());
+            for item in pending {
+                match self.retry_io(|| log.append_batch(&item.cells)) {
+                    Ok(_) => {
+                        sp_obs::global()
+                            .counter("fleet.cells_logged")
+                            .add(item.cells.len() as u64);
+                        kept.push(item);
+                    }
+                    Err(error) => {
+                        self.roll_back_fenced(&item.submission, item.checkpoint);
+                        stats.failures += 1;
+                        if let Some(lease) = held.remove(&item.seq) {
+                            let _ = self.queue.release(&lease);
+                        }
+                        record_error(error.into(), &mut first_error);
+                    }
+                }
+            }
+            pending = kept;
+        }
         let mut drained: Vec<u64> = Vec::new();
         if !pending.is_empty() {
             let batch_leases: Vec<Lease> = pending
@@ -1138,6 +1224,10 @@ impl<'a> Worker<'a> {
                 stats.runs_executed += item.total_runs;
                 stats.sched.merge(&item.sched);
                 self.completed.borrow_mut().insert(item.seq);
+                sp_obs::global().counter("fleet.publishes").incr();
+                sp_obs::trace::emit_with("worker", "publish", || {
+                    format!("seq={} token={}", item.seq, lease.token)
+                });
                 drained.push(item.seq);
             }
         }
@@ -1180,6 +1270,46 @@ impl<'a> Worker<'a> {
         stats.poll = poll_stats;
         let payload = encode_worker_stats(&stats);
         let _ = self.retry_io(|| self.queue.publish_worker_stats(&self.name, &payload));
+        // Mirror the end-of-drain aggregates into the process-wide
+        // registry: counters for the drain-loop events, gauges sampling
+        // the queue's health and the system's memo hit rates (the store
+        // cannot push into `sp_obs` itself, so the worker — which sees
+        // both — samples on its way out).
+        let registry = sp_obs::global();
+        registry
+            .counter("fleet.campaigns_drained")
+            .add(stats.campaigns_drained);
+        registry
+            .counter("fleet.runs_executed")
+            .add(stats.runs_executed);
+        registry.counter("fleet.failures").add(stats.failures);
+        registry.counter("fleet.renewals").add(stats.renewals);
+        registry.counter("fleet.io_retries").add(stats.io_retries);
+        registry
+            .counter("fleet.publish_batches")
+            .add(stats.publish_batches);
+        sp_obs::instrument::sample_queue_stats(registry, &self.queue.stats());
+        sp_obs::instrument::sample_cache_stats(
+            registry,
+            "store.memo.chain",
+            &self.system.chain_memo_stats(),
+        );
+        sp_obs::instrument::sample_cache_stats(
+            registry,
+            "store.memo.output",
+            &self.system.output_memo_stats(),
+        );
+        sp_obs::instrument::sample_cache_stats(
+            registry,
+            "store.memo.build",
+            &self.system.build_memo_stats(),
+        );
+        sp_obs::trace::emit_with("worker", "drained", || {
+            format!(
+                "worker={} campaigns={} failures={}",
+                self.name, stats.campaigns_drained, stats.failures
+            )
+        });
         stats
     }
 }
@@ -1214,6 +1344,65 @@ pub fn fleet_stats(queue: &WorkQueue) -> FleetStats {
         workers,
         drained,
     }
+}
+
+/// Derives the `SPRL` cell records for one published campaign report: one
+/// record per executed run, in execution order. Everything except the
+/// worker attribution derives deterministically from the submission — the
+/// pre-reserved run ids, the virtual timestamps replayed from the
+/// recorded origin, and the per-run statuses — so an interrupted-and-
+/// resumed campaign logs exactly the same cell facts as an uninterrupted
+/// one. The repetition index is reconstructed as the occurrence count of
+/// the (experiment, image) pair in execution order.
+pub fn run_log_cells(
+    seq: u64,
+    report: &CampaignReport,
+    worker: &str,
+    lease_token: u64,
+) -> Vec<sp_store::CellRecord> {
+    use sp_store::CellRecord;
+    let mut occurrences: BTreeMap<(&str, &str), u32> = BTreeMap::new();
+    report
+        .summary
+        .runs
+        .iter()
+        .map(|run| {
+            let repetition = {
+                let slot = occurrences
+                    .entry((run.experiment.as_str(), run.image_label.as_str()))
+                    .and_modify(|r| *r += 1)
+                    .or_insert(0);
+                *slot
+            };
+            let status = if run.failed > 0 {
+                CellRecord::STATUS_FAIL
+            } else if run.passed == 0 {
+                CellRecord::STATUS_NOT_RUN
+            } else if run.skipped > 0 {
+                CellRecord::STATUS_WARNINGS
+            } else {
+                CellRecord::STATUS_PASS
+            };
+            CellRecord {
+                campaign: seq,
+                experiment: run.experiment.clone(),
+                // Run-level records aggregate the experiment's groups; the
+                // group axis stays empty (group-level statuses live in the
+                // campaign report's cell matrix).
+                group: String::new(),
+                image_label: run.image_label.clone(),
+                repetition,
+                run_id: run.id.0,
+                status,
+                passed: run.passed as u32,
+                failed: run.failed as u32,
+                skipped: run.skipped as u32,
+                timestamp: run.timestamp,
+                worker: worker.to_string(),
+                lease_token,
+            }
+        })
+        .collect()
 }
 
 // ---- campaign-config codec -------------------------------------------

@@ -74,7 +74,8 @@ pub use classify::{classify, Diagnosis};
 pub use compare::{Comparator, CompareOutcome, TestOutput};
 pub use experiment::ExperimentDef;
 pub use fleet::{
-    fleet_stats, Coordinator, FleetError, FleetStats, FleetTicket, Worker, WorkerStats,
+    fleet_stats, run_log_cells, Coordinator, FleetError, FleetStats, FleetTicket, Worker,
+    WorkerStats,
 };
 pub use inputs::{Assignee, InputCategory};
 pub use ledger::{PruneReport, RunLedger};

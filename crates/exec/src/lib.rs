@@ -58,5 +58,5 @@ pub use pool::{PoolStats, WorkStealingPool};
 pub use queue::JobPool;
 pub use sched::{
     CampaignId, CancellationToken, Lane, LaneScheduler, LaneSchedulerStats, ProgressHook,
-    ProgressPoint,
+    ProgressPoint, TracingProgressHook,
 };

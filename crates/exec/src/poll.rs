@@ -156,7 +156,18 @@ impl RetryPolicy {
                 Err(error) if Self::is_transient(&error) && attempt < self.max_attempts => {
                     attempt += 1;
                     self.retries += 1;
-                    sleep(self.backoff.next_delay());
+                    let delay = self.backoff.next_delay();
+                    let registry = sp_obs::global();
+                    registry.counter("exec.retry.retries").incr();
+                    registry.histogram("exec.retry.backoff_us").observe(delay);
+                    sp_obs::trace::emit_with("retry", "transient", || {
+                        format!(
+                            "kind={:?} attempt={attempt} delay_ms={}",
+                            error.kind(),
+                            delay.as_millis()
+                        )
+                    });
+                    sleep(delay);
                 }
                 Err(error) => return Err(error),
             }

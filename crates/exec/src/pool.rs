@@ -108,6 +108,7 @@ impl WorkStealingPool {
         if total == 0 {
             return (Vec::new(), PoolStats::default());
         }
+        let _batch_span = sp_obs::trace::span("pool", "batch");
         let workers = self.workers.min(total);
 
         // Seed the per-worker queues round-robin so every worker starts
@@ -228,6 +229,14 @@ impl WorkStealingPool {
             local: local_count.load(Ordering::Relaxed),
             stolen: stolen_count.load(Ordering::Relaxed),
         };
+        let registry = sp_obs::global();
+        registry.counter("exec.pool.batches").incr();
+        registry
+            .counter("exec.pool.tasks_local")
+            .add(stats.local as u64);
+        registry
+            .counter("exec.pool.tasks_stolen")
+            .add(stats.stolen as u64);
         (results, stats)
     }
 }

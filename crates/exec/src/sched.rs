@@ -93,6 +93,71 @@ pub trait ProgressHook: Sync {
     fn tick(&self, point: ProgressPoint);
 }
 
+/// [`ProgressHook`] adapter that turns the existing liveness ticks into
+/// observability: every tick bumps an `exec.progress.*` counter in the
+/// global metrics registry and emits a point event to the installed
+/// [`sp_obs::TraceSink`], then forwards to the wrapped hook (if any) so
+/// lease renewal keeps working unchanged. Handles are resolved once at
+/// construction — a tick is three relaxed atomic ops when no sink is
+/// installed.
+pub struct TracingProgressHook<'a> {
+    inner: Option<&'a dyn ProgressHook>,
+    dispatch: sp_obs::Counter,
+    task: sp_obs::Counter,
+    barrier: sp_obs::Counter,
+}
+
+impl<'a> TracingProgressHook<'a> {
+    /// A hook that only records (no forwarding).
+    pub fn new() -> Self {
+        Self::wrap_opt(None)
+    }
+
+    /// Wraps an existing hook, recording and forwarding every tick.
+    pub fn wrap(inner: &'a dyn ProgressHook) -> Self {
+        Self::wrap_opt(Some(inner))
+    }
+
+    /// [`wrap`](Self::wrap) over an optional inner hook.
+    pub fn wrap_opt(inner: Option<&'a dyn ProgressHook>) -> Self {
+        let registry = sp_obs::global();
+        TracingProgressHook {
+            inner,
+            dispatch: registry.counter("exec.progress.dispatch"),
+            task: registry.counter("exec.progress.task"),
+            barrier: registry.counter("exec.progress.barrier"),
+        }
+    }
+}
+
+impl Default for TracingProgressHook<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgressHook for TracingProgressHook<'_> {
+    fn tick(&self, point: ProgressPoint) {
+        match point {
+            ProgressPoint::Dispatch => {
+                self.dispatch.incr();
+                sp_obs::trace::emit("progress", "dispatch");
+            }
+            ProgressPoint::Task => {
+                self.task.incr();
+                sp_obs::trace::emit("progress", "task");
+            }
+            ProgressPoint::Barrier => {
+                self.barrier.incr();
+                sp_obs::trace::emit("progress", "barrier");
+            }
+        }
+        if let Some(inner) = self.inner {
+            inner.tick(point);
+        }
+    }
+}
+
 /// One schedulable lane: a campaign tag, the campaign's cancellation
 /// token, and an opaque payload (the task sequence, for `sp-core`).
 #[derive(Debug)]
@@ -200,6 +265,7 @@ impl LaneScheduler {
         if lanes.is_empty() {
             return Vec::new();
         }
+        let _round_span = sp_obs::trace::span("sched", "round");
         self.rounds.fetch_add(1, Ordering::Relaxed);
 
         // Fair-share interleave: one lane per campaign per turn, campaigns
@@ -228,6 +294,18 @@ impl LaneScheduler {
             .fetch_add(pool_stats.local as u64, Ordering::Relaxed);
         self.stolen
             .fetch_add(pool_stats.stolen as u64, Ordering::Relaxed);
+
+        let executed = results.iter().filter(|(_, r)| r.is_some()).count() as u64;
+        let cancelled = results.len() as u64 - executed;
+        let registry = sp_obs::global();
+        registry.counter("exec.sched.rounds").incr();
+        registry.counter("exec.sched.lanes_executed").add(executed);
+        registry
+            .counter("exec.sched.lanes_cancelled")
+            .add(cancelled);
+        sp_obs::trace::emit_with("sched", "round_done", || {
+            format!("executed={executed} cancelled={cancelled}")
+        });
 
         let mut out: Vec<Option<R>> = (0..results.len()).map(|_| None).collect();
         for (original, result) in results {

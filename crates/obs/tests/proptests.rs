@@ -1,0 +1,163 @@
+//! Property-based tests for the run-history query engine.
+//!
+//! The contract under test: for any run log, the **warm-restored** history
+//! (loaded from the persisted `index.spws` snapshot) must answer every
+//! query **byte-identically** to the **cold** history rebuilt from the
+//! SPRL records — same results, same order, same encoding — and both must
+//! agree with a plain scan of the replayed records.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sp_obs::{CellQuery, HistorySource, RunHistory};
+use sp_store::{CellRecord, OsFs, RunLog, StoreFs};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sp-obs-prop-{tag}-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Strategy for one cell outcome drawn from a small vocabulary, so the
+/// generated queries below actually select non-trivial subsets.
+fn cell_strategy() -> impl Strategy<Value = CellRecord> {
+    (
+        1u64..4,                // campaign
+        0u32..3,                // experiment index
+        0u32..3,                // image index
+        0u32..3,                // repetition
+        0u32..4,                // status
+        0u32..50,               // passed
+        0u32..5,                // failed
+        (0u64..1_000, 0u32..3), // timestamp, worker index
+    )
+        .prop_map(
+            |(campaign, exp, img, repetition, status, passed, failed, (timestamp, worker))| {
+                CellRecord {
+                    campaign,
+                    experiment: format!("exp-{exp}"),
+                    group: String::new(),
+                    image_label: format!("img-{img}"),
+                    repetition,
+                    run_id: 0, // assigned uniquely per record below
+                    status: status as u8,
+                    passed,
+                    failed,
+                    skipped: 0,
+                    timestamp,
+                    worker: format!("w-{worker}"),
+                    lease_token: 1 + campaign,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Cold rebuild vs warm restore: for any record set and any query in
+    /// a covering family (full scan, each single-key filter, a time
+    /// window, and a conjunction), the warm-restored history returns
+    /// byte-identical results to the cold rebuild — and matches a plain
+    /// linear scan of the replayed log.
+    #[test]
+    fn warm_restore_answers_every_query_byte_identically(
+        mut cells in prop::collection::vec(cell_strategy(), 0..24),
+        since in 0u64..1_000,
+        span in 0u64..500,
+    ) {
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.run_id = 1 + i as u64;
+        }
+        let dir = temp_dir("query");
+        let log = RunLog::open(&dir).expect("open run log");
+        log.append_batch(&cells).expect("append generated cells");
+
+        let cold = RunHistory::rebuild(&log);
+        let os_fs: Arc<dyn StoreFs> = Arc::new(OsFs);
+        cold.save_warm(&log, os_fs.as_ref()).expect("persist warm index");
+        let warm = RunHistory::open(&log);
+        prop_assert_eq!(warm.source(), HistorySource::Warm, "warm index must be trusted");
+
+        let queries = vec![
+            CellQuery::all(),
+            CellQuery::all().experiment("exp-0"),
+            CellQuery::all().experiment("exp-7"),
+            CellQuery::all().image("img-1"),
+            CellQuery::all().status(CellRecord::STATUS_FAIL),
+            CellQuery::all().campaign(2),
+            CellQuery::all().window(since, since + span),
+            CellQuery::all()
+                .experiment("exp-1")
+                .status(CellRecord::STATUS_PASS)
+                .window(since, since + span),
+        ];
+        for query in &queries {
+            let cold_results = cold.query(query);
+            let warm_results = warm.query(query);
+            prop_assert_eq!(
+                RunHistory::encode_results(&cold_results),
+                RunHistory::encode_results(&warm_results),
+                "cold and warm results must be byte-identical"
+            );
+            // Both must equal the plain scan oracle, in log order.
+            let scanned: Vec<&CellRecord> = cold
+                .records()
+                .iter()
+                .filter(|(_, r)| query.matches(r))
+                .map(|(_, r)| r)
+                .collect();
+            prop_assert_eq!(
+                RunHistory::encode_results(&cold_results),
+                RunHistory::encode_results(&scanned),
+                "indexed query must equal the linear-scan oracle"
+            );
+        }
+        prop_assert_eq!(cold.summary(), warm.summary());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The persisted warm index survives a byte flip anywhere in the file
+    /// only by falling back to a cold rebuild — it never loads a damaged
+    /// index as warm truth.
+    #[test]
+    fn damaged_warm_index_falls_back_to_cold(
+        mut cells in prop::collection::vec(cell_strategy(), 1..10),
+        flip_frac in 0.0f64..1.0,
+    ) {
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.run_id = 1 + i as u64;
+        }
+        let dir = temp_dir("damage");
+        let log = RunLog::open(&dir).expect("open run log");
+        log.append_batch(&cells).expect("append generated cells");
+        let cold = RunHistory::rebuild(&log);
+        let os_fs: Arc<dyn StoreFs> = Arc::new(OsFs);
+        cold.save_warm(&log, os_fs.as_ref()).expect("persist warm index");
+
+        let index_path = dir.join(sp_obs::query::WARM_INDEX_FILE);
+        let mut bytes = std::fs::read(&index_path).expect("warm index bytes");
+        let flip = (flip_frac * bytes.len() as f64) as usize % bytes.len();
+        bytes[flip] ^= 0xff;
+        std::fs::write(&index_path, &bytes).expect("damage warm index");
+
+        let reloaded = RunHistory::open(&log);
+        prop_assert_eq!(
+            reloaded.source(),
+            HistorySource::Cold,
+            "a damaged index must never be trusted"
+        );
+        let all = CellQuery::all();
+        prop_assert_eq!(
+            RunHistory::encode_results(&reloaded.query(&all)),
+            RunHistory::encode_results(&cold.query(&all)),
+            "the fallback rebuild must equal the original cold history"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

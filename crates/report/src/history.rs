@@ -1,0 +1,464 @@
+//! Run-history dashboards over the durable SPRL run log.
+//!
+//! The sp-system's status pages show the *latest* state of each validation
+//! cell; the run-history views answer the follow-up questions — "when did
+//! this cell start failing?", "which worker ran it?", "what changed between
+//! last night and tonight?" — from the append-only run log that
+//! [`sp_obs::query`] replays and indexes. Three views, each in text, JSON
+//! and HTML:
+//!
+//! * **summary dashboard** — cell counts by status, distinct campaigns /
+//!   experiments / images / workers, time span, corruption counters;
+//! * **single-cell drill-down** — the full repetition-by-repetition
+//!   timeline of one `(experiment, group, image)` cell, with worker
+//!   attribution and lease generations;
+//! * **regression timeline** — consecutive status transitions, with
+//!   regressions (status getting *worse*) flagged.
+
+use sp_obs::{CellQuery, HistorySummary, RunHistory, StatusChange};
+use sp_store::CellRecord;
+
+use crate::html::escape;
+use crate::json::JsonValue;
+use crate::table::{Align, TextTable};
+
+/// Renders the history summary dashboard as a text table.
+pub fn render_history_summary(summary: &HistorySummary) -> String {
+    let mut table = TextTable::new(&["run history", "value"]).align(&[Align::Left, Align::Right]);
+    table.row_owned(vec!["cell records".into(), summary.cells.to_string()]);
+    table.row_owned(vec!["campaigns".into(), summary.campaigns.to_string()]);
+    table.row_owned(vec!["experiments".into(), summary.experiments.to_string()]);
+    table.row_owned(vec!["images".into(), summary.images.to_string()]);
+    table.row_owned(vec!["workers".into(), summary.workers.to_string()]);
+    for (label, idx) in [
+        ("pass", CellRecord::STATUS_PASS),
+        ("warnings", CellRecord::STATUS_WARNINGS),
+        ("fail", CellRecord::STATUS_FAIL),
+        ("not run", CellRecord::STATUS_NOT_RUN),
+    ] {
+        table.row_owned(vec![
+            format!("status: {label}"),
+            summary.by_status[idx as usize].to_string(),
+        ]);
+    }
+    table.row_owned(vec![
+        "time window".into(),
+        match (summary.first_timestamp, summary.last_timestamp) {
+            (Some(first), Some(last)) => format!("{first}..{last}"),
+            _ => "empty".into(),
+        },
+    ]);
+    table.row_owned(vec![
+        "corrupt dropped".into(),
+        summary.corrupt_dropped.to_string(),
+    ]);
+    table.row_owned(vec![
+        "duplicates dropped".into(),
+        summary.duplicates_dropped.to_string(),
+    ]);
+    table.render()
+}
+
+/// Exports the history summary as JSON.
+pub fn history_summary_json(summary: &HistorySummary) -> JsonValue {
+    JsonValue::object([
+        ("cells", summary.cells.into()),
+        ("campaigns", summary.campaigns.into()),
+        ("experiments", summary.experiments.into()),
+        ("images", summary.images.into()),
+        ("workers", summary.workers.into()),
+        (
+            "by_status",
+            JsonValue::object([
+                ("pass", summary.by_status[0].into()),
+                ("warnings", summary.by_status[1].into()),
+                ("fail", summary.by_status[2].into()),
+                ("not_run", summary.by_status[3].into()),
+            ]),
+        ),
+        (
+            "first_timestamp",
+            summary
+                .first_timestamp
+                .map(|t| (t as f64).into())
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "last_timestamp",
+            summary
+                .last_timestamp
+                .map(|t| (t as f64).into())
+                .unwrap_or(JsonValue::Null),
+        ),
+        ("corrupt_dropped", summary.corrupt_dropped.into()),
+        ("duplicates_dropped", summary.duplicates_dropped.into()),
+    ])
+}
+
+/// One cell record as a JSON object (shared by every view).
+fn cell_json(record: &CellRecord) -> JsonValue {
+    JsonValue::object([
+        ("campaign", (record.campaign as f64).into()),
+        ("experiment", JsonValue::string(&*record.experiment)),
+        ("group", JsonValue::string(&*record.group)),
+        ("image", JsonValue::string(&*record.image_label)),
+        ("repetition", (record.repetition as f64).into()),
+        ("run_id", (record.run_id as f64).into()),
+        ("status", JsonValue::string(record.status_label())),
+        ("passed", (record.passed as f64).into()),
+        ("failed", (record.failed as f64).into()),
+        ("skipped", (record.skipped as f64).into()),
+        ("timestamp", (record.timestamp as f64).into()),
+        ("worker", JsonValue::string(&*record.worker)),
+        ("lease_token", (record.lease_token as f64).into()),
+    ])
+}
+
+/// Renders query results (or any record slice) as a text table —
+/// the console form of the drill-down and filtered listings.
+pub fn render_cell_records(records: &[&CellRecord]) -> String {
+    let mut table = TextTable::new(&[
+        "campaign",
+        "experiment",
+        "image",
+        "rep",
+        "status",
+        "passed",
+        "failed",
+        "skipped",
+        "timestamp",
+        "worker",
+    ])
+    .align(&[
+        Align::Right,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    for record in records {
+        table.row_owned(vec![
+            record.campaign.to_string(),
+            record.experiment.clone(),
+            record.image_label.clone(),
+            record.repetition.to_string(),
+            record.status_label().to_string(),
+            record.passed.to_string(),
+            record.failed.to_string(),
+            record.skipped.to_string(),
+            record.timestamp.to_string(),
+            record.worker.clone(),
+        ]);
+    }
+    table.render()
+}
+
+/// Exports query results as a JSON array.
+pub fn cell_records_json(records: &[&CellRecord]) -> JsonValue {
+    JsonValue::Array(records.iter().map(|r| cell_json(r)).collect())
+}
+
+/// Renders the single-cell drill-down: the full timeline of one
+/// `(experiment, group, image)` cell in repetition order.
+pub fn render_cell_timeline(
+    history: &RunHistory,
+    experiment: &str,
+    group: &str,
+    image: &str,
+) -> String {
+    let timeline = history.cell_timeline(experiment, group, image);
+    let mut out = format!(
+        "cell {experiment}/{g}/{image}: {} recorded runs\n",
+        timeline.len(),
+        g = if group.is_empty() { "-" } else { group },
+    );
+    out.push_str(&render_cell_records(&timeline));
+    out
+}
+
+/// Exports the single-cell drill-down as JSON.
+pub fn cell_timeline_json(
+    history: &RunHistory,
+    experiment: &str,
+    group: &str,
+    image: &str,
+) -> JsonValue {
+    let timeline = history.cell_timeline(experiment, group, image);
+    JsonValue::object([
+        ("experiment", JsonValue::string(experiment)),
+        ("group", JsonValue::string(group)),
+        ("image", JsonValue::string(image)),
+        ("runs", cell_records_json(&timeline)),
+    ])
+}
+
+/// Renders the regression timeline: every consecutive status transition,
+/// regressions marked with `!`.
+pub fn render_status_changes(changes: &[StatusChange]) -> String {
+    let mut table = TextTable::new(&["", "cell", "transition", "campaign", "worker"]).align(&[
+        Align::Left,
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+    ]);
+    for change in changes {
+        table.row_owned(vec![
+            if change.is_regression() { "!" } else { " " }.into(),
+            format!(
+                "{}/{}/{}",
+                change.experiment,
+                if change.group.is_empty() {
+                    "-"
+                } else {
+                    &change.group
+                },
+                change.image_label
+            ),
+            format!(
+                "{} -> {}",
+                change.from.status_label(),
+                change.to.status_label()
+            ),
+            format!("{} -> {}", change.from.campaign, change.to.campaign),
+            change.to.worker.clone(),
+        ]);
+    }
+    table.render()
+}
+
+/// Exports status transitions as JSON.
+pub fn status_changes_json(changes: &[StatusChange]) -> JsonValue {
+    JsonValue::Array(
+        changes
+            .iter()
+            .map(|c| {
+                JsonValue::object([
+                    ("experiment", JsonValue::string(&*c.experiment)),
+                    ("group", JsonValue::string(&*c.group)),
+                    ("image", JsonValue::string(&*c.image_label)),
+                    ("regression", c.is_regression().into()),
+                    ("from", cell_json(&c.from)),
+                    ("to", cell_json(&c.to)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// CSS class for a cell status code.
+fn status_class(status: u8) -> &'static str {
+    match status {
+        CellRecord::STATUS_PASS => "pass",
+        CellRecord::STATUS_WARNINGS => "warn",
+        CellRecord::STATUS_FAIL => "fail",
+        _ => "skip",
+    }
+}
+
+const STYLE: &str = "\
+<style>\n\
+body { font-family: sans-serif; }\n\
+table { border-collapse: collapse; margin-bottom: 1em; }\n\
+td, th { border: 1px solid #999; padding: 2px 6px; }\n\
+.pass { background: #cfc; }\n\
+.warn { background: #ffc; }\n\
+.fail { background: #fcc; }\n\
+.skip { background: #eee; }\n\
+.regress { font-weight: bold; }\n\
+</style>\n";
+
+/// The run-history HTML page: summary dashboard, regression timeline and
+/// the filtered record listing in one static page.
+pub fn history_page(history: &RunHistory, query: &CellQuery) -> String {
+    let summary = history.summary();
+    let mut html = String::new();
+    html.push_str("<!DOCTYPE html>\n<html><head><title>sp-system run history</title>\n");
+    html.push_str(STYLE);
+    html.push_str("</head><body>\n<h1>Run history</h1>\n");
+    html.push_str(&format!(
+        "<p>{} cell records across {} campaigns, {} experiments, \
+         {} images, {} workers</p>\n",
+        summary.cells, summary.campaigns, summary.experiments, summary.images, summary.workers,
+    ));
+    html.push_str("<h2>Status totals</h2>\n<table>\n<tr>");
+    for (label, idx) in [("pass", 0u8), ("warnings", 1), ("fail", 2), ("not run", 3)] {
+        html.push_str(&format!(
+            "<td class=\"{}\">{}: {}</td>",
+            status_class(idx),
+            label,
+            summary.by_status[idx as usize]
+        ));
+    }
+    html.push_str("</tr>\n</table>\n");
+
+    let regressions = history.regressions();
+    html.push_str(&format!(
+        "<h2>Regressions ({})</h2>\n<table>\n\
+         <tr><th>cell</th><th>transition</th><th>campaign</th><th>worker</th></tr>\n",
+        regressions.len()
+    ));
+    for change in &regressions {
+        html.push_str(&format!(
+            "<tr class=\"regress\"><td>{}/{}/{}</td>\
+             <td class=\"{}\">{} &rarr; {}</td><td>{} &rarr; {}</td><td>{}</td></tr>\n",
+            escape(&change.experiment),
+            escape(if change.group.is_empty() {
+                "-"
+            } else {
+                &change.group
+            }),
+            escape(&change.image_label),
+            status_class(change.to.status),
+            change.from.status_label(),
+            change.to.status_label(),
+            change.from.campaign,
+            change.to.campaign,
+            escape(&change.to.worker),
+        ));
+    }
+    html.push_str("</table>\n");
+
+    let records = history.query(query);
+    html.push_str(&format!(
+        "<h2>Records ({})</h2>\n<table>\n\
+         <tr><th>campaign</th><th>experiment</th><th>image</th><th>rep</th>\
+         <th>status</th><th>passed</th><th>failed</th><th>skipped</th>\
+         <th>timestamp</th><th>worker</th></tr>\n",
+        records.len()
+    ));
+    for record in &records {
+        html.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"{}\">{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td></tr>\n",
+            record.campaign,
+            escape(&record.experiment),
+            escape(&record.image_label),
+            record.repetition,
+            status_class(record.status),
+            record.status_label(),
+            record.passed,
+            record.failed,
+            record.skipped,
+            record.timestamp,
+            escape(&record.worker),
+        ));
+    }
+    html.push_str("</table>\n</body></html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_obs::RunHistory;
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        campaign: u64,
+        experiment: &str,
+        image: &str,
+        repetition: u32,
+        run_id: u64,
+        status: u8,
+        timestamp: u64,
+        worker: &str,
+    ) -> CellRecord {
+        CellRecord {
+            campaign,
+            experiment: experiment.into(),
+            group: String::new(),
+            image_label: image.into(),
+            repetition,
+            run_id,
+            status,
+            passed: if status == CellRecord::STATUS_FAIL {
+                8
+            } else {
+                10
+            },
+            failed: if status == CellRecord::STATUS_FAIL {
+                2
+            } else {
+                0
+            },
+            skipped: 0,
+            timestamp,
+            worker: worker.into(),
+            lease_token: 1,
+        }
+    }
+
+    fn history() -> RunHistory {
+        RunHistory::from_records(vec![
+            (
+                1,
+                record(1, "h1", "SL5", 0, 1, CellRecord::STATUS_PASS, 100, "w-a"),
+            ),
+            (
+                2,
+                record(1, "h1", "SL6", 0, 2, CellRecord::STATUS_PASS, 110, "w-a"),
+            ),
+            (
+                3,
+                record(2, "h1", "SL5", 0, 3, CellRecord::STATUS_FAIL, 200, "w-b"),
+            ),
+            (
+                4,
+                record(2, "zeus", "SL5", 0, 4, CellRecord::STATUS_PASS, 210, "w-b"),
+            ),
+        ])
+    }
+
+    #[test]
+    fn summary_dashboard_renders_counts() {
+        let history = history();
+        let rendered = render_history_summary(&history.summary());
+        assert!(rendered.contains("cell records"));
+        assert!(rendered.contains("status: pass"));
+        assert!(rendered.contains("100..210"));
+        let json = history_summary_json(&history.summary()).render();
+        assert!(json.contains("\"cells\":4"));
+        assert!(json.contains("\"fail\":1"));
+        assert!(json.contains("\"workers\":2"));
+    }
+
+    #[test]
+    fn drill_down_lists_cell_runs_in_order() {
+        let history = history();
+        let rendered = render_cell_timeline(&history, "h1", "", "SL5");
+        assert!(rendered.contains("2 recorded runs"));
+        assert!(rendered.contains("w-a"));
+        assert!(rendered.contains("w-b"));
+        let json = cell_timeline_json(&history, "h1", "", "SL5").render();
+        assert!(json.contains("\"worker\":\"w-b\""));
+        assert!(json.contains("\"status\":\"fail\""));
+    }
+
+    #[test]
+    fn regression_timeline_flags_worsening_cells() {
+        let history = history();
+        let changes = history.status_changes();
+        let rendered = render_status_changes(&changes);
+        assert!(rendered.contains("pass -> fail"));
+        assert!(rendered.contains('!'));
+        let json = status_changes_json(&changes).render();
+        assert!(json.contains("\"regression\":true"));
+    }
+
+    #[test]
+    fn history_page_renders_all_three_views() {
+        let history = history();
+        let html = history_page(&history, &CellQuery::all());
+        assert!(html.contains("Run history"));
+        assert!(html.contains("Regressions (1)"));
+        assert!(html.contains("Records (4)"));
+        assert!(html.contains("class=\"fail\""));
+    }
+}

@@ -111,6 +111,12 @@ impl From<usize> for JsonValue {
     }
 }
 
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Number(n as f64)
+    }
+}
+
 impl From<bool> for JsonValue {
     fn from(b: bool) -> Self {
         JsonValue::Bool(b)

@@ -14,6 +14,8 @@
 //! * [`diagram`] — the Figure-1 system illustration, generated from a live
 //!   [`SpSystem`](sp_core::SpSystem).
 //! * [`summary`] — campaign statistics.
+//! * [`history`] — run-history dashboards over the durable SPRL run log:
+//!   summary, single-cell drill-down, regression timelines.
 //!
 //! ## Example
 //!
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod diagram;
+pub mod history;
 pub mod html;
 pub mod json;
 pub mod matrix;
@@ -34,8 +37,12 @@ pub mod summary;
 pub mod table;
 
 pub use diagram::figure1_diagram;
+pub use history::{
+    cell_records_json, cell_timeline_json, history_page, history_summary_json, render_cell_records,
+    render_cell_timeline, render_history_summary, render_status_changes, status_changes_json,
+};
 pub use html::{matrix_page, run_index_page, run_page};
 pub use json::JsonValue;
 pub use matrix::render_matrix;
-pub use summary::{campaign_stats, render_fleet_stats, render_scheduler_stats};
+pub use summary::{campaign_stats, fleet_stats_json, render_fleet_stats, render_scheduler_stats};
 pub use table::TextTable;

@@ -102,17 +102,17 @@ pub fn render_scheduler_stats(
     ]);
     table.row_owned(vec!["lane steals".into(), stats.lanes_stolen.to_string()]);
     for (label, memo) in [
-        ("chain memo hits", chain_memo),
-        ("output memo hits", output_memo),
-        ("build memo hits", build_memo),
+        ("chain memo", chain_memo),
+        ("output memo", output_memo),
+        ("build memo", build_memo),
     ] {
         table.row_owned(vec![
             label.into(),
             format!(
-                "{} ({:.0}% of {})",
+                "{} hits / {} misses ({:.0}% hit rate)",
                 memo.hits,
+                memo.misses,
                 memo.hit_rate() * 100.0,
-                memo.hits + memo.misses
             ),
         ]);
     }
@@ -199,6 +199,47 @@ pub fn render_fleet_stats(stats: &FleetStats) -> String {
         format!("{} ms", stats.drained.poll.slept.as_millis()),
     ]);
     table.render()
+}
+
+/// Exports the merged fleet digest as JSON, mirroring every row of the
+/// text table — including the failure-surface counters (`poisoned`,
+/// `quarantined`, `corrupt_dropped`, `io_retries`) that dashboards need
+/// to alert on.
+pub fn fleet_stats_json(stats: &FleetStats) -> JsonValue {
+    JsonValue::object([
+        (
+            "queue",
+            JsonValue::object([
+                ("submissions", stats.queue.submissions.into()),
+                ("completed", stats.queue.completed.into()),
+                ("leases_issued", stats.queue.leases_issued.into()),
+                ("reclaims", stats.queue.reclaims.into()),
+                ("corrupt_dropped", stats.queue.corrupt_dropped.into()),
+                ("poisoned", stats.queue.poisoned.into()),
+                ("quarantined", stats.queue.quarantined.into()),
+            ]),
+        ),
+        ("workers", stats.workers.into()),
+        (
+            "drained",
+            JsonValue::object([
+                ("campaigns_drained", stats.drained.campaigns_drained.into()),
+                ("runs_executed", stats.drained.runs_executed.into()),
+                ("failures", stats.drained.failures.into()),
+                ("renewals", stats.drained.renewals.into()),
+                ("io_retries", stats.drained.io_retries.into()),
+                ("publish_batches", stats.drained.publish_batches.into()),
+                ("sched_rounds", stats.drained.sched.rounds.into()),
+                ("lanes_executed", stats.drained.sched.lanes_executed.into()),
+                ("lanes_stolen", stats.drained.sched.lanes_stolen.into()),
+                ("idle_polls", stats.drained.poll.idle.into()),
+                (
+                    "slept_ms",
+                    (stats.drained.poll.slept.as_millis() as f64).into(),
+                ),
+            ]),
+        ),
+    ])
 }
 
 /// Exports a campaign summary as JSON.
@@ -308,7 +349,7 @@ mod tests {
         let rendered = render_scheduler_stats(&stats, &memo, &memo, &memo);
         assert!(rendered.contains("campaigns admitted"));
         assert!(rendered.contains("lane steals"));
-        assert!(rendered.contains("9 (75% of 12)"));
+        assert!(rendered.contains("9 hits / 3 misses (75% hit rate)"));
         assert!(rendered.contains("campaigns cancelled"));
     }
 
@@ -352,6 +393,33 @@ mod tests {
         assert!(rendered.contains("io retries"));
         assert!(rendered.contains("publish batches"));
         assert!(rendered.contains("42"));
+    }
+
+    #[test]
+    fn fleet_json_carries_failure_surface_counters() {
+        use sp_core::WorkerStats;
+        let stats = FleetStats {
+            queue: sp_store::QueueStats {
+                submissions: 4,
+                completed: 3,
+                leases_issued: 5,
+                reclaims: 1,
+                corrupt_dropped: 2,
+                poisoned: 1,
+                quarantined: 1,
+            },
+            workers: 2,
+            drained: WorkerStats {
+                io_retries: 7,
+                ..Default::default()
+            },
+        };
+        let json = fleet_stats_json(&stats).render();
+        assert!(json.contains("\"poisoned\":1"));
+        assert!(json.contains("\"quarantined\":1"));
+        assert!(json.contains("\"corrupt_dropped\":2"));
+        assert!(json.contains("\"io_retries\":7"));
+        assert!(json.contains("\"workers\":2"));
     }
 
     #[test]

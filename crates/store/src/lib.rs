@@ -46,6 +46,10 @@
 //!   directory: digest-guarded submissions, lease generations with
 //!   heartbeat/expiry, and fencing tokens so a stalled worker whose lease
 //!   was re-issued can never commit stale results.
+//! * [`run_log`] — the append-only `SPRL` run-history log next to the
+//!   queue: one digest-guarded record per validated cell outcome, with
+//!   the queue's stage→fsync→link durability discipline, so run history
+//!   survives restarts byte-identically.
 //!
 //! ## Example
 //!
@@ -67,6 +71,7 @@ pub mod fnv;
 pub mod meta;
 pub mod object;
 pub mod retention;
+pub mod run_log;
 pub mod run_memo;
 pub mod sha256;
 pub mod shared;
@@ -83,6 +88,7 @@ pub use fnv::fnv64;
 pub use meta::MetaStore;
 pub use object::ObjectId;
 pub use retention::{RetentionPolicy, TimeSource};
+pub use run_log::{CellRecord, RunLog, RunLogReplay};
 pub use run_memo::{RunKey, RunMemo};
 pub use sha256::HashingWriter;
 pub use shared::{ExportSummary, ImportSummary, SharedStorage, StorageArea};

@@ -1177,7 +1177,7 @@ impl WorkQueue {
 /// Whether a process with this pid is currently alive. Uses `/proc` where
 /// it exists; without a liveness oracle every staging file is presumed
 /// live (leaking a file beats deleting a sibling's in-flight stage).
-fn pid_alive(pid: u32) -> bool {
+pub(crate) fn pid_alive(pid: u32) -> bool {
     let proc_root = Path::new("/proc");
     if proc_root.is_dir() {
         proc_root.join(pid.to_string()).is_dir()
@@ -1234,7 +1234,7 @@ fn parse_report_name(name: &str) -> Option<(u64, u64)> {
 }
 
 /// Parses `<prefix><number><suffix>` file names back to their number.
-fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+pub(crate) fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?
         .strip_suffix(suffix)?
         .parse()
@@ -1242,7 +1242,7 @@ fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 }
 
 /// Frames a record: magic, version, body, SHA-256 over all of it.
-fn encode_record(magic: &[u8; 4], body: &[u8]) -> Vec<u8> {
+pub(crate) fn encode_record(magic: &[u8; 4], body: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(body.len() + 40);
     out.extend_from_slice(magic);
     out.extend_from_slice(&WQ_VERSION.to_le_bytes());
@@ -1256,7 +1256,7 @@ fn encode_record(magic: &[u8; 4], body: &[u8]) -> Vec<u8> {
 
 /// Unframes a record: validates magic, version and digest, returning the
 /// body. `None` on any mismatch — the record is dropped, never trusted.
-fn decode_record(magic: &[u8; 4], bytes: &[u8]) -> Option<Vec<u8>> {
+pub(crate) fn decode_record(magic: &[u8; 4], bytes: &[u8]) -> Option<Vec<u8>> {
     if bytes.len() < 40 || &bytes[..4] != magic {
         return None;
     }

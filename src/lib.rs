@@ -43,7 +43,8 @@
 //! | [`exec`] | virtual clock, cron, jobs, clients, chain DAGs |
 //! | [`store`] | content-addressed common storage, archives, the frozen-image vault |
 //! | [`experiments`] | the synthetic H1, ZEUS and HERMES stacks |
-//! | [`report`] | status matrices, HTML pages, JSON export |
+//! | [`obs`] | observability: metrics registry, trace sink, run-history query engine |
+//! | [`report`] | status matrices, HTML pages, JSON export, run-history dashboards |
 
 pub use sp_build as build;
 pub use sp_core as core;
@@ -51,5 +52,6 @@ pub use sp_env as env;
 pub use sp_exec as exec;
 pub use sp_experiments as experiments;
 pub use sp_hep as hep;
+pub use sp_obs as obs;
 pub use sp_report as report;
 pub use sp_store as store;
